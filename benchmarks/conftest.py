@@ -1,0 +1,82 @@
+"""Shared benchmark fixtures: the 50-topology testbed and its measurements.
+
+The paper's Figures 7, 8 and 9 all evaluate the same testbed of 50
+random topologies (Algorithm 5).  The expensive artifacts — analytical
+predictions and discrete-event measurements — are computed once per
+pytest session and shared across the benchmark modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+from repro.core.fission import FissionResult, eliminate_bottlenecks
+from repro.core.steady_state import SteadyStateResult, analyze
+from repro.sim.network import SimulationConfig, SimulationResult, simulate
+from repro.topology.random_gen import generate_testbed
+
+#: Items per simulation: large enough that slow low-probability paths
+#: approach their steady state (the paper's Figure 8 shows the residual
+#: tail that remains).
+SIM_ITEMS = 200_000
+TESTBED_SEED = 42
+TESTBED_SIZE = 50
+
+
+@dataclass(frozen=True)
+class TopologyMeasurement:
+    """Everything Figures 7 and 8 need about one testbed topology."""
+
+    topology: object
+    predicted: SteadyStateResult
+    measured: SimulationResult
+
+    @property
+    def throughput_error(self) -> float:
+        return self.measured.throughput_error(self.predicted)
+
+
+@dataclass(frozen=True)
+class FissionMeasurement:
+    """Everything Figure 9 needs about one parallelized topology."""
+
+    topology: object
+    fission: FissionResult
+    measured: SimulationResult
+
+    @property
+    def throughput_error(self) -> float:
+        return self.measured.throughput_error(self.fission.analysis)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The 50 random topologies of the paper's evaluation."""
+    return generate_testbed(TESTBED_SIZE, seed=TESTBED_SEED)
+
+
+@pytest.fixture(scope="session")
+def testbed_measurements(testbed) -> List[TopologyMeasurement]:
+    """Predicted and DES-measured figures for every testbed topology."""
+    results = []
+    for topology in testbed:
+        predicted = analyze(topology)
+        measured = simulate(topology,
+                            SimulationConfig(items=SIM_ITEMS, seed=11))
+        results.append(TopologyMeasurement(topology, predicted, measured))
+    return results
+
+
+@pytest.fixture(scope="session")
+def fission_measurements(testbed) -> List[FissionMeasurement]:
+    """Bottleneck-eliminated topologies and their DES measurements."""
+    results = []
+    for topology in testbed:
+        fission = eliminate_bottlenecks(topology)
+        measured = simulate(fission.optimized,
+                            SimulationConfig(items=SIM_ITEMS, seed=13))
+        results.append(FissionMeasurement(topology, fission, measured))
+    return results

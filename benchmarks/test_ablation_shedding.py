@@ -1,0 +1,63 @@
+"""Ablation: backpressure (BAS) vs load shedding.
+
+Section 2 of the paper discusses the two communication semantics of
+SPSs: backpressure (the one SpinStreams models — "definitely the most
+diffused approach") and load shedding, which "prevents the streaming
+buffers to indefinitely grow by discarding input items" at the cost of
+data loss.  This ablation runs the same overloaded pipeline under both
+semantics and quantifies the trade-off the paper describes: identical
+goodput (the bottleneck bounds both), but shedding silently discards
+the overflow while backpressure preserves exactly-once delivery.
+"""
+
+import pytest
+
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_pipeline
+
+#: Source three times faster than the 4 ms bottleneck stage.
+OVERLOADED = make_pipeline(1.0 + 1e-12, 4.0, 0.5, name="overloaded")
+
+
+def run_semantics(backpressure: bool):
+    config = SimulationConfig(items=80_000, seed=3,
+                              backpressure=backpressure)
+    return simulate(OVERLOADED, config)
+
+
+def test_ablation_backpressure_vs_shedding(benchmark):
+    blocking = run_semantics(backpressure=True)
+    shedding = run_semantics(backpressure=False)
+    predicted = analyze(OVERLOADED)
+
+    print("\nAblation — backpressure vs load shedding (overloaded pipeline)")
+    print(f"{'semantics':<14} {'source rate':>12} {'goodput':>10} "
+          f"{'drop rate':>10} {'loss':>7}")
+    for label, result in (("backpressure", blocking),
+                          ("shedding", shedding)):
+        offered = result.vertices[OVERLOADED.source].consumption_rate
+        loss = result.total_drop_rate() / offered if offered else 0.0
+        print(f"{label:<14} {offered:>12.1f} {result.goodput():>10.1f} "
+              f"{result.total_drop_rate():>10.1f} {loss:>7.1%}")
+
+    # Backpressure: the source is throttled to the bottleneck's pace
+    # (the quantity Algorithm 1 predicts) and nothing is lost.
+    assert blocking.throughput == pytest.approx(predicted.throughput,
+                                                rel=0.02)
+    assert blocking.total_drop_rate() == 0.0
+
+    # Shedding: the source runs at full speed, goodput is identical
+    # (the bottleneck bounds both), and the overflow is destroyed.
+    offered = shedding.vertices[OVERLOADED.source].consumption_rate
+    assert offered == pytest.approx(1000.0, rel=0.02)
+    assert shedding.goodput() == pytest.approx(blocking.goodput(), rel=0.03)
+    assert shedding.total_drop_rate() == pytest.approx(
+        offered - shedding.goodput(), rel=0.05)
+
+    # Latency: shedding keeps the buffers permanently full ahead of the
+    # bottleneck too, so it buys no latency under sustained overload.
+    assert shedding.mean_latency() == pytest.approx(
+        blocking.mean_latency(), rel=0.25)
+
+    benchmark(lambda: run_semantics(backpressure=False))

@@ -1,0 +1,52 @@
+"""Extension benchmark: automatic fusion on the random testbed.
+
+The paper fuses sub-graphs manually (§5.4) and lists automation as
+future work.  This benchmark runs the automatic fusion loop
+(``repro.core.autofusion``) over the 50-topology testbed and reports
+how many operators it removes while provably preserving the predicted
+throughput — the "too tangled, composed of too many operators" problem
+of the introduction, solved without user intervention.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.autofusion import auto_fuse
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+
+
+def test_ext_autofusion_compacts_testbed(testbed, benchmark):
+    rows = []
+    for topology in testbed:
+        before = analyze(topology)
+        result = auto_fuse(topology)
+        rows.append((topology, before, result))
+
+    removed = [r.operators_removed for _, _, r in rows]
+    print("\nExtension — automatic fusion over the 50-topology testbed")
+    print(f"{'topology':<14} {'ops':>4} {'after':>6} {'removed':>8} "
+          f"{'rounds':>7}")
+    for topology, _, result in rows:
+        print(f"{topology.name:<14} {len(topology):>4} "
+              f"{len(result.fused):>6} {result.operators_removed:>8} "
+              f"{result.rounds:>7}")
+    print(f"\noperators removed: total {sum(removed)}, "
+          f"mean {statistics.mean(removed):.1f} per topology")
+
+    # Fusion preserves the predicted throughput on every topology.
+    for _, before, result in rows:
+        assert result.throughput == pytest.approx(before.throughput,
+                                                  rel=1e-9)
+
+    # The testbed's sparse under-utilized graphs offer real compaction.
+    assert sum(removed) > len(rows)  # more than one op per topology
+    assert max(removed) >= 3
+
+    # Spot-check one compacted topology on the simulator.
+    topology, _, result = max(rows, key=lambda row: row[2].operators_removed)
+    measured = simulate(result.fused, SimulationConfig(items=100_000, seed=7))
+    assert measured.throughput_error(result.analysis) < 0.06
+
+    benchmark(lambda: auto_fuse(testbed[0]))

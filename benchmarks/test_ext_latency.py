@@ -1,0 +1,68 @@
+"""Extension benchmark: static latency estimates vs measured latency.
+
+Not a paper figure — the paper predicts throughput only — but the
+natural companion experiment: the same steady-state analysis extended
+with queueing-delay estimates (``repro.core.latency``) is validated
+against the item-level timestamps of the simulator across load levels
+and service distributions.
+"""
+
+import pytest
+
+from repro.core.latency import estimate_latency
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11
+
+LOADS = (300.0, 600.0, 800.0, 950.0)
+
+
+def run_sweep(service_family: str, assumption: str):
+    topology = make_fig11()
+    rows = []
+    for rate in LOADS:
+        estimate = estimate_latency(topology, source_rate=rate,
+                                    assumption=assumption)
+        measured = simulate(
+            topology,
+            SimulationConfig(items=100_000, seed=5,
+                             service_family=service_family),
+            source_rate=rate,
+        )
+        rows.append((rate, estimate.end_to_end, measured.mean_latency()))
+    return rows
+
+
+def test_ext_latency_model(benchmark):
+    deterministic = run_sweep("deterministic", "deterministic")
+    exponential = run_sweep("exponential", "markovian")
+
+    print("\nExtension — end-to-end latency, model vs simulator "
+          "(Figure 11 example)")
+    print(f"{'load':>6} | {'det model':>10} {'det meas':>10} | "
+          f"{'exp model':>10} {'exp meas':>10}")
+    for (rate, det_model, det_meas), (_, exp_model, exp_meas) in zip(
+            deterministic, exponential):
+        print(f"{rate:>6.0f} | {det_model * 1e3:>9.2f}ms "
+              f"{det_meas * 1e3:>9.2f}ms | {exp_model * 1e3:>9.2f}ms "
+              f"{exp_meas * 1e3:>9.2f}ms")
+
+    # Deterministic services: latency is the path-weighted service sum
+    # at moderate loads; near saturation the merge point (op6 receives
+    # three streams) introduces contention the zero-wait assumption
+    # ignores, so the tolerance widens with load.
+    for rate, model, measured in deterministic:
+        tolerance = 0.1 if rate <= 800.0 else 0.35
+        assert measured == pytest.approx(model, rel=tolerance)
+
+    # Exponential services: the M/M/1-style estimate tracks the
+    # measurement within ~20% across the load range, and both curves
+    # grow with load.
+    for _, model, measured in exponential:
+        assert measured == pytest.approx(model, rel=0.25)
+    models = [m for _, m, _ in exponential]
+    measures = [m for _, _, m in exponential]
+    assert models == sorted(models)
+    assert measures == sorted(measures)
+
+    topology = make_fig11()
+    benchmark(lambda: estimate_latency(topology, source_rate=800.0))

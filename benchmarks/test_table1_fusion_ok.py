@@ -1,0 +1,59 @@
+"""Table 1: a feasible fusion of the Figure 11 example.
+
+Six operators with service times (1.0, 1.2, 0.7, 2.0, 1.5, 0.2) ms;
+operators 3, 4 and 5 are under-utilized and get fused.  The paper
+predicts a fused service time of 2.80 ms and no new bottleneck
+(throughput stays at 1000 tuples/sec predicted, ~970 measured).  With
+the probabilities printed in Figure 11 the self-consistent fused time
+is 2.6375 ms; the shape target — fusion feasible, utilization of F
+below one, throughput unchanged — is identical.
+"""
+
+import math
+
+from repro.core.fusion import apply_fusion
+from repro.core.report import analysis_report
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11
+
+MEMBERS = ("op3", "op4", "op5")
+SIM = SimulationConfig(items=150_000, seed=21)
+
+
+def run_table1():
+    topology = make_fig11(0.7, 2.0, 1.5)
+    fusion = apply_fusion(topology, MEMBERS, fused_name="F")
+    measured_before = simulate(topology, SIM)
+    measured_after = simulate(fusion.fused, SIM)
+    return fusion, measured_before, measured_after
+
+
+def test_table1_feasible_fusion(benchmark):
+    fusion, before, after = run_table1()
+
+    print("\nTable 1 — original topology")
+    print(analysis_report(fusion.analysis_before,
+                          measured_throughput=before.throughput))
+    print("\nTable 1 — topology after fusing op3, op4, op5 into F")
+    print(analysis_report(fusion.analysis_after,
+                          measured_throughput=after.throughput))
+    print(f"\npredicted fused service time: "
+          f"{fusion.plan.service_time * 1e3:.4g} ms (paper: 2.80 ms)")
+
+    # The fusion is feasible: no alert, no predicted throughput loss.
+    assert not fusion.impairs_performance
+    assert math.isclose(fusion.throughput_before, 1000.0)
+    assert math.isclose(fusion.throughput_after, 1000.0)
+
+    # Fused service time ~2.6 ms and utilization below one (paper 0.84).
+    assert math.isclose(fusion.plan.service_time, 2.6375e-3, rel_tol=1e-9)
+    rho_fused = fusion.analysis_after.utilization("F")
+    assert 0.5 < rho_fused < 1.0
+
+    # Measurements confirm: throughput unchanged within a few percent.
+    assert after.throughput_error(fusion.analysis_after) < 0.03
+    assert abs(after.throughput - before.throughput) < 0.05 * before.throughput
+
+    benchmark(lambda: apply_fusion(make_fig11(0.7, 2.0, 1.5), MEMBERS,
+                                   fused_name="F"))

@@ -1,0 +1,62 @@
+"""Table 2: a fusion that introduces a bottleneck (Figure 11 example).
+
+Same topology as Table 1, but the fused members are slower (1.5, 2.7
+and 2.2 ms).  The paper predicts a fused service time of about 4.42 ms,
+making F the bottleneck with a ~24% throughput degradation (1000 ->
+760 tuples/sec predicted, 753 measured); SpinStreams raises an alert
+before the user commits.  Our self-consistent variant of the example
+gives 4.26 ms and ~22% degradation — same shape, same alert.
+"""
+
+import math
+
+from repro.core.fusion import apply_fusion
+from repro.core.report import analysis_report, fusion_report
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11
+
+MEMBERS = ("op3", "op4", "op5")
+SIM = SimulationConfig(items=150_000, seed=23)
+
+
+def run_table2():
+    topology = make_fig11(1.5, 2.7, 2.2)
+    fusion = apply_fusion(topology, MEMBERS, fused_name="F")
+    measured_before = simulate(topology, SIM)
+    measured_after = simulate(fusion.fused, SIM)
+    return fusion, measured_before, measured_after
+
+
+def test_table2_harmful_fusion(benchmark):
+    fusion, before, after = run_table2()
+
+    print("\nTable 2 — original topology")
+    print(analysis_report(fusion.analysis_before,
+                          measured_throughput=before.throughput))
+    print("\nTable 2 — topology after fusing op3, op4, op5 into F")
+    print(analysis_report(fusion.analysis_after,
+                          measured_throughput=after.throughput))
+    print()
+    print(fusion_report(fusion))
+    print(f"predicted fused service time: "
+          f"{fusion.plan.service_time * 1e3:.4g} ms (paper: 4.42 ms)")
+
+    # The tool raises the alert: fusion would impair performance.
+    assert fusion.impairs_performance
+    assert math.isclose(fusion.plan.service_time, 4.26e-3, rel_tol=1e-9)
+
+    # The fused operator becomes the bottleneck, pinned at rho = 1.
+    assert fusion.analysis_after.binding_bottleneck == "F"
+    assert math.isclose(fusion.analysis_after.utilization("F"), 1.0)
+
+    # Degradation in the paper's band: ~20-25% predicted and measured.
+    assert 0.15 < fusion.degradation < 0.30
+    measured_loss = 1.0 - after.throughput / before.throughput
+    assert 0.15 < measured_loss < 0.30
+
+    # The model predicts the degraded measured throughput accurately.
+    assert after.throughput_error(fusion.analysis_after) < 0.03
+
+    benchmark(lambda: apply_fusion(make_fig11(1.5, 2.7, 2.2), MEMBERS,
+                                   fused_name="F"))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Static optimization vs reactive elasticity — the paper's positioning.
+
+SpinStreams' introduction argues that dynamic adaptation "although with
+a substantial run-time overhead, [is] unavoidable in case of
+unpredictable workloads", while a static tool finds the best initial
+configuration for free — and that the two are complementary, not
+competing.  This example quantifies both halves of that claim on the
+same pipeline:
+
+* a *stable* workload, where the static plan wins outright;
+* a *shifting* workload, where the reactive controller overtakes the
+  (now wrongly sized) static plan despite its adaptation costs.
+
+Run with::
+
+    python examples/static_vs_elastic.py
+"""
+
+from repro.baselines.elasticity import (
+    ElasticityConfig,
+    WorkloadPhase,
+    run_elastic,
+    run_static,
+)
+from repro.core.graph import Edge, OperatorSpec, Topology
+from repro.sim.network import SimulationConfig
+
+
+def build_pipeline():
+    return Topology(
+        [OperatorSpec("ingest", 1e-3),
+         OperatorSpec("enrich", 4e-3),
+         OperatorSpec("index", 2e-3),
+         OperatorSpec("store", 0.3e-3, output_selectivity=0.0)],
+        [Edge("ingest", "enrich"), Edge("enrich", "index"),
+         Edge("index", "store")],
+        name="ingestion-pipeline",
+    )
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def report(label, result, horizon):
+    print(f"  {label:<8} items delivered: {result.items_processed:>9,.0f}   "
+          f"mean throughput: {result.mean_throughput(horizon):>7.1f}/s   "
+          f"reconfigurations: {result.reconfigurations}   "
+          f"downtime: {result.total_downtime:.1f}s")
+
+
+def main():
+    pipeline = build_pipeline()
+    sim = SimulationConfig(items=15_000, seed=3)
+    control = ElasticityConfig(control_period=1.0,
+                               reconfiguration_downtime=0.3)
+
+    banner("Scenario 1 — stable workload (1000 items/sec for 10 s)")
+    stable = [WorkloadPhase(rate=1000.0, duration=10.0)]
+    static = run_static(pipeline, stable, sim_config=sim)
+    elastic = run_elastic(pipeline, stable, config=control, sim_config=sim)
+    report("static", static, 10.0)
+    report("elastic", elastic, 10.0)
+    print("\n-> the static plan starts with the right degrees "
+          f"({dict(static.steps[0].replicas)}) and never pays downtime;")
+    print("   the controller spends its ramp-up under-provisioned.")
+
+    banner("Scenario 2 — workload shift (300/s for 5 s, then 1000/s for 10 s)")
+    shifting = [WorkloadPhase(rate=300.0, duration=5.0),
+                WorkloadPhase(rate=1000.0, duration=10.0)]
+    static = run_static(pipeline, shifting, planning_rate=300.0,
+                        sim_config=sim)
+    elastic = run_elastic(pipeline, shifting, config=control, sim_config=sim)
+    report("static", static, 15.0)
+    report("elastic", elastic, 15.0)
+    print("\n-> sized for 300 items/sec, the static plan is wrong forever "
+          "after the shift;")
+    print("   the controller converges to "
+          f"{dict(elastic.steps[-1].replicas)} and overtakes it.")
+
+    banner("Timeline of the elastic run (scenario 2)")
+    print(f"{'t (s)':>6} {'rate':>6} {'tput':>8} {'enrich n':>9} "
+          f"{'index n':>8} {'changes':<20}")
+    for step in elastic.steps:
+        changes = ", ".join(step.reconfigured) or "-"
+        print(f"{step.start_time:>6.0f} {step.rate:>6.0f} "
+              f"{step.throughput:>8.1f} {step.replicas['enrich']:>9} "
+              f"{step.replicas['index']:>8} {changes:<20}")
+
+    print("\nThe paper's conclusion in one line: use SpinStreams to start "
+          "right,\nkeep elasticity for the shifts you cannot predict.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Testbed tour: a miniature of the paper's whole evaluation (Section 5).
+
+Generates random topologies with Algorithm 5 exactly as the paper's
+testbed does, then reproduces each experiment at small scale:
+
+* Figure 7 — predicted vs simulated throughput per topology;
+* Figure 8 — per-operator departure-rate errors;
+* Figure 9 — bottleneck elimination outcomes;
+* Figure 10 — throughput under replica bounds.
+
+The full-size (50-topology) versions live in ``benchmarks/``; this
+example keeps the runtime to a few seconds so it can serve as a guided
+tour.
+
+Run with::
+
+    python examples/testbed_tour.py [num_topologies]
+"""
+
+import statistics
+import sys
+
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.steady_state import analyze
+from repro.sim import SimulationConfig, simulate
+from repro.topology.dot import topology_to_dot
+from repro.topology.random_gen import generate_testbed
+
+
+def banner(title):
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main(count=10):
+    testbed = generate_testbed(count, seed=42)
+    config = SimulationConfig(items=100_000, seed=7)
+
+    banner(f"Figure 7 — model accuracy on {count} random topologies")
+    print(f"{'topology':<14} {'ops':>4} {'predicted':>11} {'measured':>11} "
+          f"{'error':>7}")
+    measurements = []
+    for topology in testbed:
+        predicted = analyze(topology)
+        measured = simulate(topology, config)
+        measurements.append((topology, predicted, measured))
+        print(f"{topology.name:<14} {len(topology):>4} "
+              f"{predicted.throughput:>11.1f} {measured.throughput:>11.1f} "
+              f"{measured.throughput_error(predicted):>7.2%}")
+    errors = [m.throughput_error(p) for _, p, m in measurements]
+    print(f"\nmean error: {statistics.mean(errors):.2%} "
+          f"(paper: below 3% on average)")
+
+    banner("Figure 8 — per-operator departure-rate errors")
+    per_operator = []
+    for topology, predicted, measured in measurements:
+        per_operator.extend(measured.departure_errors(predicted).values())
+    print(f"operators: {len(per_operator)}  "
+          f"mean: {statistics.mean(per_operator):.2%}  "
+          f"above 20%: {sum(1 for e in per_operator if e > 0.2)} "
+          "(slowly-converging low-probability paths, as in the paper)")
+
+    banner("Figure 9 — bottleneck elimination")
+    ideal = 0
+    for topology, _, _ in measurements:
+        result = eliminate_bottlenecks(topology)
+        status = "ideal" if result.ideal_throughput_reached else (
+            "blocked by " + ", ".join(result.residual_bottlenecks))
+        if result.ideal_throughput_reached:
+            ideal += 1
+        print(f"{topology.name:<14} +{result.additional_replicas:>3} "
+              f"replicas -> {status}")
+    print(f"\nideal throughput reached in {ideal}/{count} topologies "
+          "(paper: 43/50)")
+
+    banner("Figure 10 — one topology under replica bounds")
+    topology = max((t for t, _, _ in measurements), key=len)
+    unbounded = eliminate_bottlenecks(topology)
+    total = unbounded.optimized.total_replicas()
+    bounds = sorted({max(len(topology), total // 3),
+                     max(len(topology), total // 2), total})
+    print(f"{topology.name}: unbounded optimization uses {total} replicas")
+    for bound in bounds:
+        bounded = eliminate_bottlenecks(topology, max_replicas=bound)
+        print(f"  bound={bound:>3}: {bounded.throughput:>10.1f} items/sec")
+    print(f"  no bound : {unbounded.throughput:>10.1f} items/sec")
+
+    banner("Bonus — Graphviz rendering of the largest topology")
+    print("pipe this into `dot -Tpng` to draw it:")
+    print(topology_to_dot(topology, analyze(topology))[:400] + "  ...")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)

@@ -1,0 +1,97 @@
+"""SpinStreams reproduction: static optimization of streaming topologies.
+
+A faithful Python reproduction of *SpinStreams: a Static Optimization
+Tool for Data Stream Processing Applications* (Mencagli, Dazzi, Tonci --
+Middleware 2018): steady-state cost models with backpressure, bottleneck
+elimination via operator fission, operator fusion, a bounded-mailbox
+actor runtime standing in for Akka, a discrete-event queueing-network
+simulator, random-topology generation, XML topology I/O and code
+generation.
+
+Quickstart::
+
+    from repro import Edge, OperatorSpec, Topology, analyze
+
+    topology = Topology(
+        operators=[
+            OperatorSpec("source", service_time=0.001),
+            OperatorSpec("work", service_time=0.004),
+        ],
+        edges=[Edge("source", "work")],
+    )
+    result = analyze(topology)
+    print(result.throughput)   # items/sec, backpressure-aware
+"""
+
+from repro.core import (
+    AutoFusionResult,
+    CyclicGraph,
+    CyclicResult,
+    Edge,
+    FissionResult,
+    FusionCandidate,
+    FusionError,
+    FusionPlan,
+    FusionResult,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    SteadyStateResult,
+    Topology,
+    TopologyError,
+    LatencyEstimate,
+    MemoryEstimate,
+    MultiSourceTopology,
+    analysis_report,
+    analyze,
+    analyze_cyclic,
+    apply_fusion,
+    auto_fuse,
+    eliminate_bottlenecks,
+    enumerate_candidates,
+    estimate_latency,
+    estimate_memory,
+    fission_report,
+    fusion_report,
+    merge_sources,
+    plan_fusion,
+    predicted_throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoFusionResult",
+    "CyclicGraph",
+    "CyclicResult",
+    "Edge",
+    "LatencyEstimate",
+    "MemoryEstimate",
+    "MultiSourceTopology",
+    "FissionResult",
+    "FusionCandidate",
+    "FusionError",
+    "FusionPlan",
+    "FusionResult",
+    "KeyDistribution",
+    "OperatorSpec",
+    "StateKind",
+    "SteadyStateResult",
+    "Topology",
+    "TopologyError",
+    "analysis_report",
+    "analyze",
+    "analyze_cyclic",
+    "apply_fusion",
+    "auto_fuse",
+    "eliminate_bottlenecks",
+    "estimate_latency",
+    "estimate_memory",
+    "enumerate_candidates",
+    "fission_report",
+    "fusion_report",
+    "merge_sources",
+    "plan_fusion",
+    "predicted_throughput",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline strategies SpinStreams is compared against.
+
+Currently: reactive elasticity (threshold-based dynamic scaling), the
+adaptation approach the paper's introduction contrasts with static
+optimization.
+"""
+
+from repro.baselines.elasticity import (
+    AdaptiveRunResult,
+    ControlStep,
+    ElasticityConfig,
+    ReactiveController,
+    WorkloadPhase,
+    run_elastic,
+    run_static,
+)
+
+__all__ = [
+    "AdaptiveRunResult",
+    "ControlStep",
+    "ElasticityConfig",
+    "ReactiveController",
+    "WorkloadPhase",
+    "run_elastic",
+    "run_static",
+]

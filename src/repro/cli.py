@@ -1,0 +1,387 @@
+"""``spinstreams`` command-line interface.
+
+The console counterpart of the paper's GUI workflow::
+
+    spinstreams analyze app.xml                  # steady-state analysis
+    spinstreams optimize app.xml --max-replicas 40
+    spinstreams candidates app.xml               # ranked fusion candidates
+    spinstreams fuse app.xml --ops op3,op4,op5
+    spinstreams simulate app.xml --items 200000  # DES measurement
+    spinstreams generate app.xml -o run_app.py   # SS2Py code generation
+    spinstreams random --seed 7 -o random.xml    # Algorithm 5 testbed entry
+    spinstreams render app.xml -o app.dot        # Graphviz rendering
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.codegen.deployment import deployment_json, flink_sketch, storm_sketch
+from repro.codegen.ss2py import CodegenConfig, generate_code
+from repro.core.autofusion import auto_fuse
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.fusion import apply_fusion
+from repro.core.graph import TopologyError
+from repro.core.latency import estimate_latency
+from repro.core.memory import estimate_memory, memory_report
+from repro.core.report import analysis_report, fission_report, fusion_report
+from repro.core.steady_state import analyze
+from repro.core.candidates import enumerate_candidates
+from repro.sim.network import SimulationConfig, simulate
+from repro.topology.dot import topology_to_dot
+from repro.topology.random_gen import RandomTopologyGenerator
+from repro.topology.xmlio import parse_topology, topology_to_xml, write_topology
+
+
+def _write_or_print(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"written to {output}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    result = analyze(topology, source_rate=args.source_rate)
+    measured = None
+    if args.measure:
+        measured = simulate(
+            topology, SimulationConfig(items=args.items),
+            source_rate=args.source_rate,
+        ).throughput
+    print(analysis_report(result, measured_throughput=measured))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    result = eliminate_bottlenecks(
+        topology, source_rate=args.source_rate,
+        max_replicas=args.max_replicas,
+    )
+    print(fission_report(result))
+    if args.output:
+        write_topology(result.optimized, args.output)
+        print(f"optimized topology written to {args.output}")
+    return 0
+
+
+def _cmd_candidates(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    candidates = enumerate_candidates(
+        topology, max_size=args.max_size,
+        max_utilization=args.max_utilization, limit=args.limit,
+    )
+    if not candidates:
+        print("no fusion candidates found")
+        return 0
+    print(f"{len(candidates)} fusion candidates (best first):")
+    for candidate in candidates:
+        marker = "ok " if candidate.safe else "RISK"
+        print(
+            f"  [{marker}] {{{', '.join(candidate.members)}}} "
+            f"front-end={candidate.front_end} "
+            f"mean-rho={candidate.mean_utilization:.2f} "
+            f"fused-rho={candidate.predicted_utilization:.2f}"
+        )
+    return 0
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    members = [name.strip() for name in args.ops.split(",") if name.strip()]
+    result = apply_fusion(topology, members, fused_name=args.name,
+                          source_rate=args.source_rate)
+    print(fusion_report(result))
+    if args.output:
+        write_topology(result.fused, args.output)
+        print(f"fused topology written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    predicted = analyze(topology, source_rate=args.source_rate)
+    measured = simulate(
+        topology,
+        SimulationConfig(items=args.items, seed=args.seed,
+                         mailbox_capacity=args.mailbox_capacity),
+        source_rate=args.source_rate,
+    )
+    print(analysis_report(predicted, measured_throughput=measured.throughput))
+    if args.per_operator:
+        print("\nper-operator departure rates (predicted vs measured):")
+        for name in topology.names:
+            p = predicted.departure_rate(name)
+            m = measured.departure_rate(name)
+            error = abs(m - p) / p if p > 0 else float("nan")
+            print(f"  {name}: {p:.1f} vs {m:.1f} ({error:.1%})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    code = generate_code(
+        topology, config=CodegenConfig(duration=args.duration),
+    )
+    _write_or_print(code, args.output)
+    return 0
+
+
+def _cmd_random(args: argparse.Namespace) -> int:
+    generator = RandomTopologyGenerator(seed=args.seed)
+    topology = generator.generate(name=f"random-{args.seed}")
+    _write_or_print(topology_to_xml(topology), args.output)
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    estimate = estimate_latency(
+        topology, source_rate=args.source_rate,
+        mailbox_capacity=args.mailbox_capacity,
+        assumption=args.assumption,
+    )
+    print(f"topology: {topology.name} (assumption: {estimate.assumption})")
+    print(f"{'operator':<24} {'rho':>6} {'wait (ms)':>10} {'resid (ms)':>11}")
+    for name in topology.names:
+        op = estimate.operators[name]
+        print(f"{name:<24} {op.utilization:>6.2f} "
+              f"{op.waiting_time * 1e3:>10.3f} "
+              f"{op.residence_time * 1e3:>11.3f}")
+    print(f"\nend-to-end latency: {estimate.end_to_end * 1e3:.3f} ms")
+    for sink, latency in estimate.sink_latencies.items():
+        print(f"  to {sink}: {latency * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_autofuse(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    result = auto_fuse(
+        topology, source_rate=args.source_rate, max_size=args.max_size,
+        max_utilization=args.max_utilization, headroom=args.headroom,
+    )
+    print(f"topology: {topology.name}")
+    print(f"operators: {len(topology)} -> {len(result.fused)} "
+          f"({result.operators_removed} removed in {result.rounds} rounds)")
+    for step in result.steps:
+        print(f"  fused {', '.join(step.plan.members)} -> "
+              f"{step.plan.fused_name}")
+    print(f"predicted throughput preserved: "
+          f"{result.throughput:,.0f} items/sec")
+    if args.output:
+        write_topology(result.fused, args.output)
+        print(f"fused topology written to {args.output}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.operators.base import instantiate_operator
+    from repro.profiling.profiler import profile_topology
+    from repro.runtime.synthetic import PaddedOperator
+    from repro.runtime.system import RuntimeConfig
+
+    topology = parse_topology(args.topology)
+    factories = {}
+    for spec in topology.operators:
+        if not spec.operator_class:
+            print(f"error: operator {spec.name!r} has no class to run",
+                  file=sys.stderr)
+            return 2
+        if args.pad and spec.name != topology.source:
+            factories[spec.name] = (
+                lambda s=spec: PaddedOperator(
+                    instantiate_operator(s.operator_class, s.operator_args),
+                    s.service_time,
+                )
+            )
+        else:
+            factories[spec.name] = (
+                lambda s=spec: instantiate_operator(s.operator_class,
+                                                    s.operator_args)
+            )
+    report = profile_topology(
+        topology, factories, duration=args.duration,
+        config=RuntimeConfig(source_rate=args.source_rate),
+    )
+    print(f"profiled {topology.name!r} for {report.duration:.2f}s:")
+    for name in topology.names:
+        profile = report.profiles.get(name)
+        if profile is None:
+            continue
+        mean = profile.mean_service_time
+        mean_text = f"{mean * 1e3:8.3f} ms" if mean else "    (idle)"
+        print(f"  {name:<24} {profile.items_processed:>8} items "
+              f"{mean_text}  gain {profile.gain:.2f}")
+    profiled = report.profiled_topology()
+    if args.output:
+        write_topology(profiled, args.output)
+        print(f"profiled topology written to {args.output}")
+    return 0
+
+
+def _cmd_memory(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    estimate = estimate_memory(
+        topology, source_rate=args.source_rate,
+        mailbox_capacity=args.mailbox_capacity,
+        bytes_per_item=args.bytes_per_item,
+    )
+    print(memory_report(estimate))
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    if args.format == "json":
+        text = deployment_json(topology)
+    elif args.format == "flink":
+        text = flink_sketch(topology)
+    else:
+        text = storm_sketch(topology)
+    _write_or_print(text, args.output)
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    analysis = analyze(topology, source_rate=args.source_rate)
+    _write_or_print(topology_to_dot(topology, analysis), args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spinstreams",
+        description="Static optimization of data stream processing topologies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def topology_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("topology", help="XML topology description")
+        p.add_argument("--source-rate", type=float, default=None,
+                       help="source generation rate (items/sec)")
+
+    p = sub.add_parser("analyze", help="steady-state analysis (Algorithm 1)")
+    topology_arg(p)
+    p.add_argument("--measure", action="store_true",
+                   help="also measure via the discrete-event simulator")
+    p.add_argument("--items", type=int, default=200_000)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("optimize",
+                       help="bottleneck elimination via fission (Algorithm 2)")
+    topology_arg(p)
+    p.add_argument("--max-replicas", type=int, default=None,
+                   help="hold-off bound on the total number of replicas")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the optimized topology XML here")
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser("candidates", help="ranked fusion candidates")
+    topology_arg(p)
+    p.add_argument("--max-size", type=int, default=4)
+    p.add_argument("--max-utilization", type=float, default=0.75)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_candidates)
+
+    p = sub.add_parser("fuse", help="fuse a sub-graph (Algorithm 3)")
+    topology_arg(p)
+    p.add_argument("--ops", required=True,
+                   help="comma-separated operator names to fuse")
+    p.add_argument("--name", default=None, help="name of the fused operator")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the fused topology XML here")
+    p.set_defaults(func=_cmd_fuse)
+
+    p = sub.add_parser("simulate",
+                       help="measure on the discrete-event backend")
+    topology_arg(p)
+    p.add_argument("--items", type=int, default=200_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--mailbox-capacity", type=int, default=64)
+    p.add_argument("--per-operator", action="store_true")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("generate", help="generate SS2Py code")
+    p.add_argument("topology", help="XML topology description")
+    p.add_argument("--duration", type=float, default=5.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("random",
+                       help="generate a random testbed topology (Algorithm 5)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_random)
+
+    p = sub.add_parser("latency",
+                       help="static end-to-end latency estimate (extension)")
+    topology_arg(p)
+    p.add_argument("--assumption", default="markovian",
+                   choices=("deterministic", "markovian", "md1"))
+    p.add_argument("--mailbox-capacity", type=int, default=64)
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("autofuse",
+                       help="automatic fusion of under-utilized sub-graphs "
+                            "(extension)")
+    topology_arg(p)
+    p.add_argument("--max-size", type=int, default=4)
+    p.add_argument("--max-utilization", type=float, default=0.75)
+    p.add_argument("--headroom", type=float, default=0.9)
+    p.add_argument("-o", "--output", default=None,
+                   help="write the compacted topology XML here")
+    p.set_defaults(func=_cmd_autofuse)
+
+    p = sub.add_parser("profile",
+                       help="run the application on the actor runtime and "
+                            "measure its operators")
+    topology_arg(p)
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--pad", action="store_true",
+                   help="pad operators to their declared service times "
+                        "(emulate the declared application)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the re-profiled topology XML here")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("memory",
+                       help="static memory-footprint estimate (extension)")
+    topology_arg(p)
+    p.add_argument("--mailbox-capacity", type=int, default=64)
+    p.add_argument("--bytes-per-item", type=float, default=128.0)
+    p.set_defaults(func=_cmd_memory)
+
+    p = sub.add_parser("deploy",
+                       help="export the optimization as a deployment plan")
+    p.add_argument("topology", help="XML topology description")
+    p.add_argument("--format", default="json",
+                   choices=("json", "flink", "storm"))
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_deploy)
+
+    p = sub.add_parser("render", help="Graphviz DOT rendering")
+    topology_arg(p)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_render)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TopologyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

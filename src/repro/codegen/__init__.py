@@ -1,0 +1,5 @@
+"""SS2Py code generation: abstract topologies to runnable programs."""
+
+from repro.codegen.ss2py import CodegenConfig, generate_code, write_code
+
+__all__ = ["CodegenConfig", "generate_code", "write_code"]

@@ -1,0 +1,161 @@
+"""Automatic operator fusion (extension, paper §7).
+
+The paper leaves fusion selection to the user ("fusion is not yet an
+automatized process in SpinStreams") and lists automating it as future
+work: "make SpinStreams able to automatically choose the best sub-graph
+suitable for fusion without manual intervention".  This module
+implements that loop:
+
+1. analyze the topology and enumerate the valid fusion candidates
+   (single front-end, acyclic contraction) below a utilization
+   threshold;
+2. keep only the *safe* candidates — those whose fused operator is
+   predicted to stay below a configurable utilization headroom, so the
+   merge can never become a bottleneck;
+3. greedily apply the candidate that removes the most operators
+   (ties: lowest predicted utilization), then re-analyze and repeat
+   until no safe candidate remains.
+
+Fused operators are themselves fusion candidates in later rounds, so
+long under-utilized chains collapse across iterations.  The result
+carries every applied :class:`~repro.core.fusion.FusionPlan`, ready for
+the runtime and the code generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.candidates import FusionCandidate, enumerate_candidates
+from repro.core.fusion import FusionPlan, FusionResult, apply_fusion
+from repro.core.graph import Topology, TopologyError
+from repro.core.steady_state import SteadyStateResult, analyze
+
+
+@dataclass(frozen=True)
+class AutoFusionResult:
+    """Outcome of the automatic fusion loop."""
+
+    original: Topology
+    fused: Topology
+    steps: Tuple[FusionResult, ...]
+    analysis: SteadyStateResult
+
+    @property
+    def plans(self) -> List[FusionPlan]:
+        return [step.plan for step in self.steps]
+
+    @property
+    def operators_removed(self) -> int:
+        """Net reduction in operator count."""
+        return len(self.original) - len(self.fused)
+
+    @property
+    def throughput(self) -> float:
+        return self.analysis.throughput
+
+    @property
+    def rounds(self) -> int:
+        return len(self.steps)
+
+
+def auto_fuse(
+    topology: Topology,
+    source_rate: Optional[float] = None,
+    max_size: int = 4,
+    max_utilization: float = 0.75,
+    headroom: float = 0.9,
+    max_rounds: int = 32,
+) -> AutoFusionResult:
+    """Repeatedly fuse safe under-utilized sub-graphs.
+
+    Parameters
+    ----------
+    topology:
+        The topology to compact.
+    source_rate:
+        Source generation rate for the analyses (defaults to the source
+        service rate).
+    max_size:
+        Maximum sub-graph size considered per round (fused operators
+        can be re-fused, so chains longer than this still collapse).
+    max_utilization:
+        Only operators below this utilization are fusion material.
+    headroom:
+        Safety bound on the *fused* operator's predicted utilization; a
+        merge is applied only if the new operator stays below it, which
+        guarantees the throughput is preserved.
+    max_rounds:
+        Upper bound on fusion rounds (each round strictly shrinks the
+        topology, so at most ``len(topology)`` rounds can ever apply).
+    """
+    if not 0.0 < headroom <= 1.0:
+        raise TopologyError(f"headroom must be in (0, 1], got {headroom}")
+
+    current = topology
+    steps: List[FusionResult] = []
+    baseline = analyze(topology, source_rate=source_rate)
+
+    for _ in range(max_rounds):
+        analysis = analyze(current, source_rate=source_rate)
+        candidates = enumerate_candidates(
+            current, analysis=analysis, max_size=max_size,
+            max_utilization=max_utilization, limit=None,
+        )
+        choice = _pick(candidates, headroom)
+        if choice is None:
+            break
+        result = apply_fusion(current, choice.members,
+                              source_rate=source_rate)
+        if result.impairs_performance:
+            # The candidate scoring is an estimate; the full analysis is
+            # authoritative.  Skip candidates the analysis rejects.
+            safe_candidates = [
+                c for c in candidates
+                if c is not choice and c.predicted_utilization <= headroom
+            ]
+            fallback = _first_harmless(current, safe_candidates, source_rate)
+            if fallback is None:
+                break
+            result = fallback
+        steps.append(result)
+        current = result.fused
+
+    final = analyze(current, source_rate=source_rate)
+    if final.throughput < baseline.throughput * (1.0 - 1e-9):
+        raise TopologyError(
+            "auto-fusion degraded the predicted throughput; this is a bug "
+            "in the candidate safety screen"
+        )
+    return AutoFusionResult(
+        original=topology,
+        fused=current,
+        steps=tuple(steps),
+        analysis=final,
+    )
+
+
+def _pick(candidates: List[FusionCandidate],
+          headroom: float) -> Optional[FusionCandidate]:
+    """Largest safe candidate; ties break on predicted utilization."""
+    safe = [c for c in candidates if c.predicted_utilization <= headroom]
+    if not safe:
+        return None
+    return min(safe, key=lambda c: (-len(c.members),
+                                    c.predicted_utilization, c.members))
+
+
+def _first_harmless(topology: Topology,
+                    candidates: List[FusionCandidate],
+                    source_rate: Optional[float]) -> Optional[FusionResult]:
+    """First candidate whose full evaluation confirms no degradation."""
+    ordered = sorted(candidates, key=lambda c: (-len(c.members),
+                                                c.predicted_utilization,
+                                                c.members))
+    for candidate in ordered:
+        result = apply_fusion(topology, candidate.members,
+                              source_rate=source_rate)
+        if not result.impairs_performance:
+            return result
+    return None

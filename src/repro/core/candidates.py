@@ -1,0 +1,138 @@
+"""Enumeration and ranking of fusion candidates (paper Section 4.1).
+
+After the steady-state analysis the tool proposes sub-graphs suitable
+for fusion, "ranked by their utilization factor in order to ease the
+process of selection".  This module enumerates the connected sub-graphs
+that satisfy the structural fusion constraints (single front-end,
+acyclic contraction) and ranks them by the mean utilization of their
+members — the lower the utilization, the more the merge saves
+scheduling overhead without risking a new bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.fusion import FusionError, fusion_service_time, validate_fusion
+from repro.core.graph import Topology
+from repro.core.steady_state import SteadyStateResult, analyze
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """A valid fusion sub-graph with its ranking metrics."""
+
+    members: Tuple[str, ...]
+    front_end: str
+    mean_utilization: float
+    max_utilization: float
+    predicted_service_time: float
+    predicted_utilization: float
+
+    @property
+    def safe(self) -> bool:
+        """Whether the fused operator is predicted to stay below 1."""
+        return self.predicted_utilization <= 1.0
+
+
+def enumerate_candidates(
+    topology: Topology,
+    analysis: Optional[SteadyStateResult] = None,
+    max_size: int = 4,
+    max_utilization: float = 0.75,
+    limit: Optional[int] = 20,
+) -> List[FusionCandidate]:
+    """Enumerate ranked fusion candidates.
+
+    Parameters
+    ----------
+    topology:
+        The topology to inspect.
+    analysis:
+        An existing steady-state analysis to reuse (recomputed if omitted).
+    max_size:
+        Maximum number of operators in a candidate sub-graph; candidate
+        enumeration grows exponentially, but streaming topologies have
+        tens of operators at most (Section 3.3) so small sizes suffice.
+    max_utilization:
+        Only operators below this utilization are considered for fusion.
+    limit:
+        Return at most this many candidates (best ranked first).
+    """
+    if analysis is None:
+        analysis = analyze(topology)
+    eligible = {
+        name
+        for name in topology.names
+        if name != topology.source
+        and analysis.utilization(name) <= max_utilization
+    }
+
+    seen: Set[FrozenSet[str]] = set()
+    found: List[FusionCandidate] = []
+    for seed in sorted(eligible):
+        _grow(topology, analysis, frozenset({seed}), eligible, max_size,
+              seen, found)
+
+    found.sort(key=lambda c: (c.mean_utilization, -len(c.members), c.members))
+    if limit is not None:
+        return found[:limit]
+    return found
+
+
+def _grow(
+    topology: Topology,
+    analysis: SteadyStateResult,
+    members: FrozenSet[str],
+    eligible: Set[str],
+    max_size: int,
+    seen: Set[FrozenSet[str]],
+    found: List[FusionCandidate],
+) -> None:
+    """Depth-first growth of connected sub-graphs over eligible vertices."""
+    if members in seen:
+        return
+    seen.add(members)
+
+    if len(members) >= 2:
+        candidate = _evaluate(topology, analysis, members)
+        if candidate is not None:
+            found.append(candidate)
+
+    if len(members) >= max_size:
+        return
+    frontier = set()
+    for name in members:
+        frontier.update(topology.successors(name))
+        frontier.update(topology.predecessors(name))
+    for neighbour in sorted(frontier & eligible - members):
+        _grow(topology, analysis, members | {neighbour}, eligible, max_size,
+              seen, found)
+
+
+def _evaluate(
+    topology: Topology,
+    analysis: SteadyStateResult,
+    members: FrozenSet[str],
+) -> Optional[FusionCandidate]:
+    """Score one sub-graph, or ``None`` if it violates the constraints."""
+    ordered = tuple(sorted(members))
+    try:
+        front_end = validate_fusion(topology, ordered)
+    except FusionError:
+        return None
+    utils = [analysis.utilization(name) for name in ordered]
+    service_time = fusion_service_time(topology, members, front_end)
+    # Predicted utilization of the fused operator: it inherits the
+    # arrival rate of the front-end (the only entry point).
+    arrival = analysis.arrival_rate(front_end)
+    predicted_utilization = arrival * service_time
+    return FusionCandidate(
+        members=ordered,
+        front_end=front_end,
+        mean_utilization=sum(utils) / len(utils),
+        max_utilization=max(utils),
+        predicted_service_time=service_time,
+        predicted_utilization=predicted_utilization,
+    )

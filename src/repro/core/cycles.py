@@ -1,0 +1,431 @@
+"""Steady-state analysis of cyclic topologies (extension, paper §7).
+
+The paper's algorithms require acyclic graphs; covering "cyclic
+topologies" is its first listed future-work direction.  Feedback edges
+appear in practice for retries, iterative refinement and
+control loops.  This module analyzes them with a damped fixed-point
+iteration that generalizes the flow-conservation principle:
+
+* given a tentative source rate, the departure rates are the fixed
+  point of ``delta_i = min(lambda_i, capacity_i) * gain_i`` with
+  ``lambda_i = sum over in-edges of delta_j * p(j, i)`` — a monotone
+  contraction whenever every cycle's amplification (the product of
+  ``gain * probability`` around the loop) is below one;
+* bottlenecks are then removed exactly as in Algorithm 1: the source
+  rate is scaled by the inverse of the worst utilization factor and the
+  fixed point recomputed, until no operator exceeds utilization one.
+
+A cycle with amplification >= 1 has no steady state (each loop
+traversal feeds back at least as much as it consumed); such graphs are
+rejected up front.
+
+Note on the runtime semantics: Blocking-After-Service networks with
+cycles can deadlock when every buffer along a cycle fills up.  The
+fixed point computed here describes the achievable steady state, but
+whether a BAS deployment actually reaches it depends on where the
+bottleneck sits:
+
+* bottleneck *outside* the cycle, or cycle members with utilization
+  headroom — the loop's buffers stay partially empty and the fixed
+  point is what the simulator measures (validated in the tests);
+* bottleneck *inside* the cycle with substantial feedback — items
+  accumulate inside the loop until its buffers fill and the members
+  block on each other; **no finite buffer avoids this forever**.  Real
+  systems need credit-based flow control or shedding on the feedback
+  edge in this regime.  :attr:`CyclicResult.saturated_in_cycle` flags
+  it, and :func:`repro.sim.cyclic.simulate_cyclic` raises a diagnosed
+  deadlock when a concrete configuration hits it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.graph import Edge, OperatorSpec, StateKind, TopologyError
+from repro.core.steady_state import RHO_TOLERANCE
+from repro.core.partitioning import partition_shares
+
+
+class CyclicGraph:
+    """A rooted streaming graph that may contain cycles.
+
+    Validation mirrors :class:`repro.core.graph.Topology` minus the
+    acyclicity requirement: unique source, every vertex reachable from
+    it, output probabilities summing to one.
+    """
+
+    def __init__(self, operators: Iterable[OperatorSpec],
+                 edges: Iterable[Edge], name: str = "cyclic") -> None:
+        self.name = name
+        self._operators: Dict[str, OperatorSpec] = {}
+        for spec in operators:
+            if spec.name in self._operators:
+                raise TopologyError(f"duplicate operator name {spec.name!r}")
+            self._operators[spec.name] = spec
+        self._edges: List[Edge] = []
+        self._out: Dict[str, List[Edge]] = {n: [] for n in self._operators}
+        self._in: Dict[str, List[Edge]] = {n: [] for n in self._operators}
+        seen = set()
+        for edge in edges:
+            for endpoint in (edge.source, edge.target):
+                if endpoint not in self._operators:
+                    raise TopologyError(
+                        f"edge references unknown operator {endpoint!r}")
+            if (edge.source, edge.target) in seen:
+                raise TopologyError(
+                    f"duplicate edge {edge.source!r}->{edge.target!r}")
+            seen.add((edge.source, edge.target))
+            self._edges.append(edge)
+            self._out[edge.source].append(edge)
+            self._in[edge.target].append(edge)
+
+        for name_, out_edges in self._out.items():
+            if out_edges:
+                total = sum(e.probability for e in out_edges)
+                if not math.isclose(total, 1.0, abs_tol=1e-6):
+                    raise TopologyError(
+                        f"output probabilities of {name_!r} sum to {total}")
+
+        sources = [n for n, ins in self._in.items() if not ins]
+        if len(sources) != 1:
+            raise TopologyError(
+                f"graph must have exactly one source, found {sorted(sources)}")
+        self.source = sources[0]
+
+        reached = set()
+        stack = [self.source]
+        while stack:
+            current = stack.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            stack.extend(e.target for e in self._out[current])
+        missing = sorted(set(self._operators) - reached)
+        if missing:
+            raise TopologyError(f"operators not reachable: {missing}")
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._operators)
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def operator(self, name: str) -> OperatorSpec:
+        try:
+            return self._operators[name]
+        except KeyError:
+            raise TopologyError(f"unknown operator {name!r}") from None
+
+    def in_edges(self, name: str) -> List[Edge]:
+        return list(self._in[name])
+
+    def out_edges(self, name: str) -> List[Edge]:
+        return list(self._out[name])
+
+    def cycles_exist(self) -> bool:
+        """Whether the graph actually contains a cycle."""
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            state[node] = 1
+            for edge in self._out[node]:
+                mark = state.get(edge.target, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and visit(edge.target):
+                    return True
+            state[node] = 2
+            return False
+
+        return visit(self.source)
+
+    def vertices_on_cycles(self) -> frozenset:
+        """Names of the vertices that lie on at least one cycle.
+
+        Computed via strongly connected components (Tarjan-style
+        iterative DFS): a vertex is on a cycle iff its SCC has more
+        than one member or it has a self-referencing component through
+        other vertices.
+        """
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        result = set()
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(self._out[root]))]
+            index[root] = lowlink[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, edges_iter = work[-1]
+                advanced = False
+                for edge in edges_iter:
+                    target = edge.target
+                    if target not in index:
+                        index[target] = lowlink[target] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(target)
+                        on_stack[target] = True
+                        work.append((target, iter(self._out[target])))
+                        advanced = True
+                        break
+                    if on_stack.get(target):
+                        lowlink[node] = min(lowlink[node], index[target])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        result.update(component)
+
+        for name in self.names:
+            if name not in index:
+                strongconnect(name)
+        return frozenset(result)
+
+    def max_cycle_amplification(self) -> float:
+        """Largest product of ``gain * probability`` around any cycle.
+
+        Computed over simple cycles via DFS; graphs stay small (tens of
+        operators) so the enumeration is affordable.  Returns 0.0 for
+        acyclic graphs.
+        """
+        best = 0.0
+        names = self.names
+
+        def walk(start: str, node: str, product: float,
+                 visited: frozenset) -> None:
+            nonlocal best
+            spec = self._operators[node]
+            for edge in self._out[node]:
+                contribution = product * spec.gain * edge.probability
+                if edge.target == start:
+                    best = max(best, contribution)
+                elif edge.target not in visited and edge.target != self.source:
+                    walk(start, edge.target, contribution,
+                         visited | {edge.target})
+
+        for name in names:
+            if name == self.source:
+                continue
+            walk(name, name, 1.0, frozenset({name}))
+        return best
+
+
+@dataclass(frozen=True)
+class CyclicRates:
+    """Fixed-point figures for one operator of a cyclic graph."""
+
+    name: str
+    arrival_rate: float
+    departure_rate: float
+    utilization: float
+    capacity: float
+
+
+@dataclass(frozen=True)
+class CyclicResult:
+    """Steady-state solution of a cyclic topology."""
+
+    graph: CyclicGraph
+    rates: Mapping[str, CyclicRates]
+    source_rate: float
+    corrections: int
+    iterations: int
+
+    @property
+    def throughput(self) -> float:
+        return self.rates[self.graph.source].departure_rate
+
+    @property
+    def saturated_in_cycle(self) -> List[str]:
+        """Saturated operators that sit on a cycle.
+
+        A non-empty list means the fixed point keeps a loop member
+        permanently full — the regime where a BAS deployment *can*
+        deadlock (every buffer along the loop filling simultaneously).
+        The risk grows with the feedback fraction: light feedback keeps
+        the other loop members' queues near-empty and the deadlock is
+        metastable in practice, while heavy feedback reaches it quickly
+        no matter how large the buffers are (see the module docstring
+        and the deadlock tests).  Credit-based flow control or shedding
+        on the feedback edges removes the risk entirely.
+        """
+        on_cycle = self.graph.vertices_on_cycles()
+        return [
+            name for name in self.graph.names
+            if name in on_cycle
+            and self.rates[name].utilization >= 1.0 - 1e-6
+        ]
+
+    def utilization(self, name: str) -> float:
+        return self.rates[name].utilization
+
+    def departure_rate(self, name: str) -> float:
+        return self.rates[name].departure_rate
+
+    def arrival_rate(self, name: str) -> float:
+        return self.rates[name].arrival_rate
+
+
+def _capacity(spec: OperatorSpec, heuristic: str) -> float:
+    if spec.replication == 1:
+        return spec.service_rate
+    if spec.state is StateKind.PARTITIONED:
+        assert spec.keys is not None
+        shares = partition_shares(spec.keys, spec.replication,
+                                  heuristic=heuristic)
+        return spec.service_rate / max(shares)
+    if spec.state is StateKind.STATEFUL:
+        raise TopologyError(
+            f"stateful operator {spec.name!r} cannot be replicated")
+    return spec.service_rate * spec.replication
+
+
+def analyze_cyclic(
+    graph: CyclicGraph,
+    source_rate: Optional[float] = None,
+    partition_heuristic: str = "greedy",
+    tolerance: float = 1e-10,
+    max_fixed_point_iterations: int = 100_000,
+) -> CyclicResult:
+    """Solve the steady state of a (possibly) cyclic topology.
+
+    Raises :class:`TopologyError` when a cycle amplifies flow (gain *
+    probability product >= 1 around the loop), which has no steady
+    state.
+    """
+    amplification = graph.max_cycle_amplification()
+    if amplification >= 1.0:
+        raise TopologyError(
+            f"cycle amplification {amplification:.3f} >= 1: the feedback "
+            "loop grows its own traffic and no steady state exists"
+        )
+
+    source = graph.source
+    source_spec = graph.operator(source)
+    if source_rate is None:
+        source_rate = source_spec.service_rate
+    if source_rate <= 0.0:
+        raise TopologyError(f"source rate must be positive, got {source_rate}")
+
+    capacities = {
+        name: _capacity(graph.operator(name), partition_heuristic)
+        for name in graph.names
+    }
+
+    current_rate = source_rate
+    total_iterations = 0
+    corrections = 0
+    warm_start: Optional[Dict[str, float]] = None
+    # Unlike the acyclic case, one correction does not pin the worst
+    # operator at utilization one: the feedback contribution to its
+    # arrival rate is saturated and does not scale with the source, so
+    # the corrections converge geometrically at roughly the loop's
+    # amplification rate.  A generous cap (plus warm-started inner
+    # fixed points) keeps the solve fast and exact.
+    for _ in range(20_000):
+        rates, departures, iterations = _fixed_point(
+            graph, capacities, current_rate, tolerance,
+            max_fixed_point_iterations, warm_start,
+        )
+        warm_start = departures
+        total_iterations += iterations
+        worst_name = max(graph.names, key=lambda n: rates[n].utilization)
+        worst = rates[worst_name].utilization
+        if worst <= 1.0 + RHO_TOLERANCE * 100:
+            return CyclicResult(
+                graph=graph,
+                rates=rates,
+                source_rate=current_rate,
+                corrections=corrections,
+                iterations=total_iterations,
+            )
+        current_rate /= worst
+        corrections += 1
+    raise TopologyError(
+        "cyclic steady-state analysis did not converge"
+    )
+
+
+def _fixed_point(
+    graph: CyclicGraph,
+    capacities: Mapping[str, float],
+    source_rate: float,
+    tolerance: float,
+    max_iterations: int,
+    warm_start: Optional[Dict[str, float]] = None,
+) -> Tuple[Dict[str, CyclicRates], Dict[str, float], int]:
+    """Iterate the flow equations to their fixed point.
+
+    ``warm_start`` seeds the departure rates (e.g. from the previous
+    source-rate correction) to cut the iteration count.
+    """
+    names = graph.names
+    if warm_start is not None:
+        departures = dict(warm_start)
+    else:
+        departures = {name: 0.0 for name in names}
+    scale = source_rate
+
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        worst_change = 0.0
+        for name in names:
+            spec = graph.operator(name)
+            if name == graph.source:
+                arrival = source_rate
+            else:
+                arrival = sum(
+                    departures[edge.source] * edge.probability
+                    for edge in graph.in_edges(name)
+                )
+            departure = min(arrival, capacities[name]) * spec.gain
+            change = abs(departure - departures[name])
+            if change > worst_change:
+                worst_change = change
+            departures[name] = departure
+        if worst_change <= tolerance * scale:
+            break
+    else:
+        raise TopologyError(
+            "flow fixed point did not converge; check the cycle gains"
+        )
+
+    rates: Dict[str, CyclicRates] = {}
+    for name in names:
+        spec = graph.operator(name)
+        if name == graph.source:
+            arrival = source_rate
+        else:
+            arrival = sum(
+                departures[edge.source] * edge.probability
+                for edge in graph.in_edges(name)
+            )
+        rates[name] = CyclicRates(
+            name=name,
+            arrival_rate=arrival,
+            departure_rate=departures[name],
+            utilization=arrival / capacities[name],
+            capacity=capacities[name],
+        )
+    return rates, departures, iterations

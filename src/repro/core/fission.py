@@ -1,0 +1,376 @@
+"""Bottleneck elimination via operator fission (paper Algorithm 2).
+
+The procedure visits the vertices in topological order, computing
+arrival rates and utilization factors as in the steady-state analysis.
+When a bottleneck is found it reacts according to the operator kind:
+
+* **stateless** — replicate with the optimal degree ``ceil(rho)``
+  (Definition 1), which removes the bottleneck exactly;
+* **partitioned-stateful** — call the key-partitioning heuristic, which
+  may fall short of perfect balance on skewed distributions; if the
+  hottest replica is still overloaded, the residual bottleneck throttles
+  the source (Theorem 3.2) and the visit restarts;
+* **stateful** — fission is impossible; the source is throttled and the
+  visit restarts.
+
+A *hold-off* post-processing step (Section 3.2) caps the total number
+of replicas at a user-provided bound by scaling every replication
+degree with the ratio ``N_max / N`` and fixing rounding anomalies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.partitioning import key_partitioning
+from repro.core.steady_state import (
+    RHO_TOLERANCE,
+    SteadyStateResult,
+    analyze,
+)
+
+
+@dataclass(frozen=True)
+class FissionDecision:
+    """Why an operator received its replication degree."""
+
+    name: str
+    state: StateKind
+    utilization_before: float
+    optimal_replicas: int
+    replicas: int
+    p_max: float
+    removed: bool
+
+    @property
+    def was_bottleneck(self) -> bool:
+        return self.utilization_before > 1.0 + RHO_TOLERANCE
+
+
+@dataclass(frozen=True)
+class FissionResult:
+    """Output of the bottleneck-elimination phase."""
+
+    original: Topology
+    optimized: Topology
+    decisions: Tuple[FissionDecision, ...]
+    analysis: SteadyStateResult
+    replica_bound: Optional[int]
+    bound_applied: bool
+
+    @property
+    def replications(self) -> Dict[str, int]:
+        return {spec.name: spec.replication for spec in self.optimized.operators}
+
+    @property
+    def additional_replicas(self) -> int:
+        """Replicas added on top of the original single copies.
+
+        An operator with ``n`` replicas contributes ``n - 1`` additional
+        replicas (Figure 9a of the paper counts exactly this).
+        """
+        return sum(
+            spec.replication - 1 for spec in self.optimized.operators
+        )
+
+    @property
+    def residual_bottlenecks(self) -> List[str]:
+        """Operators whose bottleneck fission could not remove.
+
+        Derived from the decisions (not from the verification analysis,
+        whose correction chain also lists operators that only saturate
+        transiently while the analysis walks down to the final rate).
+        """
+        return [d.name for d in self.decisions if not d.removed]
+
+    @property
+    def ideal_throughput_reached(self) -> bool:
+        """Whether the optimized topology ingests at the full source rate."""
+        return not self.analysis.corrections
+
+    @property
+    def throughput(self) -> float:
+        return self.analysis.throughput
+
+
+def eliminate_bottlenecks(
+    topology: Topology,
+    source_rate: Optional[float] = None,
+    max_replicas: Optional[int] = None,
+    partition_heuristic: str = "greedy",
+) -> FissionResult:
+    """Run bottleneck elimination (paper Algorithm 2).
+
+    Parameters
+    ----------
+    topology:
+        The topology to optimize; replication degrees present in the
+        input are reset to one before the analysis.
+    source_rate:
+        Generation rate of the source (defaults to its service rate).
+    max_replicas:
+        Optional hold-off bound ``N_max`` on the total number of
+        replicas of the optimized topology.
+    partition_heuristic:
+        Key-partitioning heuristic for partitioned-stateful operators.
+    """
+    base = topology.with_replications({name: 1 for name in topology.names})
+    order = base.topological_order()
+    source = base.source
+    source_spec = base.operator(source)
+    if source_rate is None:
+        source_rate = source_spec.service_rate
+    if source_rate <= 0.0:
+        raise TopologyError(f"source rate must be positive, got {source_rate}")
+
+    replicas: Dict[str, int] = {name: 1 for name in order}
+    p_maxes: Dict[str, float] = {name: 1.0 for name in order}
+    decisions: Dict[str, FissionDecision] = {}
+
+    current_rate = source_rate
+    # Unlike Algorithm 1 (at most one correction per vertex), a skewed
+    # partitioned-stateful operator can trigger several restarts: each
+    # lowers its optimal degree by at least one and re-partitions, so
+    # the number of sweeps is bounded by the sum of the initial optimal
+    # degrees rather than by |V|.  Use a generous cap; sweeps are cheap.
+    max_restarts = 1000
+    for _ in range(max_restarts):
+        restart = _sweep(
+            base, order, current_rate, replicas, p_maxes, decisions,
+            partition_heuristic,
+        )
+        if restart is None:
+            break
+        current_rate = restart
+    else:
+        raise TopologyError(
+            "bottleneck elimination did not converge; the topology violates "
+            "the model assumptions"
+        )
+
+    optimized = base.with_replications(replicas)
+    if max_replicas is not None:
+        bounded = apply_replica_bound(optimized, max_replicas)
+        bound_applied = bounded.total_replicas() != optimized.total_replicas()
+        optimized = bounded
+    else:
+        bound_applied = False
+
+    analysis = analyze(
+        optimized,
+        source_rate=source_rate,
+        partition_heuristic=partition_heuristic,
+    )
+    ordered_decisions = tuple(decisions[name] for name in order)
+    return FissionResult(
+        original=topology,
+        optimized=optimized,
+        decisions=ordered_decisions,
+        analysis=analysis,
+        replica_bound=max_replicas,
+        bound_applied=bound_applied,
+    )
+
+
+def _sweep(
+    topology: Topology,
+    order: List[str],
+    source_rate: float,
+    replicas: Dict[str, int],
+    p_maxes: Dict[str, float],
+    decisions: Dict[str, FissionDecision],
+    partition_heuristic: str,
+) -> Optional[float]:
+    """One topological sweep of Algorithm 2.
+
+    Mutates ``replicas``/``p_maxes``/``decisions`` in place.  Returns
+    ``None`` when the sweep completed without finding an irremovable
+    bottleneck, or the corrected source rate when the sweep must restart.
+    """
+    departures: Dict[str, float] = {}
+    source = topology.source
+    for name in order:
+        spec = topology.operator(name)
+        if name == source:
+            rho = source_rate / spec.service_rate
+            departures[name] = source_rate * spec.gain
+            decisions[name] = FissionDecision(
+                name=name, state=spec.state, utilization_before=rho,
+                optimal_replicas=1, replicas=1, p_max=1.0, removed=rho <= 1.0,
+            )
+            continue
+
+        arrival = sum(
+            departures[edge.source] * edge.probability
+            for edge in topology.in_edges(name)
+        )
+        rho = arrival / spec.service_rate
+
+        if rho <= 1.0 + RHO_TOLERANCE:
+            departures[name] = min(arrival, spec.service_rate) * spec.gain
+            previous = decisions.get(name)
+            if (previous is not None and not previous.removed
+                    and rho >= 1.0 - 1e-6):
+                # This operator forced a source correction on an earlier
+                # sweep (stateful or skewed-partitioned residual) and is
+                # still pinned at utilization one: keep the failure
+                # record — it is the binding residual bottleneck.
+                continue
+            # Not a bottleneck at the current (possibly throttled) source
+            # rate: one replica suffices.  Restarts therefore shrink the
+            # degrees of operators parallelized before the throttling —
+            # the "adjust the replication degree of other vertices"
+            # behaviour of Section 3.2.
+            replicas[name] = 1
+            p_maxes[name] = 1.0
+            decisions[name] = FissionDecision(
+                name=name, state=spec.state, utilization_before=rho,
+                optimal_replicas=1, replicas=1, p_max=1.0, removed=True,
+            )
+            continue
+
+        optimal = math.ceil(rho - RHO_TOLERANCE)
+        if spec.state is StateKind.STATELESS:
+            replicas[name] = optimal
+            departures[name] = arrival * spec.gain
+            decisions[name] = FissionDecision(
+                name=name, state=spec.state, utilization_before=rho,
+                optimal_replicas=optimal, replicas=optimal, p_max=1.0,
+                removed=True,
+            )
+            continue
+
+        if spec.state is StateKind.PARTITIONED:
+            assert spec.keys is not None  # enforced by OperatorSpec
+            used, p_max = _partition_for_rate(
+                spec.keys, optimal, arrival, spec.service_rate,
+                partition_heuristic,
+            )
+            replicas[name] = used
+            p_maxes[name] = p_max
+            residual_rho = arrival * p_max / spec.service_rate
+            if residual_rho > 1.0 + RHO_TOLERANCE:
+                # Skewed keys: bottleneck mitigated but not removed; the
+                # residual utilization throttles the source.
+                decisions[name] = FissionDecision(
+                    name=name, state=spec.state, utilization_before=rho,
+                    optimal_replicas=optimal, replicas=used, p_max=p_max,
+                    removed=False,
+                )
+                return source_rate / residual_rho
+            departures[name] = arrival * spec.gain
+            # An operator that forced a restart on an earlier sweep and
+            # whose hot replica is still pinned at utilization one is
+            # the (mitigated-but-not-removed) residual bottleneck; keep
+            # that status while refreshing the degree actually used.
+            previously_failed = (name in decisions
+                                 and not decisions[name].removed)
+            still_binding = residual_rho >= 1.0 - 1e-6
+            decisions[name] = FissionDecision(
+                name=name, state=spec.state, utilization_before=rho,
+                optimal_replicas=optimal, replicas=used, p_max=p_max,
+                removed=not (previously_failed and still_binding),
+            )
+            continue
+
+        # Stateful: fission impossible, throttle the source and restart.
+        replicas[name] = 1
+        decisions[name] = FissionDecision(
+            name=name, state=spec.state, utilization_before=rho,
+            optimal_replicas=optimal, replicas=1, p_max=1.0, removed=False,
+        )
+        return source_rate / rho
+
+    return None
+
+
+def _partition_for_rate(
+    keys,
+    optimal: int,
+    arrival: float,
+    service_rate: float,
+    heuristic: str,
+) -> Tuple[int, float]:
+    """Choose a partitioned-stateful degree that unblocks the operator.
+
+    Definition 1's ``ceil(rho)`` is the *minimum* degree assuming a
+    perfectly even split; real key partitionings are slightly imbalanced
+    (the hottest replica owns a fraction ``p_max > 1/n`` of the items),
+    so the minimum degree may leave a small residual bottleneck.  This
+    helper extends the paper's ``KeyPartitioning()`` step by also trying
+    a few degrees above the optimum and keeping the first one whose hot
+    replica is no longer saturated — extra replicas are useless once
+    ``p_max`` hits the heaviest key frequency, at which point the skew
+    genuinely cannot be parallelized away and the residual throttles the
+    source (Section 3.2's "mitigated but not removed" case).
+    """
+    used, p_max, _ = key_partitioning(keys, optimal, heuristic=heuristic)
+    best = (used, p_max)
+    slack = max(8, optimal // 4)
+    floor = keys.max_frequency()
+    degree = optimal
+    while (arrival * best[1] / service_rate > 1.0 + RHO_TOLERANCE
+           and best[1] > floor + 1e-12
+           and degree < optimal + slack):
+        degree += 1
+        used, p_max, _ = key_partitioning(keys, degree, heuristic=heuristic)
+        if p_max < best[1]:
+            best = (used, p_max)
+    return best
+
+
+def apply_replica_bound(topology: Topology, max_replicas: int) -> Topology:
+    """Cap the total number of replicas at ``max_replicas`` (Section 3.2).
+
+    Every replication degree is multiplied by ``r = N_max / N`` and
+    rounded; rounding anomalies are fixed by trimming the operators with
+    the largest degrees (and, symmetrically, growing the smallest ones
+    when rounding under-shoots), so the resulting total never exceeds
+    the bound while staying as close to it as possible.  Stateful
+    operators are pinned at one replica throughout.
+    """
+    if max_replicas < len(topology):
+        raise TopologyError(
+            f"max_replicas={max_replicas} is below the number of operators "
+            f"({len(topology)}); every operator needs at least one replica"
+        )
+    total = topology.total_replicas()
+    if total <= max_replicas:
+        return topology
+
+    ratio = max_replicas / total
+    degrees: Dict[str, int] = {}
+    for spec in topology.operators:
+        if spec.replication == 1:
+            degrees[spec.name] = 1
+        else:
+            degrees[spec.name] = max(1, round(spec.replication * ratio))
+
+    # Fix rounding anomalies: trim the largest degrees until the bound
+    # holds, then grow the most-trimmed operators if slack remains.
+    def scaled_total() -> int:
+        return sum(degrees.values())
+
+    while scaled_total() > max_replicas:
+        candidate = max(
+            (name for name in degrees if degrees[name] > 1),
+            key=lambda n: degrees[n],
+        )
+        degrees[candidate] -= 1
+
+    originals = {spec.name: spec.replication for spec in topology.operators}
+    while scaled_total() < max_replicas:
+        under = [
+            name for name in degrees
+            if degrees[name] < originals[name]
+        ]
+        if not under:
+            break
+        # Grow the operator whose degree lost the largest fraction.
+        candidate = max(under, key=lambda n: originals[n] / degrees[n])
+        degrees[candidate] += 1
+
+    return topology.with_replications(degrees)

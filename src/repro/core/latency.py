@@ -1,0 +1,197 @@
+"""Steady-state latency estimation (extension beyond the paper).
+
+The paper's cost models predict *throughput*; its introduction also
+motivates latency reduction, and the fusion optimization explicitly
+"saves communication latency".  This module closes the loop with a
+static end-to-end latency estimate built on the same steady-state
+analysis:
+
+* per operator, the *residence time* is the mean service time plus a
+  queueing-delay estimate.  Three service assumptions are supported:
+
+  - ``deterministic`` — constant service and paced arrivals: no
+    queueing below saturation;
+  - ``markovian`` — an M/M/1-style estimate ``W = rho / (capacity -
+    lambda)`` per vertex (exponential service, Poisson-ish arrivals);
+  - ``md1`` — the M/D/1 Pollaczek–Khinchine mean, half the markovian
+    wait (deterministic service, Poisson arrivals);
+
+  in every case the wait is capped by the time a *full* mailbox takes
+  to drain, ``B / capacity``, which is also the estimate used for
+  saturated (backpressured) operators whose queue is permanently full;
+
+* end to end, residencies accumulate along the paths of the topology
+  weighted by the routing probabilities — the same path machinery as
+  Theorem 3.2 — giving the expected source-to-sink latency.
+
+Estimates of this kind are approximations (arrival processes inside a
+blocking network are not Poisson), so the accompanying tests and the
+``benchmarks/test_ext_latency.py`` benchmark validate them against the
+item-level timestamps measured by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.graph import Topology, TopologyError
+from repro.core.steady_state import SteadyStateResult, analyze
+
+_ASSUMPTIONS = ("deterministic", "markovian", "md1")
+
+#: Utilizations above this are treated as saturated (full buffer).
+_SATURATION = 1.0 - 1e-6
+
+
+@dataclass(frozen=True)
+class OperatorLatency:
+    """Latency components of one operator at steady state."""
+
+    name: str
+    service_time: float
+    waiting_time: float
+    utilization: float
+
+    @property
+    def residence_time(self) -> float:
+        """Mean time an item spends at this operator (wait + service)."""
+        return self.waiting_time + self.service_time
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Static latency estimate of a whole topology."""
+
+    topology: Topology
+    assumption: str
+    operators: Mapping[str, OperatorLatency]
+    sink_latencies: Mapping[str, float]
+    end_to_end: float
+
+    def residence_time(self, name: str) -> float:
+        return self.operators[name].residence_time
+
+    def waiting_time(self, name: str) -> float:
+        return self.operators[name].waiting_time
+
+
+def waiting_time(
+    utilization: float,
+    arrival_rate: float,
+    capacity: float,
+    mailbox_capacity: int,
+    assumption: str,
+) -> float:
+    """Queueing-delay estimate for one station.
+
+    ``capacity`` is the aggregate service capacity (items/sec) of the
+    operator including replication; ``mailbox_capacity`` bounds the
+    wait at the full-buffer drain time, which is also the saturated
+    estimate (BAS keeps the buffer of a bottleneck permanently full).
+    """
+    if assumption not in _ASSUMPTIONS:
+        raise TopologyError(
+            f"unknown latency assumption {assumption!r}; "
+            f"choose from {_ASSUMPTIONS}"
+        )
+    if capacity <= 0.0:
+        raise TopologyError("capacity must be positive")
+    full_buffer_wait = mailbox_capacity / capacity
+    if utilization >= _SATURATION:
+        return full_buffer_wait
+    if assumption == "deterministic":
+        return 0.0
+    slack = capacity - arrival_rate
+    if slack <= 0.0:
+        return full_buffer_wait
+    wait = utilization / slack
+    if assumption == "md1":
+        wait /= 2.0
+    return min(wait, full_buffer_wait)
+
+
+def estimate_latency(
+    topology: Topology,
+    analysis: Optional[SteadyStateResult] = None,
+    mailbox_capacity: int = 64,
+    assumption: str = "markovian",
+    source_rate: Optional[float] = None,
+) -> LatencyEstimate:
+    """Estimate per-operator and end-to-end latency of a topology.
+
+    The end-to-end figure is the expected accumulated residence time of
+    an item from its emission at the source to its consumption at a
+    sink, averaged over the routing distribution (rate-weighted across
+    sinks) — directly comparable to
+    :meth:`repro.sim.network.SimulationResult.mean_latency`.
+    """
+    if analysis is None:
+        analysis = analyze(topology, source_rate=source_rate)
+
+    operators: Dict[str, OperatorLatency] = {}
+    for spec in topology.operators:
+        rates = analysis.rates[spec.name]
+        if spec.name == topology.source:
+            # The source has no input queue: its residence is service only.
+            wait = 0.0
+        else:
+            wait = waiting_time(
+                utilization=rates.utilization,
+                arrival_rate=rates.arrival_rate,
+                capacity=rates.capacity,
+                mailbox_capacity=mailbox_capacity,
+                assumption=assumption,
+            )
+        operators[spec.name] = OperatorLatency(
+            name=spec.name,
+            service_time=spec.service_time,
+            waiting_time=wait,
+            utilization=rates.utilization,
+        )
+
+    # Expected accumulated latency at the *output* of each vertex,
+    # propagated in topological order with rate-weighted merging.
+    accumulated: Dict[str, float] = {}
+    for name in topology.topological_order():
+        residence = operators[name].residence_time
+        if name == topology.source:
+            # Items are *born* when the source emits them: generation
+            # time is not part of the end-to-end processing latency.
+            accumulated[name] = 0.0
+            continue
+        inflow = 0.0
+        weighted = 0.0
+        for edge in topology.in_edges(name):
+            rate = analysis.rates[edge.source].departure_rate * edge.probability
+            inflow += rate
+            weighted += rate * accumulated[edge.source]
+        upstream = weighted / inflow if inflow > 0.0 else 0.0
+        accumulated[name] = upstream + residence
+
+    sink_latencies = {name: accumulated[name] for name in topology.sinks}
+    total_rate = sum(
+        analysis.rates[name].departure_rate + (
+            # Pure sinks (zero output selectivity) still consume items;
+            # weight them by consumption instead.
+            analysis.rates[name].arrival_rate
+            if analysis.rates[name].departure_rate == 0.0 else 0.0
+        )
+        for name in topology.sinks
+    )
+    if total_rate > 0.0:
+        end_to_end = 0.0
+        for name in topology.sinks:
+            rates = analysis.rates[name]
+            weight = rates.departure_rate or rates.arrival_rate
+            end_to_end += sink_latencies[name] * weight / total_rate
+    else:  # pragma: no cover - degenerate topology with dead sinks
+        end_to_end = max(sink_latencies.values(), default=0.0)
+
+    return LatencyEstimate(
+        topology=topology,
+        assumption=assumption,
+        operators=operators,
+        sink_latencies=sink_latencies,
+        end_to_end=end_to_end,
+    )

@@ -1,0 +1,154 @@
+"""Static memory-usage estimation (extension).
+
+The paper cites memory-requirement analysis for streaming computations
+([4] in its bibliography) as one of the model-driven quantities a
+designer studies next to throughput.  This module estimates the
+steady-state memory footprint of a topology from the same analysis the
+throughput model uses:
+
+* **queue memory** — expected buffered items per operator via Little's
+  law (``L = lambda * W`` with the waiting-time estimates of
+  :mod:`repro.core.latency`), capped by the mailbox capacity; saturated
+  operators sit at a full buffer;
+* **state memory** — windowed operators retain ``window length`` items
+  (per key for partitioned-stateful operators), read from the operator
+  arguments recorded in the topology;
+* **replication overhead** — replicas multiply the queue allocation and
+  split the keyed state.
+
+All figures are expressed in items and converted to bytes with a
+per-item size estimate, so designers can compare the memory cost of a
+parallelized topology against a fused one before running either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.latency import waiting_time
+from repro.core.steady_state import SteadyStateResult, analyze
+
+
+@dataclass(frozen=True)
+class OperatorMemory:
+    """Memory footprint estimate of one operator (in items and bytes)."""
+
+    name: str
+    queued_items: float
+    state_items: float
+    replicas: int
+    bytes_per_item: float
+
+    @property
+    def total_items(self) -> float:
+        return self.queued_items + self.state_items
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_items * self.bytes_per_item
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Memory footprint estimate of a whole topology."""
+
+    topology: Topology
+    operators: Mapping[str, OperatorMemory]
+    bytes_per_item: float
+
+    @property
+    def total_items(self) -> float:
+        return sum(op.total_items for op in self.operators.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(op.total_bytes for op in self.operators.values())
+
+    def heaviest(self, count: int = 5):
+        """The operators with the largest footprints, heaviest first."""
+        ordered = sorted(self.operators.values(),
+                         key=lambda op: -op.total_items)
+        return ordered[:count]
+
+
+def _window_state_items(spec) -> float:
+    """Items retained by an operator's windows, derived from its args.
+
+    Count-window operators record ``length`` in their constructor
+    arguments; partitioned-stateful operators keep one window per key.
+    Operators without window arguments hold no modeled state.
+    """
+    length = spec.operator_args.get("length") if spec.operator_args else None
+    if not isinstance(length, (int, float)) or length <= 0:
+        return 0.0
+    if spec.state is StateKind.PARTITIONED and spec.keys is not None:
+        return float(length) * len(spec.keys)
+    return float(length)
+
+
+def estimate_memory(
+    topology: Topology,
+    analysis: Optional[SteadyStateResult] = None,
+    mailbox_capacity: int = 64,
+    bytes_per_item: float = 128.0,
+    assumption: str = "markovian",
+    source_rate: Optional[float] = None,
+) -> MemoryEstimate:
+    """Estimate the steady-state memory footprint of a topology."""
+    if bytes_per_item <= 0.0:
+        raise TopologyError(
+            f"bytes_per_item must be positive, got {bytes_per_item}")
+    if analysis is None:
+        analysis = analyze(topology, source_rate=source_rate)
+
+    operators: Dict[str, OperatorMemory] = {}
+    for spec in topology.operators:
+        rates = analysis.rates[spec.name]
+        if spec.name == topology.source:
+            queued = 0.0  # the source has no input queue
+        else:
+            wait = waiting_time(
+                utilization=rates.utilization,
+                arrival_rate=rates.arrival_rate,
+                capacity=rates.capacity,
+                mailbox_capacity=mailbox_capacity,
+                assumption=assumption,
+            )
+            # Little's law, bounded by the physical buffer allocation
+            # (one bounded mailbox per replica entry point).
+            queued = min(rates.arrival_rate * wait,
+                         float(mailbox_capacity * spec.replication))
+        operators[spec.name] = OperatorMemory(
+            name=spec.name,
+            queued_items=queued,
+            state_items=_window_state_items(spec),
+            replicas=spec.replication,
+            bytes_per_item=bytes_per_item,
+        )
+    return MemoryEstimate(
+        topology=topology,
+        operators=operators,
+        bytes_per_item=bytes_per_item,
+    )
+
+
+def memory_report(estimate: MemoryEstimate) -> str:
+    """Human-readable memory report (items and megabytes)."""
+    lines = [
+        f"topology: {estimate.topology.name} "
+        f"({estimate.bytes_per_item:g} bytes/item)",
+        f"{'operator':<24} {'queued':>10} {'state':>12} {'MB':>9}",
+    ]
+    for name in estimate.topology.names:
+        op = estimate.operators[name]
+        lines.append(
+            f"{name:<24} {op.queued_items:>10.1f} {op.state_items:>12.0f} "
+            f"{op.total_bytes / 1e6:>9.2f}"
+        )
+    lines.append(
+        f"total: {estimate.total_items:,.0f} items, "
+        f"{estimate.total_bytes / 1e6:,.1f} MB"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Textual reports in the style of the paper's Tables 1 and 2.
+
+The original tool shows analysis outcomes in a GUI; this module renders
+the same information as fixed-width text tables: per-operator service
+time, inter-departure time and utilization factor, plus the predicted
+topology throughput (and the measured one when available).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.fission import FissionResult
+from repro.core.fusion import FusionResult
+from repro.core.steady_state import SteadyStateResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render a fixed-width text table with a header separator."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialized)
+    return "\n".join(out)
+
+
+def _ms(seconds: float) -> str:
+    """Format a duration in milliseconds with 3 significant digits."""
+    if seconds <= 0.0 or math.isinf(seconds):
+        return "inf"
+    return f"{seconds * 1e3:.3g}"
+
+
+def analysis_report(
+    result: SteadyStateResult,
+    measured_throughput: Optional[float] = None,
+) -> str:
+    """Render a steady-state analysis in the style of Table 1/2.
+
+    Rows are the metrics of the paper tables: the inverse service rate
+    ``mu^-1`` (ms), the inverse departure rate ``delta^-1`` (ms) and the
+    utilization factor ``rho`` of every operator.
+    """
+    topology = result.topology
+    names = topology.names
+    rows = [
+        ["mu^-1 (ms)"] + [
+            _ms(topology.operator(name).service_time) for name in names
+        ],
+        ["delta^-1 (ms)"] + [
+            _ms(1.0 / result.rates[name].departure_rate)
+            if result.rates[name].departure_rate > 0.0 else "inf"
+            for name in names
+        ],
+        ["rho"] + [f"{result.rates[name].utilization:.2f}" for name in names],
+        ["replicas"] + [str(result.rates[name].replicas) for name in names],
+    ]
+    table = format_table(["metric"] + list(names), rows)
+    lines = [f"topology: {topology.name}", table,
+             f"predicted throughput: {result.throughput:,.0f} items/sec"]
+    if measured_throughput is not None:
+        lines.append(f"measured throughput:  {measured_throughput:,.0f} items/sec")
+        if result.throughput > 0.0:
+            error = abs(measured_throughput - result.throughput) / result.throughput
+            lines.append(f"relative error:       {error:.2%}")
+    if result.bottlenecks:
+        lines.append("bottlenecks (discovery order): "
+                     + ", ".join(result.bottlenecks))
+    return "\n".join(lines)
+
+
+def fission_report(result: FissionResult) -> str:
+    """Render the outcome of the bottleneck-elimination phase."""
+    rows = []
+    for decision in result.decisions:
+        rows.append([
+            decision.name,
+            decision.state.value,
+            f"{decision.utilization_before:.2f}",
+            str(decision.optimal_replicas),
+            str(decision.replicas),
+            f"{decision.p_max:.3f}",
+            "yes" if decision.removed else "NO",
+        ])
+    table = format_table(
+        ["operator", "state", "rho", "n_opt", "n", "p_max", "unblocked"],
+        rows,
+    )
+    lines = [
+        f"topology: {result.original.name}",
+        table,
+        f"additional replicas: {result.additional_replicas}",
+        f"predicted throughput: {result.throughput:,.0f} items/sec",
+    ]
+    if result.replica_bound is not None:
+        applied = "applied" if result.bound_applied else "not needed"
+        lines.append(f"replica bound: {result.replica_bound} ({applied})")
+    if result.residual_bottlenecks:
+        lines.append("residual bottlenecks: "
+                     + ", ".join(result.residual_bottlenecks))
+    else:
+        lines.append("all bottlenecks removed (ideal throughput reached)")
+    return "\n".join(lines)
+
+
+def fusion_report(result: FusionResult) -> str:
+    """Render a fusion evaluation, including the paper-style alert."""
+    plan = result.plan
+    lines = [
+        f"fusing {', '.join(plan.members)} -> {plan.fused_name} "
+        f"(front-end: {plan.front_end})",
+        f"predicted fused service time: {_ms(plan.service_time)} ms",
+        f"throughput before: {result.throughput_before:,.0f} items/sec",
+        f"throughput after:  {result.throughput_after:,.0f} items/sec",
+    ]
+    if result.impairs_performance:
+        lines.append(
+            f"ALERT: fusion would impair performance "
+            f"(predicted degradation {result.degradation:.1%})"
+        )
+    else:
+        lines.append("fusion is feasible: no new bottleneck predicted")
+    return "\n".join(lines)
+
+
+def comparison_rows(
+    predicted: Mapping[str, float],
+    measured: Mapping[str, float],
+) -> List[List[str]]:
+    """Rows comparing predicted vs measured per-operator rates."""
+    rows = []
+    for name in predicted:
+        p = predicted[name]
+        m = measured.get(name, float("nan"))
+        error = abs(m - p) / p if p > 0.0 and not math.isnan(m) else float("nan")
+        rows.append([name, f"{p:.1f}", f"{m:.1f}", f"{error:.2%}"])
+    return rows

@@ -1,0 +1,300 @@
+"""Steady-state throughput analysis with backpressure (paper Algorithm 1).
+
+The topology is analyzed as a queueing network with finite buffers and
+Blocking-After-Service (BAS) semantics.  Vertices are visited in
+topological order; the arrival rate of each operator is the probability-
+weighted sum of the departure rates of its predecessors.  When a vertex
+turns out to be a bottleneck (utilization factor above one), the source
+departure rate is throttled by the inverse of that utilization factor
+(Theorem 3.2) and the visit restarts from the source.  At fixpoint every
+operator has utilization at most one and the flow-conservation principle
+gives the steady-state departure rates.
+
+Selectivities (Section 3.4) generalize the one-in/one-out assumption:
+an operator with input selectivity ``s_in`` and output selectivity
+``s_out`` departs ``min(lambda, mu) * s_out / s_in`` items per second
+while the utilization factor stays ``lambda / mu``.
+
+Replication (set by the bottleneck-elimination phase) enters the model
+through the *capacity* of an operator: ``n * mu`` for stateless
+operators served by round-robin replicas, and ``mu / p_max`` for
+partitioned-stateful operators whose hottest replica receives a
+fraction ``p_max`` of the input items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.partitioning import partition_shares
+
+#: Utilization factors above ``1 + RHO_TOLERANCE`` flag a bottleneck;
+#: the slack absorbs floating-point noise from repeated corrections.
+RHO_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class OperatorRates:
+    """Steady-state figures for one operator.
+
+    All rates are items per second.  ``utilization`` is the utilization
+    factor of the *binding* replica: for stateless operators the load is
+    spread evenly, for partitioned-stateful operators it is the most
+    loaded replica that matters.
+    """
+
+    name: str
+    arrival_rate: float
+    departure_rate: float
+    utilization: float
+    capacity: float
+    replicas: int
+    p_max: float = 1.0
+
+    @property
+    def service_demand(self) -> float:
+        """Fraction of one replica-second consumed per second (load)."""
+        return self.utilization
+
+    @property
+    def is_saturated(self) -> bool:
+        """Whether the operator runs at (numerically) full utilization."""
+        return self.utilization >= 1.0 - 1e-6
+
+
+@dataclass(frozen=True)
+class Correction:
+    """One application of Theorem 3.2 during the analysis."""
+
+    bottleneck: str
+    utilization: float
+    source_rate_before: float
+    source_rate_after: float
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Output of the steady-state analysis of a topology."""
+
+    topology: Topology
+    rates: Mapping[str, OperatorRates]
+    corrections: Tuple[Correction, ...]
+    source_rate: float
+
+    @property
+    def throughput(self) -> float:
+        """Input items ingested per second — the source departure rate.
+
+        The paper measures the topology throughput as the steady-state
+        departure rate of the source (Section 5.2).
+        """
+        return self.rates[self.topology.source].departure_rate
+
+    @property
+    def sink_rate(self) -> float:
+        """Total departure rate of the sink operators."""
+        return sum(self.rates[name].departure_rate for name in self.topology.sinks)
+
+    @property
+    def bottlenecks(self) -> List[str]:
+        """Operators that throttled the source, in discovery order."""
+        seen: List[str] = []
+        for correction in self.corrections:
+            if correction.bottleneck not in seen:
+                seen.append(correction.bottleneck)
+        return seen
+
+    @property
+    def binding_bottleneck(self) -> Optional[str]:
+        """The operator imposing the final throughput, if any."""
+        if not self.corrections:
+            return None
+        return self.corrections[-1].bottleneck
+
+    def utilization(self, name: str) -> float:
+        return self.rates[name].utilization
+
+    def departure_rate(self, name: str) -> float:
+        return self.rates[name].departure_rate
+
+    def arrival_rate(self, name: str) -> float:
+        return self.rates[name].arrival_rate
+
+    def underutilized(self, threshold: float = 0.5) -> List[str]:
+        """Operators (excluding the source) below a utilization threshold.
+
+        These are the fusion candidates the tool surfaces to the user.
+        """
+        return [
+            name
+            for name in self.topology.names
+            if name != self.topology.source
+            and self.rates[name].utilization < threshold
+        ]
+
+
+def operator_capacity(topology: Topology, name: str,
+                      partition_heuristic: str = "greedy") -> Tuple[float, float]:
+    """Effective service capacity of an operator and its ``p_max``.
+
+    Returns ``(capacity, p_max)`` where capacity is the maximum arrival
+    rate the operator sustains without becoming a bottleneck:
+
+    * single replica: ``mu``;
+    * stateless with ``n`` replicas (round-robin emitter): ``n * mu``;
+    * partitioned-stateful with ``n`` replicas: ``mu / p_max`` where
+      ``p_max`` is the share of the most loaded replica under the key
+      partitioning heuristic.
+
+    Stateful operators always have one replica (enforced by
+    :class:`repro.core.fission`), so their capacity is ``mu``.
+    """
+    spec = topology.operator(name)
+    if spec.replication == 1:
+        return spec.service_rate, 1.0
+    if spec.state is StateKind.PARTITIONED:
+        if spec.keys is None:  # pragma: no cover - guarded by OperatorSpec
+            raise TopologyError(f"operator {name!r} lacks a key distribution")
+        shares = partition_shares(spec.keys, spec.replication,
+                                  heuristic=partition_heuristic)
+        p_max = max(shares)
+        return spec.service_rate / p_max, p_max
+    if spec.state is StateKind.STATEFUL:
+        raise TopologyError(
+            f"stateful operator {name!r} cannot have {spec.replication} replicas"
+        )
+    return spec.service_rate * spec.replication, 1.0
+
+
+def analyze(
+    topology: Topology,
+    source_rate: Optional[float] = None,
+    partition_heuristic: str = "greedy",
+    max_iterations: Optional[int] = None,
+) -> SteadyStateResult:
+    """Run the steady-state analysis (paper Algorithm 1, generalized).
+
+    Parameters
+    ----------
+    topology:
+        The rooted acyclic topology to analyze.
+    source_rate:
+        Generation rate of the source in items per second.  Defaults to
+        the source service rate (the source emits as fast as it can).
+    partition_heuristic:
+        Heuristic used to derive ``p_max`` for replicated partitioned-
+        stateful operators (see :mod:`repro.core.partitioning`).
+    max_iterations:
+        Safety bound on the number of restarts; defaults to the number
+        of operators plus one, which Proposition 3.3 guarantees to be
+        sufficient (each correction pins one operator at utilization 1).
+
+    Returns
+    -------
+    SteadyStateResult
+        Per-operator arrival/departure rates and utilizations, plus the
+        sequence of backpressure corrections applied.
+    """
+    order = topology.topological_order()
+    source = topology.source
+    source_spec = topology.operator(source)
+    if source_rate is None:
+        source_rate = source_spec.service_rate
+    if source_rate <= 0.0:
+        raise TopologyError(f"source rate must be positive, got {source_rate}")
+    if max_iterations is None:
+        max_iterations = len(order) + 1
+
+    capacities: Dict[str, Tuple[float, float]] = {
+        name: operator_capacity(topology, name, partition_heuristic)
+        for name in order
+    }
+
+    corrections: List[Correction] = []
+    current_rate = source_rate
+
+    for _ in range(max_iterations):
+        rates = _single_pass(topology, order, capacities, current_rate)
+        bottleneck = _first_bottleneck(order, rates)
+        if bottleneck is None:
+            return SteadyStateResult(
+                topology=topology,
+                rates=rates,
+                corrections=tuple(corrections),
+                source_rate=current_rate,
+            )
+        rho = rates[bottleneck].utilization
+        corrected = current_rate / rho
+        corrections.append(
+            Correction(
+                bottleneck=bottleneck,
+                utilization=rho,
+                source_rate_before=current_rate,
+                source_rate_after=corrected,
+            )
+        )
+        current_rate = corrected
+
+    raise TopologyError(
+        f"steady-state analysis did not converge after {max_iterations} "
+        "corrections; the topology violates the model assumptions"
+    )
+
+
+def _single_pass(
+    topology: Topology,
+    order: List[str],
+    capacities: Mapping[str, Tuple[float, float]],
+    source_rate: float,
+) -> Dict[str, OperatorRates]:
+    """One topological sweep computing rates for a given source rate.
+
+    Departure rates are computed as if no *new* bottleneck existed; the
+    caller checks utilizations and restarts with a throttled source when
+    one is found (Theorem 3.2).
+    """
+    rates: Dict[str, OperatorRates] = {}
+    source = topology.source
+    for name in order:
+        spec = topology.operator(name)
+        capacity, p_max = capacities[name]
+        if name == source:
+            arrival = source_rate
+            utilization = source_rate / capacity
+        else:
+            arrival = sum(
+                rates[edge.source].departure_rate * edge.probability
+                for edge in topology.in_edges(name)
+            )
+            utilization = arrival * p_max / spec.service_rate
+            if spec.state is not StateKind.PARTITIONED:
+                utilization = arrival / capacity
+        served = min(arrival, capacity)
+        departure = served * spec.gain
+        rates[name] = OperatorRates(
+            name=name,
+            arrival_rate=arrival,
+            departure_rate=departure,
+            utilization=utilization,
+            capacity=capacity,
+            replicas=spec.replication,
+            p_max=p_max,
+        )
+    return rates
+
+
+def _first_bottleneck(order: List[str],
+                      rates: Mapping[str, OperatorRates]) -> Optional[str]:
+    """First vertex in topological order with utilization above one."""
+    for name in order:
+        if rates[name].utilization > 1.0 + RHO_TOLERANCE:
+            return name
+    return None
+
+
+def predicted_throughput(topology: Topology,
+                         source_rate: Optional[float] = None) -> float:
+    """Convenience wrapper returning only the predicted throughput."""
+    return analyze(topology, source_rate=source_rate).throughput

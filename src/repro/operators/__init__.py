@@ -1,0 +1,93 @@
+"""Executable operator library — the testbed's 20 real-world operators.
+
+Stateless tuple-at-a-time transformations (:mod:`repro.operators.basic`),
+count-window aggregations (:mod:`repro.operators.aggregates`), spatial
+queries (:mod:`repro.operators.spatial`), windowed joins
+(:mod:`repro.operators.join`) and sources/sinks
+(:mod:`repro.operators.source_sink`), all built on the
+:class:`repro.operators.base.Operator` abstraction (the SS2Akka analog).
+"""
+
+from repro.operators.aggregates import (
+    KeyedWindowedAggregate,
+    WeightedMovingAverage,
+    WindowedAggregate,
+    WindowedMax,
+    WindowedMean,
+    WindowedMin,
+    WindowedQuantiles,
+    WindowedStdDev,
+    WindowedSum,
+)
+from repro.operators.base import (
+    KeyedOperator,
+    Operator,
+    Record,
+    WrappedItem,
+    destination_of,
+    instantiate_operator,
+    load_operator_class,
+    unwrap,
+)
+from repro.operators.basic import (
+    ArithmeticMap,
+    FieldMap,
+    Filter,
+    FlatMap,
+    Identity,
+    Projection,
+    Tokenizer,
+    spin_work,
+)
+from repro.operators.join import BandJoin, EquiJoin
+from repro.operators.source_sink import (
+    CollectingSink,
+    CountingSink,
+    GeneratorSource,
+    IterableSource,
+)
+from repro.operators.spatial import SkylineQuery, TopK, dominates, skyline
+from repro.operators.temporal import Debounce, EventTimeTumblingWindow, Sampler
+from repro.operators.window import CountSlidingWindow
+
+__all__ = [
+    "ArithmeticMap",
+    "BandJoin",
+    "CollectingSink",
+    "CountSlidingWindow",
+    "CountingSink",
+    "Debounce",
+    "EventTimeTumblingWindow",
+    "EquiJoin",
+    "FieldMap",
+    "Filter",
+    "FlatMap",
+    "GeneratorSource",
+    "Identity",
+    "IterableSource",
+    "KeyedOperator",
+    "KeyedWindowedAggregate",
+    "Operator",
+    "Projection",
+    "Record",
+    "Sampler",
+    "SkylineQuery",
+    "Tokenizer",
+    "TopK",
+    "WeightedMovingAverage",
+    "WindowedAggregate",
+    "WindowedMax",
+    "WindowedMean",
+    "WindowedMin",
+    "WindowedQuantiles",
+    "WindowedStdDev",
+    "WindowedSum",
+    "WrappedItem",
+    "destination_of",
+    "dominates",
+    "instantiate_operator",
+    "load_operator_class",
+    "skyline",
+    "spin_work",
+    "unwrap",
+]

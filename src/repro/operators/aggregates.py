@@ -1,0 +1,174 @@
+"""Count-window aggregation operators (paper Section 5.1).
+
+The testbed's stateful operators are "based on count-based windows for
+aggregation tasks (i.e. weighted moving average, sum, max, min and
+quantiles)".  Plain windowed aggregates keep one global window and are
+therefore *stateful* (not replicable); their keyed variants maintain one
+window per key and are *partitioned-stateful* (replicable by key).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.graph import StateKind
+from repro.operators.base import KeyedOperator, Operator, Record
+from repro.operators.window import CountSlidingWindow
+
+
+class WindowedAggregate(Operator):
+    """Base class: aggregate a numeric field over a count sliding window.
+
+    Subclasses implement :meth:`aggregate` over the window values.  The
+    input selectivity is the slide: one result every ``slide`` items.
+    """
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, length: int = 1000, slide: int = 10,
+                 field: str = "value") -> None:
+        self.window: CountSlidingWindow[float] = CountSlidingWindow(length, slide)
+        self.field = field
+        self.input_selectivity = float(slide)
+
+    def aggregate(self, values: Sequence[float]) -> Any:
+        raise NotImplementedError
+
+    def operator_function(self, item: Record) -> List[Record]:
+        fired = self.window.push(float(item.get(self.field, 0.0)))
+        if fired is None:
+            return []
+        return [Record({
+            "aggregate": self.aggregate(fired),
+            "window_size": len(fired),
+            "kind": type(self).__name__,
+        })]
+
+
+class WindowedSum(WindowedAggregate):
+    """Sum of the window values."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        return math.fsum(values)
+
+
+class WindowedMax(WindowedAggregate):
+    """Maximum of the window values."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        return max(values)
+
+
+class WindowedMin(WindowedAggregate):
+    """Minimum of the window values."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        return min(values)
+
+
+class WindowedMean(WindowedAggregate):
+    """Arithmetic mean of the window values."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        return math.fsum(values) / len(values)
+
+
+class WeightedMovingAverage(WindowedAggregate):
+    """Moving average with linearly decaying weights (newest weighs most)."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        n = len(values)
+        total_weight = n * (n + 1) / 2.0
+        return sum(
+            value * (index + 1) for index, value in enumerate(values)
+        ) / total_weight
+
+
+class WindowedQuantiles(WindowedAggregate):
+    """Selected quantiles of the window values (sort-based, exact)."""
+
+    def __init__(self, length: int = 1000, slide: int = 10,
+                 field: str = "value",
+                 quantiles: Sequence[float] = (0.5, 0.9, 0.99)) -> None:
+        super().__init__(length, slide, field)
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+        self.quantiles = tuple(quantiles)
+
+    def aggregate(self, values: Sequence[float]) -> Dict[str, float]:
+        ordered = sorted(values)
+        result = {}
+        for q in self.quantiles:
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            result[f"q{q:g}"] = ordered[index]
+        return result
+
+
+class WindowedStdDev(WindowedAggregate):
+    """Standard deviation of the window values."""
+
+    def aggregate(self, values: Sequence[float]) -> float:
+        mean = math.fsum(values) / len(values)
+        variance = math.fsum((v - mean) ** 2 for v in values) / len(values)
+        return math.sqrt(variance)
+
+
+#: Named per-window reductions usable from XML files and generated code.
+STATISTICS: Dict[str, Callable[[Sequence[float]], float]] = {
+    "mean": lambda vs: math.fsum(vs) / len(vs),
+    "sum": lambda vs: math.fsum(vs),
+    "max": max,
+    "min": min,
+    "median": lambda vs: sorted(vs)[len(vs) // 2],
+}
+
+
+class KeyedWindowedAggregate(KeyedOperator):
+    """Per-key count-window aggregation — partitioned-stateful.
+
+    Maintains one sliding window per key; the fission algorithm can
+    replicate it by partitioning the key space.  The reduction is named
+    by ``statistic`` (see :data:`STATISTICS`) so instances can be
+    described in XML files; a custom callable can still be passed as
+    ``aggregator``.
+    """
+
+    def __init__(self, key_field: str = "key", length: int = 1000,
+                 slide: int = 10, field: str = "value",
+                 statistic: str = "mean",
+                 aggregator: Optional[Callable[[Sequence[float]], Any]] = None,
+                 ) -> None:
+        super().__init__(key_field)
+        if aggregator is None:
+            try:
+                aggregator = STATISTICS[statistic]
+            except KeyError:
+                raise ValueError(
+                    f"unknown statistic {statistic!r}; "
+                    f"choose from {sorted(STATISTICS)}"
+                ) from None
+        self.length = length
+        self.slide = slide
+        self.field = field
+        self.statistic = statistic
+        self.aggregator = aggregator
+        self.input_selectivity = float(slide)
+        self._windows: Dict[str, CountSlidingWindow[float]] = {}
+
+    def operator_function(self, item: Record) -> List[Record]:
+        key = self.key_of(item) or ""
+        window = self._windows.get(key)
+        if window is None:
+            window = CountSlidingWindow(self.length, self.slide)
+            self._windows[key] = window
+        fired = window.push(float(item.get(self.field, 0.0)))
+        if fired is None:
+            return []
+        return [Record({
+            "key": key,
+            "aggregate": self.aggregator(fired),
+            "window_size": len(fired),
+            "kind": type(self).__name__,
+        })]

@@ -1,0 +1,166 @@
+"""Executable operator abstractions (the SS2Akka analog, Section 4.2).
+
+The original tool asks the user for one class per operator extending an
+``Operator`` abstract class and overriding ``operatorFunction()``; the
+runtime wraps results in ``WrappedItem`` records carrying the
+destination operator.  This module is the Python equivalent: concrete
+operators subclass :class:`Operator` and implement
+:meth:`Operator.operator_function`, returning zero, one or many output
+items per invocation.  Routing is normally decided by the topology's
+edge probabilities, but an operator may pin a destination by returning
+:class:`WrappedItem` instances.
+
+Operators also expose the metadata the cost models need: state kind,
+input/output selectivity, and (for partitioned-stateful operators) the
+partitioning key extractor.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+from repro.core.graph import StateKind
+
+
+class Record(dict):
+    """A stream item: a record of named attributes (a *tuple* in paper terms).
+
+    A thin ``dict`` subclass so operators can read and write attributes
+    naturally while remaining cheap to copy.
+    """
+
+    def copy_with(self, **updates: Any) -> "Record":
+        """A copy of this record with some attributes replaced or added."""
+        out = Record(self)
+        out.update(updates)
+        return out
+
+
+@dataclass(frozen=True)
+class WrappedItem:
+    """An output item optionally pinned to a specific destination.
+
+    ``destination`` is the name of a downstream operator; ``None`` lets
+    the runtime route by the topology's edge probabilities.
+    """
+
+    payload: Any
+    destination: Optional[str] = None
+
+
+class Operator(ABC):
+    """Base class of all executable operators.
+
+    Subclasses set the class attributes describing their queueing
+    behaviour and implement :meth:`operator_function`.
+
+    Attributes
+    ----------
+    state:
+        State kind used by the fission algorithm.
+    input_selectivity:
+        Average number of items consumed per output activation (e.g.
+        the slide of a count-based window).
+    output_selectivity:
+        Average number of items produced per activation.
+    """
+
+    state: StateKind = StateKind.STATELESS
+    input_selectivity: float = 1.0
+    output_selectivity: float = 1.0
+
+    @abstractmethod
+    def operator_function(self, item: Any) -> List[Any]:
+        """Process one input item, returning zero or more outputs.
+
+        Outputs may be plain payloads (routed by edge probabilities) or
+        :class:`WrappedItem` instances (routed to a pinned destination).
+        """
+
+    def on_start(self) -> None:
+        """Hook called once before the first item (state warm-up)."""
+
+    def on_stop(self) -> None:
+        """Hook called after the last item (state teardown/flush)."""
+
+    def key_of(self, item: Any) -> Optional[str]:
+        """Partitioning key of an item (partitioned-stateful operators).
+
+        The runtime's emitter actor hashes this key to choose a replica.
+        Returns ``None`` for operators without a key.
+        """
+        return None
+
+    @property
+    def gain(self) -> float:
+        """Average outputs per input: output over input selectivity."""
+        return self.output_selectivity / self.input_selectivity
+
+    def describe(self) -> str:
+        """One-line description used by reports and generated code."""
+        return (
+            f"{type(self).__name__}(state={self.state.value}, "
+            f"sel={self.input_selectivity:g}/{self.output_selectivity:g})"
+        )
+
+
+class KeyedOperator(Operator):
+    """A partitioned-stateful operator keyed by one record attribute."""
+
+    state = StateKind.PARTITIONED
+
+    def __init__(self, key_field: str) -> None:
+        self.key_field = key_field
+
+    def key_of(self, item: Any) -> Optional[str]:
+        try:
+            return str(item[self.key_field])
+        except (KeyError, TypeError):
+            return None
+
+
+def unwrap(output: Any) -> Any:
+    """The payload of an output (transparent for non-wrapped items)."""
+    if isinstance(output, WrappedItem):
+        return output.payload
+    return output
+
+
+def destination_of(output: Any) -> Optional[str]:
+    """The pinned destination of an output, if any."""
+    if isinstance(output, WrappedItem):
+        return output.destination
+    return None
+
+
+def load_operator_class(dotted_path: str) -> type:
+    """Import an operator class from its dotted path.
+
+    The runtime and the code generator use this to resolve the
+    ``operator_class`` attribute of :class:`repro.core.graph.OperatorSpec`
+    (the analog of the ``.class`` files given to the original tool).
+    """
+    module_name, _, class_name = dotted_path.rpartition(".")
+    if not module_name:
+        raise ImportError(f"not a dotted path: {dotted_path!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError:
+        raise ImportError(
+            f"module {module_name!r} has no attribute {class_name!r}"
+        ) from None
+    if not (isinstance(cls, type) and issubclass(cls, Operator)):
+        raise ImportError(f"{dotted_path!r} is not an Operator subclass")
+    return cls
+
+
+def instantiate_operator(dotted_path: str,
+                         args: Optional[Mapping[str, Any]] = None) -> Operator:
+    """Instantiate an operator from its dotted path and constructor args."""
+    cls = load_operator_class(dotted_path)
+    return cls(**dict(args or {}))

@@ -1,0 +1,154 @@
+"""Stateless tuple-by-tuple operators: maps, filters, flatmaps, projections.
+
+These are the fine-grained operators the paper's testbed combines into
+random topologies: they "apply transformations on a tuple-by-tuple
+basis" (Section 5.1).  Each has a tunable amount of per-item CPU work so
+profiled service times span the realistic range the paper reports
+(hundreds of microseconds to hundreds of milliseconds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.operators.base import Operator, Record
+
+
+def spin_work(iterations: int) -> float:
+    """Burn a configurable amount of CPU; returns a dummy accumulator.
+
+    Used to emulate the computational cost of real user functions when
+    the transformation itself is cheap.  The loop is arithmetic-bound so
+    its duration is stable across runs (unlike sleeping, which would not
+    occupy the executor and would break the service-time model).
+    """
+    acc = 0.0
+    for i in range(iterations):
+        acc += math.sqrt(i + 1.5) * 1.000001
+    return acc
+
+
+class Identity(Operator):
+    """Forward every item unchanged (a pure routing stage)."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item]
+
+
+class FieldMap(Operator):
+    """Apply a function to one numeric field, writing the result back.
+
+    ``work`` iterations of busy work emulate heavier user code.
+    """
+
+    def __init__(self, field: str, fn: Optional[Callable[[float], float]] = None,
+                 work: int = 0) -> None:
+        self.field = field
+        self.fn = fn if fn is not None else (lambda value: value * 2.0 + 1.0)
+        self.work = work
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        value = float(item.get(self.field, 0.0))
+        return [item.copy_with(**{self.field: self.fn(value)})]
+
+
+class ArithmeticMap(Operator):
+    """A numeric transformation touching several fields (a richer map)."""
+
+    def __init__(self, fields: Sequence[str] = ("value",), work: int = 0) -> None:
+        if not fields:
+            raise ValueError("ArithmeticMap needs at least one field")
+        self.fields = tuple(fields)
+        self.work = work
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        updates = {}
+        for name in self.fields:
+            value = float(item.get(name, 0.0))
+            updates[name] = math.sqrt(abs(value)) + math.sin(value)
+        return [item.copy_with(**updates)]
+
+
+class Filter(Operator):
+    """Drop items failing a predicate; output selectivity below one.
+
+    ``pass_rate`` documents the expected fraction of passing items so
+    the cost model gets the right output selectivity before profiling.
+    """
+
+    def __init__(self, predicate: Optional[Callable[[Record], bool]] = None,
+                 field: str = "value", threshold: float = 0.5,
+                 pass_rate: float = 0.5, work: int = 0) -> None:
+        if predicate is None:
+            predicate = lambda item: float(item.get(field, 0.0)) >= threshold
+        self.predicate = predicate
+        self.work = work
+        self.output_selectivity = pass_rate
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        if self.predicate(item):
+            return [item]
+        return []
+
+
+class FlatMap(Operator):
+    """Emit ``fanout`` derived items per input; output selectivity above one."""
+
+    def __init__(self, fanout: int = 2, field: str = "value",
+                 work: int = 0) -> None:
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.fanout = fanout
+        self.field = field
+        self.work = work
+        self.output_selectivity = float(fanout)
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        value = float(item.get(self.field, 0.0))
+        return [
+            item.copy_with(**{self.field: value + i, "fragment": i})
+            for i in range(self.fanout)
+        ]
+
+
+class Projection(Operator):
+    """Keep only a subset of the record attributes."""
+
+    def __init__(self, fields: Sequence[str], work: int = 0) -> None:
+        if not fields:
+            raise ValueError("Projection needs at least one field")
+        self.fields = tuple(fields)
+        self.work = work
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        return [Record({name: item[name] for name in self.fields if name in item})]
+
+
+class Tokenizer(Operator):
+    """Split a text field into one item per token (word-count style)."""
+
+    # Average English sentence fanout; refined by profiling on real data.
+    output_selectivity = 8.0
+
+    def __init__(self, field: str = "text", work: int = 0) -> None:
+        self.field = field
+        self.work = work
+
+    def operator_function(self, item: Record) -> List[Record]:
+        if self.work:
+            spin_work(self.work)
+        text = str(item.get(self.field, ""))
+        tokens = text.split()
+        return [item.copy_with(token=token, **{self.field: None})
+                for token in tokens]

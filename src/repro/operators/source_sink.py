@@ -1,0 +1,86 @@
+"""Source and sink operators for the executable runtime.
+
+Sources generate the input stream (the runtime paces them at the
+configured rate); sinks terminate the topology, either counting items
+(throughput measurement) or collecting them (testing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from repro.operators.base import Operator, Record
+
+
+class GeneratorSource(Operator):
+    """A source producing records from a factory function.
+
+    The factory receives the item sequence number and a private RNG, so
+    sources are reproducible under a seed.  The runtime calls
+    :meth:`operator_function` with the sequence number as the "input".
+    """
+
+    def __init__(self, factory: Optional[Callable[[int, random.Random], Record]]
+                 = None, seed: int = 1) -> None:
+        self.factory = factory or self._default_factory
+        self.rng = random.Random(seed)
+
+    @staticmethod
+    def _default_factory(sequence: int, rng: random.Random) -> Record:
+        return Record({
+            "sequence": sequence,
+            "value": rng.random(),
+            "key": f"k{rng.randrange(64)}",
+        })
+
+    def operator_function(self, item: Any) -> List[Record]:
+        sequence = int(item) if isinstance(item, (int, float)) else 0
+        return [self.factory(sequence, self.rng)]
+
+
+class IterableSource(Operator):
+    """A source replaying a finite iterable (tests and examples)."""
+
+    def __init__(self, items: Iterable[Any]) -> None:
+        self._iterator: Iterator[Any] = iter(items)
+        self.exhausted = False
+
+    def operator_function(self, item: Any) -> List[Any]:
+        try:
+            return [next(self._iterator)]
+        except StopIteration:
+            self.exhausted = True
+            return []
+
+
+class CountingSink(Operator):
+    """A sink counting items (throughput measurement endpoint)."""
+
+    output_selectivity = 0.0
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.count += 1
+        return []
+
+
+class CollectingSink(Operator):
+    """A sink retaining the last ``capacity`` items (for assertions)."""
+
+    output_selectivity = 0.0
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self.count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.count += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+        return []

@@ -1,0 +1,109 @@
+"""Spatial-query operators: skyline and top-k over count windows.
+
+The paper's testbed includes "spatial queries (i.e. skyline and top-k)"
+(Section 5.1, citing the Upsortable top-k work).  Both maintain a
+count-based sliding window and emit the query answer at every slide.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro.core.graph import StateKind
+from repro.operators.base import Operator, Record
+from repro.operators.window import CountSlidingWindow
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance: ``a`` no worse than ``b`` everywhere, better once.
+
+    Lower is better on every dimension (the usual skyline convention for
+    cost-like attributes).
+    """
+    at_least_one_better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            at_least_one_better = True
+    return at_least_one_better
+
+
+def skyline(points: Sequence[Tuple[float, ...]]) -> List[Tuple[float, ...]]:
+    """The Pareto-optimal subset of ``points`` (block-nested-loop)."""
+    result: List[Tuple[float, ...]] = []
+    for candidate in points:
+        dominated = False
+        survivors: List[Tuple[float, ...]] = []
+        for existing in result:
+            if dominates(existing, candidate):
+                dominated = True
+                survivors = result
+                break
+            if not dominates(candidate, existing):
+                survivors.append(existing)
+        if not dominated:
+            survivors.append(candidate)
+            result = survivors
+    return result
+
+
+class SkylineQuery(Operator):
+    """Skyline (Pareto frontier) over a count-based sliding window.
+
+    Stateful: the window is global, so the operator cannot be replicated
+    (no partitioning key gives each replica an independent frontier).
+    """
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, dimensions: Sequence[str] = ("x", "y"),
+                 length: int = 1000, slide: int = 10) -> None:
+        if not dimensions:
+            raise ValueError("SkylineQuery needs at least one dimension")
+        self.dimensions = tuple(dimensions)
+        self.window: CountSlidingWindow[Tuple[float, ...]] = (
+            CountSlidingWindow(length, slide)
+        )
+        self.input_selectivity = float(slide)
+
+    def operator_function(self, item: Record) -> List[Record]:
+        point = tuple(float(item.get(d, 0.0)) for d in self.dimensions)
+        fired = self.window.push(point)
+        if fired is None:
+            return []
+        frontier = skyline(fired)
+        return [Record({
+            "skyline": frontier,
+            "size": len(frontier),
+            "window_size": len(fired),
+            "kind": "SkylineQuery",
+        })]
+
+
+class TopK(Operator):
+    """Top-k items by a score field over a count-based sliding window."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, k: int = 10, score_field: str = "value",
+                 length: int = 1000, slide: int = 10) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.score_field = score_field
+        self.window: CountSlidingWindow[float] = CountSlidingWindow(length, slide)
+        self.input_selectivity = float(slide)
+
+    def operator_function(self, item: Record) -> List[Record]:
+        fired = self.window.push(float(item.get(self.score_field, 0.0)))
+        if fired is None:
+            return []
+        top = heapq.nlargest(self.k, fired)
+        return [Record({
+            "topk": top,
+            "k": self.k,
+            "window_size": len(fired),
+            "kind": "TopK",
+        })]

@@ -1,0 +1,128 @@
+"""Event-time and rate-control operators.
+
+Complements the count-based windows of :mod:`repro.operators.window`
+with operators keyed on an *event-time* attribute carried by the
+records themselves (deterministic and simulator-friendly, unlike
+wall-clock windows):
+
+* :class:`EventTimeTumblingWindow` — aggregates over fixed-width
+  event-time buckets, emitting each bucket when a later timestamp
+  proves it complete (watermark-free, in-order streams);
+* :class:`Debounce` — suppresses repeated values per key until they
+  change by more than a threshold (classic IoT traffic reducer);
+* :class:`Sampler` — deterministic 1-in-N down-sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.graph import StateKind
+from repro.operators.base import KeyedOperator, Operator, Record
+
+
+class EventTimeTumblingWindow(Operator):
+    """Tumbling windows over an event-time field (in-order streams).
+
+    Records carry their timestamp in ``time_field``; the window of
+    width ``width`` covering ``[k*width, (k+1)*width)`` is emitted as
+    soon as a record with a later timestamp arrives.  Out-of-order
+    records belonging to an already-emitted bucket are counted as
+    *late* and dropped (the simplest, clearly-specified policy).
+    """
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, width: float, time_field: str = "sequence",
+                 value_field: str = "value",
+                 aggregator: Optional[Callable[[Sequence[float]], Any]] = None,
+                 ) -> None:
+        if width <= 0.0:
+            raise ValueError(f"window width must be positive, got {width}")
+        self.width = width
+        self.time_field = time_field
+        self.value_field = value_field
+        self.aggregator = aggregator or (lambda vs: math.fsum(vs) / len(vs))
+        self._bucket: Optional[int] = None
+        self._values: List[float] = []
+        self.late_records = 0
+
+    def _bucket_of(self, timestamp: float) -> int:
+        return int(timestamp // self.width)
+
+    def operator_function(self, item: Record) -> List[Record]:
+        timestamp = float(item.get(self.time_field, 0.0))
+        bucket = self._bucket_of(timestamp)
+        outputs: List[Record] = []
+        if self._bucket is None:
+            self._bucket = bucket
+        elif bucket > self._bucket:
+            if self._values:
+                outputs.append(Record({
+                    "window_start": self._bucket * self.width,
+                    "window_end": (self._bucket + 1) * self.width,
+                    "aggregate": self.aggregator(self._values),
+                    "count": len(self._values),
+                    "kind": "EventTimeTumblingWindow",
+                }))
+            self._bucket = bucket
+            self._values = []
+        elif bucket < self._bucket:
+            self.late_records += 1
+            return []
+        self._values.append(float(item.get(self.value_field, 0.0)))
+        return outputs
+
+    def on_stop(self) -> None:
+        # The final (incomplete) bucket is discarded: without a
+        # watermark there is no proof it is complete.
+        self._values = []
+
+
+class Debounce(KeyedOperator):
+    """Forward a keyed value only when it moved by more than ``delta``.
+
+    The standard traffic reducer for slowly-changing sensor streams:
+    per key, the first record always passes; subsequent records pass
+    only if their value differs from the last *forwarded* value by more
+    than the threshold.
+    """
+
+    #: Data-dependent; profiling refines it (most readings are quiet).
+    output_selectivity = 0.2
+
+    def __init__(self, delta: float = 0.5, key_field: str = "key",
+                 value_field: str = "value") -> None:
+        super().__init__(key_field)
+        if delta < 0.0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        self.delta = delta
+        self.value_field = value_field
+        self._last: Dict[str, float] = {}
+
+    def operator_function(self, item: Record) -> List[Record]:
+        key = self.key_of(item) or ""
+        value = float(item.get(self.value_field, 0.0))
+        last = self._last.get(key)
+        if last is not None and abs(value - last) <= self.delta:
+            return []
+        self._last[key] = value
+        return [item]
+
+
+class Sampler(Operator):
+    """Deterministic 1-in-N down-sampling (keeps every N-th item)."""
+
+    def __init__(self, every: int = 10) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.output_selectivity = 1.0 / every
+        self._count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self._count += 1
+        if self._count % self.every == 0:
+            return [item]
+        return []

@@ -1,0 +1,15 @@
+"""Profiling: measure operator costs and routing frequencies from runs."""
+
+from repro.profiling.profiler import (
+    OperatorProfile,
+    ProfileReport,
+    ServiceTimer,
+    profile_topology,
+)
+
+__all__ = [
+    "OperatorProfile",
+    "ProfileReport",
+    "ServiceTimer",
+    "profile_topology",
+]

@@ -1,0 +1,57 @@
+"""Threaded actor runtime — the Akka stand-in.
+
+Bounded blocking mailboxes (:mod:`repro.runtime.mailbox`), operator /
+emitter / collector / meta-operator actors
+(:mod:`repro.runtime.actors`, :mod:`repro.runtime.meta`), the actor
+system builder and measurement harness (:mod:`repro.runtime.system`)
+and synthetic service-time padding (:mod:`repro.runtime.synthetic`).
+"""
+
+from repro.runtime.actors import (
+    ActorBase,
+    CollectorActor,
+    EmitterActor,
+    OperatorActor,
+    Router,
+    SourceActor,
+    Target,
+)
+from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
+from repro.runtime.meta import MetaOperatorActor
+from repro.runtime.metrics import (
+    ActorCounters,
+    ActorRates,
+    CounterSnapshot,
+    RuntimeMeasurements,
+    rates_between,
+)
+from repro.runtime.synthetic import PaddedOperator
+from repro.runtime.system import (
+    ActorSystem,
+    RuntimeConfig,
+    RuntimeResult,
+    run_topology,
+)
+
+__all__ = [
+    "ActorBase",
+    "ActorCounters",
+    "ActorRates",
+    "ActorSystem",
+    "BoundedMailbox",
+    "CollectorActor",
+    "CounterSnapshot",
+    "EmitterActor",
+    "MailboxClosed",
+    "MetaOperatorActor",
+    "OperatorActor",
+    "PaddedOperator",
+    "Router",
+    "RuntimeConfig",
+    "RuntimeMeasurements",
+    "RuntimeResult",
+    "SourceActor",
+    "Target",
+    "run_topology",
+    "rates_between",
+]

@@ -1,0 +1,340 @@
+"""Actors executing abstract operators (the Akka layer, Section 4.2).
+
+Actors are OS threads with a bounded blocking mailbox each.  Following
+the paper's abstraction layer (Figure 6), actors are *executors* of
+operators: a standard operator is executed by one dedicated actor;
+replicated operators get one actor per replica plus an *emitter* actor
+scheduling the input items and a *collector* actor gathering the
+results; fused sub-graphs are executed by a single actor running the
+meta-operator loop of Algorithm 4.
+
+Messages are ``(payload, origin)`` pairs; the origin operator name is
+stamped into record payloads so multi-input operators (joins) can tell
+their streams apart.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.operators.base import Operator, destination_of, unwrap
+from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
+from repro.runtime.metrics import ActorCounters
+
+#: How often idle actors poll for shutdown while their mailbox is empty.
+_IDLE_POLL_SECONDS = 0.05
+
+
+class Target:
+    """A delivery endpoint: the entry mailbox of a vertex."""
+
+    def __init__(self, name: str, mailbox: BoundedMailbox) -> None:
+        self.name = name
+        self.mailbox = mailbox
+
+    def deliver(self, payload: Any, origin: str) -> bool:
+        """Enqueue ``(payload, origin)``; blocks while full (BAS)."""
+        return self.mailbox.put((payload, origin))
+
+
+class Router:
+    """Routes operator outputs to downstream targets.
+
+    Plain outputs follow the topology's edge probabilities; outputs
+    wrapped with a pinned destination go straight to that vertex.
+    """
+
+    def __init__(self, origin: str, seed: int = 1) -> None:
+        self.origin = origin
+        self._entries: List[Tuple[float, Target]] = []
+        self._cumulative: List[float] = []
+        self._by_name: Dict[str, Target] = {}
+        self._rng = random.Random(seed)
+        #: Items routed per destination name — the profiler reads these
+        #: to estimate the edge probabilities of the topology.
+        self.counts: Dict[str, int] = {}
+
+    def add(self, probability: float, target: Target) -> None:
+        self._entries.append((probability, target))
+        total = (self._cumulative[-1] if self._cumulative else 0.0) + probability
+        self._cumulative.append(total)
+        self._by_name[target.name] = target
+        self.counts.setdefault(target.name, 0)
+
+    @property
+    def targets(self) -> List[Target]:
+        return [target for _, target in self._entries]
+
+    def resolve(self, output: Any) -> Optional[Target]:
+        """The target of one output, or ``None`` for sinks' outputs."""
+        target = self._resolve(output)
+        if target is not None:
+            self.counts[target.name] = self.counts.get(target.name, 0) + 1
+        return target
+
+    def _resolve(self, output: Any) -> Optional[Target]:
+        pinned = destination_of(output)
+        if pinned is not None:
+            try:
+                return self._by_name[pinned]
+            except KeyError:
+                raise KeyError(
+                    f"operator {self.origin!r} pinned unknown destination "
+                    f"{pinned!r}"
+                ) from None
+        if not self._entries:
+            return None
+        if len(self._entries) == 1:
+            return self._entries[0][1]
+        draw = self._rng.random() * self._cumulative[-1]
+        for index, bound in enumerate(self._cumulative):
+            if draw < bound:
+                return self._entries[index][1]
+        return self._entries[-1][1]
+
+
+class ActorBase(threading.Thread):
+    """Common machinery: mailbox loop, counters, graceful shutdown."""
+
+    def __init__(self, name: str, vertex: str, mailbox: BoundedMailbox,
+                 stop_event: threading.Event) -> None:
+        super().__init__(name=f"actor-{name}", daemon=True)
+        self.actor_name = name
+        self.vertex = vertex
+        self.mailbox = mailbox
+        self.stop_event = stop_event
+        self.counters = ActorCounters()
+
+    def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
+        try:
+            self.on_start()
+            while True:
+                try:
+                    message = self.mailbox.get(timeout=_IDLE_POLL_SECONDS)
+                except TimeoutError:
+                    if self.stop_event.is_set():
+                        break
+                    continue
+                except MailboxClosed:
+                    break
+                self.handle(message)
+        except MailboxClosed:
+            pass
+        finally:
+            self.on_stop()
+
+    def on_start(self) -> None:
+        """Subclass hook run in the actor thread before the loop."""
+
+    def on_stop(self) -> None:
+        """Subclass hook run in the actor thread after the loop."""
+
+    def handle(self, message: Tuple[Any, str]) -> None:
+        raise NotImplementedError
+
+    def _send(self, target: Target, payload: Any) -> None:
+        """Deliver downstream, accounting blocked time (backpressure)."""
+        started = time.perf_counter()
+        ok = target.deliver(payload, self.vertex)
+        elapsed = time.perf_counter() - started
+        # Any non-negligible delivery time means the sender was blocked
+        # on a full mailbox; the threshold filters out lock overhead.
+        if elapsed > 1e-4:
+            self.counters.blocked_time += elapsed
+        if ok:
+            self.counters.emitted += 1
+
+    def _emit_outputs(self, outputs: Sequence[Any], router: Router,
+                      keep_wrapped: bool = False) -> None:
+        """Route outputs downstream.
+
+        ``keep_wrapped`` preserves :class:`WrappedItem` envelopes, used
+        by replicas so pinned destinations survive the trip through the
+        collector actor.
+        """
+        for output in outputs:
+            target = router.resolve(output)
+            if target is None:
+                self.counters.emitted += 1  # result leaves the topology
+                continue
+            self._send(target, output if keep_wrapped else unwrap(output))
+
+
+class OperatorActor(ActorBase):
+    """A dedicated actor executing one (replica of an) operator."""
+
+    def __init__(self, name: str, vertex: str, operator: Operator,
+                 router: Router, mailbox: BoundedMailbox,
+                 stop_event: threading.Event,
+                 keep_wrapped: bool = False) -> None:
+        super().__init__(name, vertex, mailbox, stop_event)
+        self.operator = operator
+        self.router = router
+        self.keep_wrapped = keep_wrapped
+
+    def on_start(self) -> None:
+        self.operator.on_start()
+
+    def on_stop(self) -> None:
+        self.operator.on_stop()
+
+    def handle(self, message: Tuple[Any, str]) -> None:
+        payload, origin = message
+        self.counters.received += 1
+        if isinstance(payload, dict):
+            payload["origin"] = origin
+        started = time.perf_counter()
+        try:
+            outputs = self.operator.operator_function(payload)
+        except Exception:
+            # Supervision semantics (as an Akka supervisor would apply
+            # a Resume directive): the poisonous item is dropped, the
+            # failure counted, and the actor keeps serving its mailbox.
+            self.counters.failed += 1
+            self.counters.busy_time += time.perf_counter() - started
+            return
+        finished = time.perf_counter()
+        self.counters.busy_time += finished - started
+        self.counters.processed += 1
+        # Reservoir of raw service-time samples for percentile profiling
+        # (bounded so long runs don't grow memory without limit).
+        if len(self.counters.service_samples) < 10_000:
+            self.counters.service_samples.append(finished - started)
+        if not self.router.targets and isinstance(payload, dict):
+            born = payload.get("_born")
+            if born is not None:
+                # This actor is a sink: the record's journey ends here.
+                self.counters.latency_sum += finished - born
+                self.counters.latency_count += 1
+        self._emit_outputs(outputs, self.router, keep_wrapped=self.keep_wrapped)
+
+
+class SourceActor(ActorBase):
+    """The source: generates items at a paced rate, no input mailbox.
+
+    ``rate`` items per second are generated (``None`` = as fast as
+    possible); backpressure from downstream naturally slows the source
+    because :meth:`Target.deliver` blocks on full mailboxes.
+    """
+
+    def __init__(self, name: str, operator: Operator, router: Router,
+                 stop_event: threading.Event, rate: Optional[float] = None,
+                 max_items: Optional[int] = None) -> None:
+        # The source never receives messages; a 1-slot mailbox satisfies
+        # the ActorBase interface and stays unused.
+        super().__init__(name, name, BoundedMailbox(1), stop_event)
+        self.operator = operator
+        self.router = router
+        self.rate = rate
+        self.max_items = max_items
+
+    def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
+        interval = None if self.rate is None else 1.0 / self.rate
+        next_time = time.perf_counter()
+        sequence = 0
+        try:
+            self.operator.on_start()
+            while not self.stop_event.is_set():
+                if self.max_items is not None and sequence >= self.max_items:
+                    break
+                if interval is not None:
+                    now = time.perf_counter()
+                    delay = next_time - now
+                    if delay > 0:
+                        time.sleep(delay)
+                started = time.perf_counter()
+                outputs = self.operator.operator_function(sequence)
+                born = time.perf_counter()
+                self.counters.busy_time += born - started
+                self.counters.processed += 1
+                sequence += 1
+                # Stamp the emission time so sinks can measure the
+                # end-to-end latency of each record.
+                for output in outputs:
+                    payload = unwrap(output)
+                    if isinstance(payload, dict):
+                        payload["_born"] = born
+                self._emit_outputs(outputs, self.router)
+                if interval is not None:
+                    # No catch-up bursts after backpressure stalls: the
+                    # source resumes at its nominal pace.
+                    next_time = max(next_time + interval, time.perf_counter())
+        except MailboxClosed:
+            pass
+        finally:
+            self.operator.on_stop()
+
+
+class EmitterActor(ActorBase):
+    """Scheduler of input items to the replicas of a parallel operator.
+
+    Stateless operators use circular (round-robin) distribution;
+    partitioned-stateful operators hash the partitioning key through the
+    key-to-replica assignment computed by the partitioning heuristic.
+    """
+
+    def __init__(self, name: str, vertex: str, replicas: Sequence[Target],
+                 mailbox: BoundedMailbox, stop_event: threading.Event,
+                 key_of: Optional[Callable[[Any], Optional[str]]] = None,
+                 key_assignment: Optional[Mapping[str, int]] = None) -> None:
+        super().__init__(name, vertex, mailbox, stop_event)
+        if not replicas:
+            raise ValueError("emitter needs at least one replica")
+        self.replicas = list(replicas)
+        self.key_of = key_of
+        self.key_assignment = dict(key_assignment or {})
+        self._next = 0
+
+    def _pick(self, payload: Any) -> Target:
+        if self.key_of is not None:
+            key = self.key_of(payload)
+            if key is not None:
+                index = self.key_assignment.get(key)
+                if index is None:
+                    index = hash(key) % len(self.replicas)
+                return self.replicas[index % len(self.replicas)]
+        target = self.replicas[self._next]
+        self._next = (self._next + 1) % len(self.replicas)
+        return target
+
+    def handle(self, message: Tuple[Any, str]) -> None:
+        payload, origin = message
+        self.counters.received += 1
+        started = time.perf_counter()
+        target = self._pick(payload)
+        self.counters.busy_time += time.perf_counter() - started
+        self.counters.processed += 1
+        delivered = time.perf_counter()
+        ok = target.mailbox.put((payload, origin))
+        elapsed = time.perf_counter() - delivered
+        if elapsed > 1e-4:
+            self.counters.blocked_time += elapsed
+        if ok:
+            self.counters.emitted += 1
+
+
+class CollectorActor(ActorBase):
+    """Collector of the results of a parallel operator's replicas.
+
+    Forwards every collected item downstream using the vertex's original
+    routing table, so the replication stays invisible to the rest of the
+    topology.
+    """
+
+    def __init__(self, name: str, vertex: str, router: Router,
+                 mailbox: BoundedMailbox, stop_event: threading.Event) -> None:
+        super().__init__(name, vertex, mailbox, stop_event)
+        self.router = router
+
+    def handle(self, message: Tuple[Any, str]) -> None:
+        payload, origin = message
+        self.counters.received += 1
+        self.counters.processed += 1
+        target = self.router.resolve(payload)
+        if target is None:
+            self.counters.emitted += 1
+            return
+        self._send(target, unwrap(payload))

@@ -1,0 +1,119 @@
+"""Bounded blocking mailboxes with BAS semantics (Akka ``BoundedMailbox``).
+
+The paper configures Akka actors with the ``BoundedMailbox`` which,
+"besides having a fixed capacity, blocks the sending actor if the
+destination mailbox is currently full", with a timeout after which the
+item is discarded (Section 5.1).  This module reproduces exactly those
+semantics: :meth:`BoundedMailbox.put` blocks the caller while the
+mailbox is full (Blocking After Service) and returns ``False`` —
+dropping the item — only when the configured timeout elapses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Optional
+
+
+class MailboxClosed(RuntimeError):
+    """Raised when interacting with a closed mailbox."""
+
+
+class BoundedMailbox:
+    """A fixed-capacity FIFO mailbox with blocking senders.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of queued messages.
+    put_timeout:
+        Default seconds a sender blocks on a full mailbox before the
+        message is dropped; ``None`` blocks indefinitely.  The paper
+        sets this "significantly higher than the maximum operators'
+        service time" to avoid drops.
+    """
+
+    def __init__(self, capacity: int, put_timeout: Optional[float] = 5.0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.put_timeout = put_timeout
+        self._queue: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.dropped = 0
+        self.enqueued = 0
+        self.high_watermark = 0
+
+    def put(self, message: Any, timeout: Optional[float] = -1.0) -> bool:
+        """Enqueue ``message``; blocks while full (BAS).
+
+        Returns ``True`` on success and ``False`` when the timeout
+        elapsed and the message was dropped.  ``timeout=-1`` uses the
+        mailbox default; ``None`` waits forever.
+        """
+        if timeout is not None and timeout < 0.0:
+            timeout = self.put_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while len(self._queue) >= self.capacity:
+                if self._closed:
+                    raise MailboxClosed("mailbox closed while sender blocked")
+                if deadline is None:
+                    self._not_full.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        self.dropped += 1
+                        return False
+                    self._not_full.wait(remaining)
+            if self._closed:
+                raise MailboxClosed("cannot put into a closed mailbox")
+            self._queue.append(message)
+            self.enqueued += 1
+            if len(self._queue) > self.high_watermark:
+                self.high_watermark = len(self._queue)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Dequeue one message, blocking up to ``timeout`` seconds.
+
+        Raises :class:`TimeoutError` when the timeout elapses with the
+        mailbox still empty, and :class:`MailboxClosed` when the mailbox
+        was closed and fully drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._queue:
+                if self._closed:
+                    raise MailboxClosed("mailbox closed and drained")
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        raise TimeoutError("mailbox get timed out")
+                    self._not_empty.wait(remaining)
+            message = self._queue.popleft()
+            self._not_full.notify()
+            return message
+
+    def close(self) -> None:
+        """Close the mailbox, waking all blocked senders and receivers."""
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

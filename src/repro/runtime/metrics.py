@@ -1,0 +1,146 @@
+"""Runtime metrics: per-actor counters and steady-state rate snapshots."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+
+class ActorCounters:
+    """Mutable counters updated by one actor thread.
+
+    Counter increments are single bytecode-level operations on ints and
+    floats, which CPython's GIL keeps consistent; readers may observe a
+    value that is a few messages stale, which is irrelevant for rate
+    measurement over seconds.
+    """
+
+    __slots__ = ("received", "processed", "emitted", "failed", "busy_time",
+                 "blocked_time", "service_samples",
+                 "latency_sum", "latency_count")
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.processed = 0
+        self.emitted = 0
+        #: Items whose operator_function raised; the actor survives
+        #: (supervision semantics) and the item is dropped.
+        self.failed = 0
+        self.busy_time = 0.0
+        self.blocked_time = 0.0
+        self.service_samples: List[float] = []
+        # End-to-end latency of items consumed here (sinks only);
+        # fed by the birth timestamps sources stamp into records.
+        self.latency_sum = 0.0
+        self.latency_count = 0
+
+    def snapshot(self) -> "CounterSnapshot":
+        return CounterSnapshot(
+            received=self.received,
+            processed=self.processed,
+            emitted=self.emitted,
+            busy_time=self.busy_time,
+            blocked_time=self.blocked_time,
+            latency_sum=self.latency_sum,
+            latency_count=self.latency_count,
+        )
+
+    def mean_service_time(self) -> Optional[float]:
+        """Mean profiled service time, or ``None`` without samples."""
+        if self.processed == 0:
+            return None
+        return self.busy_time / self.processed
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable copy of an actor's counters at one instant."""
+
+    received: int = 0
+    processed: int = 0
+    emitted: int = 0
+    busy_time: float = 0.0
+    blocked_time: float = 0.0
+    latency_sum: float = 0.0
+    latency_count: int = 0
+
+
+@dataclass(frozen=True)
+class ActorRates:
+    """Measured steady-state rates of one actor over a window."""
+
+    name: str
+    vertex: str
+    arrival_rate: float
+    processing_rate: float
+    departure_rate: float
+    utilization: float
+    blocked_fraction: float
+    mean_latency: Optional[float] = None
+    latency_samples: int = 0
+
+
+@dataclass(frozen=True)
+class RuntimeMeasurements:
+    """Rates of a whole actor system over the measurement window."""
+
+    duration: float
+    actors: Mapping[str, ActorRates]
+
+    def vertex_rates(self) -> Dict[str, ActorRates]:
+        """Aggregate actor rates by topology vertex (replicas summed).
+
+        Utilization and blocked fraction take the max across replicas —
+        the binding replica is what the cost model reasons about.
+        """
+        grouped: Dict[str, List[ActorRates]] = {}
+        for rates in self.actors.values():
+            grouped.setdefault(rates.vertex, []).append(rates)
+        out: Dict[str, ActorRates] = {}
+        for vertex, members in grouped.items():
+            samples = sum(m.latency_samples for m in members)
+            if samples:
+                mean_latency = sum(
+                    (m.mean_latency or 0.0) * m.latency_samples
+                    for m in members
+                ) / samples
+            else:
+                mean_latency = None
+            out[vertex] = ActorRates(
+                name=vertex,
+                vertex=vertex,
+                arrival_rate=sum(m.arrival_rate for m in members),
+                processing_rate=sum(m.processing_rate for m in members),
+                departure_rate=sum(m.departure_rate for m in members),
+                utilization=max(m.utilization for m in members),
+                blocked_fraction=max(m.blocked_fraction for m in members),
+                mean_latency=mean_latency,
+                latency_samples=samples,
+            )
+        return out
+
+
+def rates_between(
+    name: str,
+    vertex: str,
+    before: CounterSnapshot,
+    after: CounterSnapshot,
+    duration: float,
+) -> ActorRates:
+    """Compute actor rates from two snapshots ``duration`` seconds apart."""
+    if duration <= 0.0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    samples = after.latency_count - before.latency_count
+    return ActorRates(
+        name=name,
+        vertex=vertex,
+        arrival_rate=(after.received - before.received) / duration,
+        processing_rate=(after.processed - before.processed) / duration,
+        departure_rate=(after.emitted - before.emitted) / duration,
+        utilization=(after.busy_time - before.busy_time) / duration,
+        blocked_fraction=(after.blocked_time - before.blocked_time) / duration,
+        mean_latency=((after.latency_sum - before.latency_sum) / samples
+                      if samples else None),
+        latency_samples=samples,
+    )

@@ -1,0 +1,365 @@
+"""The actor system: build, run and measure a topology on threads.
+
+``ActorSystem.build`` wires one actor per single-replica operator, an
+emitter + replicas + collector ensemble per parallelized operator
+(Section 4.2 "Generation of parallel operators") and one meta-operator
+actor per fused sub-graph ("Generation with operator fusion").  ``run``
+executes the system for a wall-clock duration, snapshots the counters
+after a warmup period, and returns per-vertex steady-state rates
+comparable one-to-one with the cost-model predictions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.fusion import FusionPlan
+from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.partitioning import key_partitioning
+from repro.core.steady_state import SteadyStateResult
+from repro.operators.base import Operator, instantiate_operator
+from repro.runtime.actors import (
+    ActorBase,
+    CollectorActor,
+    EmitterActor,
+    OperatorActor,
+    Router,
+    SourceActor,
+    Target,
+)
+from repro.runtime.mailbox import BoundedMailbox
+from repro.runtime.meta import MetaOperatorActor
+from repro.runtime.metrics import (
+    ActorRates,
+    CounterSnapshot,
+    RuntimeMeasurements,
+    rates_between,
+)
+
+OperatorFactory = Callable[[], Operator]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of an actor-system run."""
+
+    mailbox_capacity: int = 64
+    put_timeout: Optional[float] = 5.0
+    source_rate: Optional[float] = None
+    max_items: Optional[int] = None
+    partition_heuristic: str = "greedy"
+    seed: int = 1
+
+
+class RuntimeResult:
+    """Measured behaviour of a finished actor-system run."""
+
+    def __init__(self, topology: Topology,
+                 measurements: RuntimeMeasurements) -> None:
+        self.topology = topology
+        self.measurements = measurements
+        self.vertices = measurements.vertex_rates()
+
+    @property
+    def throughput(self) -> float:
+        """Measured topology throughput: source departure rate."""
+        return self.vertices[self.topology.source].departure_rate
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean end-to-end latency over all sink consumptions (seconds).
+
+        Based on the birth timestamps the source stamps into records;
+        ``None`` when no record reached a sink during the window.
+        """
+        samples = 0
+        weighted = 0.0
+        for rates in self.measurements.actors.values():
+            if rates.mean_latency is not None:
+                weighted += rates.mean_latency * rates.latency_samples
+                samples += rates.latency_samples
+        if samples == 0:
+            return None
+        return weighted / samples
+
+    def departure_rate(self, vertex: str) -> float:
+        return self.vertices[vertex].departure_rate
+
+    def utilization(self, vertex: str) -> float:
+        return self.vertices[vertex].utilization
+
+    def throughput_error(self, predicted: SteadyStateResult) -> float:
+        if predicted.throughput <= 0.0:
+            raise TopologyError("predicted throughput must be positive")
+        return abs(self.throughput - predicted.throughput) / predicted.throughput
+
+
+class ActorSystem:
+    """A set of wired actors executing one topology."""
+
+    def __init__(self, topology: Topology, config: RuntimeConfig) -> None:
+        self.topology = topology
+        self.config = config
+        self.stop_event = threading.Event()
+        self.actors: List[ActorBase] = []
+        self.source_actor: Optional[SourceActor] = None
+        self._entries: Dict[str, Target] = {}
+        self._mailboxes: List[BoundedMailbox] = []
+        self._routers: Dict[str, Router] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        topology: Topology,
+        factories: Mapping[str, OperatorFactory],
+        config: Optional[RuntimeConfig] = None,
+        fusion_plans: Sequence[FusionPlan] = (),
+    ) -> "ActorSystem":
+        """Wire the actors of ``topology``.
+
+        ``factories`` maps operator names to zero-argument callables
+        producing fresh :class:`Operator` instances (one per replica).
+        For fused vertices, the factories of the *member* operators must
+        be provided (not one for the fused name).  Operators without a
+        factory fall back to the spec's ``operator_class``.
+        """
+        config = config or RuntimeConfig()
+        system = cls(topology, config)
+        plans = {plan.fused_name: plan for plan in fusion_plans}
+
+        def make_operator(name: str) -> Operator:
+            factory = factories.get(name)
+            if factory is not None:
+                return factory()
+            spec = topology.operator(name) if name in topology else None
+            if spec is not None and spec.operator_class:
+                return instantiate_operator(spec.operator_class,
+                                            spec.operator_args)
+            raise TopologyError(
+                f"no factory nor operator_class for operator {name!r}"
+            )
+
+        # Pass 1: create the entry point (mailbox) of every vertex.
+        deferred: List[Callable[[], None]] = []
+        for spec in topology.operators:
+            name = spec.name
+            router = Router(name, seed=config.seed + _stable_hash(name))
+            system._routers[name] = router
+            if name == topology.source:
+                deferred.append(system._defer_source(name, make_operator, router))
+                continue
+            if name in plans:
+                deferred.append(
+                    system._defer_meta(plans[name], factories, make_operator,
+                                       router)
+                )
+                continue
+            if spec.replication > 1:
+                deferred.append(
+                    system._defer_parallel(spec.name, make_operator, router)
+                )
+            else:
+                deferred.append(
+                    system._defer_single(spec.name, make_operator, router)
+                )
+        for build_actor in deferred:
+            build_actor()
+
+        # Pass 2: connect the routers now that every entry exists.
+        for spec in topology.operators:
+            router = system._routers[spec.name]
+            for edge in topology.out_edges(spec.name):
+                router.add(edge.probability, system._entries[edge.target])
+        return system
+
+    def _new_mailbox(self) -> BoundedMailbox:
+        mailbox = BoundedMailbox(self.config.mailbox_capacity,
+                                 put_timeout=self.config.put_timeout)
+        self._mailboxes.append(mailbox)
+        return mailbox
+
+    def _defer_source(self, name: str, make_operator, router: Router):
+        def build() -> None:
+            actor = SourceActor(
+                name=name,
+                operator=make_operator(name),
+                router=router,
+                stop_event=self.stop_event,
+                rate=self.config.source_rate,
+                max_items=self.config.max_items,
+            )
+            self.actors.append(actor)
+            self.source_actor = actor
+        return build
+
+    def _defer_single(self, name: str, make_operator, router: Router):
+        def build() -> None:
+            mailbox = self._new_mailbox()
+            actor = OperatorActor(
+                name=name,
+                vertex=name,
+                operator=make_operator(name),
+                router=router,
+                mailbox=mailbox,
+                stop_event=self.stop_event,
+            )
+            self.actors.append(actor)
+            self._entries[name] = Target(name, mailbox)
+        return build
+
+    def _defer_parallel(self, name: str, make_operator, router: Router):
+        def build() -> None:
+            spec = self.topology.operator(name)
+            collector_mailbox = self._new_mailbox()
+            collector = CollectorActor(
+                name=f"{name}.collector",
+                vertex=name,
+                router=router,
+                mailbox=collector_mailbox,
+                stop_event=self.stop_event,
+            )
+            collector_target = Target(name, collector_mailbox)
+
+            replica_targets: List[Target] = []
+            operators: List[Operator] = []
+            for index in range(spec.replication):
+                replica_mailbox = self._new_mailbox()
+                replica_router = Router(f"{name}#{index}")
+                replica_router.add(1.0, collector_target)
+                operator = make_operator(name)
+                operators.append(operator)
+                actor = OperatorActor(
+                    name=f"{name}#{index}",
+                    vertex=name,
+                    operator=operator,
+                    router=replica_router,
+                    mailbox=replica_mailbox,
+                    stop_event=self.stop_event,
+                    keep_wrapped=True,
+                )
+                self.actors.append(actor)
+                replica_targets.append(Target(name, replica_mailbox))
+
+            key_of = None
+            key_assignment = None
+            if spec.state is StateKind.PARTITIONED:
+                key_of = operators[0].key_of
+                assert spec.keys is not None  # enforced by OperatorSpec
+                _, _, plan = key_partitioning(
+                    spec.keys, spec.replication,
+                    heuristic=self.config.partition_heuristic,
+                )
+                key_assignment = plan.assignment
+
+            emitter_mailbox = self._new_mailbox()
+            emitter = EmitterActor(
+                name=f"{name}.emitter",
+                vertex=name,
+                replicas=replica_targets,
+                mailbox=emitter_mailbox,
+                stop_event=self.stop_event,
+                key_of=key_of,
+                key_assignment=key_assignment,
+            )
+            self.actors.append(emitter)
+            self.actors.append(collector)
+            self._entries[name] = Target(name, emitter_mailbox)
+        return build
+
+    def _defer_meta(self, plan: FusionPlan, factories, make_operator,
+                    router: Router):
+        def build() -> None:
+            mailbox = self._new_mailbox()
+            members = {name: make_operator(name) for name in plan.members}
+            actor = MetaOperatorActor(
+                name=plan.fused_name,
+                plan=plan,
+                members=members,
+                router=router,
+                mailbox=mailbox,
+                stop_event=self.stop_event,
+                seed=self.config.seed,
+            )
+            self.actors.append(actor)
+            self._entries[plan.fused_name] = Target(plan.fused_name, mailbox)
+        return build
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("actor system already started")
+        self._started = True
+        for actor in self.actors:
+            actor.start()
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        self.stop_event.set()
+        for mailbox in self._mailboxes:
+            mailbox.close()
+        for actor in self.actors:
+            actor.join(timeout=join_timeout)
+
+    def snapshot(self) -> Dict[str, CounterSnapshot]:
+        return {actor.actor_name: actor.counters.snapshot()
+                for actor in self.actors}
+
+    def run(self, duration: float, warmup: Optional[float] = None
+            ) -> RuntimeResult:
+        """Run for ``duration`` seconds, measuring after ``warmup``.
+
+        ``warmup`` defaults to a quarter of the duration.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if warmup is None:
+            warmup = duration * 0.25
+        if not 0.0 <= warmup < duration:
+            raise ValueError(f"warmup must be in [0, duration), got {warmup}")
+        self.start()
+        try:
+            time.sleep(warmup)
+            before = self.snapshot()
+            started = time.perf_counter()
+            time.sleep(duration - warmup)
+            after = self.snapshot()
+            window = time.perf_counter() - started
+        finally:
+            self.stop()
+        rates: Dict[str, ActorRates] = {}
+        for actor in self.actors:
+            rates[actor.actor_name] = rates_between(
+                actor.actor_name, actor.vertex,
+                before[actor.actor_name], after[actor.actor_name], window,
+            )
+        measurements = RuntimeMeasurements(duration=window, actors=rates)
+        return RuntimeResult(self.topology, measurements)
+
+
+def run_topology(
+    topology: Topology,
+    factories: Mapping[str, OperatorFactory],
+    duration: float = 2.0,
+    warmup: Optional[float] = None,
+    config: Optional[RuntimeConfig] = None,
+    fusion_plans: Sequence[FusionPlan] = (),
+) -> RuntimeResult:
+    """Build, run and measure a topology in one call."""
+    system = ActorSystem.build(topology, factories, config=config,
+                               fusion_plans=fusion_plans)
+    return system.run(duration, warmup=warmup)
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic small hash (process-independent, unlike ``hash``)."""
+    value = 0
+    for char in text:
+        value = (value * 131 + ord(char)) % 1_000_003
+    return value

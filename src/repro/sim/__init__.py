@@ -1,0 +1,61 @@
+"""Discrete-event simulation of blocking queueing networks.
+
+The simulated counterpart of the paper's Akka testbed: bounded
+mailboxes, Blocking-After-Service backpressure, replicated stations and
+probabilistic routing, all in virtual time.  See
+:func:`repro.sim.simulate` for the one-call entry point.
+"""
+
+from repro.sim.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Uniform,
+    make_distribution,
+)
+from repro.sim.cyclic import (
+    CyclicSimulationResult,
+    build_cyclic_engine,
+    simulate_cyclic,
+)
+from repro.sim.engine import (
+    Engine,
+    Measurements,
+    SimulationError,
+    Station,
+    StationMeasurement,
+    VertexMeasurement,
+)
+from repro.sim.network import (
+    SimulationConfig,
+    SimulationResult,
+    build_engine,
+    measured_edge_probabilities,
+    simulate,
+)
+
+__all__ = [
+    "CyclicSimulationResult",
+    "Deterministic",
+    "Distribution",
+    "Engine",
+    "build_cyclic_engine",
+    "simulate_cyclic",
+    "Erlang",
+    "Exponential",
+    "LogNormal",
+    "Measurements",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "Station",
+    "StationMeasurement",
+    "Uniform",
+    "VertexMeasurement",
+    "build_engine",
+    "make_distribution",
+    "measured_edge_probabilities",
+    "simulate",
+]

@@ -1,0 +1,117 @@
+"""Service/inter-arrival time distributions for the simulator.
+
+The cost models of the paper are distribution-agnostic (flow
+conservation holds "regardless of the statistical distributions of the
+service rates"), so the simulator supports several families to exercise
+that claim: deterministic, exponential, uniform, log-normal and Erlang.
+Every distribution is parameterized by its *mean*, matching the way
+operator service times are profiled.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class Distribution(ABC):
+    """A positive random variable parameterized by its mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self.mean = mean
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one sample (strictly positive)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mean={self.mean!r})"
+
+
+class Deterministic(Distribution):
+    """Constant service time — zero variance, matches the fluid model."""
+
+    def sample(self, rng: random.Random) -> float:
+        return self.mean
+
+
+class Exponential(Distribution):
+    """Exponential (memoryless) service time."""
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+
+class Uniform(Distribution):
+    """Uniform over ``[mean * (1 - spread), mean * (1 + spread)]``."""
+
+    def __init__(self, mean: float, spread: float = 0.5) -> None:
+        super().__init__(mean)
+        if not 0.0 <= spread < 1.0:
+            raise ValueError(f"spread must be in [0, 1), got {spread}")
+        self.spread = spread
+
+    def sample(self, rng: random.Random) -> float:
+        low = self.mean * (1.0 - self.spread)
+        high = self.mean * (1.0 + self.spread)
+        return rng.uniform(low, high)
+
+
+class LogNormal(Distribution):
+    """Log-normal with a given coefficient of variation.
+
+    Heavy-ish tail: models operators whose cost occasionally spikes
+    (e.g. a window flush).
+    """
+
+    def __init__(self, mean: float, cv: float = 0.5) -> None:
+        super().__init__(mean)
+        if cv <= 0.0:
+            raise ValueError(f"cv must be positive, got {cv}")
+        self.cv = cv
+        sigma2 = math.log(1.0 + cv * cv)
+        self._sigma = math.sqrt(sigma2)
+        self._mu = math.log(mean) - sigma2 / 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu, self._sigma)
+
+
+class Erlang(Distribution):
+    """Erlang-k: sum of ``k`` exponential phases, variance ``mean^2 / k``."""
+
+    def __init__(self, mean: float, k: int = 4) -> None:
+        super().__init__(mean)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def sample(self, rng: random.Random) -> float:
+        rate = self.k / self.mean
+        return sum(rng.expovariate(rate) for _ in range(self.k))
+
+
+def make_distribution(family: str, mean: float,
+                      cv: Optional[float] = None) -> Distribution:
+    """Build a distribution from its family name.
+
+    ``family`` is one of ``deterministic``, ``exponential``, ``uniform``,
+    ``lognormal``, ``erlang``.  ``cv`` customizes the spread where the
+    family supports it.
+    """
+    family = family.strip().lower()
+    if family == "deterministic":
+        return Deterministic(mean)
+    if family == "exponential":
+        return Exponential(mean)
+    if family == "uniform":
+        return Uniform(mean, spread=cv if cv is not None else 0.5)
+    if family == "lognormal":
+        return LogNormal(mean, cv=cv if cv is not None else 0.5)
+    if family == "erlang":
+        return Erlang(mean, k=int(1.0 / (cv * cv)) if cv else 4)
+    raise ValueError(f"unknown distribution family {family!r}")

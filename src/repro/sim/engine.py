@@ -1,0 +1,503 @@
+"""Event-driven simulator of blocking queueing networks (BAS semantics).
+
+This is the measurement substrate standing in for the paper's Akka
+deployment: each operator is a station with a bounded FIFO queue
+(the actor's ``BoundedMailbox``) served by one or more servers
+(replicas).  The network implements Blocking-After-Service exactly as
+modeled in Section 3: after serving an item a station delivers the
+results downstream one by one, and if a destination queue is full the
+sending server *blocks*, unable to serve further items, until the
+destination frees a slot — the freed slot is handed to the
+longest-waiting blocked sender (FIFO wakeup).
+
+The simulator runs in virtual time, so measuring the steady state of a
+topology takes milliseconds of wall-clock time instead of the minutes a
+real deployment needs.  Service-time distributions are pluggable (see
+:mod:`repro.sim.distributions`); with deterministic services the
+measured rates converge to the fluid-model predictions, and stochastic
+services quantify how robust the predictions are (the paper's claim
+that flow conservation is distribution-agnostic).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.distributions import Distribution
+
+_IDLE = 0
+_BUSY = 1
+_BLOCKED = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Server:
+    """One replica executor of a station (an actor in Akka terms)."""
+
+    __slots__ = ("station", "index", "state", "pending", "pending_pos",
+                 "blocked_since", "item_birth")
+
+    def __init__(self, station: "Station", index: int) -> None:
+        self.station = station
+        self.index = index
+        self.state = _IDLE
+        self.pending: List["Station"] = []
+        self.pending_pos = 0
+        self.blocked_since = 0.0
+        #: Timestamp at which the item being served left the source;
+        #: outputs inherit it so sinks can measure end-to-end latency.
+        self.item_birth = 0.0
+
+
+class Station:
+    """A queueing station: bounded FIFO queue plus ``n`` servers.
+
+    A station maps to one abstract operator (or to one replica group of
+    a partitioned-stateful operator, see :class:`PartitionedRouter`).
+    """
+
+    __slots__ = (
+        "name", "vertex", "dist", "gain", "capacity", "servers",
+        "idle_servers", "queue", "waiters", "is_source",
+        "routes", "route_probs", "route_deficit", "credits",
+        "arrivals", "consumed", "emitted", "dropped",
+        "busy_time", "blocked_time",
+        "edge_counts", "wait_sum", "wait_count",
+        "latency_sum", "latency_count", "latency_max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        vertex: str,
+        dist: Distribution,
+        gain: float,
+        capacity: int,
+        n_servers: int,
+        is_source: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise SimulationError(f"station {name!r}: capacity must be >= 1")
+        if n_servers < 1:
+            raise SimulationError(f"station {name!r}: needs >= 1 server")
+        self.name = name
+        self.vertex = vertex
+        self.dist = dist
+        self.gain = gain
+        self.capacity = capacity
+        self.servers = [Server(self, i) for i in range(n_servers)]
+        self.idle_servers: List[Server] = list(self.servers)
+        self.queue: Deque[object] = deque()
+        self.waiters: Deque[Server] = deque()
+        self.is_source = is_source
+        # Routing targets: parallel lists of resolvers and probabilities.
+        self.routes: List[Callable[[random.Random], "Station"]] = []
+        self.route_probs: List[float] = []
+        self.route_deficit: List[float] = []
+        self.credits = 0.0
+        self.arrivals = 0
+        self.consumed = 0
+        self.emitted = 0
+        self.dropped = 0
+        self.busy_time = 0.0
+        self.blocked_time = 0.0
+        self.edge_counts: List[int] = []
+        # Queueing-delay accounting: time items spend in this queue.
+        self.wait_sum = 0.0
+        self.wait_count = 0
+        # End-to-end latency samples, recorded at sink stations only.
+        self.latency_sum = 0.0
+        self.latency_count = 0
+        self.latency_max = 0.0
+
+    def add_route(self, resolver: Callable[[random.Random], "Station"],
+                  probability: float) -> None:
+        self.routes.append(resolver)
+        self.route_probs.append(probability)
+        self.route_deficit.append(0.0)
+        self.edge_counts.append(0)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.queue)
+
+
+@dataclass
+class StationCounters:
+    """Snapshot of the counters of one station."""
+
+    arrivals: int = 0
+    consumed: int = 0
+    emitted: int = 0
+    dropped: int = 0
+    busy_time: float = 0.0
+    blocked_time: float = 0.0
+    wait_sum: float = 0.0
+    wait_count: int = 0
+    latency_sum: float = 0.0
+    latency_count: int = 0
+
+
+class Engine:
+    """The discrete-event loop driving a set of stations.
+
+    Parameters
+    ----------
+    stations:
+        All stations of the network (sources flagged with ``is_source``).
+    seed:
+        Seed of the private RNG used for service sampling and
+        stochastic routing.
+    routing:
+        ``"stochastic"`` samples each destination independently;
+        ``"proportional"`` uses deterministic weighted round-robin
+        (largest-deficit-first), which converges to the edge
+        probabilities with zero variance.
+    """
+
+    def __init__(
+        self,
+        stations: Sequence[Station],
+        seed: int = 1,
+        routing: str = "stochastic",
+        backpressure: bool = True,
+    ) -> None:
+        if routing not in ("stochastic", "proportional"):
+            raise SimulationError(f"unknown routing mode {routing!r}")
+        self.stations = list(stations)
+        self.rng = random.Random(seed)
+        self.routing = routing
+        #: BAS blocking (the paper's default) vs load shedding: with
+        #: backpressure off, an item offered to a full queue is dropped
+        #: instead of blocking the sender (Section 2's alternative
+        #: communication semantics).
+        self.backpressure = backpressure
+        self.now = 0.0
+        self._events: List[Tuple[float, int, Server]] = []
+        self._seq = 0
+        self._source_items: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+    def _schedule_completion(self, server: Server) -> None:
+        duration = server.station.dist.sample(self.rng)
+        server.station.busy_time += duration
+        self._seq += 1
+        heappush(self._events, (self.now + duration, self._seq, server))
+
+    def run(self, until: float, warmup: float = 0.0,
+            max_events: Optional[int] = None) -> "Measurements":
+        """Run the network until virtual time ``until``.
+
+        Counter snapshots taken at ``warmup`` exclude the transient from
+        the measured rates.  Returns the per-station measurements.
+        """
+        if until <= 0.0:
+            raise SimulationError(f"until must be positive, got {until}")
+        if not 0.0 <= warmup < until:
+            raise SimulationError(
+                f"warmup must be in [0, until), got {warmup} vs {until}"
+            )
+        for station in self.stations:
+            if station.is_source:
+                self._start_source(station)
+            else:
+                self._start_services(station)
+
+        snapshots: Dict[str, StationCounters] = {}
+        snapped = warmup == 0.0
+        if snapped:
+            snapshots = self._snapshot()
+
+        processed = 0
+        while self._events:
+            time, _, server = self._events[0]
+            if time > until:
+                break
+            if not snapped and time >= warmup:
+                self.now = warmup
+                snapshots = self._snapshot()
+                snapped = True
+            heappop(self._events)
+            self.now = time
+            self._on_completion(server)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        else:
+            # The event heap drained before the horizon.  With a source
+            # present this only happens when every server is blocked on
+            # a full queue — a Blocking-After-Service deadlock, which
+            # cyclic topologies can reach when the buffers along a loop
+            # all fill up (see repro.sim.cyclic).
+            blocked = sorted({
+                station.name
+                for station in self.stations
+                for s in station.servers if s.state == _BLOCKED
+            })
+            if blocked:
+                raise SimulationError(
+                    "BAS deadlock: all activity stopped at t="
+                    f"{self.now:.6f}s with blocked senders at {blocked}; "
+                    "increase the mailbox capacity or reduce the feedback "
+                    "fraction"
+                )
+        if not snapped:
+            # Nothing happened before the warmup boundary (degenerate
+            # run); measure over the full horizon instead.
+            snapshots = {s.name: StationCounters() for s in self.stations}
+            warmup = 0.0
+        self.now = until
+        return self._measure(snapshots, warmup, until)
+
+    def _snapshot(self) -> Dict[str, StationCounters]:
+        return {
+            s.name: StationCounters(
+                arrivals=s.arrivals,
+                consumed=s.consumed,
+                emitted=s.emitted,
+                busy_time=s.busy_time,
+                blocked_time=s.blocked_time,
+                dropped=s.dropped,
+                wait_sum=s.wait_sum,
+                wait_count=s.wait_count,
+                latency_sum=s.latency_sum,
+                latency_count=s.latency_count,
+            )
+            for s in self.stations
+        }
+
+    # ------------------------------------------------------------------
+    # station dynamics
+    # ------------------------------------------------------------------
+    def _start_source(self, station: Station) -> None:
+        """A source serves a fictitious infinite input stream."""
+        while station.idle_servers:
+            server = station.idle_servers.pop()
+            server.state = _BUSY
+            self._schedule_completion(server)
+
+    def _start_services(self, station: Station) -> None:
+        """Assign queued items to idle servers, waking blocked senders."""
+        while station.queue and station.idle_servers:
+            birth, enqueued_at = station.queue.popleft()
+            station.wait_sum += self.now - enqueued_at
+            station.wait_count += 1
+            self._backfill(station)
+            server = station.idle_servers.pop()
+            server.state = _BUSY
+            server.item_birth = birth
+            self._schedule_completion(server)
+
+    def _backfill(self, station: Station) -> None:
+        """Hand the freed queue slot to the longest-blocked sender."""
+        if station.waiters:
+            waiter = station.waiters.popleft()
+            station.queue.append((waiter.item_birth, self.now))
+            station.arrivals += 1
+            waiter.pending_pos += 1
+            waiter.station.blocked_time += self.now - waiter.blocked_since
+            self._continue_push(waiter)
+
+    def _on_completion(self, server: Server) -> None:
+        station = server.station
+        station.consumed += 1
+        if station.is_source:
+            # A freshly generated item is born when its generation
+            # (the source's fictitious service) completes.
+            server.item_birth = self.now
+        elif not station.routes:
+            # Sink: the item's journey ends here — record its latency.
+            latency = self.now - server.item_birth
+            station.latency_sum += latency
+            station.latency_count += 1
+            if latency > station.latency_max:
+                station.latency_max = latency
+        outputs = self._route(station)
+        server.pending = outputs
+        server.pending_pos = 0
+        self._continue_push(server)
+
+    def _continue_push(self, server: Server) -> None:
+        """Deliver pending outputs downstream, blocking on full queues."""
+        station = server.station
+        while server.pending_pos < len(server.pending):
+            target = server.pending[server.pending_pos]
+            if target.free_slots > 0 and not target.waiters:
+                target.queue.append((server.item_birth, self.now))
+                target.arrivals += 1
+                server.pending_pos += 1
+                self._start_services(target)
+            elif not self.backpressure:
+                # Load shedding: the full destination discards the item
+                # and the sender carries on immediately.
+                target.dropped += 1
+                server.pending_pos += 1
+            else:
+                server.state = _BLOCKED
+                server.blocked_since = self.now
+                target.waiters.append(server)
+                return
+        server.pending = []
+        server.pending_pos = 0
+        server.state = _IDLE
+        station.idle_servers.append(server)
+        if station.is_source:
+            self._start_source(station)
+        else:
+            self._start_services(station)
+
+    def _route(self, station: Station) -> List[Station]:
+        """Resolve the outputs of one completed service.
+
+        Applies the selectivity gain through a fractional credit
+        accumulator, then routes each output along one edge.  Sinks have
+        no routes but still count emissions: their results leave the
+        topology, and the model's sink departure rate (Proposition 3.5)
+        refers to exactly those.
+        """
+        station.credits += station.gain
+        count = int(station.credits + 1e-9)
+        station.credits -= count
+        station.emitted += count
+        if not station.routes:
+            return []
+        outputs: List[Station] = []
+        for _ in range(count):
+            index = self._pick_route(station)
+            station.edge_counts[index] += 1
+            outputs.append(station.routes[index](self.rng))
+        return outputs
+
+    def _pick_route(self, station: Station) -> int:
+        if len(station.routes) == 1:
+            return 0
+        if self.routing == "stochastic":
+            draw = self.rng.random()
+            cumulative = 0.0
+            for index, prob in enumerate(station.route_probs):
+                cumulative += prob
+                if draw < cumulative:
+                    return index
+            return len(station.route_probs) - 1
+        # Proportional: weighted round-robin by largest deficit.
+        for index, prob in enumerate(station.route_probs):
+            station.route_deficit[index] += prob
+        best = max(range(len(station.route_probs)),
+                   key=lambda i: station.route_deficit[i])
+        station.route_deficit[best] -= 1.0
+        return best
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _measure(self, snapshots: Dict[str, StationCounters],
+                 warmup: float, until: float) -> "Measurements":
+        duration = until - warmup
+        per_station: Dict[str, "StationMeasurement"] = {}
+        for station in self.stations:
+            base = snapshots.get(station.name, StationCounters())
+            waits = station.wait_count - base.wait_count
+            latencies = station.latency_count - base.latency_count
+            per_station[station.name] = StationMeasurement(
+                name=station.name,
+                vertex=station.vertex,
+                arrival_rate=(station.arrivals - base.arrivals) / duration,
+                consumption_rate=(station.consumed - base.consumed) / duration,
+                departure_rate=(station.emitted - base.emitted) / duration,
+                utilization=(station.busy_time - base.busy_time)
+                / (duration * len(station.servers)),
+                blocked_fraction=(station.blocked_time - base.blocked_time)
+                / (duration * len(station.servers)),
+                edge_counts=tuple(station.edge_counts),
+                drop_rate=(station.dropped - base.dropped) / duration,
+                mean_wait=((station.wait_sum - base.wait_sum) / waits
+                           if waits else 0.0),
+                mean_latency=((station.latency_sum - base.latency_sum)
+                              / latencies if latencies else None),
+                latency_samples=latencies,
+            )
+        return Measurements(duration=duration, stations=per_station)
+
+
+@dataclass(frozen=True)
+class StationMeasurement:
+    """Measured steady-state figures of one station."""
+
+    name: str
+    vertex: str
+    arrival_rate: float
+    consumption_rate: float
+    departure_rate: float
+    utilization: float
+    blocked_fraction: float
+    edge_counts: Tuple[int, ...]
+    #: Items per second discarded at this station's full queue (load
+    #: shedding mode only; always zero under backpressure).
+    drop_rate: float = 0.0
+    #: Mean time items spent queued at this station.
+    mean_wait: float = 0.0
+    #: Mean source-to-here latency of items consumed by this station
+    #: (recorded at sinks only; ``None`` elsewhere).
+    mean_latency: Optional[float] = None
+    latency_samples: int = 0
+
+
+@dataclass(frozen=True)
+class Measurements:
+    """Measured figures for a whole network, aggregated per vertex."""
+
+    duration: float
+    stations: Dict[str, StationMeasurement]
+
+    def vertex_rates(self) -> Dict[str, "VertexMeasurement"]:
+        """Aggregate sub-stations (partitioned replicas) by vertex name."""
+        grouped: Dict[str, List[StationMeasurement]] = {}
+        for measurement in self.stations.values():
+            grouped.setdefault(measurement.vertex, []).append(measurement)
+        out: Dict[str, VertexMeasurement] = {}
+        for vertex, measurements in grouped.items():
+            total_latency_samples = sum(m.latency_samples
+                                        for m in measurements)
+            if total_latency_samples:
+                mean_latency = sum(
+                    (m.mean_latency or 0.0) * m.latency_samples
+                    for m in measurements
+                ) / total_latency_samples
+            else:
+                mean_latency = None
+            out[vertex] = VertexMeasurement(
+                vertex=vertex,
+                arrival_rate=sum(m.arrival_rate for m in measurements),
+                consumption_rate=sum(m.consumption_rate for m in measurements),
+                departure_rate=sum(m.departure_rate for m in measurements),
+                utilization=max(m.utilization for m in measurements),
+                blocked_fraction=max(m.blocked_fraction for m in measurements),
+                drop_rate=sum(m.drop_rate for m in measurements),
+                mean_wait=max(m.mean_wait for m in measurements),
+                mean_latency=mean_latency,
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class VertexMeasurement:
+    """Measured figures of one topology vertex (all replicas combined)."""
+
+    vertex: str
+    arrival_rate: float
+    consumption_rate: float
+    departure_rate: float
+    utilization: float
+    blocked_fraction: float
+    drop_rate: float = 0.0
+    mean_wait: float = 0.0
+    mean_latency: Optional[float] = None

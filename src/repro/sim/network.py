@@ -1,0 +1,309 @@
+"""Build and run a simulated queueing network from an abstract topology.
+
+This is the bridge between the SpinStreams cost models
+(:mod:`repro.core`) and the discrete-event engine (:mod:`repro.sim.engine`):
+every operator becomes a station with a bounded mailbox, replicated
+operators become multi-server stations (stateless) or groups of keyed
+sub-stations (partitioned-stateful), and the measured steady-state rates
+come back keyed by vertex so they can be compared one-to-one with the
+model's predictions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.partitioning import partition_shares
+from repro.core.steady_state import SteadyStateResult
+from repro.sim.distributions import Distribution, make_distribution
+from repro.sim.engine import Engine, Measurements, Station, VertexMeasurement
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of a simulation run.
+
+    Attributes
+    ----------
+    mailbox_capacity:
+        Bounded mailbox size of every station (the Akka
+        ``BoundedMailbox`` capacity).
+    service_family:
+        Distribution family of the service times (see
+        :func:`repro.sim.distributions.make_distribution`).
+    service_cv:
+        Coefficient of variation for families that take one.
+    routing:
+        ``"stochastic"`` or ``"proportional"`` edge routing.
+    items:
+        Number of items the source should generate over the horizon;
+        together with the source rate it fixes the virtual duration.
+    warmup_fraction:
+        Fraction of the horizon discarded before measuring, so the
+        reported rates describe the steady state.
+    seed:
+        RNG seed (service sampling, stochastic routing).
+    backpressure:
+        ``True`` (default) blocks senders on full mailboxes (BAS);
+        ``False`` switches to load shedding — items offered to a full
+        queue are discarded (the paper's Section 2 alternative).
+    """
+
+    mailbox_capacity: int = 64
+    service_family: str = "deterministic"
+    service_cv: Optional[float] = None
+    routing: str = "stochastic"
+    items: int = 50_000
+    warmup_fraction: float = 0.25
+    seed: int = 1
+    backpressure: bool = True
+
+    def distribution(self, mean: float) -> Distribution:
+        return make_distribution(self.service_family, mean, cv=self.service_cv)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured steady-state behaviour of a simulated topology."""
+
+    topology: Topology
+    config: SimulationConfig
+    measurements: Measurements
+    vertices: Mapping[str, VertexMeasurement]
+    source_rate: float
+
+    @property
+    def throughput(self) -> float:
+        """Measured topology throughput: source departure rate (items/sec)."""
+        return self.vertices[self.topology.source].departure_rate
+
+    def departure_rate(self, vertex: str) -> float:
+        return self.vertices[vertex].departure_rate
+
+    def arrival_rate(self, vertex: str) -> float:
+        return self.vertices[vertex].arrival_rate
+
+    def utilization(self, vertex: str) -> float:
+        return self.vertices[vertex].utilization
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean end-to-end latency (seconds) over all sink consumptions.
+
+        Computed from the per-item timestamps the engine tracks from
+        source emission to sink service completion; ``None`` when no
+        item completed during the measurement window.
+        """
+        samples = 0
+        weighted = 0.0
+        for measurement in self.measurements.stations.values():
+            if measurement.mean_latency is not None:
+                weighted += measurement.mean_latency * measurement.latency_samples
+                samples += measurement.latency_samples
+        if samples == 0:
+            return None
+        return weighted / samples
+
+    def mean_wait(self, vertex: str) -> float:
+        """Mean queueing delay measured at one vertex (seconds)."""
+        return self.vertices[vertex].mean_wait
+
+    def total_drop_rate(self) -> float:
+        """Items per second discarded network-wide (load shedding only)."""
+        return sum(v.drop_rate for v in self.vertices.values())
+
+    def goodput(self) -> float:
+        """Results delivered per second: total sink consumption rate."""
+        return sum(
+            self.vertices[name].consumption_rate
+            for name in self.topology.sinks
+        )
+
+    def throughput_error(self, predicted: SteadyStateResult) -> float:
+        """Relative error between predicted and measured throughput."""
+        if predicted.throughput <= 0.0:
+            raise TopologyError("predicted throughput must be positive")
+        return abs(self.throughput - predicted.throughput) / predicted.throughput
+
+    def departure_errors(self, predicted: SteadyStateResult) -> Dict[str, float]:
+        """Per-operator relative error of the departure rates (Figure 8)."""
+        errors: Dict[str, float] = {}
+        for name in self.topology.names:
+            model = predicted.departure_rate(name)
+            if model <= 0.0:
+                continue
+            errors[name] = abs(self.departure_rate(name) - model) / model
+        return errors
+
+
+def build_engine(
+    topology: Topology,
+    config: SimulationConfig,
+    source_rate: Optional[float] = None,
+    partition_heuristic: str = "greedy",
+) -> Tuple[Engine, float]:
+    """Construct the engine for a topology; returns ``(engine, source_rate)``."""
+    source = topology.source
+    if source_rate is None:
+        source_rate = topology.operator(source).service_rate
+    if source_rate <= 0.0:
+        raise TopologyError(f"source rate must be positive, got {source_rate}")
+
+    stations: List[Station] = []
+    # vertex -> list of candidate sub-stations with their load shares.
+    groups: Dict[str, List[Tuple[Station, float]]] = {}
+
+    for spec in topology.operators:
+        if spec.name == source:
+            station = Station(
+                name=spec.name,
+                vertex=spec.name,
+                dist=config.distribution(1.0 / source_rate),
+                gain=spec.gain,
+                capacity=config.mailbox_capacity,
+                n_servers=1,
+                is_source=True,
+            )
+            stations.append(station)
+            groups[spec.name] = [(station, 1.0)]
+        elif spec.state is StateKind.PARTITIONED and spec.replication > 1:
+            assert spec.keys is not None  # enforced by OperatorSpec
+            shares = partition_shares(spec.keys, spec.replication,
+                                      heuristic=partition_heuristic)
+            members: List[Tuple[Station, float]] = []
+            for index, share in enumerate(shares):
+                station = Station(
+                    name=f"{spec.name}#{index}",
+                    vertex=spec.name,
+                    dist=config.distribution(spec.service_time),
+                    gain=spec.gain,
+                    capacity=config.mailbox_capacity,
+                    n_servers=1,
+                )
+                stations.append(station)
+                members.append((station, share))
+            groups[spec.name] = members
+        else:
+            station = Station(
+                name=spec.name,
+                vertex=spec.name,
+                dist=config.distribution(spec.service_time),
+                gain=spec.gain,
+                capacity=config.mailbox_capacity,
+                n_servers=spec.replication,
+            )
+            stations.append(station)
+            groups[spec.name] = [(station, 1.0)]
+
+    for spec in topology.operators:
+        senders = [station for station, _ in groups[spec.name]]
+        for edge in topology.out_edges(spec.name):
+            resolver = _make_resolver(groups[edge.target], config.routing)
+            for sender in senders:
+                sender.add_route(resolver, edge.probability)
+
+    engine = Engine(stations, seed=config.seed, routing=config.routing,
+                    backpressure=config.backpressure)
+    return engine, source_rate
+
+
+def _make_resolver(members: List[Tuple[Station, float]], routing: str):
+    """Pick the destination sub-station of a vertex for one item.
+
+    Single-member vertices resolve statically; partitioned groups route
+    by the key-partition load shares, either sampling (stochastic) or
+    with a deterministic largest-deficit rule (proportional) — the
+    simulated analog of hashing the item key.
+    """
+    if len(members) == 1:
+        only = members[0][0]
+        return lambda rng: only
+
+    stations = [station for station, _ in members]
+    shares = [share for _, share in members]
+    if routing == "stochastic":
+        cumulative: List[float] = []
+        total = 0.0
+        for share in shares:
+            total += share
+            cumulative.append(total)
+
+        def resolve(rng: random.Random) -> Station:
+            draw = rng.random() * total
+            for index, bound in enumerate(cumulative):
+                if draw < bound:
+                    return stations[index]
+            return stations[-1]
+
+        return resolve
+
+    deficits = [0.0] * len(members)
+
+    def resolve_proportional(rng: random.Random) -> Station:
+        for index, share in enumerate(shares):
+            deficits[index] += share
+        best = max(range(len(members)), key=lambda i: deficits[i])
+        deficits[best] -= 1.0
+        return stations[best]
+
+    return resolve_proportional
+
+
+def simulate(
+    topology: Topology,
+    config: Optional[SimulationConfig] = None,
+    source_rate: Optional[float] = None,
+    partition_heuristic: str = "greedy",
+) -> SimulationResult:
+    """Simulate a topology and return its measured steady-state rates.
+
+    The virtual horizon is ``config.items / source_rate`` so every run
+    generates (about) the same number of items regardless of how fast
+    the source is; the warmup fraction is discarded before measuring.
+    """
+    if config is None:
+        config = SimulationConfig()
+    engine, rate = build_engine(
+        topology, config, source_rate=source_rate,
+        partition_heuristic=partition_heuristic,
+    )
+    horizon = config.items / rate
+    warmup = horizon * config.warmup_fraction
+    measurements = engine.run(until=horizon, warmup=warmup)
+    return SimulationResult(
+        topology=topology,
+        config=config,
+        measurements=measurements,
+        vertices=measurements.vertex_rates(),
+        source_rate=rate,
+    )
+
+
+def measured_edge_probabilities(
+    result: SimulationResult,
+) -> Dict[Tuple[str, str], float]:
+    """Empirical routing probabilities observed during a simulation.
+
+    Useful to validate the routing machinery and as the measurement the
+    profiler would extract from a real run.
+    """
+    topology = result.topology
+    probabilities: Dict[Tuple[str, str], float] = {}
+    for spec in topology.operators:
+        out_edges = topology.out_edges(spec.name)
+        if not out_edges:
+            continue
+        counts = [0] * len(out_edges)
+        for measurement in result.measurements.stations.values():
+            if measurement.vertex != spec.name:
+                continue
+            for index, count in enumerate(measurement.edge_counts):
+                counts[index] += count
+        total = sum(counts)
+        for edge, count in zip(out_edges, counts):
+            probabilities[(edge.source, edge.target)] = (
+                count / total if total else 0.0
+            )
+    return probabilities

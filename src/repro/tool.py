@@ -1,0 +1,256 @@
+"""The SpinStreams tool facade: the programmatic workflow of Section 4.
+
+The original tool is a GUI: the user imports a topology (XML plus
+operator classes), runs the steady-state analysis, asks for bottleneck
+elimination or fusion, inspects each prototyped version, and finally
+generates the code for the target SPS.  :class:`SpinStreams` is that
+workflow as an object: every optimization produces a new named
+*version* kept in the session, and any version can be analyzed,
+rendered, simulated or compiled to a runnable program.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.codegen.deployment import deployment_json, flink_sketch, storm_sketch
+from repro.codegen.ss2py import CodegenConfig, generate_code
+from repro.core.autofusion import AutoFusionResult, auto_fuse
+from repro.core.candidates import FusionCandidate, enumerate_candidates
+from repro.core.fission import FissionResult, eliminate_bottlenecks
+from repro.core.fusion import FusionPlan, FusionResult, apply_fusion
+from repro.core.graph import Topology, TopologyError
+from repro.core.latency import LatencyEstimate, estimate_latency
+from repro.core.memory import MemoryEstimate, estimate_memory
+from repro.core.report import analysis_report
+from repro.core.steady_state import SteadyStateResult, analyze
+from repro.sim.network import SimulationConfig, SimulationResult, simulate
+from repro.topology.dot import topology_to_dot
+from repro.topology.xmlio import parse_topology, topology_to_xml
+
+
+@dataclass
+class TopologyVersion:
+    """One prototyped version of an imported application."""
+
+    name: str
+    topology: Topology
+    parent: Optional[str]
+    note: str
+    fusion_plans: List[FusionPlan]
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.note} ({len(self.topology)} operators)"
+
+
+class SpinStreams:
+    """A SpinStreams session over one imported application.
+
+    Usage::
+
+        tool = SpinStreams.from_xml("app.xml")    # or SpinStreams(topology)
+        print(tool.report())                       # steady-state analysis
+        tool.eliminate_bottlenecks()               # version 'fission-1'
+        tool.fuse(["op4", "op5"])                  # version 'fusion-1'
+        code = tool.generate_code("fusion-1")      # SS2Py program
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.versions: Dict[str, TopologyVersion] = {}
+        self._counter: Dict[str, int] = {}
+        self._add_version("initial", topology, parent=None,
+                          note="imported topology")
+        self.current = "initial"
+
+    @classmethod
+    def from_xml(cls, source: Union[str, "os.PathLike[str]"]) -> "SpinStreams":
+        """Import an application from its XML description."""
+        return cls(parse_topology(source))
+
+    # ------------------------------------------------------------------
+    # version bookkeeping
+    # ------------------------------------------------------------------
+    def _add_version(self, kind: str, topology: Topology,
+                     parent: Optional[str], note: str,
+                     fusion_plans: Sequence[FusionPlan] = ()) -> str:
+        if kind == "initial":
+            name = "initial"
+        else:
+            self._counter[kind] = self._counter.get(kind, 0) + 1
+            name = f"{kind}-{self._counter[kind]}"
+        self.versions[name] = TopologyVersion(
+            name=name,
+            topology=topology,
+            parent=parent,
+            note=note,
+            fusion_plans=list(fusion_plans),
+        )
+        return name
+
+    def version(self, name: Optional[str] = None) -> TopologyVersion:
+        key = name or self.current
+        try:
+            return self.versions[key]
+        except KeyError:
+            raise TopologyError(
+                f"unknown version {key!r}; have {sorted(self.versions)}"
+            ) from None
+
+    def topology(self, name: Optional[str] = None) -> Topology:
+        return self.version(name).topology
+
+    # ------------------------------------------------------------------
+    # analyses
+    # ------------------------------------------------------------------
+    def analyze(self, name: Optional[str] = None,
+                source_rate: Optional[float] = None) -> SteadyStateResult:
+        """Steady-state analysis (Algorithm 1) of a version."""
+        return analyze(self.topology(name), source_rate=source_rate)
+
+    def report(self, name: Optional[str] = None,
+               source_rate: Optional[float] = None) -> str:
+        """Human-readable analysis report of a version."""
+        return analysis_report(self.analyze(name, source_rate=source_rate))
+
+    def render(self, name: Optional[str] = None) -> str:
+        """DOT rendering of a version annotated with utilizations."""
+        topology = self.topology(name)
+        return topology_to_dot(topology, analyze(topology))
+
+    def simulate(self, name: Optional[str] = None,
+                 config: Optional[SimulationConfig] = None,
+                 source_rate: Optional[float] = None) -> SimulationResult:
+        """Measure a version on the discrete-event backend."""
+        return simulate(self.topology(name), config=config,
+                        source_rate=source_rate)
+
+    # ------------------------------------------------------------------
+    # optimizations
+    # ------------------------------------------------------------------
+    def eliminate_bottlenecks(
+        self,
+        name: Optional[str] = None,
+        source_rate: Optional[float] = None,
+        max_replicas: Optional[int] = None,
+    ) -> FissionResult:
+        """Run bottleneck elimination; registers a ``fission-N`` version."""
+        base = self.version(name)
+        result = eliminate_bottlenecks(
+            base.topology, source_rate=source_rate, max_replicas=max_replicas,
+        )
+        bound = f", bound={max_replicas}" if max_replicas is not None else ""
+        outcome = ("ideal throughput" if result.ideal_throughput_reached
+                   else "residual bottlenecks")
+        version = self._add_version(
+            "fission", result.optimized, parent=base.name,
+            note=(f"bottleneck elimination of {base.name} "
+                  f"(+{result.additional_replicas} replicas{bound}; "
+                  f"{outcome})"),
+            fusion_plans=base.fusion_plans,
+        )
+        self.current = version
+        return result
+
+    def fusion_candidates(self, name: Optional[str] = None,
+                          max_size: int = 4,
+                          max_utilization: float = 0.75,
+                          limit: Optional[int] = 20) -> List[FusionCandidate]:
+        """Ranked fusion candidates of a version (Section 4.1)."""
+        topology = self.topology(name)
+        return enumerate_candidates(
+            topology, max_size=max_size, max_utilization=max_utilization,
+            limit=limit,
+        )
+
+    def fuse(self, members: Sequence[str], name: Optional[str] = None,
+             fused_name: Optional[str] = None,
+             source_rate: Optional[float] = None) -> FusionResult:
+        """Fuse a sub-graph; registers a ``fusion-N`` version.
+
+        The version is registered even when the fusion is predicted to
+        impair performance — the result's ``impairs_performance`` flag
+        is the alert the user decides on.
+        """
+        base = self.version(name)
+        result = apply_fusion(base.topology, members, fused_name=fused_name,
+                              source_rate=source_rate)
+        outcome = ("impairs performance" if result.impairs_performance
+                   else "feasible")
+        version = self._add_version(
+            "fusion", result.fused, parent=base.name,
+            note=f"fusion of {', '.join(result.plan.members)} ({outcome})",
+            fusion_plans=list(base.fusion_plans) + [result.plan],
+        )
+        self.current = version
+        return result
+
+    def auto_fuse(self, name: Optional[str] = None,
+                  source_rate: Optional[float] = None,
+                  **kwargs) -> AutoFusionResult:
+        """Automatic fusion (extension); registers an ``autofuse-N`` version."""
+        base = self.version(name)
+        result = auto_fuse(base.topology, source_rate=source_rate, **kwargs)
+        version = self._add_version(
+            "autofuse", result.fused, parent=base.name,
+            note=(f"automatic fusion of {base.name} "
+                  f"({result.operators_removed} operators removed in "
+                  f"{result.rounds} rounds)"),
+            fusion_plans=list(base.fusion_plans) + result.plans,
+        )
+        self.current = version
+        return result
+
+    # ------------------------------------------------------------------
+    # extended analyses (latency, memory)
+    # ------------------------------------------------------------------
+    def estimate_latency(self, name: Optional[str] = None,
+                         source_rate: Optional[float] = None,
+                         **kwargs) -> LatencyEstimate:
+        """Static end-to-end latency estimate of a version."""
+        return estimate_latency(self.topology(name),
+                                source_rate=source_rate, **kwargs)
+
+    def estimate_memory(self, name: Optional[str] = None,
+                        source_rate: Optional[float] = None,
+                        **kwargs) -> MemoryEstimate:
+        """Static memory-footprint estimate of a version."""
+        return estimate_memory(self.topology(name),
+                               source_rate=source_rate, **kwargs)
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def deployment_plan(self, name: Optional[str] = None,
+                        format: str = "json") -> str:
+        """Deployment export of a version (``json``/``flink``/``storm``)."""
+        topology = self.topology(name)
+        if format == "json":
+            return deployment_json(
+                topology, fusion_plans=self.version(name).fusion_plans)
+        if format == "flink":
+            return flink_sketch(topology)
+        if format == "storm":
+            return storm_sketch(topology)
+        raise TopologyError(f"unknown deployment format {format!r}")
+
+    def to_xml(self, name: Optional[str] = None) -> str:
+        """XML description of a version."""
+        return topology_to_xml(self.topology(name))
+
+    def generate_code(self, name: Optional[str] = None,
+                      config: Optional[CodegenConfig] = None) -> str:
+        """SS2Py program for a version (fusion plans included)."""
+        version = self.version(name)
+        original = self.versions["initial"].topology
+        return generate_code(
+            version.topology,
+            original=original,
+            fusion_plans=version.fusion_plans,
+            config=config,
+        )
+
+    def history(self) -> List[str]:
+        """Human-readable list of the prototyped versions."""
+        return [str(version) for version in self.versions.values()]

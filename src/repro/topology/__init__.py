@@ -1,0 +1,45 @@
+"""Topology tooling: random generation, XML I/O and DOT rendering."""
+
+from repro.topology.catalog import (
+    OperatorTemplate,
+    SampledOperator,
+    TESTBED_CATALOG,
+    eligible_templates,
+    templates_by_name,
+)
+from repro.topology.dot import topology_to_dot
+from repro.topology.random_gen import (
+    GeneratorConfig,
+    RandomTopologyGenerator,
+    generate_edges,
+    generate_testbed,
+    zipf_probabilities,
+)
+from repro.topology.xmlio import (
+    XmlFormatError,
+    parse_topology,
+    read_key_distribution,
+    topology_to_xml,
+    write_key_distribution,
+    write_topology,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "OperatorTemplate",
+    "RandomTopologyGenerator",
+    "SampledOperator",
+    "TESTBED_CATALOG",
+    "XmlFormatError",
+    "eligible_templates",
+    "generate_edges",
+    "generate_testbed",
+    "parse_topology",
+    "read_key_distribution",
+    "templates_by_name",
+    "topology_to_dot",
+    "topology_to_xml",
+    "write_key_distribution",
+    "write_topology",
+    "zipf_probabilities",
+]

@@ -1,0 +1,293 @@
+"""Catalog of the testbed's real-world operators (paper Section 5.1).
+
+The paper's evaluation builds 50 random topologies out of "20 different
+real-world operators": stateless filters and maps, count-window
+aggregations (weighted moving average, sum, max, min, quantiles),
+spatial queries (skyline, top-k) and windowed band joins.  This module
+is that catalog: each :class:`OperatorTemplate` couples an executable
+operator class with the queueing metadata the generator needs (state
+kind, selectivity behaviour, realistic service-time range, structural
+constraints such as "joins need at least two input edges").
+
+Service-time ranges follow the paper: "the average service time per
+input tuple is in the fastest case of some hundreds of microseconds
+while in the worst case it is up to few hundreds of milliseconds".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.graph import KeyDistribution, StateKind
+
+#: Window lengths and slides used by the paper's testbed (Section 5.1).
+WINDOW_LENGTHS = (1000, 5000, 10000)
+WINDOW_SLIDES = (1, 10, 50)
+
+
+@dataclass(frozen=True)
+class SampledOperator:
+    """One concrete operator drawn from a template."""
+
+    template: "OperatorTemplate"
+    service_time: float
+    input_selectivity: float
+    output_selectivity: float
+    operator_args: Mapping[str, Any]
+    keys: Optional[KeyDistribution]
+
+    @property
+    def state(self) -> StateKind:
+        return self.template.state
+
+    @property
+    def operator_class(self) -> str:
+        return self.template.operator_class
+
+
+@dataclass(frozen=True)
+class OperatorTemplate:
+    """A catalog entry: an operator kind the generator can instantiate.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in generated operator names.
+    operator_class:
+        Dotted path of the executable implementation.
+    state:
+        State kind driving the fission strategy.
+    service_range:
+        ``(min, max)`` mean service time in seconds; sampled
+        log-uniformly so both microsecond and millisecond operators are
+        common.
+    sampler:
+        Draws the per-instance parameters (window sizes, selectivities,
+        constructor arguments, key distributions).
+    min_inputs:
+        Structural constraint: minimum in-degree of the vertex this
+        template can be assigned to (2 for joins).
+    weight:
+        Relative selection weight in random assignment.  The paper's
+        testbed reaches the ideal throughput in 43/50 topologies after
+        fission, which requires most operators to be replicable: its
+        "stateful flag" is the exception, not the rule.  Stateless and
+        partitioned-stateful templates therefore carry higher weights
+        than the purely stateful ones.
+    """
+
+    name: str
+    operator_class: str
+    state: StateKind
+    service_range: Tuple[float, float]
+    sampler: Callable[["OperatorTemplate", random.Random], SampledOperator]
+    min_inputs: int = 1
+    weight: float = 1.0
+
+    def sample(self, rng: random.Random) -> SampledOperator:
+        return self.sampler(self, rng)
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    return math.exp(rng.uniform(math.log(low), math.log(high)))
+
+
+def _sample_service(template: OperatorTemplate, rng: random.Random) -> float:
+    low, high = template.service_range
+    return _log_uniform(rng, low, high)
+
+
+def _window_params(rng: random.Random) -> Tuple[int, int]:
+    return rng.choice(WINDOW_LENGTHS), rng.choice(WINDOW_SLIDES)
+
+
+def _random_keys(rng: random.Random) -> KeyDistribution:
+    """A random key population with ZipF frequencies (random skew).
+
+    Cardinalities and skews are in the range where greedy partitioning
+    balances well — the paper reports that "in all cases,
+    partitioned-stateful operators have been successfully parallelized
+    when they were bottlenecks" (Section 5.3).
+    """
+    num_keys = rng.randrange(1000, 5000)
+    alpha = rng.uniform(0.1, 0.5)
+    weights = [1.0 / ((rank + 1) ** alpha) for rank in range(num_keys)]
+    total = sum(weights)
+    return KeyDistribution(
+        {f"k{i}": w / total for i, w in enumerate(weights)}
+    )
+
+
+def _plain(template: OperatorTemplate, rng: random.Random,
+           **args: Any) -> SampledOperator:
+    return SampledOperator(
+        template=template,
+        service_time=_sample_service(template, rng),
+        input_selectivity=1.0,
+        output_selectivity=1.0,
+        operator_args=args,
+        keys=None,
+    )
+
+
+def _sample_stateless(template: OperatorTemplate,
+                      rng: random.Random) -> SampledOperator:
+    return _plain(template, rng)
+
+
+def _sample_filter(template: OperatorTemplate,
+                   rng: random.Random) -> SampledOperator:
+    pass_rate = rng.uniform(0.3, 0.9)
+    threshold = 1.0 - pass_rate  # value ~ U(0,1): P(value >= thr) = pass_rate
+    sampled = _plain(template, rng, threshold=threshold, pass_rate=pass_rate)
+    return SampledOperator(
+        template=template,
+        service_time=sampled.service_time,
+        input_selectivity=1.0,
+        output_selectivity=pass_rate,
+        operator_args=sampled.operator_args,
+        keys=None,
+    )
+
+
+def _sample_flatmap(template: OperatorTemplate,
+                    rng: random.Random) -> SampledOperator:
+    fanout = rng.choice((2, 3, 4))
+    return SampledOperator(
+        template=template,
+        service_time=_sample_service(template, rng),
+        input_selectivity=1.0,
+        output_selectivity=float(fanout),
+        operator_args={"fanout": fanout},
+        keys=None,
+    )
+
+
+def _sample_windowed(template: OperatorTemplate,
+                     rng: random.Random) -> SampledOperator:
+    length, slide = _window_params(rng)
+    return SampledOperator(
+        template=template,
+        service_time=_sample_service(template, rng),
+        input_selectivity=float(slide),
+        output_selectivity=1.0,
+        operator_args={"length": length, "slide": slide},
+        keys=None,
+    )
+
+
+def _make_keyed_sampler(statistic: str):
+    def sample(template: OperatorTemplate,
+               rng: random.Random) -> SampledOperator:
+        length, slide = _window_params(rng)
+        return SampledOperator(
+            template=template,
+            service_time=_sample_service(template, rng),
+            input_selectivity=float(slide),
+            output_selectivity=1.0,
+            operator_args={"length": length, "slide": slide,
+                           "statistic": statistic, "key_field": "key"},
+            keys=_random_keys(rng),
+        )
+    return sample
+
+
+def _sample_join(template: OperatorTemplate,
+                 rng: random.Random) -> SampledOperator:
+    length = rng.choice(WINDOW_LENGTHS)
+    band = rng.uniform(0.001, 0.01)
+    # Matches per probe against a window of uniform values in [0, 1]:
+    # roughly 2 * band * length, the profiled output selectivity.
+    selectivity = max(0.1, min(4.0, 2.0 * band * length))
+    return SampledOperator(
+        template=template,
+        service_time=_sample_service(template, rng),
+        input_selectivity=1.0,
+        output_selectivity=selectivity,
+        operator_args={"band": band, "length": length},
+        keys=None,
+    )
+
+
+_OPS = "repro.operators"
+
+#: The testbed catalog: 20 operator kinds mirroring the paper's mix.
+TESTBED_CATALOG: Tuple[OperatorTemplate, ...] = (
+    # -- stateless tuple-at-a-time operators -------------------------------
+    OperatorTemplate("identity", f"{_OPS}.basic.Identity",
+                     StateKind.STATELESS, (2e-4, 2e-3), _sample_stateless,
+                     weight=3.0),
+    OperatorTemplate("field_map", f"{_OPS}.basic.FieldMap",
+                     StateKind.STATELESS, (3e-4, 5e-3), _sample_stateless,
+                     weight=3.0),
+    OperatorTemplate("arithmetic_map", f"{_OPS}.basic.ArithmeticMap",
+                     StateKind.STATELESS, (5e-4, 2e-2), _sample_stateless,
+                     weight=3.0),
+    OperatorTemplate("projection", f"{_OPS}.basic.Projection",
+                     StateKind.STATELESS, (2e-4, 2e-3), _sample_stateless,
+                     weight=3.0),
+    OperatorTemplate("filter_low", f"{_OPS}.basic.Filter",
+                     StateKind.STATELESS, (2e-4, 3e-3), _sample_filter,
+                     weight=3.0),
+    OperatorTemplate("filter_high", f"{_OPS}.basic.Filter",
+                     StateKind.STATELESS, (5e-4, 1e-2), _sample_filter,
+                     weight=2.0),
+    OperatorTemplate("flatmap", f"{_OPS}.basic.FlatMap",
+                     StateKind.STATELESS, (5e-4, 5e-3), _sample_flatmap,
+                     weight=1.5),
+    OperatorTemplate("tokenizer", f"{_OPS}.basic.Tokenizer",
+                     StateKind.STATELESS, (5e-4, 5e-3), _sample_stateless,
+                     weight=2.0),
+    # -- partitioned-stateful keyed aggregations ---------------------------
+    OperatorTemplate("keyed_mean", f"{_OPS}.aggregates.KeyedWindowedAggregate",
+                     StateKind.PARTITIONED, (1e-3, 5e-2),
+                     _make_keyed_sampler("mean"), weight=2.5),
+    OperatorTemplate("keyed_sum", f"{_OPS}.aggregates.KeyedWindowedAggregate",
+                     StateKind.PARTITIONED, (1e-3, 5e-2),
+                     _make_keyed_sampler("sum"), weight=2.5),
+    OperatorTemplate("keyed_max", f"{_OPS}.aggregates.KeyedWindowedAggregate",
+                     StateKind.PARTITIONED, (1e-3, 3e-2),
+                     _make_keyed_sampler("max"), weight=2.0),
+    OperatorTemplate("keyed_median", f"{_OPS}.aggregates.KeyedWindowedAggregate",
+                     StateKind.PARTITIONED, (2e-3, 1e-1),
+                     _make_keyed_sampler("median"), weight=2.0),
+    # -- stateful windowed aggregations (not replicable) --------------------
+    OperatorTemplate("wma", f"{_OPS}.aggregates.WeightedMovingAverage",
+                     StateKind.STATEFUL, (1e-3, 5e-2), _sample_windowed,
+                     weight=0.08),
+    OperatorTemplate("win_sum", f"{_OPS}.aggregates.WindowedSum",
+                     StateKind.STATEFUL, (5e-4, 2e-2), _sample_windowed,
+                     weight=0.08),
+    OperatorTemplate("win_max", f"{_OPS}.aggregates.WindowedMax",
+                     StateKind.STATEFUL, (5e-4, 2e-2), _sample_windowed,
+                     weight=0.08),
+    OperatorTemplate("win_min", f"{_OPS}.aggregates.WindowedMin",
+                     StateKind.STATEFUL, (5e-4, 2e-2), _sample_windowed,
+                     weight=0.08),
+    OperatorTemplate("quantiles", f"{_OPS}.aggregates.WindowedQuantiles",
+                     StateKind.STATEFUL, (2e-3, 2e-1), _sample_windowed,
+                     weight=0.06),
+    # -- spatial queries -----------------------------------------------------
+    OperatorTemplate("skyline", f"{_OPS}.spatial.SkylineQuery",
+                     StateKind.STATEFUL, (2e-3, 2e-1), _sample_windowed,
+                     weight=0.06),
+    OperatorTemplate("topk", f"{_OPS}.spatial.TopK",
+                     StateKind.STATEFUL, (1e-3, 1e-1), _sample_windowed,
+                     weight=0.06),
+    # -- windowed joins (need two input streams) -----------------------------
+    OperatorTemplate("band_join", f"{_OPS}.join.BandJoin",
+                     StateKind.STATEFUL, (1e-3, 1e-1), _sample_join,
+                     min_inputs=2, weight=0.25),
+)
+
+
+def templates_by_name() -> Dict[str, OperatorTemplate]:
+    return {template.name: template for template in TESTBED_CATALOG}
+
+
+def eligible_templates(in_degree: int) -> List[OperatorTemplate]:
+    """Templates assignable to a vertex with the given in-degree."""
+    return [t for t in TESTBED_CATALOG if t.min_inputs <= in_degree]

@@ -1,0 +1,63 @@
+"""Graphviz DOT rendering of topologies and analyses.
+
+The original tool displays topologies in a GUI; this module produces
+DOT text the user can render with Graphviz instead.  Operators are
+colored by state kind and annotated with service times; when a
+steady-state analysis is supplied, utilization factors and bottleneck
+highlighting are added — the textual equivalent of the GUI's feedback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.graph import StateKind, Topology
+from repro.core.steady_state import SteadyStateResult
+
+_STATE_COLORS = {
+    StateKind.STATELESS: "#cfe8ff",
+    StateKind.PARTITIONED: "#ffe9b3",
+    StateKind.STATEFUL: "#ffc4c4",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def topology_to_dot(topology: Topology,
+                    analysis: Optional[SteadyStateResult] = None) -> str:
+    """Render a topology (optionally annotated with an analysis) as DOT."""
+    lines = [
+        f'digraph "{_escape(topology.name)}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, style="rounded,filled", fontname="Helvetica"];',
+    ]
+    for spec in topology.operators:
+        label = f"{spec.name}\\nT={spec.service_time * 1e3:.3g} ms"
+        if spec.replication > 1:
+            label += f"\\nn={spec.replication}"
+        if spec.input_selectivity != 1.0 or spec.output_selectivity != 1.0:
+            label += (f"\\nsel={spec.input_selectivity:g}/"
+                      f"{spec.output_selectivity:g}")
+        color = _STATE_COLORS[spec.state]
+        extras = ""
+        if analysis is not None:
+            rho = analysis.utilization(spec.name)
+            label += f"\\nrho={rho:.2f}"
+            if spec.name in analysis.bottlenecks:
+                extras = ', color="red", penwidth=2'
+        lines.append(
+            f'  "{_escape(spec.name)}" [label="{label}", '
+            f'fillcolor="{color}"{extras}];'
+        )
+    for edge in topology.edges:
+        attributes = ""
+        if edge.probability != 1.0:
+            attributes = f' [label="{edge.probability:.3g}"]'
+        lines.append(
+            f'  "{_escape(edge.source)}" -> "{_escape(edge.target)}"'
+            f"{attributes};"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

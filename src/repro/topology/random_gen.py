@@ -1,0 +1,193 @@
+"""Random-topology generation (paper Algorithm 5).
+
+Builds the evaluation testbed: rooted acyclic topologies with 2–20
+vertices, a connecting factor beta in [1, 1.2] (so graphs are sparse,
+"the most common type of topologies for streaming applications"),
+ZipF-distributed edge probabilities on multi-output vertices, and
+real-world operators from the catalog assigned under structural
+constraints (joins only on vertices with at least two input edges).
+
+The source rate is set relative to the fastest operator (the paper uses
+33% higher than the fastest operator's service rate in the fission
+experiments) so bottlenecks exist and backpressure is observable in
+every topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.graph import Edge, OperatorSpec, StateKind, Topology, TopologyError
+from repro.topology.catalog import (
+    SampledOperator,
+    TESTBED_CATALOG,
+    eligible_templates,
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the random testbed (defaults follow the paper)."""
+
+    min_vertices: int = 2
+    max_vertices: int = 20
+    beta_range: Tuple[float, float] = (1.0, 1.2)
+    zipf_alpha_range: Tuple[float, float] = (1.05, 2.5)
+    source_speedup: float = 1.33
+    #: Generate at least this many vertices when a richer graph is
+    #: needed (e.g. fusion studies); kept at the paper's 2 by default.
+
+    def __post_init__(self) -> None:
+        if self.min_vertices < 2:
+            raise TopologyError("min_vertices must be >= 2")
+        if self.max_vertices < self.min_vertices:
+            raise TopologyError("max_vertices must be >= min_vertices")
+        if not 1.0 <= self.beta_range[0] <= self.beta_range[1]:
+            raise TopologyError("beta_range must satisfy 1 <= lo <= hi")
+        if self.source_speedup <= 0.0:
+            raise TopologyError("source_speedup must be positive")
+
+
+def generate_edges(num_vertices: int, expected_edges: int,
+                   rng: random.Random) -> List[Tuple[int, int]]:
+    """The edge-construction phase of Algorithm 5 on integer vertices.
+
+    Vertices are numbered 0..V-1; generated edges respect that
+    (topological) numbering, so the graph is acyclic by construction.
+    Vertex 0 is the source; vertices left without input edges are wired
+    to the source afterwards, which can slightly exceed
+    ``expected_edges`` exactly as the paper notes.
+    """
+    if expected_edges > num_vertices * (num_vertices - 1) // 2:
+        raise TopologyError("too many edges")
+    if expected_edges < num_vertices - 1:
+        raise TopologyError("too few edges")
+
+    edges: Set[Tuple[int, int]] = set()
+    # Phase 1: V-1 random forward edges guaranteeing progress.
+    for i in range(num_vertices - 1):
+        v = rng.randint(i + 1, num_vertices - 1)
+        edges.add((i, v))
+    # Phase 2: top up to the expected number of edges.
+    while len(edges) < expected_edges:
+        u = rng.randint(0, num_vertices - 1)
+        v = rng.randint(0, num_vertices - 1)
+        if u < v and (u, v) not in edges:
+            edges.add((u, v))
+    # Phase 3: single source — attach orphan vertices to vertex 0.
+    has_input = {v for _, v in edges}
+    for i in range(1, num_vertices):
+        if i not in has_input:
+            edges.add((0, i))
+    return sorted(edges)
+
+
+def zipf_probabilities(count: int, alpha: float,
+                       rng: random.Random) -> List[float]:
+    """ZipF-distributed probabilities over ``count`` edges, shuffled.
+
+    The paper generates the routing probabilities "using a power-law
+    model (ZipF distribution) with a scaling exponent alpha > 1" —
+    shuffling decides which edge receives the heavy share.
+    """
+    weights = [1.0 / (rank ** alpha) for rank in range(1, count + 1)]
+    total = sum(weights)
+    probabilities = [w / total for w in weights]
+    rng.shuffle(probabilities)
+    return probabilities
+
+
+class RandomTopologyGenerator:
+    """Deterministic generator of testbed topologies.
+
+    ``RandomTopologyGenerator(seed).generate()`` produces one topology;
+    :func:`generate_testbed` produces the 50-topology testbed.
+    """
+
+    def __init__(self, seed: int = 1,
+                 config: Optional[GeneratorConfig] = None) -> None:
+        self.rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+
+    def generate(self, name: Optional[str] = None) -> Topology:
+        cfg = self.config
+        rng = self.rng
+        num_vertices = rng.randint(cfg.min_vertices, cfg.max_vertices)
+        beta = rng.uniform(*cfg.beta_range)
+        expected_edges = max(num_vertices - 1,
+                             round((num_vertices - 1) * beta))
+        max_edges = num_vertices * (num_vertices - 1) // 2
+        expected_edges = min(expected_edges, max_edges)
+        int_edges = generate_edges(num_vertices, expected_edges, rng)
+
+        in_degree = {i: 0 for i in range(num_vertices)}
+        for _, v in int_edges:
+            in_degree[v] += 1
+
+        # Assign operators under structural constraints.
+        sampled: Dict[int, SampledOperator] = {}
+        names: Dict[int, str] = {0: "op0_source"}
+        for vertex in range(1, num_vertices):
+            templates = eligible_templates(in_degree[vertex])
+            weights = [t.weight for t in templates]
+            template = rng.choices(templates, weights=weights, k=1)[0]
+            sampled[vertex] = template.sample(rng)
+            names[vertex] = f"op{vertex}_{template.name}"
+
+        # The source is 33% faster than the fastest operator so that
+        # bottlenecks exist and backpressure shapes the steady state.
+        fastest = min(op.service_time for op in sampled.values())
+        source_service_time = fastest / cfg.source_speedup
+
+        specs: List[OperatorSpec] = [
+            OperatorSpec(
+                name=names[0],
+                service_time=source_service_time,
+                state=StateKind.STATELESS,
+                operator_class="repro.operators.source_sink.GeneratorSource",
+            )
+        ]
+        for vertex in range(1, num_vertices):
+            op = sampled[vertex]
+            specs.append(OperatorSpec(
+                name=names[vertex],
+                service_time=op.service_time,
+                state=op.state,
+                input_selectivity=op.input_selectivity,
+                output_selectivity=op.output_selectivity,
+                keys=op.keys,
+                operator_class=op.operator_class,
+                operator_args=dict(op.operator_args),
+            ))
+
+        # Edge probabilities: ZipF across each vertex's out-edges.
+        out_edges: Dict[int, List[int]] = {}
+        for u, v in int_edges:
+            out_edges.setdefault(u, []).append(v)
+        edges: List[Edge] = []
+        for u, targets in sorted(out_edges.items()):
+            if len(targets) == 1:
+                edges.append(Edge(names[u], names[targets[0]], 1.0))
+                continue
+            alpha = rng.uniform(*cfg.zipf_alpha_range)
+            probabilities = zipf_probabilities(len(targets), alpha, rng)
+            # Normalize away float drift so Topology validation passes.
+            correction = 1.0 / sum(probabilities)
+            for target, probability in zip(targets, probabilities):
+                edges.append(Edge(names[u], names[target],
+                                  probability * correction))
+
+        return Topology(specs, edges, name=name or f"random-{id(self):x}")
+
+
+def generate_testbed(count: int = 50, seed: int = 42,
+                     config: Optional[GeneratorConfig] = None
+                     ) -> List[Topology]:
+    """The paper's testbed: ``count`` random topologies (default 50)."""
+    topologies = []
+    for index in range(count):
+        generator = RandomTopologyGenerator(seed=seed + index, config=config)
+        topologies.append(generator.generate(name=f"testbed-{index + 1:02d}"))
+    return topologies

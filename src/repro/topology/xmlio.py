@@ -1,0 +1,279 @@
+"""XML topology descriptions (the tool's input formalism, Section 4.1).
+
+The original tool imports "the structure of the topology and the
+profiling measurements expressed in an XML file", with tags for the
+operators (name, service rate with time unit, implementation class,
+state type, key distributions) and for the edges (probability,
+selectivities).  This module parses and serializes that format::
+
+    <topology name="example">
+      <operator name="src" class="repro.operators.source_sink.GeneratorSource"
+                type="stateless" service-time="1.0" time-unit="ms"/>
+      <operator name="agg" class="repro.operators.aggregates.KeyedWindowedAggregate"
+                type="partitioned-stateful" service-time="4.0" time-unit="ms"
+                input-selectivity="10">
+        <arg name="length" value="1000" type="int"/>
+        <arg name="slide" value="10" type="int"/>
+        <keys>
+          <key id="k0" probability="0.5"/>
+          <key id="k1" probability="0.5"/>
+        </keys>
+      </operator>
+      <edge from="src" to="agg" probability="1.0"/>
+    </topology>
+
+Key distributions can also live in a side CSV file (``<keys file="..."/>``
+with ``key,probability`` rows), as the paper's "file with their
+probability distributions".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import xml.etree.ElementTree as ET
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+
+#: Multipliers from XML time units to seconds.
+TIME_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "ns": 1e-9}
+
+_ARG_PARSERS = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": lambda text: text.strip().lower() in ("1", "true", "yes"),
+}
+
+
+class XmlFormatError(TopologyError):
+    """Raised on malformed topology XML."""
+
+
+def parse_topology(source: Union[str, "os.PathLike[str]"],
+                   base_dir: Optional[str] = None) -> Topology:
+    """Parse a topology from an XML file path or an XML string.
+
+    ``base_dir`` resolves relative ``<keys file="..."/>`` references;
+    it defaults to the XML file's directory (or the current directory
+    when parsing from a string).
+    """
+    text, directory = _read_source(source, base_dir)
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlFormatError(f"invalid XML: {exc}") from exc
+    if root.tag != "topology":
+        raise XmlFormatError(f"root element must be <topology>, got <{root.tag}>")
+
+    name = root.get("name", "topology")
+    operators: List[OperatorSpec] = []
+    edges: List[Edge] = []
+    for child in root:
+        if child.tag == "operator":
+            operators.append(_parse_operator(child, directory))
+        elif child.tag == "edge":
+            edges.append(_parse_edge(child))
+        else:
+            raise XmlFormatError(f"unexpected element <{child.tag}>")
+    return Topology(operators, edges, name=name)
+
+
+def _read_source(source: Union[str, "os.PathLike[str]"],
+                 base_dir: Optional[str]) -> tuple:
+    text = str(source)
+    if "<" in text:  # raw XML string
+        return text, base_dir or "."
+    path = os.fspath(source)
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read(), base_dir or os.path.dirname(os.path.abspath(path))
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise XmlFormatError(
+            f"<{element.tag}> is missing required attribute {attribute!r}"
+        )
+    return value
+
+
+def _parse_operator(element: ET.Element, directory: str) -> OperatorSpec:
+    name = _require(element, "name")
+    unit = element.get("time-unit", "ms")
+    try:
+        scale = TIME_UNITS[unit]
+    except KeyError:
+        raise XmlFormatError(f"operator {name!r}: unknown time unit {unit!r}")
+    raw_service_time = _require(element, "service-time")
+    try:
+        service_time = float(raw_service_time) * scale
+    except ValueError:
+        raise XmlFormatError(f"operator {name!r}: bad service-time") from None
+
+    state = StateKind.parse(element.get("type", "stateless"))
+
+    args: Dict[str, Any] = {}
+    keys: Optional[KeyDistribution] = None
+    for child in element:
+        if child.tag == "arg":
+            arg_name = _require(child, "name")
+            arg_type = child.get("type", "str")
+            parser = _ARG_PARSERS.get(arg_type)
+            if parser is None:
+                raise XmlFormatError(
+                    f"operator {name!r}: unknown arg type {arg_type!r}"
+                )
+            raw_value = _require(child, "value")
+            try:
+                args[arg_name] = parser(raw_value)
+            except ValueError:
+                raise XmlFormatError(
+                    f"operator {name!r}: bad value for arg {arg_name!r}"
+                ) from None
+        elif child.tag == "keys":
+            keys = _parse_keys(child, name, directory)
+        else:
+            raise XmlFormatError(
+                f"operator {name!r}: unexpected element <{child.tag}>"
+            )
+
+    return OperatorSpec(
+        name=name,
+        service_time=service_time,
+        state=state,
+        input_selectivity=float(element.get("input-selectivity", "1")),
+        output_selectivity=float(element.get("output-selectivity", "1")),
+        replication=int(element.get("replication", "1")),
+        keys=keys,
+        operator_class=element.get("class"),
+        operator_args=args,
+    )
+
+
+def _parse_keys(element: ET.Element, operator: str,
+                directory: str) -> KeyDistribution:
+    file_ref = element.get("file")
+    if file_ref is not None:
+        path = file_ref if os.path.isabs(file_ref) else os.path.join(
+            directory, file_ref)
+        return read_key_distribution(path)
+    frequencies: Dict[str, float] = {}
+    for child in element:
+        if child.tag != "key":
+            raise XmlFormatError(
+                f"operator {operator!r}: unexpected element <{child.tag}> "
+                "inside <keys>"
+            )
+        key_id = _require(child, "id")
+        raw_probability = _require(child, "probability")
+        try:
+            frequencies[key_id] = float(raw_probability)
+        except ValueError:
+            raise XmlFormatError(
+                f"operator {operator!r}: bad probability for key {key_id!r}"
+            ) from None
+    if not frequencies:
+        raise XmlFormatError(
+            f"operator {operator!r}: <keys> needs a file or <key> children"
+        )
+    return KeyDistribution(frequencies)
+
+
+def _parse_edge(element: ET.Element) -> Edge:
+    try:
+        probability = float(element.get("probability", "1"))
+    except ValueError:
+        raise XmlFormatError("edge: bad probability") from None
+    return Edge(
+        source=_require(element, "from"),
+        target=_require(element, "to"),
+        probability=probability,
+    )
+
+
+def read_key_distribution(path: str) -> KeyDistribution:
+    """Read a ``key,probability`` CSV file into a distribution."""
+    frequencies: Dict[str, float] = {}
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            if len(row) != 2:
+                raise XmlFormatError(f"{path}: expected 'key,probability' rows")
+            frequencies[row[0].strip()] = float(row[1])
+    if not frequencies:
+        raise XmlFormatError(f"{path}: empty key distribution")
+    return KeyDistribution(frequencies)
+
+
+def write_key_distribution(keys: KeyDistribution, path: str) -> None:
+    """Write a distribution as a ``key,probability`` CSV file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        for key, frequency in keys.items():
+            writer.writerow([key, f"{frequency!r}"])
+
+
+def topology_to_xml(topology: Topology, time_unit: str = "ms") -> str:
+    """Serialize a topology to an XML string (inline key distributions)."""
+    try:
+        scale = TIME_UNITS[time_unit]
+    except KeyError:
+        raise XmlFormatError(f"unknown time unit {time_unit!r}") from None
+    root = ET.Element("topology", {"name": topology.name})
+    for spec in topology.operators:
+        attributes = {
+            "name": spec.name,
+            "type": spec.state.value,
+            "service-time": repr(spec.service_time / scale),
+            "time-unit": time_unit,
+        }
+        if spec.operator_class:
+            attributes["class"] = spec.operator_class
+        if spec.input_selectivity != 1.0:
+            attributes["input-selectivity"] = repr(spec.input_selectivity)
+        if spec.output_selectivity != 1.0:
+            attributes["output-selectivity"] = repr(spec.output_selectivity)
+        if spec.replication != 1:
+            attributes["replication"] = str(spec.replication)
+        op_el = ET.SubElement(root, "operator", attributes)
+        for arg_name in sorted(spec.operator_args):
+            value = spec.operator_args[arg_name]
+            arg_type = {int: "int", float: "float", bool: "bool"}.get(
+                type(value), "str")
+            ET.SubElement(op_el, "arg", {
+                "name": arg_name,
+                "value": repr(value) if arg_type == "float" else str(value),
+                "type": arg_type,
+            })
+        if spec.keys is not None:
+            keys_el = ET.SubElement(op_el, "keys")
+            for key, frequency in spec.keys.items():
+                ET.SubElement(keys_el, "key", {
+                    "id": key, "probability": repr(frequency),
+                })
+    for edge in topology.edges:
+        ET.SubElement(root, "edge", {
+            "from": edge.source,
+            "to": edge.target,
+            "probability": repr(edge.probability),
+        })
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def write_topology(topology: Topology, path: str,
+                   time_unit: str = "ms") -> None:
+    """Serialize a topology to an XML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(topology_to_xml(topology, time_unit=time_unit))

@@ -1,0 +1,19 @@
+"""Workload generators for examples and benchmarks."""
+
+from repro.workloads.generators import (
+    RecordFactory,
+    market_quotes,
+    sensor_readings,
+    spatial_points,
+    uniform_records,
+    zipf_keyed_records,
+)
+
+__all__ = [
+    "RecordFactory",
+    "market_quotes",
+    "sensor_readings",
+    "spatial_points",
+    "uniform_records",
+    "zipf_keyed_records",
+]

@@ -1,0 +1,109 @@
+"""Workload generators: record factories for sources.
+
+Factories follow the :class:`repro.operators.source_sink.GeneratorSource`
+protocol — ``factory(sequence, rng) -> Record`` — and cover the
+scenarios the examples and benchmarks exercise: uniform synthetic
+tuples, ZipF-keyed streams (skewed partitioning keys), sensor readings
+and market quotes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Sequence
+
+from repro.operators.base import Record
+
+RecordFactory = Callable[[int, random.Random], Record]
+
+
+def uniform_records(num_keys: int = 64,
+                    value_range: float = 1.0) -> RecordFactory:
+    """Uniform values and uniformly distributed keys."""
+    def factory(sequence: int, rng: random.Random) -> Record:
+        return Record({
+            "sequence": sequence,
+            "key": f"k{rng.randrange(num_keys)}",
+            "value": rng.random() * value_range,
+        })
+    return factory
+
+
+def zipf_keyed_records(num_keys: int = 256, alpha: float = 1.2) -> RecordFactory:
+    """Skewed (ZipF) key popularity — the stress case for partitioning."""
+    if num_keys < 1:
+        raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+    weights = [1.0 / (rank ** alpha) for rank in range(1, num_keys + 1)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+
+    def factory(sequence: int, rng: random.Random) -> Record:
+        draw = rng.random()
+        low, high = 0, len(cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < draw:
+                low = mid + 1
+            else:
+                high = mid
+        return Record({
+            "sequence": sequence,
+            "key": f"k{low}",
+            "value": rng.random(),
+        })
+    return factory
+
+
+def sensor_readings(num_sensors: int = 32, period: float = 500.0,
+                    noise: float = 0.1) -> RecordFactory:
+    """Sinusoidal sensor temperatures with noise (monitoring scenario)."""
+    def factory(sequence: int, rng: random.Random) -> Record:
+        sensor = sequence % num_sensors
+        phase = 2.0 * math.pi * (sequence / period + sensor / num_sensors)
+        temperature = 20.0 + 5.0 * math.sin(phase) + rng.gauss(0.0, noise)
+        return Record({
+            "sequence": sequence,
+            "key": f"sensor{sensor}",
+            "sensor": sensor,
+            "value": temperature,
+            "battery": max(0.0, 1.0 - sequence / 1e7),
+        })
+    return factory
+
+
+def market_quotes(symbols: Sequence[str] = ("ACME", "GLOBEX", "INITECH",
+                                            "UMBRELLA", "HOOLI"),
+                  volatility: float = 0.02) -> RecordFactory:
+    """Random-walk stock quotes (financial analytics scenario)."""
+    prices = {symbol: 100.0 * (1.0 + index)
+              for index, symbol in enumerate(symbols)}
+
+    def factory(sequence: int, rng: random.Random) -> Record:
+        symbol = symbols[rng.randrange(len(symbols))]
+        prices[symbol] *= math.exp(rng.gauss(0.0, volatility))
+        return Record({
+            "sequence": sequence,
+            "key": symbol,
+            "symbol": symbol,
+            "value": prices[symbol],
+            "volume": rng.randrange(1, 1000),
+        })
+    return factory
+
+
+def spatial_points(dimensions: int = 2) -> RecordFactory:
+    """Random points for skyline queries (one field per dimension)."""
+    names = [chr(ord("x") + i) if i < 3 else f"d{i}" for i in range(dimensions)]
+
+    def factory(sequence: int, rng: random.Random) -> Record:
+        record = Record({"sequence": sequence, "key": f"k{sequence % 16}"})
+        for name in names:
+            record[name] = rng.random()
+        record["value"] = record[names[0]]
+        return record
+    return factory

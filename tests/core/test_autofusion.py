@@ -1,0 +1,76 @@
+"""Tests for the automatic fusion extension."""
+
+import math
+
+import pytest
+
+from repro.core.autofusion import auto_fuse
+from repro.core.graph import Edge, OperatorSpec, Topology, TopologyError
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11, make_pipeline
+
+
+def lazy_pipeline():
+    """A long chain of tiny operators behind a pacing source."""
+    return make_pipeline(1.0, 0.1, 0.15, 0.1, 0.2, 0.1, name="lazy")
+
+
+class TestAutoFuse:
+    def test_collapses_underutilized_chain(self):
+        result = auto_fuse(lazy_pipeline())
+        assert result.operators_removed >= 3
+        assert len(result.fused) <= 3
+
+    def test_preserves_throughput(self):
+        topology = lazy_pipeline()
+        before = analyze(topology).throughput
+        result = auto_fuse(topology)
+        assert result.throughput == pytest.approx(before)
+
+    def test_fig11_fuses_the_tail(self, fig11_table1):
+        result = auto_fuse(fig11_table1)
+        assert result.operators_removed >= 2
+        fused_members = {m for plan in result.plans for m in plan.members}
+        assert {"op3", "op4", "op5"} <= fused_members
+
+    def test_never_fuses_into_a_bottleneck(self, fig11_table2):
+        # In the Table 2 variant the op3+op4+op5 merge would saturate;
+        # auto-fusion must avoid it (or pick only harmless subsets).
+        before = analyze(fig11_table2).throughput
+        result = auto_fuse(fig11_table2)
+        assert result.throughput == pytest.approx(before)
+
+    def test_busy_topology_left_alone(self):
+        topology = make_pipeline(1.0, 0.9, 0.95)
+        result = auto_fuse(topology, max_utilization=0.5)
+        assert result.rounds == 0
+        assert result.fused is topology
+
+    def test_plans_cover_all_merges(self):
+        result = auto_fuse(lazy_pipeline())
+        total_members = sum(len(plan.members) for plan in result.plans)
+        # Members of later rounds may be fused names of earlier rounds;
+        # at minimum every removed operator appears once.
+        assert total_members >= result.operators_removed
+
+    def test_headroom_validation(self, fig11_table1):
+        with pytest.raises(TopologyError, match="headroom"):
+            auto_fuse(fig11_table1, headroom=0.0)
+
+    def test_headroom_limits_aggressiveness(self):
+        topology = lazy_pipeline()
+        tight = auto_fuse(topology, headroom=0.3)
+        loose = auto_fuse(topology, headroom=0.95)
+        assert len(loose.fused) <= len(tight.fused)
+
+    def test_fused_result_simulates_correctly(self):
+        topology = lazy_pipeline()
+        result = auto_fuse(topology)
+        measured = simulate(result.fused,
+                            SimulationConfig(items=40_000, seed=5))
+        assert measured.throughput_error(result.analysis) < 0.02
+
+    def test_source_rate_respected(self, fig11_table1):
+        result = auto_fuse(fig11_table1, source_rate=200.0)
+        assert result.throughput == pytest.approx(200.0)

@@ -1,0 +1,89 @@
+"""Unit tests for fusion-candidate enumeration and ranking."""
+
+import math
+
+import pytest
+
+from repro.core.candidates import enumerate_candidates
+from repro.core.fusion import validate_fusion
+from repro.core.graph import Edge, OperatorSpec, Topology
+from repro.core.steady_state import analyze
+from tests.conftest import make_fig11, make_pipeline
+
+
+class TestEnumeration:
+    def test_fig11_proposes_underutilized_tail(self, fig11_table1):
+        candidates = enumerate_candidates(fig11_table1, limit=None)
+        member_sets = [set(c.members) for c in candidates]
+        assert {"op3", "op4", "op5"} in member_sets
+
+    def test_all_candidates_structurally_valid(self, fig11_table1):
+        for candidate in enumerate_candidates(fig11_table1, limit=None):
+            front_end = validate_fusion(fig11_table1, candidate.members)
+            assert front_end == candidate.front_end
+
+    def test_ranked_by_mean_utilization(self, fig11_table1):
+        candidates = enumerate_candidates(fig11_table1, limit=None)
+        utilizations = [c.mean_utilization for c in candidates]
+        assert utilizations == sorted(utilizations)
+
+    def test_limit_respected(self, fig11_table1):
+        assert len(enumerate_candidates(fig11_table1, limit=2)) <= 2
+
+    def test_max_size_respected(self, fig11_table1):
+        for candidate in enumerate_candidates(fig11_table1, max_size=2,
+                                              limit=None):
+            assert len(candidate.members) == 2
+
+    def test_busy_operators_excluded(self, fig11_table1):
+        # op2 runs at rho = 0.84; with the default 0.75 threshold it
+        # never appears in a candidate.
+        for candidate in enumerate_candidates(fig11_table1, limit=None):
+            assert "op2" not in candidate.members
+
+    def test_source_never_in_candidates(self, fig11_table1):
+        for candidate in enumerate_candidates(fig11_table1, limit=None):
+            assert "op1" not in candidate.members
+
+    def test_no_candidates_in_saturated_pipeline(self):
+        # Every operator runs at high utilization: nothing to fuse.
+        topology = make_pipeline(1.0, 0.95, 0.9)
+        assert enumerate_candidates(topology, max_utilization=0.5) == []
+
+    def test_reuses_supplied_analysis(self, fig11_table1):
+        analysis = analyze(fig11_table1)
+        with_supplied = enumerate_candidates(fig11_table1, analysis=analysis,
+                                             limit=None)
+        without = enumerate_candidates(fig11_table1, limit=None)
+        assert ([c.members for c in with_supplied]
+                == [c.members for c in without])
+
+
+class TestScoring:
+    def test_predicted_service_time_matches_algorithm3(self, fig11_table1):
+        candidates = enumerate_candidates(fig11_table1, limit=None)
+        tail = next(c for c in candidates
+                    if set(c.members) == {"op3", "op4", "op5"})
+        assert math.isclose(tail.predicted_service_time, 2.6375e-3)
+
+    def test_safe_flag_tracks_predicted_utilization(self, fig11_table2):
+        candidates = enumerate_candidates(fig11_table2, limit=None)
+        tail = next(c for c in candidates
+                    if set(c.members) == {"op3", "op4", "op5"})
+        assert not tail.safe
+        assert tail.predicted_utilization > 1.0
+
+    def test_predicted_utilization_uses_front_end_arrivals(self):
+        # Pipeline tail fusion: arrival rate at the front-end is the
+        # source rate, so rho_F = rate * (sum of times).
+        topology = make_pipeline(1.0, 0.3, 0.4)
+        candidates = enumerate_candidates(topology, limit=None)
+        pair = next(c for c in candidates
+                    if set(c.members) == {"op1", "op2"})
+        assert math.isclose(pair.predicted_utilization, 1000.0 * 0.7e-3)
+
+    def test_max_utilization_metric(self, fig11_table1):
+        analysis = analyze(fig11_table1)
+        for candidate in enumerate_candidates(fig11_table1, limit=None):
+            expected = max(analysis.utilization(m) for m in candidate.members)
+            assert math.isclose(candidate.max_utilization, expected)

@@ -1,0 +1,207 @@
+"""Tests for the cyclic-topology extension."""
+
+import math
+
+import pytest
+
+from repro.core.cycles import CyclicGraph, analyze_cyclic
+from repro.core.graph import Edge, KeyDistribution, OperatorSpec, StateKind, TopologyError
+from repro.sim.cyclic import simulate_cyclic
+from repro.sim.network import SimulationConfig
+
+
+def retry_loop(work_ms=0.5, feedback=0.2):
+    operators = [
+        OperatorSpec("src", 1e-3),
+        OperatorSpec("work", work_ms * 1e-3),
+        OperatorSpec("check", 0.3e-3),
+        OperatorSpec("sink", 0.05e-3, output_selectivity=0.0),
+    ]
+    edges = [
+        Edge("src", "work"),
+        Edge("work", "check"),
+        Edge("check", "work", feedback),
+        Edge("check", "sink", 1.0 - feedback),
+    ]
+    return CyclicGraph(operators, edges, name="retry")
+
+
+class TestGraphValidation:
+    def test_detects_cycle(self):
+        assert retry_loop().cycles_exist()
+
+    def test_acyclic_graph_reports_no_cycle(self):
+        graph = CyclicGraph(
+            [OperatorSpec("a", 1e-3), OperatorSpec("b", 1e-3)],
+            [Edge("a", "b")],
+        )
+        assert not graph.cycles_exist()
+        assert graph.max_cycle_amplification() == 0.0
+
+    def test_amplification_of_retry_loop(self):
+        assert math.isclose(retry_loop(feedback=0.3)
+                            .max_cycle_amplification(), 0.3)
+
+    def test_amplifying_cycle_rejected(self):
+        # flatmap (x3) in a 50% loop: amplification 1.5 >= 1.
+        operators = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("fm", 0.5e-3, output_selectivity=3.0),
+            OperatorSpec("gate", 0.3e-3),
+        ]
+        edges = [
+            Edge("src", "fm"), Edge("fm", "gate"),
+            Edge("gate", "fm", 0.5), Edge("gate", "src", 0.5),
+        ]
+        # gate -> src is invalid (src must have no inputs); route the
+        # remainder to a sink instead.
+        edges[-1] = Edge("gate", "sink", 0.5)
+        operators.append(OperatorSpec("sink", 1e-4, output_selectivity=0.0))
+        graph = CyclicGraph(operators, edges)
+        with pytest.raises(TopologyError, match="amplification"):
+            analyze_cyclic(graph)
+
+    def test_multiple_sources_rejected(self):
+        with pytest.raises(TopologyError, match="exactly one source"):
+            CyclicGraph(
+                [OperatorSpec("a", 1e-3), OperatorSpec("b", 1e-3),
+                 OperatorSpec("c", 1e-3)],
+                [Edge("a", "c"), Edge("b", "c")],
+            )
+
+    def test_unreachable_rejected(self):
+        operators = [OperatorSpec(n, 1e-3) for n in ("a", "b", "c", "d")]
+        # c and d form a reachable-from-nowhere 2-cycle.
+        edges = [Edge("a", "b"), Edge("c", "d"), Edge("d", "c")]
+        with pytest.raises(TopologyError, match="not reachable"):
+            CyclicGraph(operators, edges)
+
+
+class TestAnalysis:
+    def test_feedback_amplifies_internal_rates(self):
+        result = analyze_cyclic(retry_loop())
+        # Geometric series: work sees 1000 / (1 - 0.2) = 1250 items/sec.
+        assert result.arrival_rate("work") == pytest.approx(1250.0)
+        assert result.arrival_rate("sink") == pytest.approx(1000.0)
+        assert result.throughput == pytest.approx(1000.0)
+
+    def test_loop_bottleneck_throttles_source(self):
+        # work at 1.2 ms with the 1.25x loop amplification: capacity
+        # binding at 1 / (1.25 * 1.2ms) = 666.7 items/sec.
+        result = analyze_cyclic(retry_loop(work_ms=1.2))
+        assert result.throughput == pytest.approx(1000.0 / 1.5)
+        assert result.utilization("work") == pytest.approx(1.0)
+        assert result.corrections >= 1
+
+    def test_heavier_feedback_lowers_throughput(self):
+        light = analyze_cyclic(retry_loop(work_ms=1.2, feedback=0.1))
+        heavy = analyze_cyclic(retry_loop(work_ms=1.2, feedback=0.4))
+        assert heavy.throughput < light.throughput
+
+    def test_acyclic_graph_matches_algorithm1(self):
+        from repro.core.steady_state import analyze
+        from repro.core.graph import Topology
+        operators = [
+            OperatorSpec("src", 1e-3), OperatorSpec("mid", 2e-3),
+            OperatorSpec("out", 0.5e-3),
+        ]
+        edges = [Edge("src", "mid"), Edge("mid", "out")]
+        cyclic = analyze_cyclic(CyclicGraph(operators, edges))
+        acyclic = analyze(Topology(operators, edges))
+        assert cyclic.throughput == pytest.approx(acyclic.throughput)
+
+    def test_replicated_operator_capacity(self):
+        operators = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("work", 2e-3, replication=3),
+            OperatorSpec("check", 0.3e-3),
+            OperatorSpec("sink", 0.05e-3, output_selectivity=0.0),
+        ]
+        edges = [
+            Edge("src", "work"), Edge("work", "check"),
+            Edge("check", "work", 0.2), Edge("check", "sink", 0.8),
+        ]
+        result = analyze_cyclic(CyclicGraph(operators, edges))
+        # 3 replicas at 500/s each cover the amplified 1250/s load.
+        assert result.throughput == pytest.approx(1000.0)
+
+    def test_invalid_source_rate_rejected(self):
+        with pytest.raises(TopologyError, match="source rate"):
+            analyze_cyclic(retry_loop(), source_rate=-1.0)
+
+
+class TestSimulatedValidation:
+    def test_unloaded_loop_matches(self):
+        graph = retry_loop()
+        predicted = analyze_cyclic(graph)
+        measured = simulate_cyclic(
+            graph, SimulationConfig(items=60_000, seed=5,
+                                    mailbox_capacity=256))
+        assert measured.throughput_error(predicted) < 0.02
+        assert measured.vertices["work"].arrival_rate == pytest.approx(
+            1250.0, rel=0.02)
+
+    def test_throttled_loop_matches(self):
+        graph = retry_loop(work_ms=1.2)
+        predicted = analyze_cyclic(graph)
+        measured = simulate_cyclic(
+            graph, SimulationConfig(items=60_000, seed=5,
+                                    mailbox_capacity=256))
+        assert measured.throughput_error(predicted) < 0.02
+
+
+class TestDeadlockDetection:
+    def test_tight_loop_with_tiny_buffers_deadlocks(self):
+        from repro.sim.engine import SimulationError
+        # Heavy feedback and single-slot buffers: the loop's buffers
+        # fill and every sender blocks — a genuine BAS deadlock the
+        # simulator must surface rather than silently under-measure.
+        graph = retry_loop(work_ms=2.0, feedback=0.8)
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate_cyclic(
+                graph,
+                SimulationConfig(items=50_000, seed=5, mailbox_capacity=1),
+            )
+
+    def test_saturated_loop_flagged_as_deadlock_prone(self):
+        # A saturated operator *inside* the cycle means a BAS deployment
+        # eventually deadlocks no matter how large the buffers are; the
+        # solver flags the regime so users reach for flow control.
+        graph = retry_loop(work_ms=2.0, feedback=0.8)
+        predicted = analyze_cyclic(graph)
+        assert predicted.saturated_in_cycle == ["work"]
+
+    def test_saturated_loop_deadlocks_even_with_big_buffers(self):
+        from repro.sim.engine import SimulationError
+        graph = retry_loop(work_ms=2.0, feedback=0.8)
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate_cyclic(
+                graph,
+                SimulationConfig(items=200_000, seed=5,
+                                 mailbox_capacity=2048),
+            )
+
+    def test_loop_with_headroom_is_not_flagged(self):
+        # Bottlenecked loop but the *check* stage has 4x headroom and
+        # feedback is light: the fixed point is reachable (validated by
+        # TestSimulatedValidation) and no cycle member saturates
+        # except the binding one... which is 'work' again — so verify a
+        # genuinely unsaturated loop instead.
+        graph = retry_loop(work_ms=0.5, feedback=0.2)
+        predicted = analyze_cyclic(graph)
+        assert predicted.saturated_in_cycle == []
+
+    def test_vertices_on_cycles(self):
+        graph = retry_loop()
+        on_cycle = graph.vertices_on_cycles()
+        assert on_cycle == frozenset({"work", "check"})
+
+    def test_acyclic_networks_never_deadlock(self):
+        # Single-slot buffers on an acyclic pipeline: slow, not stuck.
+        from tests.conftest import make_pipeline
+        from repro.sim.network import simulate
+        topology = make_pipeline(1.0, 3.0, 2.0)
+        measured = simulate(
+            topology, SimulationConfig(items=30_000, seed=5,
+                                       mailbox_capacity=1))
+        assert measured.throughput > 0.0

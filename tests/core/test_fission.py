@@ -1,0 +1,253 @@
+"""Unit tests for bottleneck elimination (paper Algorithm 2)."""
+
+import math
+
+import pytest
+
+from repro.core.fission import apply_replica_bound, eliminate_bottlenecks
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.core.steady_state import analyze
+from tests.conftest import make_pipeline
+
+
+def keyed_spec(name, service_ms, keys):
+    return OperatorSpec(name, service_ms * 1e-3, state=StateKind.PARTITIONED,
+                        keys=keys)
+
+
+def stateful_spec(name, service_ms):
+    return OperatorSpec(name, service_ms * 1e-3, state=StateKind.STATEFUL)
+
+
+class TestStatelessFission:
+    def test_optimal_degree_is_ceil_rho(self):
+        # src 1ms -> op 3.5ms: rho = 3.5 -> 4 replicas.
+        topology = make_pipeline(1.0, 3.5)
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["op1"] == 4
+
+    def test_exact_integer_rho_uses_exact_degree(self):
+        topology = make_pipeline(1.0, 3.0)
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["op1"] == 3
+
+    def test_ideal_throughput_reached(self):
+        topology = make_pipeline(1.0, 3.5, 2.2)
+        result = eliminate_bottlenecks(topology)
+        assert result.ideal_throughput_reached
+        assert math.isclose(result.throughput, 1000.0)
+
+    def test_non_bottlenecks_stay_single(self):
+        topology = make_pipeline(1.0, 3.0, 0.5)
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["op2"] == 1
+
+    def test_additional_replicas_counted(self):
+        topology = make_pipeline(1.0, 3.0, 2.0)
+        result = eliminate_bottlenecks(topology)
+        # op1 needs 3 (2 extra), op2 needs 2 (1 extra).
+        assert result.additional_replicas == 3
+
+    def test_input_replications_reset_before_analysis(self):
+        topology = make_pipeline(1.0, 3.0).with_replications({"op1": 7})
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["op1"] == 3
+
+    def test_chain_of_bottlenecks_all_resolved(self):
+        topology = make_pipeline(0.5, 1.0, 2.0, 4.0)
+        result = eliminate_bottlenecks(topology)
+        assert result.ideal_throughput_reached
+        assert result.replications == {"op0": 1, "op1": 2, "op2": 4, "op3": 8}
+
+    def test_optimized_analysis_has_no_saturated_stateless(self):
+        topology = make_pipeline(1.0, 3.3, 2.7)
+        result = eliminate_bottlenecks(topology)
+        for name in ("op1", "op2"):
+            assert result.analysis.utilization(name) <= 1.0 + 1e-9
+
+
+class TestStatefulBottlenecks:
+    def test_stateful_throttles_source(self):
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), stateful_spec("agg", 4.0)],
+            [Edge("src", "agg")],
+        )
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["agg"] == 1
+        assert not result.ideal_throughput_reached
+        assert math.isclose(result.throughput, 250.0)
+        assert "agg" in result.residual_bottlenecks
+
+    def test_downstream_degrees_shrink_after_stateful_throttling(self):
+        # src 1ms -> stateful 2ms -> stateless 3ms.
+        # Without the stateful cap, op2 would need ceil(3)=3 replicas;
+        # throttled to 500/s it needs only ceil(1.5)=2.
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), stateful_spec("st", 2.0),
+             OperatorSpec("op2", 3e-3)],
+            [Edge("src", "st"), Edge("st", "op2")],
+        )
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["op2"] == 2
+
+    def test_stateless_upstream_of_stateful_still_parallelized(self):
+        # src 1ms -> stateless 2ms -> stateful 1.5ms.
+        # The stateless op is a bottleneck at 1000/s (needs 2 replicas);
+        # then the stateful op throttles to 1/1.5ms = 666/s, after which
+        # the stateless op (rho = 666*2ms = 1.33) still needs 2 replicas.
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), OperatorSpec("sl", 2e-3),
+             stateful_spec("st", 1.5)],
+            [Edge("src", "sl"), Edge("sl", "st")],
+        )
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["sl"] == 2
+        assert math.isclose(result.throughput, 1000.0 / 1.5)
+
+    def test_decision_records_failure(self):
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), stateful_spec("agg", 4.0)],
+            [Edge("src", "agg")],
+        )
+        result = eliminate_bottlenecks(topology)
+        decision = {d.name: d for d in result.decisions}["agg"]
+        assert decision.was_bottleneck
+        assert not decision.removed
+        assert decision.state is StateKind.STATEFUL
+
+
+class TestPartitionedFission:
+    def test_balanced_keys_fully_parallelized(self):
+        # 99 keys split exactly 33/33/33 across three replicas.
+        keys = KeyDistribution.uniform(99)
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), keyed_spec("keyed", 3.0, keys)],
+            [Edge("src", "keyed")],
+        )
+        result = eliminate_bottlenecks(topology)
+        assert result.replications["keyed"] == 3
+        assert result.ideal_throughput_reached
+
+    def test_skewed_keys_mitigate_but_not_remove(self):
+        # 50% of the traffic on one key, rho = 3: the hot replica still
+        # saturates, mirroring the paper's example (Section 3.2).
+        keys = KeyDistribution({"hot": 0.5, "a": 0.2, "b": 0.2, "c": 0.1})
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), keyed_spec("keyed", 3.0, keys)],
+            [Edge("src", "keyed")],
+        )
+        result = eliminate_bottlenecks(topology)
+        assert not result.ideal_throughput_reached
+        # Hot replica handles 50% at 3ms: capacity = 1/(0.5*3ms) = 666/s.
+        assert math.isclose(result.throughput, 1000.0 / 1.5, rel_tol=1e-6)
+
+    def test_skewed_decision_reports_p_max(self):
+        keys = KeyDistribution({"hot": 0.5, "a": 0.3, "b": 0.2})
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), keyed_spec("keyed", 2.0, keys)],
+            [Edge("src", "keyed")],
+        )
+        result = eliminate_bottlenecks(topology)
+        decision = {d.name: d for d in result.decisions}["keyed"]
+        assert math.isclose(decision.p_max, 0.5)
+
+    def test_fewer_keys_than_optimal_caps_replicas(self):
+        keys = KeyDistribution({"a": 0.5, "b": 0.5})
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), keyed_spec("keyed", 4.0, keys)],
+            [Edge("src", "keyed")],
+        )
+        result = eliminate_bottlenecks(topology)
+        # Only 2 keys: at most 2 replicas despite n_opt = 4.
+        assert result.replications["keyed"] == 2
+        assert math.isclose(result.throughput, 500.0)
+
+
+class TestReplicaBound:
+    def test_bound_not_applied_when_already_within(self):
+        topology = make_pipeline(1.0, 3.0)
+        result = eliminate_bottlenecks(topology, max_replicas=10)
+        assert not result.bound_applied
+        assert result.replications["op1"] == 3
+
+    def test_bound_scales_down_proportionally(self):
+        topology = make_pipeline(0.5, 4.0, 8.0)
+        unbounded = eliminate_bottlenecks(topology)
+        total = unbounded.optimized.total_replicas()
+        bounded = eliminate_bottlenecks(topology, max_replicas=total - 5)
+        assert bounded.bound_applied
+        assert bounded.optimized.total_replicas() <= total - 5
+        assert bounded.throughput < unbounded.throughput
+
+    def test_bound_throughput_descalability(self):
+        # Throughput should de-scale roughly with the bound (Figure 10).
+        topology = make_pipeline(0.2, 4.0, 6.0)
+        results = [
+            eliminate_bottlenecks(topology, max_replicas=bound).throughput
+            for bound in (10, 20, 40)
+        ]
+        assert results[0] <= results[1] <= results[2]
+
+    def test_bound_below_operator_count_rejected(self, pipeline3):
+        with pytest.raises(TopologyError, match="below the number"):
+            eliminate_bottlenecks(pipeline3, max_replicas=2)
+
+    def test_apply_replica_bound_direct(self):
+        topology = make_pipeline(1.0, 1.0, 1.0).with_replications(
+            {"op1": 10, "op2": 10}
+        )
+        bounded = apply_replica_bound(topology, 12)
+        assert bounded.total_replicas() <= 12
+        assert bounded.operator("op0").replication == 1
+
+    def test_apply_replica_bound_never_drops_below_one(self):
+        topology = make_pipeline(1.0, 1.0).with_replications({"op1": 30})
+        bounded = apply_replica_bound(topology, 3)
+        assert bounded.operator("op1").replication >= 1
+
+    def test_apply_replica_bound_uses_full_budget_when_possible(self):
+        topology = make_pipeline(1.0, 1.0, 1.0).with_replications(
+            {"op1": 16, "op2": 8}
+        )
+        bounded = apply_replica_bound(topology, 13)
+        assert bounded.total_replicas() == 13
+
+
+class TestDecisionsAndResult:
+    def test_decisions_cover_every_operator(self, pipeline3):
+        result = eliminate_bottlenecks(pipeline3)
+        assert {d.name for d in result.decisions} == set(pipeline3.names)
+
+    def test_source_decision_never_replicated(self, pipeline3):
+        result = eliminate_bottlenecks(pipeline3)
+        source_decision = result.decisions[0]
+        assert source_decision.name == pipeline3.source
+        assert source_decision.replicas == 1
+
+    def test_original_topology_untouched(self, pipeline3):
+        eliminate_bottlenecks(pipeline3)
+        assert all(spec.replication == 1 for spec in pipeline3.operators)
+
+    def test_result_analysis_consistent_with_fresh_analysis(self):
+        topology = make_pipeline(1.0, 2.5, 1.8)
+        result = eliminate_bottlenecks(topology)
+        fresh = analyze(result.optimized)
+        assert math.isclose(result.throughput, fresh.throughput)
+
+    def test_invalid_source_rate_rejected(self, pipeline3):
+        with pytest.raises(TopologyError, match="source rate"):
+            eliminate_bottlenecks(pipeline3, source_rate=-1.0)
+
+    def test_explicit_source_rate_respected(self):
+        topology = make_pipeline(1.0, 2.0)
+        result = eliminate_bottlenecks(topology, source_rate=300.0)
+        # At 300/s the 2ms operator is not a bottleneck (rho = 0.6).
+        assert result.replications["op1"] == 1
+        assert math.isclose(result.throughput, 300.0)

@@ -1,0 +1,255 @@
+"""Unit tests for operator fusion (paper Section 3.3, Algorithm 3)."""
+
+import math
+
+import pytest
+
+from repro.core.fusion import (
+    FusionError,
+    apply_fusion,
+    build_fused_topology,
+    find_front_end,
+    fusion_service_time,
+    plan_fusion,
+    validate_fusion,
+)
+from repro.core.graph import Edge, OperatorSpec, StateKind, Topology
+from repro.core.steady_state import analyze
+from tests.conftest import make_fig11, make_pipeline
+
+
+class TestValidation:
+    def test_fig11_candidate_is_valid(self, fig11_table1):
+        assert validate_fusion(fig11_table1, ["op3", "op4", "op5"]) == "op3"
+
+    def test_front_end_detection(self, fig11_table1):
+        assert find_front_end(fig11_table1, ["op3", "op4"]) == "op3"
+
+    def test_two_front_ends_detected_in_tail_pair(self, fig11_table1):
+        # op5 receives from op3 (outside {op4, op5}) so both members
+        # have external inputs.
+        with pytest.raises(FusionError, match="exactly one front-end"):
+            find_front_end(fig11_table1, ["op4", "op5"])
+
+    def test_two_front_ends_rejected(self, fig11_table1):
+        # op2 and op3 both receive from op1.
+        with pytest.raises(FusionError, match="exactly one front-end"):
+            validate_fusion(fig11_table1, ["op2", "op3"])
+
+    def test_single_member_rejected(self, fig11_table1):
+        with pytest.raises(FusionError, match="at least two"):
+            validate_fusion(fig11_table1, ["op4"])
+
+    def test_duplicates_rejected(self, fig11_table1):
+        with pytest.raises(FusionError, match="duplicate"):
+            validate_fusion(fig11_table1, ["op4", "op4"])
+
+    def test_source_cannot_be_fused(self, fig11_table1):
+        with pytest.raises(FusionError, match="source"):
+            validate_fusion(fig11_table1, ["op1", "op2"])
+
+    def test_unreachable_member_rejected(self):
+        # a -> b -> d, a -> c -> d; {b, c, d}: two front-ends though...
+        # build a case where c is unreachable from front-end b inside
+        # the sub-graph: a->b, a->c, b->d, c->d, d->e; members {b, d}
+        # are fine, but {b, d, c} has two front-ends.  Instead use
+        # members {d, e} with front-end d, then add unreachable f.
+        operators = [OperatorSpec(n, 1e-3) for n in "abcdef"]
+        edges = [
+            Edge("a", "b", 0.5), Edge("a", "c", 0.5),
+            Edge("b", "d"), Edge("c", "e"),
+            Edge("d", "f", 1.0), Edge("e", "f", 1.0),
+        ]
+        topology = Topology(operators, edges)
+        # {d, f, e}: front-ends are d and e -> rejected for that reason.
+        with pytest.raises(FusionError):
+            validate_fusion(topology, ["d", "f", "e"])
+
+    def test_contraction_cycle_guard(self):
+        # With a single front-end an acyclic graph can never produce a
+        # cyclic contraction (every external path out of the sub-graph
+        # would need to re-enter it through an externally-fed member,
+        # which would itself be a second front-end).  The internal
+        # guard still exists defensively; exercise it directly on a
+        # sub-graph that *does* re-enter: {b, d} exited at c.
+        from repro.core.fusion import _check_contraction_acyclic
+        operators = [OperatorSpec(n, 1e-3) for n in "abcd"]
+        edges = [Edge("a", "b"), Edge("b", "c", 0.5), Edge("b", "d", 0.5),
+                 Edge("c", "d")]
+        topology = Topology(operators, edges)
+        with pytest.raises(FusionError, match="cycle"):
+            _check_contraction_acyclic(topology, frozenset({"b", "d"}))
+
+    def test_unknown_member_rejected(self, fig11_table1):
+        with pytest.raises(FusionError):
+            validate_fusion(fig11_table1, ["op4", "ghost"])
+
+
+class TestServiceTime:
+    def test_linear_chain_sums_times(self):
+        topology = make_pipeline(1.0, 2.0, 3.0, 0.5)
+        time = fusion_service_time(topology, frozenset({"op1", "op2"}), "op1")
+        assert math.isclose(time, 5e-3)
+
+    def test_fig11_weighted_average(self, fig11_table1):
+        # W(op5) = 1.5; W(op4) = 2.0 + 0.5 * 1.5 = 2.75;
+        # W(op3) = 0.7 + 0.35 * 2.75 + 0.65 * 1.5 = 2.6375 ms.
+        time = fusion_service_time(
+            fig11_table1, frozenset({"op3", "op4", "op5"}), "op3"
+        )
+        assert math.isclose(time, 2.6375e-3)
+
+    def test_partial_subgraph_ignores_external_edges(self, fig11_table1):
+        # Fusing only {op4, op5}: W(op4) = 2.0 + 0.5 * 1.5 = 2.75 ms
+        # (the op4->op6 exit contributes no internal time).
+        time = fusion_service_time(fig11_table1, frozenset({"op4", "op5"}),
+                                   "op4")
+        assert math.isclose(time, 2.75e-3)
+
+    def test_gain_amplifies_downstream_cost(self):
+        # fm (x3 outputs) -> slow: each input to the fused op costs
+        # T_fm + 3 * T_slow.
+        operators = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("fm", 1e-3, output_selectivity=3.0),
+            OperatorSpec("slow", 2e-3),
+        ]
+        edges = [Edge("src", "fm"), Edge("fm", "slow")]
+        topology = Topology(operators, edges)
+        time = fusion_service_time(topology, frozenset({"fm", "slow"}), "fm")
+        assert math.isclose(time, 1e-3 + 3 * 2e-3)
+
+    def test_input_selectivity_discounts_downstream_cost(self):
+        # win consumes 10 items per output: downstream runs 1/10th.
+        operators = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("win", 1e-3, input_selectivity=10.0),
+            OperatorSpec("post", 5e-3),
+        ]
+        edges = [Edge("src", "win"), Edge("win", "post")]
+        topology = Topology(operators, edges)
+        time = fusion_service_time(topology, frozenset({"win", "post"}), "win")
+        assert math.isclose(time, 1e-3 + 0.1 * 5e-3)
+
+
+class TestPlan:
+    def test_plan_fields(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        assert plan.members == ("op3", "op4", "op5")
+        assert plan.front_end == "op3"
+        assert plan.fused_name == "F"
+        assert len(plan.internal_edges) == 3   # 3->4, 3->5, 4->5
+        assert len(plan.member_edges) == 5     # + 4->6, 5->6
+
+    def test_default_name_derived_from_members(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4"])
+        assert plan.fused_name == "F(op3+op4)"
+
+    def test_name_clash_rejected(self, fig11_table1):
+        with pytest.raises(FusionError, match="already in use"):
+            plan_fusion(fig11_table1, ["op3", "op4"], fused_name="op2")
+
+    def test_exit_rates_sum_to_one_for_unit_selectivity(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        assert math.isclose(plan.output_selectivity, 1.0)
+        assert set(plan.exit_rates) == {"op6"}
+
+    def test_edge_probabilities_normalized(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4"], "F")
+        probabilities = plan.edge_probabilities
+        assert math.isclose(sum(probabilities.values()), 1.0)
+        assert set(probabilities) == {"op5", "op6"}
+
+    def test_exit_rates_with_filter_member(self):
+        # A fused filter (selectivity 0.5) halves the exit rate.
+        operators = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("flt", 1e-3, output_selectivity=0.5),
+            OperatorSpec("map", 1e-3),
+            OperatorSpec("sink", 1e-3),
+        ]
+        edges = [Edge("src", "flt"), Edge("flt", "map"), Edge("map", "sink")]
+        topology = Topology(operators, edges)
+        plan = plan_fusion(topology, ["flt", "map"], "F")
+        assert math.isclose(plan.output_selectivity, 0.5)
+
+
+class TestBuildFusedTopology:
+    def test_structure_after_fig11_fusion(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        fused = build_fused_topology(fig11_table1, plan)
+        assert set(fused.names) == {"op1", "op2", "F", "op6"}
+        assert math.isclose(fused.edge("op1", "F").probability, 0.3)
+        assert math.isclose(fused.edge("F", "op6").probability, 1.0)
+
+    def test_fused_operator_marked_stateful(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        fused = build_fused_topology(fig11_table1, plan)
+        assert fused.operator("F").state is StateKind.STATEFUL
+
+    def test_fused_service_time_installed(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        fused = build_fused_topology(fig11_table1, plan)
+        assert math.isclose(fused.operator("F").service_time, 2.6375e-3)
+
+    def test_untouched_edges_survive(self, fig11_table1):
+        plan = plan_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        fused = build_fused_topology(fig11_table1, plan)
+        assert math.isclose(fused.edge("op1", "op2").probability, 0.7)
+        assert math.isclose(fused.edge("op2", "op6").probability, 1.0)
+
+    def test_fused_topology_is_valid_and_analyzable(self, fig11_table2):
+        plan = plan_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        fused = build_fused_topology(fig11_table2, plan)
+        result = analyze(fused)
+        assert result.throughput > 0
+
+
+class TestApplyFusion:
+    """The paper's Tables 1 and 2."""
+
+    def test_table1_fusion_is_feasible(self, fig11_table1):
+        result = apply_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        assert not result.impairs_performance
+        assert math.isclose(result.throughput_before, 1000.0)
+        assert math.isclose(result.throughput_after, 1000.0)
+        assert math.isclose(result.degradation, 0.0)
+
+    def test_table1_fused_utilization_below_one(self, fig11_table1):
+        result = apply_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        rho = result.analysis_after.utilization("F")
+        # Paper reports rho_F = 0.84 with their (unstated) probabilities;
+        # with Figure 11's printed probabilities we get ~0.79.
+        assert 0.5 < rho < 1.0
+
+    def test_table2_fusion_impairs_performance(self, fig11_table2):
+        result = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        assert result.impairs_performance
+        # Paper reports ~24% degradation (1000 -> 760 predicted); our
+        # self-consistent variant gives ~22%.
+        assert 0.15 < result.degradation < 0.30
+
+    def test_table2_fused_operator_is_the_bottleneck(self, fig11_table2):
+        result = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        assert result.analysis_after.binding_bottleneck == "F"
+        assert math.isclose(result.analysis_after.utilization("F"), 1.0)
+
+    def test_table2_fused_service_time(self, fig11_table2):
+        # W(5)=2.2, W(4)=2.7+0.5*2.2=3.8, W(3)=1.5+0.35*3.8+0.65*2.2
+        # = 4.26 ms (paper: 4.42 ms with its variant).
+        result = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        assert math.isclose(result.plan.service_time, 4.26e-3, rel_tol=1e-9)
+
+    def test_explicit_source_rate_propagates(self, fig11_table2):
+        result = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F",
+                              source_rate=200.0)
+        # At 200/s the fused operator is not a bottleneck.
+        assert not result.impairs_performance
+
+    def test_pipeline_tail_fusion(self):
+        topology = make_pipeline(1.0, 0.3, 0.4, 0.2)
+        result = apply_fusion(topology, ["op1", "op2", "op3"], "F")
+        assert not result.impairs_performance
+        assert math.isclose(
+            result.fused.operator("F").service_time, 0.9e-3
+        )

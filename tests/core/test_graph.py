@@ -1,0 +1,314 @@
+"""Unit tests for the topology model (repro.core.graph)."""
+
+import math
+
+import pytest
+
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from tests.conftest import make_diamond, make_fig11, make_pipeline
+
+
+class TestStateKind:
+    def test_parse_stateless(self):
+        assert StateKind.parse("stateless") is StateKind.STATELESS
+
+    def test_parse_partitioned_aliases(self):
+        assert StateKind.parse("partitioned") is StateKind.PARTITIONED
+        assert StateKind.parse("partitioned-stateful") is StateKind.PARTITIONED
+        assert StateKind.parse("PARTITIONED_STATEFUL") is StateKind.PARTITIONED
+
+    def test_parse_stateful(self):
+        assert StateKind.parse(" Stateful ") is StateKind.STATEFUL
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(TopologyError, match="unknown operator state"):
+            StateKind.parse("mysterious")
+
+
+class TestKeyDistribution:
+    def test_uniform_sums_to_one(self):
+        keys = KeyDistribution.uniform(10)
+        assert math.isclose(sum(f for _, f in keys.items()), 1.0)
+        assert len(keys) == 10
+
+    def test_uniform_max_frequency(self):
+        assert math.isclose(KeyDistribution.uniform(4).max_frequency(), 0.25)
+
+    def test_zipf_is_skewed(self):
+        keys = KeyDistribution.zipf(10, 1.5)
+        frequencies = dict(keys.items())
+        assert frequencies["k0"] > frequencies["k9"]
+        assert math.isclose(sum(frequencies.values()), 1.0)
+
+    def test_zipf_higher_exponent_more_skew(self):
+        mild = KeyDistribution.zipf(50, 0.8).max_frequency()
+        harsh = KeyDistribution.zipf(50, 2.0).max_frequency()
+        assert harsh > mild
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="at least one key"):
+            KeyDistribution({})
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(TopologyError, match="non-positive"):
+            KeyDistribution({"a": 0.0, "b": 1.0})
+
+    def test_not_normalized_rejected(self):
+        with pytest.raises(TopologyError, match="sum to 1"):
+            KeyDistribution({"a": 0.4, "b": 0.4})
+
+    def test_uniform_invalid_count(self):
+        with pytest.raises(TopologyError):
+            KeyDistribution.uniform(0)
+
+    def test_zipf_invalid_exponent(self):
+        with pytest.raises(TopologyError):
+            KeyDistribution.zipf(5, 0.0)
+
+
+class TestOperatorSpec:
+    def test_service_rate_is_inverse_time(self):
+        spec = OperatorSpec("a", 0.004)
+        assert math.isclose(spec.service_rate, 250.0)
+
+    def test_gain_combines_selectivities(self):
+        spec = OperatorSpec("a", 0.001, input_selectivity=10.0,
+                            output_selectivity=2.0)
+        assert math.isclose(spec.gain, 0.2)
+
+    def test_defaults(self):
+        spec = OperatorSpec("a", 0.001)
+        assert spec.state is StateKind.STATELESS
+        assert spec.replication == 1
+        assert spec.keys is None
+
+    def test_with_replication_copies(self):
+        spec = OperatorSpec("a", 0.001)
+        replicated = spec.with_replication(4)
+        assert replicated.replication == 4
+        assert spec.replication == 1
+        assert replicated.name == "a"
+
+    def test_with_service_time_copies(self):
+        spec = OperatorSpec("a", 0.001)
+        slower = spec.with_service_time(0.002)
+        assert math.isclose(slower.service_time, 0.002)
+        assert math.isclose(spec.service_time, 0.001)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError, match="non-empty"):
+            OperatorSpec("", 0.001)
+
+    def test_non_positive_service_time_rejected(self):
+        with pytest.raises(TopologyError, match="service_time"):
+            OperatorSpec("a", 0.0)
+
+    def test_non_positive_input_selectivity_rejected(self):
+        with pytest.raises(TopologyError, match="input selectivity"):
+            OperatorSpec("a", 0.001, input_selectivity=0.0)
+
+    def test_negative_output_selectivity_rejected(self):
+        with pytest.raises(TopologyError, match="output selectivity"):
+            OperatorSpec("a", 0.001, output_selectivity=-0.5)
+
+    def test_zero_output_selectivity_allowed_for_sinks(self):
+        assert OperatorSpec("a", 0.001, output_selectivity=0.0).gain == 0.0
+
+    def test_replication_below_one_rejected(self):
+        with pytest.raises(TopologyError, match="replication"):
+            OperatorSpec("a", 0.001, replication=0)
+
+    def test_partitioned_needs_keys(self):
+        with pytest.raises(TopologyError, match="key distribution"):
+            OperatorSpec("a", 0.001, state=StateKind.PARTITIONED)
+
+    def test_partitioned_with_keys_ok(self):
+        spec = OperatorSpec("a", 0.001, state=StateKind.PARTITIONED,
+                            keys=KeyDistribution.uniform(5))
+        assert len(spec.keys) == 5
+
+
+class TestEdge:
+    def test_defaults_probability_one(self):
+        assert Edge("a", "b").probability == 1.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            Edge("a", "a")
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(TopologyError, match="probability"):
+            Edge("a", "b", 0.0)
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(TopologyError, match="probability"):
+            Edge("a", "b", 1.5)
+
+
+class TestTopologyValidation:
+    def test_simple_pipeline_valid(self):
+        topology = make_pipeline(1.0, 2.0)
+        assert len(topology) == 2
+        assert topology.source == "op0"
+
+    def test_duplicate_operator_rejected(self):
+        with pytest.raises(TopologyError, match="duplicate operator"):
+            Topology([OperatorSpec("a", 1e-3), OperatorSpec("a", 1e-3)], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(TopologyError, match="unknown operator"):
+            Topology([OperatorSpec("a", 1e-3)], [Edge("a", "ghost")])
+
+    def test_duplicate_edge_rejected(self):
+        operators = [OperatorSpec("a", 1e-3), OperatorSpec("b", 1e-3)]
+        with pytest.raises(TopologyError, match="duplicate edge"):
+            Topology(operators, [Edge("a", "b", 0.5), Edge("a", "b", 0.5)])
+
+    def test_probabilities_must_sum_to_one(self):
+        operators = [OperatorSpec(n, 1e-3) for n in ("a", "b", "c")]
+        with pytest.raises(TopologyError, match="sum to"):
+            Topology(operators, [Edge("a", "b", 0.5), Edge("a", "c", 0.4)])
+
+    def test_multiple_sources_rejected(self):
+        operators = [OperatorSpec(n, 1e-3) for n in ("a", "b", "c")]
+        with pytest.raises(TopologyError, match="exactly one source"):
+            Topology(operators, [Edge("a", "c", 1.0), Edge("b", "c", 1.0)])
+
+    def test_cycle_rejected(self):
+        operators = [OperatorSpec(n, 1e-3) for n in ("s", "a", "b")]
+        edges = [Edge("s", "a"), Edge("a", "b"), Edge("b", "a")]
+        # b->a gives 'a' two inputs and creates the cycle a->b->a; the
+        # single source is 's'.  Probabilities: a has one output edge.
+        with pytest.raises(TopologyError, match="cycle"):
+            Topology(operators, edges)
+
+    def test_no_operators_rejected(self):
+        with pytest.raises(TopologyError, match="exactly one source"):
+            Topology([], [])
+
+    def test_unreachable_with_second_component_rejected(self):
+        # a->b plus isolated pair c->d: two sources, caught first.
+        operators = [OperatorSpec(n, 1e-3) for n in ("a", "b", "c", "d")]
+        with pytest.raises(TopologyError, match="exactly one source"):
+            Topology(operators, [Edge("a", "b"), Edge("c", "d")])
+
+
+class TestTopologyAccessors:
+    def test_topological_order_respects_edges(self):
+        topology = make_fig11()
+        order = topology.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for edge in topology.edges:
+            assert position[edge.source] < position[edge.target]
+
+    def test_source_and_sinks(self, fig11_table1):
+        assert fig11_table1.source == "op1"
+        assert fig11_table1.sinks == ["op6"]
+
+    def test_contains_and_iter(self, fig11_table1):
+        assert "op3" in fig11_table1
+        assert "ghost" not in fig11_table1
+        assert {spec.name for spec in fig11_table1} == {
+            "op1", "op2", "op3", "op4", "op5", "op6"
+        }
+
+    def test_operator_lookup_error(self, fig11_table1):
+        with pytest.raises(TopologyError, match="unknown operator"):
+            fig11_table1.operator("ghost")
+
+    def test_out_edges_and_successors(self, fig11_table1):
+        assert set(fig11_table1.successors("op1")) == {"op2", "op3"}
+        probs = {e.target: e.probability for e in fig11_table1.out_edges("op1")}
+        assert math.isclose(probs["op2"], 0.7)
+
+    def test_in_edges_and_predecessors(self, fig11_table1):
+        assert set(fig11_table1.predecessors("op6")) == {"op2", "op4", "op5"}
+
+    def test_edge_lookup(self, fig11_table1):
+        edge = fig11_table1.edge("op3", "op5")
+        assert math.isclose(edge.probability, 0.65)
+        with pytest.raises(TopologyError, match="no edge"):
+            fig11_table1.edge("op6", "op1")
+
+    def test_names_matches_order(self, fig11_table1):
+        assert fig11_table1.names == fig11_table1.topological_order()
+
+    def test_total_replicas(self, fig11_table1):
+        assert fig11_table1.total_replicas() == 6
+        boosted = fig11_table1.with_replications({"op4": 3})
+        assert boosted.total_replicas() == 8
+
+
+class TestPaths:
+    def test_paths_to_sink_cover_all_routes(self, fig11_table1):
+        paths = fig11_table1.paths_to("op6")
+        # op1->op2->op6, op1->op3->op4->op6, op1->op3->op4->op5->op6,
+        # op1->op3->op5->op6.
+        assert len(paths) == 4
+        total = sum(probability for _, probability in paths)
+        assert math.isclose(total, 1.0)
+
+    def test_paths_to_source_is_trivial(self, fig11_table1):
+        paths = fig11_table1.paths_to("op1")
+        assert paths == [(["op1"], 1.0)]
+
+    def test_visit_probability_matches_path_sum(self, fig11_table1):
+        for name in fig11_table1.names:
+            path_sum = sum(p for _, p in fig11_table1.paths_to(name))
+            assert math.isclose(
+                fig11_table1.visit_probability(name), path_sum, rel_tol=1e-12
+            )
+
+    def test_visit_probability_of_sinks_sums_to_one(self, diamond):
+        total = sum(diamond.visit_probability(s) for s in diamond.sinks)
+        assert math.isclose(total, 1.0)
+
+    def test_visit_probability_mid_diamond(self):
+        topology = make_diamond(p_left=0.3)
+        assert math.isclose(topology.visit_probability("left"), 0.3)
+        assert math.isclose(topology.visit_probability("right"), 0.7)
+        assert math.isclose(topology.visit_probability("sink"), 1.0)
+
+
+class TestSubgraphConnectivity:
+    def test_connected_subgraph(self, fig11_table1):
+        assert fig11_table1.subgraph_is_connected(["op3", "op4", "op5"])
+
+    def test_disconnected_subgraph(self, fig11_table1):
+        assert not fig11_table1.subgraph_is_connected(["op2", "op3"])
+
+    def test_empty_subgraph_not_connected(self, fig11_table1):
+        assert not fig11_table1.subgraph_is_connected([])
+
+    def test_single_vertex_connected(self, fig11_table1):
+        assert fig11_table1.subgraph_is_connected(["op4"])
+
+
+class TestDerivation:
+    def test_with_replications_keeps_structure(self, fig11_table1):
+        topology = fig11_table1.with_replications({"op4": 2, "op5": 3})
+        assert topology.operator("op4").replication == 2
+        assert topology.operator("op5").replication == 3
+        assert topology.operator("op2").replication == 1
+        assert len(topology.edges) == len(fig11_table1.edges)
+
+    def test_with_operator_replaces_one_spec(self, fig11_table1):
+        replaced = fig11_table1.with_operator(OperatorSpec("op4", 9e-3))
+        assert math.isclose(replaced.operator("op4").service_time, 9e-3)
+        assert math.isclose(fig11_table1.operator("op4").service_time, 2e-3)
+
+    def test_with_operator_unknown_rejected(self, fig11_table1):
+        with pytest.raises(TopologyError, match="unknown operator"):
+            fig11_table1.with_operator(OperatorSpec("ghost", 1e-3))
+
+    def test_describe_mentions_every_operator(self, fig11_table1):
+        text = fig11_table1.describe()
+        for name in fig11_table1.names:
+            assert name in text

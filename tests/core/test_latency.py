@@ -1,0 +1,141 @@
+"""Unit and validation tests for the latency extension."""
+
+import math
+
+import pytest
+
+from repro.core.graph import Edge, OperatorSpec, Topology, TopologyError
+from repro.core.latency import estimate_latency, waiting_time
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11, make_pipeline
+
+
+class TestWaitingTime:
+    def test_deterministic_no_wait_below_saturation(self):
+        assert waiting_time(0.8, 800.0, 1000.0, 64, "deterministic") == 0.0
+
+    def test_saturated_wait_is_buffer_drain(self):
+        wait = waiting_time(1.0, 1200.0, 1000.0, 64, "markovian")
+        assert math.isclose(wait, 64 / 1000.0)
+
+    def test_markovian_grows_with_utilization(self):
+        low = waiting_time(0.3, 300.0, 1000.0, 64, "markovian")
+        high = waiting_time(0.9, 900.0, 1000.0, 64, "markovian")
+        assert high > low > 0.0
+
+    def test_md1_is_half_markovian(self):
+        mm1 = waiting_time(0.5, 500.0, 1000.0, 64, "markovian")
+        md1 = waiting_time(0.5, 500.0, 1000.0, 64, "md1")
+        assert math.isclose(md1, mm1 / 2.0)
+
+    def test_wait_capped_by_buffer(self):
+        # rho = 0.999: the raw M/M/1 wait would exceed the full buffer.
+        wait = waiting_time(0.999, 999.0, 1000.0, 8, "markovian")
+        assert wait <= 8 / 1000.0 + 1e-12
+
+    def test_unknown_assumption_rejected(self):
+        with pytest.raises(TopologyError, match="assumption"):
+            waiting_time(0.5, 1.0, 2.0, 8, "psychic")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            waiting_time(0.5, 1.0, 0.0, 8, "markovian")
+
+
+class TestEstimate:
+    def test_unloaded_deterministic_is_path_service_sum(self):
+        # src -> a -> b, far below saturation: end-to-end latency is
+        # just the service times after the source.
+        topology = make_pipeline(1.0, 0.4, 0.3)
+        estimate = estimate_latency(topology, source_rate=100.0,
+                                    assumption="deterministic")
+        assert math.isclose(estimate.end_to_end, 0.7e-3)
+
+    def test_source_generation_excluded(self, fig11_table1):
+        estimate = estimate_latency(fig11_table1, source_rate=100.0,
+                                    assumption="deterministic")
+        assert estimate.operators["op1"].waiting_time == 0.0
+        # Weighted path sums through op2.. without op1's 1 ms.
+        assert estimate.end_to_end < 3.0e-3
+
+    def test_fig11_path_weighting(self, fig11_table1):
+        estimate = estimate_latency(fig11_table1, source_rate=100.0,
+                                    assumption="deterministic")
+        # 0.7*(1.4) + 0.195*(2.4) + 0.0525*(2.9) + 0.0525*(4.4) ms.
+        expected = (0.7 * 1.4 + 0.195 * 2.4 + 0.0525 * 2.9
+                    + 0.0525 * 4.4) * 1e-3
+        assert math.isclose(estimate.end_to_end, expected, rel_tol=1e-9)
+
+    def test_saturation_adds_buffer_delays(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        relaxed = estimate_latency(topology, source_rate=100.0,
+                                   mailbox_capacity=64)
+        saturated = estimate_latency(topology, mailbox_capacity=64)
+        assert saturated.end_to_end > relaxed.end_to_end * 10
+
+    def test_mailbox_capacity_scales_saturated_latency(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        small = estimate_latency(topology, mailbox_capacity=8)
+        large = estimate_latency(topology, mailbox_capacity=128)
+        assert large.end_to_end > small.end_to_end
+
+    def test_reuses_supplied_analysis(self, fig11_table1):
+        analysis = analyze(fig11_table1, source_rate=500.0)
+        a = estimate_latency(fig11_table1, analysis=analysis)
+        b = estimate_latency(fig11_table1, source_rate=500.0)
+        assert math.isclose(a.end_to_end, b.end_to_end)
+
+    def test_residence_accessors(self, fig11_table1):
+        estimate = estimate_latency(fig11_table1, source_rate=100.0)
+        assert estimate.residence_time("op4") >= 2.0e-3
+        assert estimate.waiting_time("op4") >= 0.0
+
+
+class TestValidationAgainstSimulator:
+    def test_deterministic_unloaded_matches_measurement(self, fig11_table1):
+        estimate = estimate_latency(fig11_table1, source_rate=600.0,
+                                    assumption="deterministic")
+        measured = simulate(
+            fig11_table1,
+            SimulationConfig(items=60_000, seed=5),
+            source_rate=600.0,
+        )
+        assert measured.mean_latency() == pytest.approx(
+            estimate.end_to_end, rel=0.05)
+
+    def test_markovian_matches_exponential_measurement(self, fig11_table1):
+        estimate = estimate_latency(fig11_table1, source_rate=800.0,
+                                    assumption="markovian")
+        measured = simulate(
+            fig11_table1,
+            SimulationConfig(items=100_000, seed=5,
+                             service_family="exponential"),
+            source_rate=800.0,
+        )
+        assert measured.mean_latency() == pytest.approx(
+            estimate.end_to_end, rel=0.15)
+
+    def test_saturated_buffer_latency_matches(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        estimate = estimate_latency(topology, assumption="deterministic",
+                                    mailbox_capacity=64)
+        measured = simulate(topology, SimulationConfig(items=80_000, seed=5))
+        assert measured.mean_latency() == pytest.approx(
+            estimate.end_to_end, rel=0.05)
+
+    def test_latency_monotone_in_load(self, fig11_table1):
+        latencies = []
+        for rate in (400.0, 700.0, 950.0):
+            measured = simulate(
+                fig11_table1,
+                SimulationConfig(items=80_000, seed=5,
+                                 service_family="exponential"),
+                source_rate=rate,
+            )
+            estimate = estimate_latency(fig11_table1, source_rate=rate)
+            latencies.append((estimate.end_to_end, measured.mean_latency()))
+        model = [pair[0] for pair in latencies]
+        meas = [pair[1] for pair in latencies]
+        assert model == sorted(model)
+        assert meas == sorted(meas)

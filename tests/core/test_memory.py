@@ -1,0 +1,120 @@
+"""Tests for the memory-estimation extension."""
+
+import math
+
+import pytest
+
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.core.memory import estimate_memory, memory_report
+from repro.sim.network import SimulationConfig, simulate
+from tests.conftest import make_fig11, make_pipeline
+
+
+def windowed_topology():
+    keys = KeyDistribution.uniform(50)
+    return Topology(
+        [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("agg", 0.5e-3, state=StateKind.PARTITIONED,
+                         keys=keys, input_selectivity=10.0,
+                         operator_args={"length": 1000, "slide": 10}),
+            OperatorSpec("win", 0.4e-3, state=StateKind.STATEFUL,
+                         input_selectivity=10.0,
+                         operator_args={"length": 500, "slide": 10}),
+            OperatorSpec("sink", 0.05e-3, output_selectivity=0.0),
+        ],
+        [Edge("src", "agg"), Edge("agg", "win"), Edge("win", "sink")],
+        name="windowed",
+    )
+
+
+class TestStateMemory:
+    def test_partitioned_state_scales_with_keys(self):
+        estimate = estimate_memory(windowed_topology())
+        # 1000-item windows for each of 50 keys.
+        assert estimate.operators["agg"].state_items == 50_000
+
+    def test_global_window_state(self):
+        estimate = estimate_memory(windowed_topology())
+        assert estimate.operators["win"].state_items == 500
+
+    def test_stateless_operators_hold_no_state(self):
+        estimate = estimate_memory(windowed_topology())
+        assert estimate.operators["src"].state_items == 0.0
+        assert estimate.operators["sink"].state_items == 0.0
+
+
+class TestQueueMemory:
+    def test_source_has_no_queue(self, fig11_table1):
+        estimate = estimate_memory(fig11_table1)
+        assert estimate.operators["op1"].queued_items == 0.0
+
+    def test_saturated_operator_sits_at_full_buffer(self):
+        topology = make_pipeline(1.0, 4.0, 0.5)
+        estimate = estimate_memory(topology, mailbox_capacity=32)
+        assert estimate.operators["op1"].queued_items == pytest.approx(32.0)
+
+    def test_queue_bounded_by_mailbox_times_replicas(self):
+        topology = make_pipeline(1.0, 4.0).with_replications({"op1": 3})
+        estimate = estimate_memory(topology, mailbox_capacity=16)
+        assert estimate.operators["op1"].queued_items <= 16 * 3
+
+    def test_littles_law_matches_simulation(self):
+        # Moderately loaded exponential pipeline: the queued-item
+        # estimate L = lambda * W should track lambda * measured wait.
+        topology = make_pipeline(1.0, 0.8, 0.2)
+        estimate = estimate_memory(topology, assumption="markovian",
+                                   source_rate=900.0)
+        measured = simulate(
+            topology,
+            SimulationConfig(items=100_000, seed=5,
+                             service_family="exponential"),
+            source_rate=900.0,
+        )
+        measured_items = (measured.vertices["op1"].arrival_rate
+                          * measured.mean_wait("op1"))
+        assert estimate.operators["op1"].queued_items == pytest.approx(
+            measured_items, rel=0.35)
+
+
+class TestTotalsAndReport:
+    def test_totals_aggregate(self):
+        estimate = estimate_memory(windowed_topology(), bytes_per_item=100.0)
+        expected_items = sum(op.total_items
+                             for op in estimate.operators.values())
+        assert math.isclose(estimate.total_items, expected_items)
+        assert math.isclose(estimate.total_bytes, expected_items * 100.0)
+
+    def test_heaviest_ranking(self):
+        estimate = estimate_memory(windowed_topology())
+        heaviest = estimate.heaviest(2)
+        assert heaviest[0].name == "agg"
+        assert heaviest[0].total_items >= heaviest[1].total_items
+
+    def test_report_mentions_everything(self):
+        estimate = estimate_memory(windowed_topology())
+        text = memory_report(estimate)
+        for name in windowed_topology().names:
+            assert name in text
+        assert "total:" in text
+
+    def test_invalid_bytes_rejected(self, fig11_table1):
+        with pytest.raises(TopologyError, match="bytes_per_item"):
+            estimate_memory(fig11_table1, bytes_per_item=0.0)
+
+    def test_fusion_reduces_queue_memory(self, fig11_table1):
+        from repro.core.fusion import apply_fusion
+        fused = apply_fusion(fig11_table1, ["op3", "op4", "op5"], "F").fused
+        before = estimate_memory(fig11_table1, source_rate=900.0,
+                                 assumption="markovian")
+        after = estimate_memory(fused, source_rate=900.0,
+                                assumption="markovian")
+        # Three mailboxes collapse into one.
+        assert len(after.operators) < len(before.operators)

@@ -1,0 +1,128 @@
+"""Tests for the multiple-source normalization extension."""
+
+import math
+
+import pytest
+
+from repro.core.graph import Edge, OperatorSpec, TopologyError
+from repro.core.multisource import FICTITIOUS_SOURCE, merge_sources
+from repro.sim.network import SimulationConfig, simulate
+
+
+def two_source_app():
+    operators = [
+        OperatorSpec("clicks", 1.0),    # declared times are replaced
+        OperatorSpec("views", 1.0),
+        OperatorSpec("join", 0.4e-3),
+        OperatorSpec("sink", 0.1e-3, output_selectivity=0.0),
+    ]
+    edges = [
+        Edge("clicks", "join"), Edge("views", "join"), Edge("join", "sink"),
+    ]
+    return operators, edges
+
+
+class TestNormalization:
+    def test_builds_single_source_topology(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 300.0, "views": 700.0})
+        topology = merged.topology
+        assert topology.source == FICTITIOUS_SOURCE
+        assert set(topology.names) == {
+            FICTITIOUS_SOURCE, "clicks", "views", "join", "sink"
+        }
+
+    def test_fictitious_source_rate_is_sum(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 300.0, "views": 700.0})
+        spec = merged.topology.operator(FICTITIOUS_SOURCE)
+        assert math.isclose(spec.service_rate, 1000.0)
+        assert math.isclose(merged.total_rate, 1000.0)
+
+    def test_routing_proportional_to_rates(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 300.0, "views": 700.0})
+        topology = merged.topology
+        assert math.isclose(
+            topology.edge(FICTITIOUS_SOURCE, "clicks").probability, 0.3)
+        assert math.isclose(
+            topology.edge(FICTITIOUS_SOURCE, "views").probability, 0.7)
+
+    def test_sources_receive_their_own_rates(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 300.0, "views": 700.0})
+        analysis = merged.analyze()
+        assert math.isclose(analysis.arrival_rate("clicks"), 300.0)
+        assert math.isclose(analysis.arrival_rate("views"), 700.0)
+
+    def test_merge_point_sees_aggregate(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 300.0, "views": 700.0})
+        analysis = merged.analyze()
+        assert math.isclose(analysis.arrival_rate("join"), 1000.0)
+
+    def test_downstream_bottleneck_throttles_proportionally(self):
+        operators, edges = two_source_app()
+        # join at 0.4 ms handles 2500/s; raise the rates beyond that.
+        merged = merge_sources(operators, edges,
+                               {"clicks": 1500.0, "views": 3500.0})
+        throughputs = merged.source_throughputs()
+        # join caps the total at 2500/s, split 30/70.
+        assert throughputs["clicks"] == pytest.approx(750.0)
+        assert throughputs["views"] == pytest.approx(1750.0)
+
+    def test_simulated_multi_source_matches_model(self):
+        operators, edges = two_source_app()
+        merged = merge_sources(operators, edges,
+                               {"clicks": 1500.0, "views": 3500.0})
+        analysis = merged.analyze()
+        measured = simulate(merged.topology,
+                            SimulationConfig(items=60_000, seed=5))
+        assert measured.throughput_error(analysis) < 0.02
+
+
+class TestValidation:
+    def test_unknown_source_rejected(self):
+        operators, edges = two_source_app()
+        with pytest.raises(TopologyError, match="unknown source"):
+            merge_sources(operators, edges, {"ghost": 100.0})
+
+    def test_non_positive_rate_rejected(self):
+        operators, edges = two_source_app()
+        with pytest.raises(TopologyError, match="positive"):
+            merge_sources(operators, edges,
+                          {"clicks": 0.0, "views": 100.0})
+
+    def test_source_with_inputs_rejected(self):
+        operators, edges = two_source_app()
+        with pytest.raises(TopologyError, match="input edges"):
+            merge_sources(operators, edges,
+                          {"clicks": 100.0, "join": 100.0, "views": 100.0})
+
+    def test_undeclared_roots_rejected(self):
+        operators, edges = two_source_app()
+        with pytest.raises(TopologyError, match="declared as sources"):
+            merge_sources(operators, edges, {"clicks": 100.0})
+
+    def test_reserved_name_rejected(self):
+        operators, edges = two_source_app()
+        operators.append(OperatorSpec(FICTITIOUS_SOURCE, 1e-3))
+        with pytest.raises(TopologyError, match="reserved"):
+            merge_sources(operators, edges,
+                          {"clicks": 100.0, "views": 100.0})
+
+    def test_empty_sources_rejected(self):
+        operators, edges = two_source_app()
+        with pytest.raises(TopologyError, match="at least one"):
+            merge_sources(operators, edges, {})
+
+    def test_single_source_degenerate_case_works(self):
+        operators = [OperatorSpec("only", 1.0), OperatorSpec("sink", 1e-4)]
+        edges = [Edge("only", "sink")]
+        merged = merge_sources(operators, edges, {"only": 500.0})
+        assert math.isclose(merged.analyze().throughput, 500.0)

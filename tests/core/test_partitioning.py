@@ -1,0 +1,137 @@
+"""Unit tests for the key-partitioning heuristics."""
+
+import math
+
+import pytest
+
+from repro.core.graph import KeyDistribution, TopologyError
+from repro.core.partitioning import (
+    PartitionPlan,
+    consistent_hash_partitioning,
+    greedy_partitioning,
+    key_partitioning,
+    partition_shares,
+)
+
+
+class TestGreedy:
+    def test_uniform_keys_balance_perfectly(self):
+        plan = greedy_partitioning(KeyDistribution.uniform(100), 4)
+        assert plan.replicas == 4
+        assert math.isclose(plan.p_max, 0.25, rel_tol=1e-9)
+
+    def test_loads_sum_to_one(self):
+        plan = greedy_partitioning(KeyDistribution.zipf(50, 1.2), 5)
+        assert math.isclose(sum(plan.loads), 1.0, rel_tol=1e-9)
+
+    def test_every_key_assigned(self):
+        keys = KeyDistribution.zipf(30, 1.0)
+        plan = greedy_partitioning(keys, 3)
+        assert set(plan.assignment) == {f"k{i}" for i in range(30)}
+
+    def test_assignment_indices_within_range(self):
+        plan = greedy_partitioning(KeyDistribution.uniform(20), 6)
+        assert all(0 <= index < plan.replicas
+                   for index in plan.assignment.values())
+
+    def test_heavy_key_caps_balance(self):
+        # One key with 60% of the traffic: p_max can never drop below it.
+        keys = KeyDistribution({"hot": 0.6, "a": 0.2, "b": 0.2})
+        plan = greedy_partitioning(keys, 3)
+        assert math.isclose(plan.p_max, 0.6)
+
+    def test_fewer_keys_than_replicas_drops_empty_bins(self):
+        keys = KeyDistribution({"a": 0.5, "b": 0.5})
+        plan = greedy_partitioning(keys, 5)
+        assert plan.replicas == 2
+
+    def test_single_replica_gets_everything(self):
+        plan = greedy_partitioning(KeyDistribution.uniform(10), 1)
+        assert plan.replicas == 1
+        assert math.isclose(plan.p_max, 1.0)
+
+    def test_deterministic(self):
+        keys = KeyDistribution.zipf(40, 1.1)
+        first = greedy_partitioning(keys, 4)
+        second = greedy_partitioning(keys, 4)
+        assert first.assignment == second.assignment
+
+    def test_invalid_replicas_rejected(self):
+        with pytest.raises(TopologyError, match="replicas"):
+            greedy_partitioning(KeyDistribution.uniform(3), 0)
+
+    def test_load_imbalance_at_least_one(self):
+        plan = greedy_partitioning(KeyDistribution.zipf(64, 1.5), 8)
+        assert plan.load_imbalance() >= 1.0
+
+
+class TestConsistentHash:
+    def test_loads_sum_to_one(self):
+        plan = consistent_hash_partitioning(KeyDistribution.uniform(200), 4)
+        assert math.isclose(sum(plan.loads), 1.0, rel_tol=1e-9)
+
+    def test_deterministic_across_calls(self):
+        keys = KeyDistribution.uniform(100)
+        assert (consistent_hash_partitioning(keys, 4).assignment ==
+                consistent_hash_partitioning(keys, 4).assignment)
+
+    def test_reassignment_is_local_when_adding_replica(self):
+        # Consistent hashing's selling point: adding one replica only
+        # moves a fraction of the keys.
+        keys = KeyDistribution.uniform(500)
+        before = consistent_hash_partitioning(keys, 4).assignment
+        after = consistent_hash_partitioning(keys, 5).assignment
+        moved = sum(1 for key in before if before[key] != after[key])
+        assert moved < len(before) * 0.6
+
+    def test_worse_than_greedy_on_skew(self):
+        keys = KeyDistribution.zipf(100, 1.4)
+        greedy = greedy_partitioning(keys, 4)
+        hashed = consistent_hash_partitioning(keys, 4)
+        assert hashed.p_max >= greedy.p_max - 1e-12
+
+    def test_more_virtual_nodes_smooths_uniform_keys(self):
+        keys = KeyDistribution.uniform(2000)
+        rough = consistent_hash_partitioning(keys, 4, virtual_nodes=2)
+        smooth = consistent_hash_partitioning(keys, 4, virtual_nodes=256)
+        assert smooth.p_max <= rough.p_max + 0.02
+
+    def test_invalid_virtual_nodes_rejected(self):
+        with pytest.raises(TopologyError, match="virtual_nodes"):
+            consistent_hash_partitioning(KeyDistribution.uniform(5), 2,
+                                         virtual_nodes=0)
+
+
+class TestEntryPoint:
+    def test_returns_replicas_pmax_and_plan(self):
+        keys = KeyDistribution.uniform(100)
+        replicas, p_max, plan = key_partitioning(keys, 4)
+        assert replicas == 4
+        assert math.isclose(p_max, plan.p_max)
+        assert isinstance(plan, PartitionPlan)
+
+    def test_never_exceeds_requested_replicas(self):
+        keys = KeyDistribution({"a": 0.9, "b": 0.1})
+        replicas, _, _ = key_partitioning(keys, 5)
+        assert replicas <= 5
+
+    def test_consistent_hash_heuristic_selectable(self):
+        keys = KeyDistribution.uniform(64)
+        _, _, plan = key_partitioning(keys, 4, heuristic="consistent-hash")
+        assert math.isclose(sum(plan.loads), 1.0, rel_tol=1e-9)
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(TopologyError, match="heuristic"):
+            key_partitioning(KeyDistribution.uniform(4), 2, heuristic="magic")
+
+    def test_partition_shares_shortcut(self):
+        shares = partition_shares(KeyDistribution.uniform(100), 4)
+        assert len(shares) == 4
+        assert math.isclose(sum(shares), 1.0, rel_tol=1e-9)
+
+    def test_p_max_lower_bound(self):
+        # p_max >= 1/n always, and >= the heaviest key frequency.
+        keys = KeyDistribution.zipf(30, 1.8)
+        replicas, p_max, _ = key_partitioning(keys, 4)
+        assert p_max >= 1.0 / 4 - 1e-12
+        assert p_max >= keys.max_frequency() - 1e-12

@@ -1,0 +1,102 @@
+"""Unit tests for the textual reports (Table 1/2 style)."""
+
+import pytest
+
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.fusion import apply_fusion
+from repro.core.report import (
+    analysis_report,
+    comparison_rows,
+    fission_report,
+    format_table,
+    fusion_report,
+)
+from repro.core.steady_state import analyze
+from tests.conftest import make_pipeline
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [["1", "222"], ["33", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace("  ", "")) == {"-"}
+        # All rows have the same width.
+        assert len({len(line) for line in lines[:2]}) == 1
+
+    def test_non_string_cells_coerced(self):
+        text = format_table(["x"], [[42]])
+        assert "42" in text
+
+
+class TestAnalysisReport:
+    def test_contains_metrics_and_throughput(self, fig11_table1):
+        text = analysis_report(analyze(fig11_table1))
+        assert "mu^-1 (ms)" in text
+        assert "delta^-1 (ms)" in text
+        assert "rho" in text
+        assert "predicted throughput: 1,000" in text
+
+    def test_measured_throughput_and_error(self, fig11_table1):
+        text = analysis_report(analyze(fig11_table1),
+                               measured_throughput=970.0)
+        assert "measured throughput" in text
+        assert "relative error" in text
+        assert "3.00%" in text
+
+    def test_bottlenecks_listed(self):
+        topology = make_pipeline(1.0, 4.0)
+        text = analysis_report(analyze(topology))
+        assert "bottlenecks" in text
+        assert "op1" in text
+
+    def test_no_bottleneck_line_when_clean(self, fig11_table1):
+        text = analysis_report(analyze(fig11_table1))
+        assert "bottlenecks" not in text
+
+
+class TestFissionReport:
+    def test_mentions_replicas_and_outcome(self):
+        topology = make_pipeline(1.0, 3.0)
+        text = fission_report(eliminate_bottlenecks(topology))
+        assert "additional replicas: 2" in text
+        assert "ideal throughput reached" in text
+
+    def test_mentions_residual_bottlenecks(self):
+        from repro.core.graph import Edge, OperatorSpec, StateKind, Topology
+        topology = Topology(
+            [OperatorSpec("src", 1e-3),
+             OperatorSpec("st", 4e-3, state=StateKind.STATEFUL)],
+            [Edge("src", "st")],
+        )
+        text = fission_report(eliminate_bottlenecks(topology))
+        assert "residual bottlenecks: st" in text
+
+    def test_mentions_bound(self):
+        topology = make_pipeline(0.5, 4.0)
+        text = fission_report(eliminate_bottlenecks(topology, max_replicas=5))
+        assert "replica bound: 5" in text
+
+
+class TestFusionReport:
+    def test_feasible_fusion_message(self, fig11_table1):
+        result = apply_fusion(fig11_table1, ["op3", "op4", "op5"], "F")
+        text = fusion_report(result)
+        assert "fusion is feasible" in text
+        assert "F" in text
+
+    def test_alert_on_harmful_fusion(self, fig11_table2):
+        result = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        text = fusion_report(result)
+        assert "ALERT" in text
+        assert "degradation" in text
+
+
+class TestComparisonRows:
+    def test_error_column_computed(self):
+        rows = comparison_rows({"a": 100.0}, {"a": 90.0})
+        assert rows == [["a", "100.0", "90.0", "10.00%"]]
+
+    def test_missing_measurement_is_nan(self):
+        rows = comparison_rows({"a": 100.0}, {})
+        assert rows[0][2] == "nan"

@@ -1,0 +1,275 @@
+"""Unit tests for the steady-state analysis (paper Algorithm 1)."""
+
+import math
+
+import pytest
+
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.core.steady_state import analyze, operator_capacity, predicted_throughput
+from tests.conftest import make_diamond, make_fig11, make_pipeline
+
+
+class TestPipelines:
+    def test_no_bottleneck_passes_source_rate(self):
+        topology = make_pipeline(2.0, 1.0, 0.5)
+        result = analyze(topology)
+        assert math.isclose(result.throughput, 500.0)
+        assert result.bottlenecks == []
+
+    def test_slowest_operator_dictates_throughput(self, pipeline3):
+        # src 1ms, mid 2ms: backpressure caps ingestion at 500/s.
+        result = analyze(pipeline3)
+        assert math.isclose(result.throughput, 500.0)
+        assert result.bottlenecks == ["op1"]
+        assert result.binding_bottleneck == "op1"
+
+    def test_bottleneck_utilization_pinned_at_one(self, pipeline3):
+        result = analyze(pipeline3)
+        assert math.isclose(result.utilization("op1"), 1.0)
+
+    def test_downstream_of_bottleneck_underutilized(self, pipeline3):
+        result = analyze(pipeline3)
+        # op2 is 0.5ms (2000/s capacity) fed at 500/s.
+        assert math.isclose(result.utilization("op2"), 0.25)
+
+    def test_deepest_bottleneck_wins(self):
+        topology = make_pipeline(1.0, 2.0, 4.0)
+        result = analyze(topology)
+        assert math.isclose(result.throughput, 250.0)
+        assert result.binding_bottleneck == "op2"
+
+    def test_every_correction_lowers_source_rate(self):
+        topology = make_pipeline(1.0, 2.0, 4.0)
+        result = analyze(topology)
+        for correction in result.corrections:
+            assert correction.source_rate_after < correction.source_rate_before
+
+    def test_explicit_source_rate_overrides_service_rate(self, pipeline3):
+        result = analyze(pipeline3, source_rate=100.0)
+        assert math.isclose(result.throughput, 100.0)
+        assert result.bottlenecks == []
+
+    def test_source_rate_above_capacity_throttles_source_itself(self):
+        topology = make_pipeline(1.0, 0.5)
+        result = analyze(topology, source_rate=2000.0)
+        # The source can only serve 1000/s.
+        assert math.isclose(result.throughput, 1000.0)
+        assert result.binding_bottleneck == "op0"
+
+    def test_invalid_source_rate_rejected(self, pipeline3):
+        with pytest.raises(TopologyError, match="source rate"):
+            analyze(pipeline3, source_rate=0.0)
+
+    def test_single_operator_topology(self):
+        topology = Topology([OperatorSpec("only", 1e-3)], [])
+        result = analyze(topology)
+        assert math.isclose(result.throughput, 1000.0)
+
+
+class TestBranching:
+    def test_arrival_rates_follow_probabilities(self):
+        topology = make_diamond(left_ms=1.5, right_ms=1.8)  # no bottleneck
+        result = analyze(topology)
+        assert math.isclose(result.arrival_rate("left"), 500.0)
+        assert math.isclose(result.arrival_rate("right"), 500.0)
+
+    def test_merge_sums_branch_departures(self, diamond):
+        result = analyze(diamond)
+        # right (3ms, capacity 333/s) throttles; flows rescale.
+        merged = result.arrival_rate("sink")
+        assert math.isclose(
+            merged,
+            result.departure_rate("left") + result.departure_rate("right"),
+        )
+
+    def test_branch_bottleneck_scales_whole_graph(self):
+        topology = make_diamond(src_ms=1.0, left_ms=2.0, right_ms=4.0,
+                                p_left=0.5)
+        result = analyze(topology)
+        # right capacity 250/s fed at 500/s: rho=2 halves the source.
+        assert math.isclose(result.throughput, 500.0)
+        assert math.isclose(result.utilization("right"), 1.0)
+
+    def test_fig11_throughput(self, fig11_table1):
+        result = analyze(fig11_table1)
+        assert math.isclose(result.throughput, 1000.0)
+        assert result.bottlenecks == []
+
+    def test_fig11_utilizations_match_hand_computation(self, fig11_table1):
+        result = analyze(fig11_table1)
+        assert math.isclose(result.utilization("op2"), 700.0 * 1.2e-3)
+        assert math.isclose(result.utilization("op3"), 300.0 * 0.7e-3)
+        # op4 gets 300*0.35=105/s at 2ms.
+        assert math.isclose(result.utilization("op4"), 105.0 * 2e-3)
+        # op5 gets 300*0.65 + 105*0.5 = 247.5/s at 1.5ms.
+        assert math.isclose(result.utilization("op5"), 247.5 * 1.5e-3)
+
+    def test_flow_conservation_at_sinks(self, fig11_table1):
+        result = analyze(fig11_table1)
+        assert math.isclose(result.sink_rate, result.throughput)
+
+
+class TestSelectivity:
+    def test_output_selectivity_amplifies_departures(self):
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("fm", 1e-3, output_selectivity=3.0),
+            OperatorSpec("sink", 0.1e-3),
+        ]
+        edges = [Edge("src", "fm"), Edge("fm", "sink")]
+        result = analyze(Topology(specs, edges))
+        assert math.isclose(result.departure_rate("fm"), 3000.0)
+        assert math.isclose(result.arrival_rate("sink"), 3000.0)
+
+    def test_input_selectivity_decimates_departures(self):
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("win", 1e-3, input_selectivity=10.0),
+            OperatorSpec("sink", 0.1e-3),
+        ]
+        edges = [Edge("src", "win"), Edge("win", "sink")]
+        result = analyze(Topology(specs, edges))
+        assert math.isclose(result.departure_rate("win"), 100.0)
+
+    def test_utilization_ignores_selectivity(self):
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("win", 1.5e-3, input_selectivity=10.0),
+        ]
+        result = analyze(Topology(specs, [Edge("src", "win")]))
+        # rho = lambda/mu regardless of selectivity (Section 3.4)...
+        assert math.isclose(result.utilization("win"), 1.0)
+        # ...so the window op still throttles the source.
+        assert math.isclose(result.throughput, 1000.0 / 1.5)
+
+    def test_selectivity_driven_bottleneck(self):
+        # flatmap triples the rate; downstream 1ms op saturates at 1000/s
+        # so the source is throttled to 1000/3.
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("fm", 0.2e-3, output_selectivity=3.0),
+            OperatorSpec("slow", 1e-3),
+        ]
+        edges = [Edge("src", "fm"), Edge("fm", "slow")]
+        result = analyze(Topology(specs, edges))
+        assert math.isclose(result.throughput, 1000.0 / 3.0)
+        assert result.binding_bottleneck == "slow"
+
+    def test_sink_with_zero_output_selectivity(self):
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("sink", 0.1e-3, output_selectivity=0.0),
+        ]
+        result = analyze(Topology(specs, [Edge("src", "sink")]))
+        assert math.isclose(result.departure_rate("sink"), 0.0)
+        assert math.isclose(result.arrival_rate("sink"), 1000.0)
+
+
+class TestReplication:
+    def test_stateless_replicas_multiply_capacity(self):
+        topology = make_pipeline(1.0, 3.0).with_replications({"op1": 3})
+        result = analyze(topology)
+        assert math.isclose(result.throughput, 1000.0)
+        assert math.isclose(result.utilization("op1"), 1.0)
+
+    def test_insufficient_replicas_still_bottleneck(self):
+        topology = make_pipeline(1.0, 3.0).with_replications({"op1": 2})
+        result = analyze(topology)
+        assert math.isclose(result.throughput, 2000.0 / 3.0)
+
+    def test_partitioned_capacity_uses_p_max(self):
+        keys = KeyDistribution({"hot": 0.5, "a": 0.25, "b": 0.25})
+        spec = OperatorSpec("keyed", 2e-3, state=StateKind.PARTITIONED,
+                            keys=keys, replication=2)
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), spec], [Edge("src", "keyed")]
+        )
+        capacity, p_max = operator_capacity(topology, "keyed")
+        assert math.isclose(p_max, 0.5)
+        assert math.isclose(capacity, 500.0 / 0.5)
+
+    def test_stateful_cannot_be_replicated(self):
+        spec = OperatorSpec("st", 1e-3, state=StateKind.STATEFUL,
+                            replication=2)
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), spec], [Edge("src", "st")]
+        )
+        with pytest.raises(TopologyError, match="stateful"):
+            operator_capacity(topology, "st")
+
+    def test_single_replica_capacity_is_service_rate(self, pipeline3):
+        capacity, p_max = operator_capacity(pipeline3, "op1")
+        assert math.isclose(capacity, 500.0)
+        assert p_max == 1.0
+
+
+class TestResultApi:
+    def test_underutilized_excludes_source(self, fig11_table1):
+        result = analyze(fig11_table1)
+        lazy = result.underutilized(threshold=0.5)
+        assert "op1" not in lazy
+        assert {"op3", "op4", "op5", "op6"} <= set(lazy)
+
+    def test_bottlenecks_deduplicated_in_order(self):
+        topology = make_pipeline(1.0, 2.0, 4.0)
+        result = analyze(topology)
+        assert result.bottlenecks == ["op1", "op2"]
+
+    def test_predicted_throughput_helper(self, pipeline3):
+        assert math.isclose(predicted_throughput(pipeline3), 500.0)
+
+    def test_rates_present_for_every_operator(self, fig11_table1):
+        result = analyze(fig11_table1)
+        assert set(result.rates) == set(fig11_table1.names)
+
+    def test_capacity_reported(self, pipeline3):
+        result = analyze(pipeline3)
+        assert math.isclose(result.rates["op1"].capacity, 500.0)
+
+    def test_result_is_reproducible(self, fig11_table2):
+        first = analyze(fig11_table2)
+        second = analyze(fig11_table2)
+        for name in fig11_table2.names:
+            assert math.isclose(first.departure_rate(name),
+                                second.departure_rate(name))
+
+
+class TestInvariants:
+    """Paper invariants: 3.1 (utilizations), 3.3 (maintenance), 3.5 (flow)."""
+
+    def test_all_utilizations_at_most_one(self, fig11_table2):
+        result = analyze(fig11_table2)
+        for name in fig11_table2.names:
+            assert result.utilization(name) <= 1.0 + 1e-9
+
+    def test_flow_conservation_per_operator(self, fig11_table1):
+        result = analyze(fig11_table1)
+        for name in fig11_table1.names:
+            spec = fig11_table1.operator(name)
+            rates = result.rates[name]
+            assert math.isclose(
+                rates.departure_rate,
+                min(rates.arrival_rate, rates.capacity) * spec.gain,
+                rel_tol=1e-9,
+            )
+
+    def test_proposition_3_5_sink_rate_equals_source_rate(self):
+        # With unit selectivities the total sink departure rate equals
+        # the source departure rate (Proposition 3.5).
+        topology = make_fig11(5.0, 2.0, 1.5)  # op3 slow: corrections occur
+        result = analyze(topology)
+        assert math.isclose(result.sink_rate, result.throughput, rel_tol=1e-9)
+
+    def test_corrective_factor_is_inverse_utilization(self):
+        topology = make_pipeline(1.0, 4.0)
+        result = analyze(topology)
+        correction = result.corrections[0]
+        ratio = correction.source_rate_before / correction.source_rate_after
+        assert math.isclose(ratio, correction.utilization)

@@ -1,0 +1,133 @@
+"""Unit tests for the windowed aggregation operators."""
+
+import math
+
+import pytest
+
+from repro.core.graph import StateKind
+from repro.operators.aggregates import (
+    STATISTICS,
+    KeyedWindowedAggregate,
+    WeightedMovingAverage,
+    WindowedMax,
+    WindowedMean,
+    WindowedMin,
+    WindowedQuantiles,
+    WindowedStdDev,
+    WindowedSum,
+)
+from repro.operators.base import Record
+
+
+def feed(operator, values, field="value"):
+    """Push values through an operator, returning all emitted records."""
+    outputs = []
+    for value in values:
+        outputs.extend(operator.operator_function(Record({field: value})))
+    return outputs
+
+
+class TestWindowedAggregates:
+    def test_sum_over_window(self):
+        op = WindowedSum(length=3, slide=3)
+        outputs = feed(op, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert [o["aggregate"] for o in outputs] == [6.0, 15.0]
+
+    def test_max_and_min(self):
+        assert feed(WindowedMax(length=4, slide=4),
+                    [3.0, 9.0, 1.0, 5.0])[0]["aggregate"] == 9.0
+        assert feed(WindowedMin(length=4, slide=4),
+                    [3.0, 9.0, 1.0, 5.0])[0]["aggregate"] == 1.0
+
+    def test_mean(self):
+        out = feed(WindowedMean(length=4, slide=4), [1.0, 2.0, 3.0, 4.0])
+        assert math.isclose(out[0]["aggregate"], 2.5)
+
+    def test_weighted_moving_average_weights_recent(self):
+        out = feed(WeightedMovingAverage(length=3, slide=3), [1.0, 1.0, 10.0])
+        # Weights 1,2,3: (1 + 2 + 30) / 6 = 5.5 > plain mean 4.0.
+        assert math.isclose(out[0]["aggregate"], 5.5)
+
+    def test_stddev(self):
+        out = feed(WindowedStdDev(length=4, slide=4), [2.0, 2.0, 2.0, 2.0])
+        assert math.isclose(out[0]["aggregate"], 0.0)
+        out = feed(WindowedStdDev(length=2, slide=2), [0.0, 2.0])
+        assert math.isclose(out[0]["aggregate"], 1.0)
+
+    def test_quantiles(self):
+        op = WindowedQuantiles(length=100, slide=100, quantiles=(0.5, 0.9))
+        out = feed(op, [float(i) for i in range(100)])
+        result = out[0]["aggregate"]
+        assert result["q0.5"] == 50.0
+        assert result["q0.9"] == 90.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError, match="quantile"):
+            WindowedQuantiles(quantiles=(1.5,))
+
+    def test_slide_sets_input_selectivity(self):
+        assert WindowedSum(length=100, slide=10).input_selectivity == 10.0
+
+    def test_stateful_kind(self):
+        assert WindowedSum().state is StateKind.STATEFUL
+
+    def test_no_output_between_slides(self):
+        op = WindowedSum(length=10, slide=5)
+        assert op.operator_function(Record({"value": 1.0})) == []
+
+    def test_output_record_metadata(self):
+        out = feed(WindowedSum(length=2, slide=2), [1.0, 2.0])[0]
+        assert out["kind"] == "WindowedSum"
+        assert out["window_size"] == 2
+
+
+class TestKeyedAggregate:
+    def test_partitioned_kind(self):
+        assert KeyedWindowedAggregate().state is StateKind.PARTITIONED
+
+    def test_independent_windows_per_key(self):
+        op = KeyedWindowedAggregate(length=2, slide=2, statistic="sum")
+        outputs = []
+        for key, value in [("a", 1.0), ("b", 10.0), ("a", 2.0), ("b", 20.0)]:
+            outputs.extend(
+                op.operator_function(Record({"key": key, "value": value}))
+            )
+        by_key = {o["key"]: o["aggregate"] for o in outputs}
+        assert by_key == {"a": 3.0, "b": 30.0}
+
+    def test_key_of_extracts_field(self):
+        op = KeyedWindowedAggregate(key_field="symbol")
+        assert op.key_of(Record({"symbol": "ACME"})) == "ACME"
+        assert op.key_of(Record({})) is None
+
+    def test_named_statistics(self):
+        for name in STATISTICS:
+            op = KeyedWindowedAggregate(length=3, slide=3, statistic=name)
+            out = []
+            for value in [1.0, 2.0, 6.0]:
+                out.extend(op.operator_function(
+                    Record({"key": "k", "value": value})))
+            assert len(out) == 1
+
+    def test_median_statistic(self):
+        op = KeyedWindowedAggregate(length=3, slide=3, statistic="median")
+        out = feed_keyed(op, [5.0, 1.0, 3.0])
+        assert out[0]["aggregate"] == 3.0
+
+    def test_unknown_statistic_rejected(self):
+        with pytest.raises(ValueError, match="unknown statistic"):
+            KeyedWindowedAggregate(statistic="mode")
+
+    def test_custom_aggregator_wins(self):
+        op = KeyedWindowedAggregate(length=2, slide=2,
+                                    aggregator=lambda vs: len(vs))
+        assert feed_keyed(op, [7.0, 8.0])[0]["aggregate"] == 2
+
+
+def feed_keyed(operator, values, key="k"):
+    outputs = []
+    for value in values:
+        outputs.extend(
+            operator.operator_function(Record({"key": key, "value": value}))
+        )
+    return outputs

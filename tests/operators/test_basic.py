@@ -1,0 +1,198 @@
+"""Unit tests for the stateless operators and the base abstractions."""
+
+import math
+
+import pytest
+
+from repro.core.graph import StateKind
+from repro.operators.base import (
+    Operator,
+    Record,
+    WrappedItem,
+    destination_of,
+    instantiate_operator,
+    load_operator_class,
+    unwrap,
+)
+from repro.operators.basic import (
+    ArithmeticMap,
+    FieldMap,
+    Filter,
+    FlatMap,
+    Identity,
+    Projection,
+    Tokenizer,
+    spin_work,
+)
+
+
+class TestRecord:
+    def test_behaves_like_dict(self):
+        record = Record({"a": 1})
+        record["b"] = 2
+        assert record["a"] == 1 and record["b"] == 2
+
+    def test_copy_with_does_not_mutate_original(self):
+        record = Record({"a": 1})
+        derived = record.copy_with(a=2, b=3)
+        assert record == {"a": 1}
+        assert derived == {"a": 2, "b": 3}
+        assert isinstance(derived, Record)
+
+
+class TestWrappedItem:
+    def test_unwrap_transparent_for_plain_items(self):
+        assert unwrap(42) == 42
+
+    def test_unwrap_extracts_payload(self):
+        assert unwrap(WrappedItem(payload="x", destination="op2")) == "x"
+
+    def test_destination_of(self):
+        assert destination_of(WrappedItem("x", "op2")) == "op2"
+        assert destination_of("x") is None
+        assert destination_of(WrappedItem("x")) is None
+
+
+class TestLoading:
+    def test_load_operator_class(self):
+        cls = load_operator_class("repro.operators.basic.Identity")
+        assert cls is Identity
+
+    def test_instantiate_with_args(self):
+        operator = instantiate_operator("repro.operators.basic.FlatMap",
+                                        {"fanout": 3})
+        assert isinstance(operator, FlatMap)
+        assert operator.fanout == 3
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(ImportError):
+            load_operator_class("notdotted")
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ImportError, match="no attribute"):
+            load_operator_class("repro.operators.basic.Ghost")
+
+    def test_non_operator_rejected(self):
+        with pytest.raises(ImportError, match="not an Operator"):
+            load_operator_class("repro.operators.base.Record")
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        record = Record({"value": 1.0})
+        assert Identity().operator_function(record) == [record]
+
+    def test_metadata(self):
+        op = Identity()
+        assert op.state is StateKind.STATELESS
+        assert op.gain == 1.0
+
+
+class TestFieldMap:
+    def test_default_function_applied(self):
+        out = FieldMap("value").operator_function(Record({"value": 2.0}))
+        assert out[0]["value"] == 5.0  # 2 * 2 + 1
+
+    def test_custom_function(self):
+        op = FieldMap("value", fn=lambda v: v * 10)
+        assert op.operator_function(Record({"value": 3.0}))[0]["value"] == 30.0
+
+    def test_missing_field_defaults_to_zero(self):
+        out = FieldMap("value").operator_function(Record({}))
+        assert out[0]["value"] == 1.0
+
+    def test_original_not_mutated(self):
+        record = Record({"value": 2.0})
+        FieldMap("value").operator_function(record)
+        assert record["value"] == 2.0
+
+
+class TestArithmeticMap:
+    def test_touches_all_fields(self):
+        op = ArithmeticMap(fields=("a", "b"))
+        out = op.operator_function(Record({"a": 4.0, "b": 9.0}))[0]
+        assert math.isclose(out["a"], math.sqrt(4.0) + math.sin(4.0))
+        assert math.isclose(out["b"], math.sqrt(9.0) + math.sin(9.0))
+
+    def test_requires_fields(self):
+        with pytest.raises(ValueError, match="at least one field"):
+            ArithmeticMap(fields=())
+
+
+class TestFilter:
+    def test_threshold_semantics(self):
+        op = Filter(threshold=0.5)
+        assert op.operator_function(Record({"value": 0.7})) != []
+        assert op.operator_function(Record({"value": 0.3})) == []
+
+    def test_output_selectivity_documents_pass_rate(self):
+        assert Filter(pass_rate=0.25).output_selectivity == 0.25
+
+    def test_custom_predicate(self):
+        op = Filter(predicate=lambda item: item.get("keep", False))
+        assert op.operator_function(Record({"keep": True})) != []
+        assert op.operator_function(Record({"keep": False})) == []
+
+    def test_empirical_pass_rate_close_to_declared(self):
+        import random
+        rng = random.Random(5)
+        op = Filter(threshold=0.4, pass_rate=0.6)
+        passed = sum(
+            1 for _ in range(5000)
+            if op.operator_function(Record({"value": rng.random()}))
+        )
+        assert abs(passed / 5000 - 0.6) < 0.03
+
+
+class TestFlatMap:
+    def test_emits_fanout_items(self):
+        out = FlatMap(fanout=3).operator_function(Record({"value": 1.0}))
+        assert len(out) == 3
+        assert [item["fragment"] for item in out] == [0, 1, 2]
+
+    def test_gain_equals_fanout(self):
+        assert FlatMap(fanout=4).gain == 4.0
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError, match="fanout"):
+            FlatMap(fanout=0)
+
+
+class TestProjection:
+    def test_keeps_only_selected_fields(self):
+        op = Projection(fields=("a", "c"))
+        out = op.operator_function(Record({"a": 1, "b": 2, "c": 3}))[0]
+        assert out == {"a": 1, "c": 3}
+
+    def test_missing_fields_skipped(self):
+        out = Projection(fields=("a", "z")).operator_function(Record({"a": 1}))
+        assert out[0] == {"a": 1}
+
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            Projection(fields=())
+
+
+class TestTokenizer:
+    def test_one_item_per_token(self):
+        out = Tokenizer().operator_function(Record({"text": "a b c"}))
+        assert [item["token"] for item in out] == ["a", "b", "c"]
+
+    def test_empty_text_emits_nothing(self):
+        assert Tokenizer().operator_function(Record({"text": ""})) == []
+
+
+class TestSpinWork:
+    def test_returns_accumulator(self):
+        assert spin_work(100) > 0.0
+
+    def test_zero_iterations_cheap(self):
+        assert spin_work(0) == 0.0
+
+
+class TestDescribe:
+    def test_mentions_class_state_and_selectivity(self):
+        text = FlatMap(fanout=2).describe()
+        assert "FlatMap" in text
+        assert "stateless" in text
+        assert "1/2" in text

@@ -1,0 +1,68 @@
+"""Unit tests for sources and sinks."""
+
+import pytest
+
+from repro.operators.base import Record
+from repro.operators.source_sink import (
+    CollectingSink,
+    CountingSink,
+    GeneratorSource,
+    IterableSource,
+)
+
+
+class TestGeneratorSource:
+    def test_default_factory_produces_records(self):
+        source = GeneratorSource(seed=3)
+        out = source.operator_function(0)
+        assert len(out) == 1
+        assert {"sequence", "value", "key"} <= set(out[0])
+
+    def test_reproducible_under_seed(self):
+        a = [GeneratorSource(seed=5).operator_function(i)[0]["value"]
+             for i in range(10)]
+        b = [GeneratorSource(seed=5).operator_function(i)[0]["value"]
+             for i in range(10)]
+        assert a == b
+
+    def test_custom_factory(self):
+        source = GeneratorSource(factory=lambda seq, rng: Record({"n": seq}))
+        assert source.operator_function(7)[0] == {"n": 7}
+
+    def test_sequence_passthrough(self):
+        out = GeneratorSource(seed=1).operator_function(42)
+        assert out[0]["sequence"] == 42
+
+
+class TestIterableSource:
+    def test_replays_items_in_order(self):
+        source = IterableSource([1, 2, 3])
+        values = [source.operator_function(None) for _ in range(4)]
+        assert values == [[1], [2], [3], []]
+
+    def test_exhausted_flag(self):
+        source = IterableSource([1])
+        source.operator_function(None)
+        assert not source.exhausted
+        source.operator_function(None)
+        assert source.exhausted
+
+
+class TestSinks:
+    def test_counting_sink(self):
+        sink = CountingSink()
+        for i in range(5):
+            assert sink.operator_function(i) == []
+        assert sink.count == 5
+        assert sink.output_selectivity == 0.0
+
+    def test_collecting_sink_retains_items(self):
+        sink = CollectingSink(capacity=3)
+        for i in range(5):
+            sink.operator_function(i)
+        assert sink.items == [0, 1, 2]
+        assert sink.count == 5
+
+    def test_collecting_sink_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CollectingSink(capacity=0)

@@ -1,0 +1,92 @@
+"""Unit tests for skyline and top-k operators."""
+
+import pytest
+
+from repro.core.graph import StateKind
+from repro.operators.base import Record
+from repro.operators.spatial import SkylineQuery, TopK, dominates, skyline
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable_points(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        assert not dominates((3.0, 1.0), (1.0, 3.0))
+
+    def test_partial_tie_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+
+class TestSkylineFunction:
+    def test_single_point(self):
+        assert skyline([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_dominated_points_removed(self):
+        points = [(1.0, 4.0), (2.0, 2.0), (4.0, 1.0), (3.0, 3.0)]
+        frontier = skyline(points)
+        assert (3.0, 3.0) not in frontier
+        assert set(frontier) == {(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)}
+
+    def test_later_point_can_evict_earlier(self):
+        frontier = skyline([(5.0, 5.0), (1.0, 1.0)])
+        assert frontier == [(1.0, 1.0)]
+
+    def test_empty(self):
+        assert skyline([]) == []
+
+
+class TestSkylineQuery:
+    def test_emits_frontier_every_slide(self):
+        op = SkylineQuery(dimensions=("x", "y"), length=4, slide=4)
+        records = [Record({"x": x, "y": y}) for x, y in
+                   [(1.0, 4.0), (2.0, 2.0), (3.0, 3.0), (4.0, 1.0)]]
+        outputs = []
+        for record in records:
+            outputs.extend(op.operator_function(record))
+        assert len(outputs) == 1
+        assert outputs[0]["size"] == 3
+
+    def test_stateful(self):
+        assert SkylineQuery().state is StateKind.STATEFUL
+
+    def test_requires_dimensions(self):
+        with pytest.raises(ValueError, match="dimension"):
+            SkylineQuery(dimensions=())
+
+    def test_input_selectivity_is_slide(self):
+        assert SkylineQuery(slide=10).input_selectivity == 10.0
+
+
+class TestTopK:
+    def test_returns_k_largest(self):
+        op = TopK(k=2, length=5, slide=5)
+        outputs = []
+        for value in [3.0, 9.0, 1.0, 7.0, 5.0]:
+            outputs.extend(op.operator_function(Record({"value": value})))
+        assert outputs[0]["topk"] == [9.0, 7.0]
+
+    def test_window_smaller_than_k(self):
+        op = TopK(k=10, length=3, slide=3)
+        outputs = []
+        for value in [1.0, 2.0, 3.0]:
+            outputs.extend(op.operator_function(Record({"value": value})))
+        assert outputs[0]["topk"] == [3.0, 2.0, 1.0]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            TopK(k=0)
+
+    def test_sliding_updates_result(self):
+        op = TopK(k=1, length=2, slide=2)
+        first = op.operator_function(Record({"value": 5.0}))
+        out1 = op.operator_function(Record({"value": 9.0}))
+        op.operator_function(Record({"value": 1.0}))
+        out2 = op.operator_function(Record({"value": 2.0}))
+        assert first == []
+        assert out1[0]["topk"] == [9.0]
+        assert out2[0]["topk"] == [2.0]

@@ -1,0 +1,130 @@
+"""Tests for event-time and rate-control operators."""
+
+import pytest
+
+from repro.operators.base import Record
+from repro.operators.temporal import Debounce, EventTimeTumblingWindow, Sampler
+
+
+def feed_times(operator, pairs):
+    """Push (time, value) pairs through an operator, collecting output."""
+    outputs = []
+    for timestamp, value in pairs:
+        outputs.extend(operator.operator_function(
+            Record({"sequence": timestamp, "value": value})))
+    return outputs
+
+
+class TestEventTimeWindow:
+    def test_bucket_emitted_on_rollover(self):
+        window = EventTimeTumblingWindow(width=10.0)
+        outputs = feed_times(window, [(1, 2.0), (5, 4.0), (12, 9.0)])
+        assert len(outputs) == 1
+        assert outputs[0]["window_start"] == 0.0
+        assert outputs[0]["window_end"] == 10.0
+        assert outputs[0]["aggregate"] == pytest.approx(3.0)
+        assert outputs[0]["count"] == 2
+
+    def test_multiple_buckets(self):
+        window = EventTimeTumblingWindow(width=5.0)
+        outputs = feed_times(window, [(0, 1.0), (6, 2.0), (11, 3.0),
+                                      (16, 4.0)])
+        assert [o["window_start"] for o in outputs] == [0.0, 5.0, 10.0]
+
+    def test_gap_skips_empty_buckets(self):
+        window = EventTimeTumblingWindow(width=1.0)
+        outputs = feed_times(window, [(0, 1.0), (100, 2.0)])
+        # Only the populated bucket is emitted, not the 99 empty ones.
+        assert len(outputs) == 1
+
+    def test_late_records_dropped_and_counted(self):
+        window = EventTimeTumblingWindow(width=10.0)
+        feed_times(window, [(5, 1.0), (15, 2.0)])   # bucket 0 emitted
+        outputs = feed_times(window, [(3, 9.0)])    # late for bucket 0
+        assert outputs == []
+        assert window.late_records == 1
+
+    def test_custom_aggregator(self):
+        window = EventTimeTumblingWindow(width=10.0, aggregator=max)
+        outputs = feed_times(window, [(1, 3.0), (2, 8.0), (12, 0.0)])
+        assert outputs[0]["aggregate"] == 8.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            EventTimeTumblingWindow(width=0.0)
+
+    def test_final_partial_bucket_discarded_on_stop(self):
+        window = EventTimeTumblingWindow(width=10.0)
+        feed_times(window, [(1, 1.0)])
+        window.on_stop()
+        outputs = feed_times(window, [(25, 2.0)])
+        assert outputs == []  # the flushed bucket had been discarded
+
+
+class TestDebounce:
+    def test_first_record_always_passes(self):
+        debounce = Debounce(delta=1.0)
+        assert debounce.operator_function(
+            Record({"key": "a", "value": 5.0})) != []
+
+    def test_small_changes_suppressed(self):
+        debounce = Debounce(delta=1.0)
+        debounce.operator_function(Record({"key": "a", "value": 5.0}))
+        assert debounce.operator_function(
+            Record({"key": "a", "value": 5.5})) == []
+
+    def test_large_change_passes_and_rebases(self):
+        debounce = Debounce(delta=1.0)
+        debounce.operator_function(Record({"key": "a", "value": 5.0}))
+        assert debounce.operator_function(
+            Record({"key": "a", "value": 7.0})) != []
+        # The reference moved to 7.0: 6.5 is now within delta.
+        assert debounce.operator_function(
+            Record({"key": "a", "value": 6.5})) == []
+
+    def test_keys_tracked_independently(self):
+        debounce = Debounce(delta=1.0)
+        debounce.operator_function(Record({"key": "a", "value": 5.0}))
+        assert debounce.operator_function(
+            Record({"key": "b", "value": 5.0})) != []
+
+    def test_drift_below_delta_never_forwards(self):
+        # A slow drift that never exceeds delta from the last forwarded
+        # value in one step is suppressed until the cumulative change
+        # exceeds the threshold.
+        debounce = Debounce(delta=1.0)
+        debounce.operator_function(Record({"key": "a", "value": 0.0}))
+        passed = sum(
+            1 for step in range(1, 11)
+            if debounce.operator_function(
+                Record({"key": "a", "value": step * 0.3})) != []
+        )
+        # 0.3/step drift crosses the 1.0 threshold every ~4 steps.
+        assert 1 <= passed <= 3
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError, match="delta"):
+            Debounce(delta=-0.1)
+
+    def test_partitioned_state_kind(self):
+        from repro.core.graph import StateKind
+        assert Debounce().state is StateKind.PARTITIONED
+
+
+class TestSampler:
+    def test_keeps_every_nth(self):
+        sampler = Sampler(every=3)
+        kept = [i for i in range(9)
+                if sampler.operator_function(i) != []]
+        assert kept == [2, 5, 8]
+
+    def test_selectivity_documents_rate(self):
+        assert Sampler(every=4).output_selectivity == 0.25
+
+    def test_every_one_passes_all(self):
+        sampler = Sampler(every=1)
+        assert all(sampler.operator_function(i) == [i] for i in range(5))
+
+    def test_invalid_every(self):
+        with pytest.raises(ValueError, match="every"):
+            Sampler(every=0)

@@ -1,0 +1,59 @@
+"""Unit tests for count-based sliding windows."""
+
+import pytest
+
+from repro.operators.window import CountSlidingWindow
+
+
+class TestFiring:
+    def test_fires_every_slide(self):
+        window = CountSlidingWindow(length=5, slide=2)
+        fires = [window.push(i) for i in range(6)]
+        assert [f is not None for f in fires] == [
+            False, True, False, True, False, True
+        ]
+
+    def test_slide_one_fires_always(self):
+        window = CountSlidingWindow(length=3, slide=1)
+        assert all(window.push(i) is not None for i in range(5))
+
+    def test_window_content_is_last_length_items(self):
+        window = CountSlidingWindow(length=3, slide=3)
+        window.push(1), window.push(2)
+        fired = window.push(3)
+        assert fired == [1, 2, 3]
+        window.push(4), window.push(5)
+        assert window.push(6) == [4, 5, 6]
+
+    def test_partial_window_fires_before_full(self):
+        window = CountSlidingWindow(length=100, slide=2)
+        assert window.push(1) is None
+        assert window.push(2) == [1, 2]
+
+    def test_eviction_bounded_by_length(self):
+        window = CountSlidingWindow(length=2, slide=1)
+        for i in range(10):
+            fired = window.push(i)
+        assert fired == [8, 9]
+        assert len(window) == 2
+
+
+class TestApi:
+    def test_content_without_firing(self):
+        window = CountSlidingWindow(length=4, slide=4)
+        window.push("a")
+        assert window.content() == ["a"]
+
+    def test_full_property(self):
+        window = CountSlidingWindow(length=2, slide=1)
+        assert not window.full
+        window.push(1), window.push(2)
+        assert window.full
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            CountSlidingWindow(length=0, slide=1)
+
+    def test_invalid_slide_rejected(self):
+        with pytest.raises(ValueError, match="slide"):
+            CountSlidingWindow(length=5, slide=0)

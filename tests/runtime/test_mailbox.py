@@ -1,0 +1,143 @@
+"""Unit tests for the bounded BAS mailbox."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        mailbox = BoundedMailbox(4)
+        for i in range(3):
+            assert mailbox.put(i, timeout=0.1)
+        assert [mailbox.get() for _ in range(3)] == [0, 1, 2]
+
+    def test_len_tracks_queue(self):
+        mailbox = BoundedMailbox(4)
+        mailbox.put("a", timeout=0.1)
+        assert len(mailbox) == 1
+        mailbox.get()
+        assert len(mailbox) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            BoundedMailbox(0)
+
+    def test_counters(self):
+        mailbox = BoundedMailbox(2, put_timeout=0.01)
+        mailbox.put("a"), mailbox.put("b")
+        assert not mailbox.put("c")  # dropped after timeout
+        assert mailbox.enqueued == 2
+        assert mailbox.dropped == 1
+        assert mailbox.high_watermark == 2
+
+
+class TestBlocking:
+    def test_put_timeout_drops(self):
+        mailbox = BoundedMailbox(1, put_timeout=0.05)
+        assert mailbox.put("a")
+        started = time.monotonic()
+        assert not mailbox.put("b")
+        assert time.monotonic() - started >= 0.04
+
+    def test_put_unblocks_when_slot_frees(self):
+        mailbox = BoundedMailbox(1)
+        mailbox.put("a", timeout=0.1)
+        results = []
+
+        def sender():
+            results.append(mailbox.put("b", timeout=2.0))
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        time.sleep(0.05)
+        assert mailbox.get() == "a"
+        thread.join(timeout=1.0)
+        assert results == [True]
+        assert mailbox.get() == "b"
+
+    def test_get_timeout_raises(self):
+        mailbox = BoundedMailbox(1)
+        with pytest.raises(TimeoutError):
+            mailbox.get(timeout=0.05)
+
+    def test_get_unblocks_on_put(self):
+        mailbox = BoundedMailbox(1)
+        results = []
+
+        def receiver():
+            results.append(mailbox.get(timeout=2.0))
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        time.sleep(0.05)
+        mailbox.put("x", timeout=0.5)
+        thread.join(timeout=1.0)
+        assert results == ["x"]
+
+    def test_explicit_timeout_overrides_default(self):
+        mailbox = BoundedMailbox(1, put_timeout=10.0)
+        mailbox.put("a")
+        started = time.monotonic()
+        assert not mailbox.put("b", timeout=0.05)
+        assert time.monotonic() - started < 1.0
+
+
+class TestClose:
+    def test_get_after_close_and_drain_raises(self):
+        mailbox = BoundedMailbox(2)
+        mailbox.put("a", timeout=0.1)
+        mailbox.close()
+        assert mailbox.get() == "a"  # drain allowed
+        with pytest.raises(MailboxClosed):
+            mailbox.get()
+
+    def test_put_into_closed_raises(self):
+        mailbox = BoundedMailbox(2)
+        mailbox.close()
+        with pytest.raises(MailboxClosed):
+            mailbox.put("a", timeout=0.1)
+
+    def test_close_wakes_blocked_sender(self):
+        mailbox = BoundedMailbox(1)
+        mailbox.put("a", timeout=0.1)
+        errors = []
+
+        def sender():
+            try:
+                mailbox.put("b", timeout=5.0)
+            except MailboxClosed as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=sender)
+        thread.start()
+        time.sleep(0.05)
+        mailbox.close()
+        thread.join(timeout=1.0)
+        assert len(errors) == 1
+
+    def test_close_wakes_blocked_receiver(self):
+        mailbox = BoundedMailbox(1)
+        errors = []
+
+        def receiver():
+            try:
+                mailbox.get(timeout=5.0)
+            except MailboxClosed as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        time.sleep(0.05)
+        mailbox.close()
+        thread.join(timeout=1.0)
+        assert len(errors) == 1
+
+    def test_closed_property(self):
+        mailbox = BoundedMailbox(1)
+        assert not mailbox.closed
+        mailbox.close()
+        assert mailbox.closed

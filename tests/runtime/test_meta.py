@@ -1,0 +1,205 @@
+"""Unit tests for the meta-operator actor (paper Algorithm 4)."""
+
+import threading
+
+import pytest
+
+from repro.core.fusion import plan_fusion
+from repro.operators.base import Operator, Record, WrappedItem
+from repro.operators.basic import Filter, Identity
+from repro.runtime.actors import Router, Target
+from repro.runtime.mailbox import BoundedMailbox
+from repro.runtime.meta import MetaOperatorActor
+from tests.conftest import make_fig11, make_pipeline
+
+
+class Tagger(Operator):
+    """Appends its own name to the item's trail (records the path)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def operator_function(self, item):
+        trail = list(item.get("trail", []))
+        trail.append(self.tag)
+        return [item.copy_with(trail=trail)]
+
+
+def build_meta(topology, members, member_ops, external_targets, seed=1):
+    plan = plan_fusion(topology, members, fused_name="F")
+    router = Router("F")
+    targets = {}
+    for name in external_targets:
+        target = Target(name, BoundedMailbox(8192, put_timeout=0.05))
+        router.add(1.0 / len(external_targets), target)
+        targets[name] = target
+    actor = MetaOperatorActor(
+        name="F", plan=plan, members=member_ops, router=router,
+        mailbox=BoundedMailbox(64), stop_event=threading.Event(), seed=seed,
+    )
+    return actor, targets
+
+
+class TestSequentialComposition:
+    def test_pipeline_members_applied_in_order(self):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Tagger("op1"), "op2": Tagger("op2")},
+            ["op3"],
+        )
+        actor.handle((Record({}), "op0"))
+        payload, origin = targets["op3"].mailbox.get()
+        assert payload["trail"] == ["op1", "op2"]
+        assert origin == "F"
+
+    def test_counters_track_one_activation(self):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, _ = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Tagger("op1"), "op2": Tagger("op2")},
+            ["op3"],
+        )
+        actor.handle((Record({}), "op0"))
+        assert actor.counters.received == 1
+        assert actor.counters.processed == 1
+        assert actor.counters.emitted == 1
+
+    def test_filter_inside_fusion_consumes_item(self):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Filter(threshold=0.5), "op2": Tagger("op2")},
+            ["op3"],
+        )
+        actor.handle((Record({"value": 0.1}), "op0"))
+        assert len(targets["op3"].mailbox) == 0
+        actor.handle((Record({"value": 0.9}), "op0"))
+        assert len(targets["op3"].mailbox) == 1
+
+    def test_missing_member_operator_rejected(self):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="missing member"):
+            build_meta(topology, ["op1", "op2"], {"op1": Tagger("op1")},
+                       ["op3"])
+
+
+class TestBranchingSubgraph:
+    def test_fig11_paths_exit_to_op6(self, fig11_table1):
+        actor, targets = build_meta(
+            fig11_table1, ["op3", "op4", "op5"],
+            {"op3": Tagger("op3"), "op4": Tagger("op4"),
+             "op5": Tagger("op5")},
+            ["op6"], seed=3,
+        )
+        for _ in range(300):
+            actor.handle((Record({}), "op1"))
+        trails = []
+        while len(targets["op6"].mailbox):
+            payload, _ = targets["op6"].mailbox.get()
+            trails.append(tuple(payload["trail"]))
+        assert len(trails) == 300
+        observed = set(trails)
+        # All paths start at the front-end op3.
+        assert all(t[0] == "op3" for t in observed)
+        # The three possible routes through the sub-graph all occur.
+        assert ("op3", "op5") in observed
+        assert ("op3", "op4", "op5") in observed or \
+               ("op3", "op4") in observed
+
+    def test_path_probabilities_roughly_respected(self, fig11_table1):
+        actor, targets = build_meta(
+            fig11_table1, ["op3", "op4", "op5"],
+            {"op3": Tagger("op3"), "op4": Tagger("op4"),
+             "op5": Tagger("op5")},
+            ["op6"], seed=7,
+        )
+        n = 2000
+        for _ in range(n):
+            actor.handle((Record({}), "op1"))
+        via_op4 = 0
+        while len(targets["op6"].mailbox):
+            payload, _ = targets["op6"].mailbox.get()
+            if "op4" in payload["trail"]:
+                via_op4 += 1
+        assert abs(via_op4 / n - 0.35) < 0.04
+
+
+class TestPinnedDestinations:
+    def test_member_can_pin_internal_destination(self):
+        class PinToOp2(Operator):
+            def operator_function(self, item):
+                return [WrappedItem(item, destination="op2")]
+
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": PinToOp2(), "op2": Tagger("op2")},
+            ["op3"],
+        )
+        actor.handle((Record({}), "op0"))
+        payload, _ = targets["op3"].mailbox.get()
+        assert payload["trail"] == ["op2"]
+
+
+class TestLifecycle:
+    def test_member_hooks_called(self):
+        events = []
+
+        class Hooked(Identity):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_start(self):
+                events.append(("start", self.tag))
+
+            def on_stop(self):
+                events.append(("stop", self.tag))
+
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, _ = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Hooked("op1"), "op2": Hooked("op2")},
+            ["op3"],
+        )
+        actor.on_start()
+        actor.on_stop()
+        assert ("start", "op1") in events and ("stop", "op2") in events
+
+
+class TestSelectivityInsideFusion:
+    def test_windowed_member_decimates(self):
+        """Algorithm 4 with a selectivity > 1 member (paper Section 4.2).
+
+        A fused count-window aggregate emits once per slide: the meta
+        operator forwards only those activations downstream.
+        """
+        from repro.operators.aggregates import WindowedSum
+
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": WindowedSum(length=10, slide=5, field="value"),
+             "op2": Tagger("op2")},
+            ["op3"],
+        )
+        for i in range(20):
+            actor.handle((Record({"value": float(i)}), "op0"))
+        # 20 inputs / slide 5 = 4 windows emitted through op2 to op3.
+        assert len(targets["op3"].mailbox) == 4
+        payload, _ = targets["op3"].mailbox.get()
+        assert payload["trail"] == ["op2"]
+        assert payload["aggregate"] == sum(range(5))  # first firing
+
+    def test_flatmap_member_amplifies(self):
+        from repro.operators.basic import FlatMap
+
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": FlatMap(fanout=3), "op2": Tagger("op2")},
+            ["op3"],
+        )
+        actor.handle((Record({"value": 1.0}), "op0"))
+        # One input, three fragments, each through op2.
+        assert len(targets["op3"].mailbox) == 3

@@ -1,0 +1,102 @@
+"""Unit tests for service-time distributions."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.sim.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    LogNormal,
+    Uniform,
+    make_distribution,
+)
+
+
+def sample_mean(dist, n=20_000, seed=9):
+    rng = random.Random(seed)
+    return statistics.fmean(dist.sample(rng) for _ in range(n))
+
+
+class TestFamilies:
+    def test_deterministic_is_constant(self):
+        dist = Deterministic(0.004)
+        rng = random.Random(1)
+        assert all(dist.sample(rng) == 0.004 for _ in range(10))
+
+    def test_exponential_mean(self):
+        assert sample_mean(Exponential(0.01)) == pytest.approx(0.01, rel=0.05)
+
+    def test_uniform_mean_and_bounds(self):
+        dist = Uniform(0.01, spread=0.5)
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for _ in range(1000)]
+        assert min(samples) >= 0.005
+        assert max(samples) <= 0.015
+        assert statistics.fmean(samples) == pytest.approx(0.01, rel=0.05)
+
+    def test_lognormal_mean_and_cv(self):
+        dist = LogNormal(0.01, cv=0.5)
+        rng = random.Random(3)
+        samples = [dist.sample(rng) for _ in range(50_000)]
+        mean = statistics.fmean(samples)
+        cv = statistics.pstdev(samples) / mean
+        assert mean == pytest.approx(0.01, rel=0.05)
+        assert cv == pytest.approx(0.5, rel=0.1)
+
+    def test_erlang_mean_and_reduced_variance(self):
+        dist = Erlang(0.01, k=4)
+        rng = random.Random(4)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        mean = statistics.fmean(samples)
+        cv = statistics.pstdev(samples) / mean
+        assert mean == pytest.approx(0.01, rel=0.05)
+        assert cv == pytest.approx(0.5, rel=0.15)  # 1/sqrt(4)
+
+    def test_all_samples_positive(self):
+        rng = random.Random(5)
+        for dist in (Exponential(1e-4), LogNormal(1e-4), Erlang(1e-4),
+                     Uniform(1e-4)):
+            assert all(dist.sample(rng) > 0.0 for _ in range(100))
+
+
+class TestValidation:
+    def test_non_positive_mean_rejected(self):
+        for cls in (Deterministic, Exponential, LogNormal, Erlang, Uniform):
+            with pytest.raises(ValueError, match="mean"):
+                cls(0.0)
+
+    def test_uniform_spread_bounds(self):
+        with pytest.raises(ValueError, match="spread"):
+            Uniform(1.0, spread=1.0)
+
+    def test_lognormal_cv_positive(self):
+        with pytest.raises(ValueError, match="cv"):
+            LogNormal(1.0, cv=0.0)
+
+    def test_erlang_k_positive(self):
+        with pytest.raises(ValueError, match="k"):
+            Erlang(1.0, k=0)
+
+
+class TestFactory:
+    def test_all_families_constructible(self):
+        for family in ("deterministic", "exponential", "uniform",
+                       "lognormal", "erlang"):
+            dist = make_distribution(family, 0.01)
+            assert dist.mean == 0.01
+
+    def test_cv_forwarded(self):
+        dist = make_distribution("lognormal", 0.01, cv=0.8)
+        assert dist.cv == 0.8
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_distribution("pareto", 0.01)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_distribution(" Deterministic ", 1.0),
+                          Deterministic)

@@ -1,0 +1,265 @@
+"""Unit tests for the discrete-event engine (BAS queueing networks)."""
+
+import math
+
+import pytest
+
+from repro.sim.distributions import Deterministic
+from repro.sim.engine import Engine, SimulationError, Station
+
+
+def make_station(name, mean, capacity=8, servers=1, gain=1.0,
+                 is_source=False):
+    return Station(
+        name=name,
+        vertex=name,
+        dist=Deterministic(mean),
+        gain=gain,
+        capacity=capacity,
+        n_servers=servers,
+        is_source=is_source,
+    )
+
+
+def wire(sender: Station, receiver: Station, probability: float = 1.0):
+    sender.add_route(lambda rng, target=receiver: target, probability)
+
+
+class TestValidation:
+    def test_station_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError, match="capacity"):
+            make_station("a", 1e-3, capacity=0)
+
+    def test_station_needs_servers(self):
+        with pytest.raises(SimulationError, match="server"):
+            make_station("a", 1e-3, servers=0)
+
+    def test_unknown_routing_mode(self):
+        with pytest.raises(SimulationError, match="routing"):
+            Engine([make_station("a", 1e-3, is_source=True)], routing="fancy")
+
+    def test_run_needs_positive_horizon(self):
+        engine = Engine([make_station("a", 1e-3, is_source=True)])
+        with pytest.raises(SimulationError, match="until"):
+            engine.run(until=0.0)
+
+    def test_warmup_must_precede_horizon(self):
+        engine = Engine([make_station("a", 1e-3, is_source=True)])
+        with pytest.raises(SimulationError, match="warmup"):
+            engine.run(until=1.0, warmup=1.0)
+
+
+class TestSingleStage:
+    def test_source_rate_matches_service_time(self):
+        source = make_station("src", 1e-3, is_source=True)
+        engine = Engine([source])
+        measurements = engine.run(until=10.0, warmup=1.0)
+        rate = measurements.stations["src"].consumption_rate
+        assert rate == pytest.approx(1000.0, rel=0.01)
+
+    def test_pipeline_passes_rate_through(self):
+        source = make_station("src", 1e-3, is_source=True)
+        work = make_station("work", 0.5e-3)
+        wire(source, work)
+        engine = Engine([source, work])
+        m = engine.run(until=10.0, warmup=1.0)
+        assert m.stations["work"].arrival_rate == pytest.approx(1000.0,
+                                                                rel=0.01)
+        assert m.stations["work"].utilization == pytest.approx(0.5, rel=0.05)
+
+
+class TestBackpressure:
+    def test_bottleneck_throttles_source(self):
+        source = make_station("src", 1e-3, is_source=True)
+        slow = make_station("slow", 4e-3)
+        wire(source, slow)
+        engine = Engine([source, slow])
+        m = engine.run(until=20.0, warmup=4.0)
+        assert m.stations["src"].consumption_rate == pytest.approx(250.0,
+                                                                   rel=0.02)
+        assert m.stations["slow"].utilization == pytest.approx(1.0, rel=0.02)
+
+    def test_source_accumulates_blocked_time(self):
+        source = make_station("src", 1e-3, is_source=True)
+        slow = make_station("slow", 4e-3)
+        wire(source, slow)
+        engine = Engine([source, slow])
+        m = engine.run(until=20.0, warmup=4.0)
+        assert m.stations["src"].blocked_fraction > 0.5
+
+    def test_backpressure_propagates_two_hops(self):
+        source = make_station("src", 1e-3, is_source=True)
+        mid = make_station("mid", 1e-3)
+        slow = make_station("slow", 5e-3)
+        wire(source, mid)
+        wire(mid, slow)
+        engine = Engine([source, mid, slow])
+        m = engine.run(until=30.0, warmup=6.0)
+        assert m.stations["src"].consumption_rate == pytest.approx(200.0,
+                                                                   rel=0.02)
+        assert m.stations["mid"].blocked_fraction > 0.5
+
+    def test_multi_server_station_multiplies_capacity(self):
+        source = make_station("src", 1e-3, is_source=True)
+        par = make_station("par", 3e-3, servers=3)
+        wire(source, par)
+        engine = Engine([source, par])
+        m = engine.run(until=20.0, warmup=4.0)
+        assert m.stations["src"].consumption_rate == pytest.approx(1000.0,
+                                                                   rel=0.02)
+
+    def test_small_capacity_still_converges(self):
+        source = make_station("src", 1e-3, is_source=True, capacity=1)
+        slow = make_station("slow", 2e-3, capacity=1)
+        wire(source, slow)
+        engine = Engine([source, slow])
+        m = engine.run(until=20.0, warmup=4.0)
+        assert m.stations["src"].consumption_rate == pytest.approx(500.0,
+                                                                   rel=0.03)
+
+
+class TestSelectivity:
+    def test_gain_above_one_amplifies(self):
+        source = make_station("src", 1e-3, is_source=True, gain=3.0)
+        sink = make_station("sink", 0.05e-3)
+        wire(source, sink)
+        engine = Engine([source, sink])
+        m = engine.run(until=10.0, warmup=2.0)
+        assert m.stations["sink"].arrival_rate == pytest.approx(3000.0,
+                                                                rel=0.02)
+
+    def test_fractional_gain_decimates(self):
+        source = make_station("src", 1e-3, is_source=True)
+        win = make_station("win", 1e-3, gain=0.1)
+        sink = make_station("sink", 0.05e-3)
+        wire(source, win)
+        wire(win, sink)
+        engine = Engine([source, win, sink])
+        m = engine.run(until=20.0, warmup=4.0)
+        assert m.stations["sink"].arrival_rate == pytest.approx(100.0,
+                                                                rel=0.05)
+
+    def test_sink_emissions_counted_without_routes(self):
+        source = make_station("src", 1e-3, is_source=True)
+        sink = make_station("sink", 0.1e-3)
+        wire(source, sink)
+        engine = Engine([source, sink])
+        m = engine.run(until=10.0, warmup=2.0)
+        assert m.stations["sink"].departure_rate == pytest.approx(1000.0,
+                                                                  rel=0.02)
+
+
+class TestRouting:
+    def _fanout_network(self, routing, p=0.3):
+        source = make_station("src", 1e-3, is_source=True)
+        a = make_station("a", 0.1e-3)
+        b = make_station("b", 0.1e-3)
+        wire(source, a, p)
+        wire(source, b, 1.0 - p)
+        engine = Engine([source, a, b], seed=7, routing=routing)
+        return engine, source
+
+    @pytest.mark.parametrize("routing,tolerance", [
+        ("stochastic", 0.05), ("proportional", 0.001),
+    ])
+    def test_split_matches_probabilities(self, routing, tolerance):
+        engine, _ = self._fanout_network(routing)
+        m = engine.run(until=20.0, warmup=2.0)
+        ratio = (m.stations["a"].arrival_rate /
+                 (m.stations["a"].arrival_rate + m.stations["b"].arrival_rate))
+        assert abs(ratio - 0.3) < tolerance
+
+    def test_edge_counts_recorded(self):
+        engine, source = self._fanout_network("proportional")
+        engine.run(until=5.0, warmup=0.5)
+        assert len(source.edge_counts) == 2
+        assert sum(source.edge_counts) > 0
+
+    def test_proportional_routing_deterministic(self):
+        first, _ = self._fanout_network("proportional")
+        second, _ = self._fanout_network("proportional")
+        m1 = first.run(until=5.0, warmup=1.0)
+        m2 = second.run(until=5.0, warmup=1.0)
+        assert (m1.stations["a"].arrival_rate
+                == m2.stations["a"].arrival_rate)
+
+
+class TestMeasurements:
+    def test_vertex_rates_aggregate_substations(self):
+        # 1.6 ms per sub-station: each runs at rho = 0.8, comfortably
+        # below saturation (at exactly rho = 1 stochastic routing noise
+        # would legitimately shave a few percent off the throughput).
+        source = make_station("src", 1e-3, is_source=True)
+        part_a = Station("keyed#0", "keyed", Deterministic(1.6e-3), 1.0, 8, 1)
+        part_b = Station("keyed#1", "keyed", Deterministic(1.6e-3), 1.0, 8, 1)
+
+        def resolver(rng):
+            return part_a if rng.random() < 0.5 else part_b
+
+        source.add_route(resolver, 1.0)
+        engine = Engine([source, part_a, part_b], seed=3)
+        m = engine.run(until=20.0, warmup=4.0)
+        vertices = m.vertex_rates()
+        assert set(vertices) == {"src", "keyed"}
+        combined = vertices["keyed"].arrival_rate
+        assert combined == pytest.approx(1000.0, rel=0.03)
+
+    def test_warmup_excludes_transient(self):
+        # With a full warmup snapshot the measured rate ignores the
+        # initial burst into empty buffers.
+        source = make_station("src", 1e-3, is_source=True)
+        slow = make_station("slow", 4e-3, capacity=64)
+        wire(source, slow)
+        engine = Engine([source, slow])
+        m = engine.run(until=40.0, warmup=20.0)
+        assert m.stations["src"].consumption_rate == pytest.approx(250.0,
+                                                                   rel=0.01)
+
+    def test_duration_reported(self):
+        source = make_station("src", 1e-3, is_source=True)
+        engine = Engine([source])
+        m = engine.run(until=3.0, warmup=1.0)
+        assert math.isclose(m.duration, 2.0)
+
+
+class TestLatencyTracking:
+    def _pipeline(self, work_mean, capacity=64):
+        source = make_station("src", 1e-3, is_source=True)
+        work = make_station("work", work_mean, capacity=capacity)
+        sink = make_station("sink", 0.05e-3, capacity=capacity)
+        wire(source, work)
+        wire(work, sink)
+        return Engine([source, work, sink]), sink
+
+    def test_unloaded_latency_is_service_sum(self):
+        engine, sink = self._pipeline(0.4e-3)
+        m = engine.run(until=10.0, warmup=2.0)
+        latency = m.stations["sink"].mean_latency
+        # work (0.4 ms) + sink (0.05 ms); queues are empty.
+        assert latency == pytest.approx(0.45e-3, rel=0.05)
+
+    def test_saturated_latency_includes_full_buffer(self):
+        engine, sink = self._pipeline(4e-3, capacity=16)
+        m = engine.run(until=40.0, warmup=20.0)
+        latency = m.stations["sink"].mean_latency
+        # 16 queued items at 4 ms each dominate: ~64 ms + service.
+        assert latency == pytest.approx(16 * 4e-3, rel=0.15)
+
+    def test_wait_measured_at_saturated_station(self):
+        engine, _ = self._pipeline(4e-3, capacity=16)
+        m = engine.run(until=40.0, warmup=20.0)
+        assert m.stations["work"].mean_wait == pytest.approx(
+            16 * 4e-3, rel=0.15)
+
+    def test_latency_only_recorded_at_sinks(self):
+        engine, _ = self._pipeline(0.4e-3)
+        m = engine.run(until=5.0, warmup=1.0)
+        assert m.stations["work"].mean_latency is None
+        assert m.stations["sink"].latency_samples > 0
+
+    def test_vertex_rates_aggregate_latency(self):
+        engine, _ = self._pipeline(0.4e-3)
+        m = engine.run(until=5.0, warmup=1.0)
+        vertices = m.vertex_rates()
+        assert vertices["sink"].mean_latency is not None
+        assert vertices["work"].mean_latency is None

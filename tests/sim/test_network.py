@@ -1,0 +1,163 @@
+"""Integration tests: abstract topologies on the discrete-event backend."""
+
+import math
+
+import pytest
+
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.fusion import apply_fusion
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.core.steady_state import analyze
+from repro.sim.network import (
+    SimulationConfig,
+    build_engine,
+    measured_edge_probabilities,
+    simulate,
+)
+from tests.conftest import make_fig11, make_pipeline
+
+
+FAST = SimulationConfig(items=40_000, seed=3)
+
+
+class TestPredictionAgreement:
+    def test_clean_pipeline(self):
+        topology = make_pipeline(1.0, 0.7, 0.4)
+        predicted = analyze(topology)
+        measured = simulate(topology, FAST)
+        assert measured.throughput_error(predicted) < 0.01
+
+    def test_bottlenecked_pipeline(self):
+        topology = make_pipeline(1.0, 2.5, 0.4)
+        predicted = analyze(topology)
+        measured = simulate(topology, FAST)
+        assert measured.throughput_error(predicted) < 0.01
+
+    def test_fig11(self, fig11_table1):
+        predicted = analyze(fig11_table1)
+        measured = simulate(fig11_table1, FAST)
+        assert measured.throughput_error(predicted) < 0.01
+
+    def test_fused_fig11_table2(self, fig11_table2):
+        fusion = apply_fusion(fig11_table2, ["op3", "op4", "op5"], "F")
+        measured = simulate(fusion.fused, FAST)
+        assert measured.throughput_error(fusion.analysis_after) < 0.02
+
+    def test_per_operator_departures(self, fig11_table1):
+        predicted = analyze(fig11_table1)
+        measured = simulate(fig11_table1, SimulationConfig(items=100_000))
+        errors = measured.departure_errors(predicted)
+        assert set(errors) == set(fig11_table1.names)
+        assert max(errors.values()) < 0.05
+
+    def test_selectivity_topology(self):
+        specs = [
+            OperatorSpec("src", 1e-3),
+            OperatorSpec("fm", 0.2e-3, output_selectivity=3.0),
+            OperatorSpec("win", 0.2e-3, input_selectivity=10.0),
+            OperatorSpec("sink", 0.05e-3, output_selectivity=0.0),
+        ]
+        edges = [Edge("src", "fm"), Edge("fm", "win"), Edge("win", "sink")]
+        topology = Topology(specs, edges)
+        predicted = analyze(topology)
+        measured = simulate(topology, FAST)
+        assert measured.throughput_error(predicted) < 0.01
+        assert measured.departure_rate("win") == pytest.approx(
+            predicted.departure_rate("win"), rel=0.05
+        )
+
+
+class TestReplication:
+    def test_stateless_replicas_measured(self):
+        topology = make_pipeline(1.0, 3.0)
+        result = eliminate_bottlenecks(topology)
+        measured = simulate(result.optimized, FAST)
+        assert measured.throughput == pytest.approx(1000.0, rel=0.02)
+
+    def test_partitioned_replicas_split_by_shares(self):
+        keys = KeyDistribution.uniform(99)
+        spec = OperatorSpec("keyed", 2.5e-3, state=StateKind.PARTITIONED,
+                            keys=keys, replication=3)
+        topology = Topology(
+            [OperatorSpec("src", 1e-3), spec], [Edge("src", "keyed")]
+        )
+        measured = simulate(topology, FAST)
+        # Three sub-stations, each ~1/3 of the load.
+        substations = [
+            m for m in measured.measurements.stations.values()
+            if m.vertex == "keyed"
+        ]
+        assert len(substations) == 3
+        total = sum(m.arrival_rate for m in substations)
+        for m in substations:
+            assert m.arrival_rate / total == pytest.approx(1 / 3, abs=0.02)
+
+    def test_skewed_partitioned_replica_is_hotspot(self):
+        keys = KeyDistribution({"hot": 0.6, "a": 0.2, "b": 0.2})
+        spec = OperatorSpec("keyed", 1e-3, state=StateKind.PARTITIONED,
+                            keys=keys, replication=2)
+        topology = Topology(
+            [OperatorSpec("src", 2e-3), spec], [Edge("src", "keyed")]
+        )
+        measured = simulate(topology, FAST)
+        utils = [m.utilization
+                 for m in measured.measurements.stations.values()
+                 if m.vertex == "keyed"]
+        # Shares are 0.6 / 0.4, so the hot replica works ~1.5x harder.
+        assert max(utils) == pytest.approx(1.5 * min(utils), rel=0.1)
+
+
+class TestConfiguration:
+    def test_invalid_source_rate_rejected(self, pipeline3):
+        with pytest.raises(TopologyError, match="source rate"):
+            simulate(pipeline3, FAST, source_rate=-5.0)
+
+    def test_explicit_source_rate(self, pipeline3):
+        measured = simulate(pipeline3, FAST, source_rate=200.0)
+        assert measured.throughput == pytest.approx(200.0, rel=0.02)
+
+    def test_seed_reproducibility(self, fig11_table1):
+        a = simulate(fig11_table1, SimulationConfig(items=20_000, seed=5))
+        b = simulate(fig11_table1, SimulationConfig(items=20_000, seed=5))
+        for name in fig11_table1.names:
+            assert a.departure_rate(name) == b.departure_rate(name)
+
+    def test_exponential_services_still_converge(self, fig11_table1):
+        config = SimulationConfig(items=100_000, seed=5,
+                                  service_family="exponential")
+        predicted = analyze(fig11_table1)
+        measured = simulate(fig11_table1, config)
+        # Stochastic services blur the fluid model slightly; flow
+        # conservation still holds within a few percent.
+        assert measured.throughput_error(predicted) < 0.08
+
+    def test_build_engine_returns_rate(self, pipeline3):
+        engine, rate = build_engine(pipeline3, FAST)
+        assert math.isclose(rate, 1000.0)
+        assert len(engine.stations) == 3
+
+
+class TestEdgeProbabilityMeasurement:
+    def test_measured_probabilities_close_to_declared(self, fig11_table1):
+        measured = simulate(fig11_table1, SimulationConfig(items=100_000))
+        probabilities = measured_edge_probabilities(measured)
+        for edge in fig11_table1.edges:
+            declared = edge.probability
+            empirical = probabilities[(edge.source, edge.target)]
+            assert empirical == pytest.approx(declared, abs=0.02)
+
+    def test_proportional_routing_is_exact(self, fig11_table1):
+        config = SimulationConfig(items=50_000, routing="proportional")
+        measured = simulate(fig11_table1, config)
+        probabilities = measured_edge_probabilities(measured)
+        for edge in fig11_table1.edges:
+            assert probabilities[(edge.source, edge.target)] == pytest.approx(
+                edge.probability, abs=0.002
+            )

@@ -1,0 +1,136 @@
+"""Tests for the reactive-elasticity baseline."""
+
+import pytest
+
+from repro.baselines.elasticity import (
+    ElasticityConfig,
+    ReactiveController,
+    WorkloadPhase,
+    run_elastic,
+    run_static,
+)
+from repro.core.graph import Edge, OperatorSpec, StateKind, Topology, TopologyError
+from repro.sim.network import SimulationConfig
+from tests.conftest import make_pipeline
+
+FAST_SIM = SimulationConfig(items=10_000, seed=3)
+
+
+class TestValidation:
+    def test_phase_validation(self):
+        with pytest.raises(TopologyError, match="rate"):
+            WorkloadPhase(rate=0.0, duration=1.0)
+        with pytest.raises(TopologyError, match="duration"):
+            WorkloadPhase(rate=10.0, duration=0.0)
+
+    def test_config_watermarks(self):
+        with pytest.raises(TopologyError, match="watermarks"):
+            ElasticityConfig(high_watermark=0.3, low_watermark=0.5)
+
+    def test_static_needs_phases(self):
+        with pytest.raises(TopologyError, match="phase"):
+            run_static(make_pipeline(1.0, 2.0), [])
+
+
+class TestController:
+    def _controller(self, topology=None, **kwargs):
+        topology = topology or make_pipeline(1.0, 2.0, 3.0)
+        return ReactiveController(topology, ElasticityConfig(**kwargs))
+
+    def test_scales_up_on_high_utilization(self):
+        controller = self._controller()
+        changed = controller.decide({"op1": 0.95, "op2": 0.5})
+        assert changed == ["op1"]
+        assert controller.replicas["op1"] == 2
+
+    def test_scales_down_on_low_utilization(self):
+        controller = self._controller()
+        controller.replicas["op1"] = 4
+        changed = controller.decide({"op1": 0.2})
+        assert changed == ["op1"]
+        assert controller.replicas["op1"] == 3
+
+    def test_never_below_one_replica(self):
+        controller = self._controller()
+        controller.decide({"op1": 0.0})
+        assert controller.replicas["op1"] == 1
+
+    def test_respects_max_replicas(self):
+        controller = self._controller(max_replicas=2)
+        controller.replicas["op1"] = 2
+        assert controller.decide({"op1": 0.99}) == []
+
+    def test_source_never_scaled(self):
+        controller = self._controller()
+        assert controller.decide({"op0": 0.99}) == []
+
+    def test_stateful_operators_never_scaled(self):
+        topology = Topology(
+            [OperatorSpec("src", 1e-3),
+             OperatorSpec("agg", 4e-3, state=StateKind.STATEFUL)],
+            [Edge("src", "agg")],
+        )
+        controller = ReactiveController(topology, ElasticityConfig())
+        assert controller.decide({"agg": 1.0}) == []
+
+    def test_no_scale_down_when_load_would_not_fit(self):
+        controller = self._controller()
+        controller.replicas["op1"] = 2
+        # utilization 0.4 * 2 replicas = 0.8 of one replica: above the
+        # high watermark margin -> keep both replicas... 0.8 < 0.9 so it
+        # scales down; use 0.48 -> 0.96 aggregate, must not scale down.
+        assert controller.decide({"op1": 0.48}) == []
+        assert controller.replicas["op1"] == 2
+
+
+class TestScenarios:
+    def test_static_wins_on_stable_workload(self):
+        topology = make_pipeline(1.0, 4.0, 2.0)
+        phases = [WorkloadPhase(rate=1000.0, duration=8.0)]
+        static = run_static(topology, phases, sim_config=FAST_SIM)
+        elastic = run_elastic(topology, phases, sim_config=FAST_SIM)
+        assert static.items_processed > elastic.items_processed
+        assert static.total_downtime == 0.0
+        assert elastic.reconfigurations > 0
+
+    def test_elastic_wins_after_workload_shift(self):
+        topology = make_pipeline(1.0, 4.0, 2.0)
+        phases = [WorkloadPhase(rate=300.0, duration=4.0),
+                  WorkloadPhase(rate=1000.0, duration=10.0)]
+        static = run_static(topology, phases, planning_rate=300.0,
+                            sim_config=FAST_SIM)
+        elastic = run_elastic(topology, phases, sim_config=FAST_SIM)
+        assert elastic.items_processed > static.items_processed
+
+    def test_elastic_converges_to_static_configuration(self):
+        from repro.core.fission import eliminate_bottlenecks
+        topology = make_pipeline(1.0, 4.0, 2.0)
+        phases = [WorkloadPhase(rate=1000.0, duration=12.0)]
+        elastic = run_elastic(topology, phases, sim_config=FAST_SIM)
+        final = elastic.steps[-1].replicas
+        optimal = eliminate_bottlenecks(
+            topology, source_rate=1000.0).replications
+        for name, degree in optimal.items():
+            assert final[name] >= degree  # at least as parallel
+
+    def test_downtime_accounted(self):
+        topology = make_pipeline(1.0, 4.0)
+        phases = [WorkloadPhase(rate=1000.0, duration=5.0)]
+        config = ElasticityConfig(reconfiguration_downtime=0.5)
+        elastic = run_elastic(topology, phases, config=config,
+                              sim_config=FAST_SIM)
+        assert elastic.total_downtime >= 0.5 * elastic.reconfigurations * 0.5
+
+    def test_static_timeline_has_one_step_per_phase(self):
+        topology = make_pipeline(1.0, 2.0)
+        phases = [WorkloadPhase(rate=500.0, duration=3.0),
+                  WorkloadPhase(rate=800.0, duration=2.0)]
+        static = run_static(topology, phases, sim_config=FAST_SIM)
+        assert len(static.steps) == 2
+        assert static.steps[1].start_time == pytest.approx(3.0)
+
+    def test_mean_throughput(self):
+        topology = make_pipeline(1.0, 2.0)
+        phases = [WorkloadPhase(rate=400.0, duration=5.0)]
+        static = run_static(topology, phases, sim_config=FAST_SIM)
+        assert static.mean_throughput(5.0) == pytest.approx(400.0, rel=0.05)

@@ -1,0 +1,103 @@
+"""Tests for the deployment-plan exporters."""
+
+import json
+
+import pytest
+
+from repro.codegen.deployment import (
+    deployment_json,
+    deployment_plan,
+    flink_sketch,
+    storm_sketch,
+)
+from repro.core.autofusion import auto_fuse
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.graph import Edge, KeyDistribution, OperatorSpec, StateKind, Topology
+from tests.conftest import make_fig11, make_pipeline
+
+
+def optimized_topology():
+    keys = KeyDistribution.uniform(120)
+    topology = Topology(
+        [
+            OperatorSpec("src", 0.5e-3),
+            OperatorSpec("map", 2e-3),
+            OperatorSpec("agg", 3e-3, state=StateKind.PARTITIONED, keys=keys),
+            OperatorSpec("sink", 0.1e-3, output_selectivity=0.0),
+        ],
+        [Edge("src", "map"), Edge("map", "agg"), Edge("agg", "sink")],
+        name="deploy-test",
+    )
+    return eliminate_bottlenecks(topology).optimized
+
+
+class TestPlan:
+    def test_contains_every_operator_with_parallelism(self):
+        topology = optimized_topology()
+        plan = deployment_plan(topology)
+        names = {entry["name"] for entry in plan["operators"]}
+        assert names == set(topology.names)
+        by_name = {entry["name"]: entry for entry in plan["operators"]}
+        assert by_name["map"]["parallelism"] == 4
+        assert by_name["agg"]["parallelism"] == 6
+
+    def test_partitioning_metadata(self):
+        plan = deployment_plan(optimized_topology())
+        agg = next(e for e in plan["operators"] if e["name"] == "agg")
+        assert agg["partitioning"]["keys"] == 120
+        assert agg["state"] == "partitioned-stateful"
+
+    def test_predicted_figures_present(self):
+        plan = deployment_plan(optimized_topology())
+        assert plan["predicted_throughput"] == pytest.approx(2000.0)
+        for entry in plan["operators"]:
+            assert 0.0 <= entry["predicted_utilization"] <= 1.0 + 1e-9
+
+    def test_edges_serialized(self):
+        plan = deployment_plan(optimized_topology())
+        assert {"from": "src", "to": "map", "probability": 1.0} \
+            in plan["edges"]
+
+    def test_fusion_annotations(self, fig11_table1):
+        result = auto_fuse(fig11_table1)
+        plan = deployment_plan(result.fused, fusion_plans=result.plans)
+        fused_entries = [e for e in plan["operators"]
+                         if "fused_members" in e]
+        assert fused_entries
+        assert all("fused_front_end" in e for e in fused_entries)
+
+    def test_json_round_trip(self):
+        text = deployment_json(optimized_topology())
+        parsed = json.loads(text)
+        assert parsed["topology"] == "deploy-test"
+        assert parsed["source"] == "src"
+        assert parsed["sinks"] == ["sink"]
+
+
+class TestSketches:
+    def test_flink_sketch_carries_parallelism(self):
+        sketch = flink_sketch(optimized_topology())
+        assert ".setParallelism(4);" in sketch
+        assert "keyBy" in sketch           # the partitioned aggregate
+        assert "env.execute" in sketch
+
+    def test_flink_sketch_unions_multi_input(self, fig11_table1):
+        sketch = flink_sketch(fig11_table1)
+        assert ".union(" in sketch         # op6 merges three streams
+
+    def test_storm_sketch_structure(self):
+        sketch = storm_sketch(optimized_topology())
+        assert 'builder.setSpout("src"' in sketch
+        assert 'builder.setBolt("agg"' in sketch
+        assert "fieldsGrouping" in sketch  # keyed routing
+        assert "shuffleGrouping" in sketch
+
+    def test_identifiers_sanitized(self):
+        topology = Topology(
+            [OperatorSpec("weird-name.1", 1e-3),
+             OperatorSpec("2nd", 2e-3)],
+            [Edge("weird-name.1", "2nd")],
+        )
+        sketch = flink_sketch(topology)
+        assert "weird_name_1" in sketch
+        assert "op_2nd" in sketch

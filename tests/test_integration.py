@@ -1,0 +1,107 @@
+"""End-to-end integration tests: the complete SpinStreams workflow.
+
+These drive the shipped XML fixtures in ``examples/topologies/``
+through the whole pipeline a user follows: import, analyze, optimize,
+fuse, validate on a measurement backend, and generate runnable code —
+asserting the pieces compose, not just that each works alone.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.core.steady_state import analyze
+from repro.sim.network import SimulationConfig, simulate
+from repro.tool import SpinStreams
+from repro.topology.xmlio import parse_topology
+
+FIXTURES = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "topologies")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class TestFixtures:
+    def test_all_fixture_files_parse_and_analyze(self):
+        for filename in sorted(os.listdir(FIXTURES)):
+            topology = parse_topology(fixture(filename))
+            result = analyze(topology)
+            assert result.throughput > 0.0, filename
+
+    def test_fig11_fixture_matches_paper_example(self):
+        topology = parse_topology(fixture("fig11.xml"))
+        result = analyze(topology)
+        assert result.throughput == pytest.approx(1000.0)
+
+
+class TestFullWorkflow:
+    def test_import_optimize_fuse_generate(self, tmp_path):
+        tool = SpinStreams.from_xml(fixture("testbed_sample.xml"))
+
+        # 1. The imported topology has bottlenecks (testbed property).
+        initial = tool.analyze()
+        assert initial.bottlenecks
+
+        # 2. Fission removes the removable ones and helps throughput.
+        fission = tool.eliminate_bottlenecks()
+        assert fission.throughput >= initial.throughput
+
+        # 3. Automatic fusion compacts without losing throughput.
+        fused = tool.auto_fuse()
+        assert fused.throughput == pytest.approx(fission.throughput,
+                                                 rel=1e-6)
+
+        # 4. The simulator confirms the final version's prediction.
+        measured = tool.simulate(config=SimulationConfig(items=100_000))
+        final = tool.analyze()
+        assert measured.throughput_error(final) < 0.08
+
+        # 5. The deployment plan serializes the whole outcome.
+        plan = json.loads(tool.deployment_plan())
+        assert plan["predicted_throughput"] == pytest.approx(
+            final.throughput)
+
+    def test_cli_pipeline_on_fixture(self, tmp_path, capsys):
+        optimized = str(tmp_path / "optimized.xml")
+        assert main(["optimize", fixture("testbed_sample.xml"),
+                     "-o", optimized]) == 0
+        capsys.readouterr()
+        assert main(["analyze", optimized]) == 0
+        out = capsys.readouterr().out
+        assert "predicted throughput" in out
+
+    def test_generated_code_from_fixture_runs(self, tmp_path):
+        script = str(tmp_path / "app.py")
+        assert main(["generate", fixture("runnable_pipeline.xml"),
+                     "-o", script]) == 0
+        completed = subprocess.run(
+            [sys.executable, script, "--duration", "0.8"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "measured throughput" in completed.stdout
+
+    def test_profile_cli_reprofiles_fixture(self, tmp_path, capsys):
+        output = str(tmp_path / "profiled.xml")
+        assert main(["profile", fixture("runnable_pipeline.xml"),
+                     "--pad", "--duration", "1.0",
+                     "--source-rate", "150", "-o", output]) == 0
+        profiled = parse_topology(output)
+        # Padded to declared times: the re-profiled service time of the
+        # filter should be close to its declared 2 ms.
+        assert profiled.operator("filter").service_time == pytest.approx(
+            2e-3, rel=0.4)
+
+    def test_model_and_simulator_agree_on_every_fixture(self):
+        for filename in sorted(os.listdir(FIXTURES)):
+            topology = parse_topology(fixture(filename))
+            predicted = analyze(topology)
+            measured = simulate(topology,
+                                SimulationConfig(items=120_000, seed=9))
+            assert measured.throughput_error(predicted) < 0.08, filename

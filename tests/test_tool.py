@@ -1,0 +1,161 @@
+"""Tests for the SpinStreams tool facade (the GUI workflow)."""
+
+import math
+
+import pytest
+
+from repro.core.graph import TopologyError
+from repro.tool import SpinStreams
+from repro.topology.xmlio import topology_to_xml
+from tests.conftest import make_fig11, make_pipeline
+
+
+@pytest.fixture
+def tool():
+    return SpinStreams(make_fig11(1.5, 2.7, 2.2))  # Table 2 variant
+
+
+class TestVersions:
+    def test_initial_version_registered(self, tool):
+        assert tool.current == "initial"
+        assert tool.version().name == "initial"
+        assert len(tool.topology()) == 6
+
+    def test_unknown_version_rejected(self, tool):
+        with pytest.raises(TopologyError, match="unknown version"):
+            tool.topology("nope")
+
+    def test_from_xml(self):
+        xml = topology_to_xml(make_fig11())
+        tool = SpinStreams.from_xml(xml)
+        assert len(tool.topology()) == 6
+
+    def test_history_lists_versions(self, tool):
+        tool.fuse(["op3", "op4", "op5"], fused_name="F")
+        entries = tool.history()
+        assert len(entries) == 2
+        assert any("fusion of" in entry for entry in entries)
+
+
+class TestAnalyses:
+    def test_analyze_initial(self, tool):
+        result = tool.analyze()
+        assert math.isclose(result.throughput, 1000.0)
+
+    def test_report_text(self, tool):
+        text = tool.report()
+        assert "predicted throughput" in text
+
+    def test_render_dot(self, tool):
+        assert tool.render().startswith("digraph")
+
+    def test_simulate_initial(self, tool):
+        from repro.sim.network import SimulationConfig
+        measured = tool.simulate(config=SimulationConfig(items=20_000))
+        assert measured.throughput == pytest.approx(1000.0, rel=0.03)
+
+
+class TestFissionWorkflow:
+    def test_registers_fission_version(self):
+        tool = SpinStreams(make_pipeline(1.0, 3.0))
+        result = tool.eliminate_bottlenecks()
+        assert tool.current == "fission-1"
+        assert result.replications["op1"] == 3
+        assert tool.topology().operator("op1").replication == 3
+
+    def test_bound_recorded_in_note(self):
+        tool = SpinStreams(make_pipeline(0.5, 4.0))
+        tool.eliminate_bottlenecks(max_replicas=6)
+        assert "bound=6" in tool.version().note
+
+    def test_successive_optimizations_numbered(self):
+        tool = SpinStreams(make_pipeline(1.0, 3.0))
+        tool.eliminate_bottlenecks()
+        tool.eliminate_bottlenecks(name="initial")
+        assert "fission-2" in tool.versions
+
+
+class TestFusionWorkflow:
+    def test_candidates_ranked(self, tool):
+        candidates = tool.fusion_candidates()
+        assert candidates
+        assert all(c.mean_utilization <= 0.75 for c in candidates)
+
+    def test_fuse_registers_version_even_when_harmful(self, tool):
+        result = tool.fuse(["op3", "op4", "op5"], fused_name="F")
+        assert result.impairs_performance
+        assert tool.current == "fusion-1"
+        assert "impairs performance" in tool.version().note
+        assert "F" in tool.topology()
+
+    def test_fuse_feasible_note(self):
+        tool = SpinStreams(make_fig11())  # Table 1 variant
+        tool.fuse(["op3", "op4", "op5"], fused_name="F")
+        assert "feasible" in tool.version().note
+
+    def test_fusion_plans_tracked_per_version(self, tool):
+        tool.fuse(["op3", "op4", "op5"], fused_name="F")
+        assert [p.fused_name for p in tool.version().fusion_plans] == ["F"]
+        assert tool.versions["initial"].fusion_plans == []
+
+
+class TestOutput:
+    def test_to_xml_round_trips(self, tool):
+        from repro.topology.xmlio import parse_topology
+        parsed = parse_topology(tool.to_xml())
+        assert parsed.names == tool.topology().names
+
+    def test_generate_code_for_initial_requires_classes(self, tool):
+        with pytest.raises(TopologyError, match="no operator_class"):
+            tool.generate_code()
+
+    def test_generate_code_for_executable_topology(self):
+        from repro.core.graph import Edge, OperatorSpec, Topology
+        topology = Topology(
+            [OperatorSpec("src", 4e-3,
+                          operator_class="repro.operators.source_sink."
+                                         "GeneratorSource"),
+             OperatorSpec("sink", 1e-3, output_selectivity=0.0,
+                          operator_class="repro.operators.source_sink."
+                                         "CountingSink")],
+            [Edge("src", "sink")],
+        )
+        tool = SpinStreams(topology)
+        code = tool.generate_code()
+        compile(code, "<generated>", "exec")
+
+
+class TestExtensions:
+    def test_auto_fuse_registers_version(self):
+        tool = SpinStreams(make_fig11())
+        result = tool.auto_fuse()
+        assert tool.current == "autofuse-1"
+        assert result.operators_removed >= 2
+        assert tool.version().fusion_plans
+
+    def test_estimate_latency(self, tool):
+        estimate = tool.estimate_latency(source_rate=500.0)
+        assert estimate.end_to_end > 0.0
+
+    def test_estimate_memory(self, tool):
+        estimate = tool.estimate_memory(source_rate=500.0)
+        assert estimate.total_items >= 0.0
+        assert set(estimate.operators) == set(tool.topology().names)
+
+    def test_deployment_plan_formats(self, tool):
+        import json
+        plan = json.loads(tool.deployment_plan(format="json"))
+        assert plan["topology"] == "fig11"
+        assert "setParallelism" in tool.deployment_plan(format="flink")
+        assert "TopologyBuilder" in tool.deployment_plan(format="storm")
+
+    def test_deployment_unknown_format(self, tool):
+        with pytest.raises(TopologyError, match="format"):
+            tool.deployment_plan(format="yaml")
+
+    def test_deployment_plan_carries_fusion_annotations(self):
+        tool = SpinStreams(make_fig11())
+        tool.auto_fuse()
+        import json
+        plan = json.loads(tool.deployment_plan())
+        assert any("fused_members" in entry for entry in plan["operators"])

@@ -1,0 +1,108 @@
+"""Tests for the workload generators."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.operators.base import Record
+from repro.workloads.generators import (
+    market_quotes,
+    sensor_readings,
+    spatial_points,
+    uniform_records,
+    zipf_keyed_records,
+)
+
+
+def draw(factory, count=2000, seed=7):
+    rng = random.Random(seed)
+    return [factory(i, rng) for i in range(count)]
+
+
+class TestUniform:
+    def test_record_shape(self):
+        records = draw(uniform_records())
+        assert all(isinstance(r, Record) for r in records[:10])
+        assert {"sequence", "key", "value"} <= set(records[0])
+
+    def test_values_in_range(self):
+        records = draw(uniform_records(value_range=10.0))
+        assert all(0.0 <= r["value"] <= 10.0 for r in records)
+
+    def test_keys_spread_evenly(self):
+        records = draw(uniform_records(num_keys=8), count=8000)
+        counts = {}
+        for r in records:
+            counts[r["key"]] = counts.get(r["key"], 0) + 1
+        assert len(counts) == 8
+        assert max(counts.values()) < 2.0 * min(counts.values())
+
+
+class TestZipf:
+    def test_skewed_popularity(self):
+        records = draw(zipf_keyed_records(num_keys=64, alpha=1.3),
+                       count=20_000)
+        counts = {}
+        for r in records:
+            counts[r["key"]] = counts.get(r["key"], 0) + 1
+        top = max(counts.values())
+        assert top > len(records) * 0.1  # the hot key dominates
+
+    def test_hot_key_is_k0(self):
+        records = draw(zipf_keyed_records(num_keys=32, alpha=1.5),
+                       count=20_000)
+        counts = {}
+        for r in records:
+            counts[r["key"]] = counts.get(r["key"], 0) + 1
+        assert max(counts, key=counts.get) == "k0"
+
+    def test_invalid_num_keys(self):
+        with pytest.raises(ValueError, match="num_keys"):
+            zipf_keyed_records(num_keys=0)
+
+
+class TestSensors:
+    def test_round_robin_sensors(self):
+        records = draw(sensor_readings(num_sensors=4), count=8)
+        assert [r["sensor"] for r in records] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_temperatures_plausible(self):
+        records = draw(sensor_readings(), count=5000)
+        values = [r["value"] for r in records]
+        assert 10.0 < statistics.fmean(values) < 30.0
+        assert max(values) <= 30.0
+        assert min(values) >= 10.0
+
+    def test_battery_decays(self):
+        factory = sensor_readings()
+        rng = random.Random(1)
+        early = factory(0, rng)["battery"]
+        late = factory(10_000, rng)["battery"]
+        assert late < early
+
+
+class TestMarket:
+    def test_prices_positive_random_walk(self):
+        records = draw(market_quotes(), count=5000)
+        assert all(r["value"] > 0.0 for r in records)
+
+    def test_symbols_from_universe(self):
+        symbols = ("AAA", "BBB")
+        records = draw(market_quotes(symbols=symbols), count=1000)
+        assert {r["symbol"] for r in records} == set(symbols)
+
+    def test_key_equals_symbol(self):
+        records = draw(market_quotes(), count=100)
+        assert all(r["key"] == r["symbol"] for r in records)
+
+
+class TestSpatial:
+    def test_dimension_fields(self):
+        records = draw(spatial_points(dimensions=3), count=10)
+        assert {"x", "y", "z"} <= set(records[0])
+
+    def test_coordinates_unit_square(self):
+        records = draw(spatial_points(), count=2000)
+        assert all(0.0 <= r["x"] <= 1.0 and 0.0 <= r["y"] <= 1.0
+                   for r in records)

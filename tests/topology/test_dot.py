@@ -1,0 +1,42 @@
+"""Unit tests for DOT rendering."""
+
+from repro.core.graph import OperatorSpec
+from repro.core.steady_state import analyze
+from repro.topology.dot import topology_to_dot
+from tests.conftest import make_fig11, make_pipeline
+
+
+class TestDot:
+    def test_all_vertices_and_edges_present(self, fig11_table1):
+        dot = topology_to_dot(fig11_table1)
+        for name in fig11_table1.names:
+            assert f'"{name}"' in dot
+        assert '"op1" -> "op2"' in dot
+
+    def test_probability_labels_on_split_edges(self, fig11_table1):
+        dot = topology_to_dot(fig11_table1)
+        assert 'label="0.7"' in dot
+        # probability-1 edges carry no label
+        assert '"op2" -> "op6";' in dot
+
+    def test_analysis_annotations(self):
+        topology = make_pipeline(1.0, 4.0)
+        dot = topology_to_dot(topology, analyze(topology))
+        assert "rho=" in dot
+        assert 'color="red"' in dot  # the bottleneck is highlighted
+
+    def test_replication_shown(self, fig11_table1):
+        dot = topology_to_dot(fig11_table1.with_replications({"op4": 3}))
+        assert "n=3" in dot
+
+    def test_quotes_escaped(self):
+        from repro.core.graph import Topology
+        topology = Topology([OperatorSpec('we"ird', 1e-3)], [],
+                            name='na"me')
+        dot = topology_to_dot(topology)
+        assert '\\"' in dot
+
+    def test_valid_digraph_structure(self, fig11_table1):
+        dot = topology_to_dot(fig11_table1)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")

@@ -1,0 +1,196 @@
+"""Unit tests for random-topology generation (paper Algorithm 5)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.graph import StateKind, TopologyError
+from repro.core.steady_state import analyze
+from repro.topology.catalog import (
+    TESTBED_CATALOG,
+    eligible_templates,
+    templates_by_name,
+)
+from repro.topology.random_gen import (
+    GeneratorConfig,
+    RandomTopologyGenerator,
+    generate_edges,
+    generate_testbed,
+    zipf_probabilities,
+)
+
+
+class TestGenerateEdges:
+    def test_vertex_zero_is_only_root(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            edges = generate_edges(10, 11, rng)
+            has_input = {v for _, v in edges}
+            assert has_input == set(range(1, 10))
+
+    def test_edges_respect_topological_numbering(self):
+        rng = random.Random(2)
+        for u, v in generate_edges(12, 13, rng):
+            assert u < v
+
+    def test_at_least_expected_edges(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            edges = generate_edges(8, 9, rng)
+            assert len(edges) >= 9 or len(edges) >= 7  # may exceed E slightly
+
+    def test_no_duplicate_edges(self):
+        rng = random.Random(4)
+        edges = generate_edges(15, 18, rng)
+        assert len(edges) == len(set(edges))
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(TopologyError, match="too many"):
+            generate_edges(4, 7, random.Random(1))
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(TopologyError, match="too few"):
+            generate_edges(4, 2, random.Random(1))
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        rng = random.Random(5)
+        probabilities = zipf_probabilities(5, 1.5, rng)
+        assert math.isclose(sum(probabilities), 1.0)
+
+    def test_skew_present(self):
+        rng = random.Random(6)
+        probabilities = zipf_probabilities(4, 2.0, rng)
+        assert max(probabilities) > 2.0 * min(probabilities)
+
+    def test_all_positive(self):
+        rng = random.Random(7)
+        assert all(p > 0 for p in zipf_probabilities(6, 1.2, rng))
+
+
+class TestCatalog:
+    def test_twenty_templates(self):
+        assert len(TESTBED_CATALOG) == 20
+
+    def test_all_three_state_kinds_present(self):
+        kinds = {template.state for template in TESTBED_CATALOG}
+        assert kinds == {StateKind.STATELESS, StateKind.PARTITIONED,
+                         StateKind.STATEFUL}
+
+    def test_join_requires_two_inputs(self):
+        joins = [t for t in TESTBED_CATALOG if t.min_inputs >= 2]
+        assert joins
+        assert all(t.name not in {x.name for x in eligible_templates(1)}
+                   for t in joins)
+
+    def test_templates_by_name_unique(self):
+        assert len(templates_by_name()) == len(TESTBED_CATALOG)
+
+    def test_sampled_operators_have_realistic_service_times(self):
+        rng = random.Random(8)
+        for template in TESTBED_CATALOG:
+            for _ in range(5):
+                sampled = template.sample(rng)
+                low, high = template.service_range
+                assert low <= sampled.service_time <= high
+
+    def test_partitioned_samples_carry_keys(self):
+        rng = random.Random(9)
+        keyed = [t for t in TESTBED_CATALOG
+                 if t.state is StateKind.PARTITIONED]
+        for template in keyed:
+            assert template.sample(rng).keys is not None
+
+    def test_windowed_samples_set_input_selectivity(self):
+        rng = random.Random(10)
+        template = templates_by_name()["wma"]
+        sampled = template.sample(rng)
+        assert sampled.input_selectivity in (1.0, 10.0, 50.0)
+
+    def test_executable_classes_resolvable(self):
+        from repro.operators.base import load_operator_class
+        for template in TESTBED_CATALOG:
+            load_operator_class(template.operator_class)
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        a = RandomTopologyGenerator(seed=11).generate("t")
+        b = RandomTopologyGenerator(seed=11).generate("t")
+        assert a.names == b.names
+        assert [(e.source, e.target, e.probability) for e in a.edges] == \
+               [(e.source, e.target, e.probability) for e in b.edges]
+
+    def test_different_seeds_differ(self):
+        a = RandomTopologyGenerator(seed=11).generate()
+        b = RandomTopologyGenerator(seed=12).generate()
+        assert (a.names != b.names or
+                [e.target for e in a.edges] != [e.target for e in b.edges])
+
+    def test_vertex_count_in_configured_range(self):
+        config = GeneratorConfig(min_vertices=5, max_vertices=8)
+        for seed in range(10):
+            topology = RandomTopologyGenerator(seed, config).generate()
+            assert 5 <= len(topology) <= 8
+
+    def test_source_is_fastest_with_speedup(self):
+        topology = RandomTopologyGenerator(seed=13).generate()
+        source_time = topology.operator(topology.source).service_time
+        others = [spec.service_time for spec in topology.operators
+                  if spec.name != topology.source]
+        assert source_time < min(others)
+
+    def test_source_speedup_factor(self):
+        config = GeneratorConfig(source_speedup=2.0)
+        topology = RandomTopologyGenerator(seed=14, config=config).generate()
+        source_rate = topology.operator(topology.source).service_rate
+        fastest = max(spec.service_rate for spec in topology.operators
+                      if spec.name != topology.source)
+        assert source_rate == pytest.approx(2.0 * fastest, rel=1e-9)
+
+    def test_generated_topologies_always_analyzable(self):
+        for seed in range(20):
+            topology = RandomTopologyGenerator(seed).generate()
+            result = analyze(topology)
+            assert result.throughput > 0.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TopologyError):
+            GeneratorConfig(min_vertices=1)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(min_vertices=5, max_vertices=4)
+        with pytest.raises(TopologyError):
+            GeneratorConfig(beta_range=(0.5, 1.2))
+        with pytest.raises(TopologyError):
+            GeneratorConfig(source_speedup=0.0)
+
+
+class TestTestbed:
+    def test_fifty_topologies(self):
+        testbed = generate_testbed(50)
+        assert len(testbed) == 50
+        assert len({t.name for t in testbed}) == 50
+
+    def test_sizes_span_paper_range(self):
+        sizes = [len(t) for t in generate_testbed(50)]
+        assert min(sizes) >= 2
+        assert max(sizes) <= 20
+        assert max(sizes) - min(sizes) >= 8  # real diversity
+
+    def test_operators_assigned_from_catalog(self):
+        names = {template.name for template in TESTBED_CATALOG}
+        for topology in generate_testbed(10):
+            for spec in topology.operators:
+                if spec.name == topology.source:
+                    continue
+                suffix = spec.name.split("_", 1)[1]
+                assert suffix in names
+
+    def test_bottlenecks_exist_in_every_topology(self):
+        # The source is 33% faster than every operator, so each topology
+        # exhibits backpressure (Section 5.1 setup).
+        for topology in generate_testbed(15):
+            result = analyze(topology)
+            assert result.bottlenecks, topology.name

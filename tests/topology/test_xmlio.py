@@ -1,0 +1,222 @@
+"""Unit tests for the XML topology format."""
+
+import math
+import os
+
+import pytest
+
+from repro.core.graph import KeyDistribution, OperatorSpec, StateKind
+from repro.topology.random_gen import generate_testbed
+from repro.topology.xmlio import (
+    XmlFormatError,
+    parse_topology,
+    read_key_distribution,
+    topology_to_xml,
+    write_key_distribution,
+    write_topology,
+)
+from tests.conftest import make_fig11
+
+MINIMAL = """
+<topology name="mini">
+  <operator name="src" service-time="1.0"/>
+  <operator name="work" service-time="2.5" type="stateless"/>
+  <edge from="src" to="work"/>
+</topology>
+"""
+
+RICH = """
+<topology name="rich">
+  <operator name="src" service-time="1.0" time-unit="ms"
+            class="repro.operators.source_sink.GeneratorSource"/>
+  <operator name="agg" service-time="4000" time-unit="us"
+            type="partitioned-stateful" input-selectivity="10"
+            replication="3"
+            class="repro.operators.aggregates.KeyedWindowedAggregate">
+    <arg name="length" value="1000" type="int"/>
+    <arg name="slide" value="10" type="int"/>
+    <arg name="statistic" value="mean"/>
+    <keys>
+      <key id="a" probability="0.5"/>
+      <key id="b" probability="0.3"/>
+      <key id="c" probability="0.2"/>
+    </keys>
+  </operator>
+  <operator name="flt" service-time="0.002" time-unit="s"
+            output-selectivity="0.6"/>
+  <edge from="src" to="agg" probability="0.7"/>
+  <edge from="src" to="flt" probability="0.3"/>
+</topology>
+"""
+
+
+class TestParsing:
+    def test_minimal(self):
+        topology = parse_topology(MINIMAL)
+        assert topology.name == "mini"
+        assert topology.names == ["src", "work"]
+        assert math.isclose(topology.operator("work").service_time, 2.5e-3)
+
+    def test_time_units(self):
+        topology = parse_topology(RICH)
+        assert math.isclose(topology.operator("src").service_time, 1e-3)
+        assert math.isclose(topology.operator("agg").service_time, 4e-3)
+        assert math.isclose(topology.operator("flt").service_time, 2e-3)
+
+    def test_state_and_selectivities(self):
+        topology = parse_topology(RICH)
+        agg = topology.operator("agg")
+        assert agg.state is StateKind.PARTITIONED
+        assert agg.input_selectivity == 10.0
+        assert agg.replication == 3
+        assert topology.operator("flt").output_selectivity == 0.6
+
+    def test_typed_args(self):
+        agg = parse_topology(RICH).operator("agg")
+        assert agg.operator_args == {"length": 1000, "slide": 10,
+                                     "statistic": "mean"}
+
+    def test_inline_keys(self):
+        agg = parse_topology(RICH).operator("agg")
+        assert math.isclose(agg.keys.max_frequency(), 0.5)
+        assert len(agg.keys) == 3
+
+    def test_edge_probabilities(self):
+        topology = parse_topology(RICH)
+        assert math.isclose(topology.edge("src", "agg").probability, 0.7)
+
+    def test_operator_class_recorded(self):
+        topology = parse_topology(RICH)
+        assert topology.operator("src").operator_class.endswith(
+            "GeneratorSource")
+
+
+class TestParsingErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(XmlFormatError, match="invalid XML"):
+            parse_topology("<topology><broken</topology>")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmlFormatError, match="root element"):
+            parse_topology("<graph/>")
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(XmlFormatError, match="missing required"):
+            parse_topology('<topology><operator name="a"/></topology>')
+
+    def test_unknown_time_unit(self):
+        xml = ('<topology><operator name="a" service-time="1" '
+               'time-unit="fortnights"/></topology>')
+        with pytest.raises(XmlFormatError, match="time unit"):
+            parse_topology(xml)
+
+    def test_bad_service_time(self):
+        xml = '<topology><operator name="a" service-time="soon"/></topology>'
+        with pytest.raises(XmlFormatError, match="bad service-time"):
+            parse_topology(xml)
+
+    def test_unknown_element(self):
+        xml = ('<topology><operator name="a" service-time="1"/>'
+               "<wormhole/></topology>")
+        with pytest.raises(XmlFormatError, match="unexpected element"):
+            parse_topology(xml)
+
+    def test_unknown_arg_type(self):
+        xml = ('<topology><operator name="a" service-time="1">'
+               '<arg name="x" value="1" type="complex"/></operator>'
+               "</topology>")
+        with pytest.raises(XmlFormatError, match="unknown arg type"):
+            parse_topology(xml)
+
+    def test_empty_keys_element(self):
+        xml = ('<topology><operator name="a" service-time="1" '
+               'type="partitioned"><keys/></operator></topology>')
+        with pytest.raises(XmlFormatError, match="<keys>"):
+            parse_topology(xml)
+
+    def test_bad_edge_probability(self):
+        xml = ('<topology><operator name="a" service-time="1"/>'
+               '<operator name="b" service-time="1"/>'
+               '<edge from="a" to="b" probability="likely"/></topology>')
+        with pytest.raises(XmlFormatError, match="bad probability"):
+            parse_topology(xml)
+
+
+class TestRoundTrip:
+    def test_fig11_round_trip(self):
+        original = make_fig11()
+        parsed = parse_topology(topology_to_xml(original))
+        assert parsed.names == original.names
+        for name in original.names:
+            assert math.isclose(parsed.operator(name).service_time,
+                                original.operator(name).service_time)
+        for edge in original.edges:
+            assert math.isclose(
+                parsed.edge(edge.source, edge.target).probability,
+                edge.probability,
+            )
+
+    def test_testbed_round_trips_exactly(self):
+        for topology in generate_testbed(5):
+            parsed = parse_topology(topology_to_xml(topology))
+            for spec in topology.operators:
+                twin = parsed.operator(spec.name)
+                assert twin.state is spec.state
+                assert math.isclose(twin.service_time, spec.service_time)
+                assert math.isclose(twin.input_selectivity,
+                                    spec.input_selectivity)
+                assert math.isclose(twin.output_selectivity,
+                                    spec.output_selectivity)
+                assert dict(twin.operator_args) == dict(spec.operator_args)
+                if spec.keys is not None:
+                    assert dict(twin.keys.frequencies) == pytest.approx(
+                        dict(spec.keys.frequencies))
+
+    def test_write_and_parse_file(self, tmp_path):
+        path = tmp_path / "topo.xml"
+        write_topology(make_fig11(), str(path))
+        parsed = parse_topology(str(path))
+        assert parsed.name == "fig11"
+
+    def test_serializer_rejects_unknown_unit(self):
+        with pytest.raises(XmlFormatError, match="time unit"):
+            topology_to_xml(make_fig11(), time_unit="parsec")
+
+
+class TestKeyFiles:
+    def test_round_trip_csv(self, tmp_path):
+        path = str(tmp_path / "keys.csv")
+        keys = KeyDistribution.zipf(10, 1.3)
+        write_key_distribution(keys, path)
+        loaded = read_key_distribution(path)
+        assert dict(loaded.frequencies) == pytest.approx(
+            dict(keys.frequencies))
+
+    def test_keys_file_reference(self, tmp_path):
+        keys_path = tmp_path / "keys.csv"
+        write_key_distribution(KeyDistribution.uniform(4), str(keys_path))
+        xml_path = tmp_path / "topo.xml"
+        xml_path.write_text(
+            '<topology><operator name="a" service-time="1" '
+            'type="partitioned"><keys file="keys.csv"/></operator>'
+            "</topology>"
+        )
+        topology = parse_topology(str(xml_path))
+        assert len(topology.operator("a").keys) == 4
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "keys.csv"
+        path.write_text("# header\n\nk0,0.5\nk1,0.5\n")
+        assert len(read_key_distribution(str(path))) == 2
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "keys.csv"
+        path.write_text("k0,0.5,extra\n")
+        with pytest.raises(XmlFormatError, match="key,probability"):
+            read_key_distribution(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "keys.csv"
+        path.write_text("# nothing\n")
+        with pytest.raises(XmlFormatError, match="empty"):
+            read_key_distribution(str(path))
