@@ -9,6 +9,7 @@ The console counterpart of the paper's GUI workflow::
     spinstreams simulate app.xml --items 200000  # DES measurement
     spinstreams generate app.xml -o run_app.py   # SS2Py code generation
     spinstreams random --seed 7 -o random.xml    # Algorithm 5 testbed entry
+    spinstreams conformance --seeds 25           # differential conformance
     spinstreams render app.xml -o app.dot        # Graphviz rendering
 """
 
@@ -224,6 +225,71 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testing import (
+        ConformanceConfig,
+        check_optimizer_seed,
+        check_runtime_seed,
+        check_seed,
+        run_sweep,
+        shrink,
+        topology_for_seed,
+    )
+
+    config = ConformanceConfig(
+        profile=args.profile,
+        base_seed=args.base_seed,
+        items=args.items,
+        optimizer=not args.no_optimizer,
+    )
+
+    if args.seed is not None:
+        # Single-seed replay: the debugging entry point for a failure
+        # reported by a sweep (or by CI).
+        reports = [check_seed(args.seed, config)]
+        if config.optimizer:
+            reports.append(check_optimizer_seed(args.seed, config))
+        if args.runtime_seeds > 0:
+            reports.append(check_runtime_seed(args.seed, config))
+        for report in reports:
+            print(report.summary())
+        failed = [r for r in reports if not r.ok]
+        if failed and not args.no_shrink and not reports[0].ok:
+            _shrink_and_print(args.seed, config, check_seed, shrink,
+                              topology_for_seed)
+        return 1 if failed else 0
+
+    outcome = run_sweep(args.seeds, config, runtime_seeds=args.runtime_seeds)
+    print(outcome.summary())
+    if outcome.ok:
+        return 0
+    simulator_failures = [r for r in outcome.failures
+                          if r.backend == "simulator" and r.seed is not None]
+    if simulator_failures and not args.no_shrink:
+        _shrink_and_print(simulator_failures[0].seed, config, check_seed,
+                          shrink, topology_for_seed)
+    return 1
+
+
+def _shrink_and_print(seed, config, check_seed, shrink_fn,
+                      topology_for_seed) -> None:
+    """Minimize the failing topology of ``seed`` and print the kernel."""
+    topology = topology_for_seed(seed, config)
+
+    def still_fails(candidate):
+        return not check_seed(seed, config, topology=candidate).ok
+
+    result = shrink_fn(topology, still_fails)
+    print(f"\nshrinking seed {seed}: {len(result.original)} -> "
+          f"{len(result.reduced)} operators in {len(result.steps)} steps")
+    for step in result.steps:
+        print(f"  {step}")
+    print("\nminimal failing topology:")
+    print(result.reduced.describe())
+    report = check_seed(seed, config, topology=result.reduced)
+    print(report.summary())
+
+
 def _cmd_memory(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
     estimate = estimate_memory(
@@ -349,6 +415,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="write the re-profiled topology XML here")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("conformance",
+                       help="differential conformance sweep: model vs. "
+                            "simulator vs. runtime on random testbeds")
+    p.add_argument("--seeds", type=int, default=25,
+                   help="number of consecutive seeds to sweep")
+    p.add_argument("--seed", type=int, default=None,
+                   help="replay a single seed instead of sweeping")
+    p.add_argument("--base-seed", type=int, default=100,
+                   help="first seed of the sweep")
+    p.add_argument("--profile", default="tree", choices=("tree", "dag"),
+                   help="testbed shape: trees check at 2%%, dags at 10%%")
+    p.add_argument("--items", type=int, default=30_000,
+                   help="simulated items per check")
+    p.add_argument("--runtime-seeds", type=int, default=5,
+                   help="how many seeds also run on the wall-clock "
+                        "actor runtime (0 disables)")
+    p.add_argument("--no-optimizer", action="store_true",
+                   help="skip the optimizer-pipeline checks")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="do not minimize the first failing topology")
+    p.set_defaults(func=_cmd_conformance)
 
     p = sub.add_parser("memory",
                        help="static memory-footprint estimate (extension)")

@@ -19,6 +19,37 @@ from typing import Any, List, Optional
 from repro.operators.base import Operator
 
 
+class GainOperator(Operator):
+    """Realize a configured gain (selectivity ratio) deterministically.
+
+    Emits ``gain`` outputs per input via a credit accumulator: each
+    input adds ``gain`` credits and one copy of the item departs per
+    whole credit.  Over any window of N inputs the realized selectivity
+    is within one item of ``gain * N`` — no sampling noise, which is
+    what makes short wall-clock conformance runs comparable with the
+    analytical model at tight tolerances.
+    """
+
+    def __init__(self, gain: float) -> None:
+        if gain < 0.0:
+            raise ValueError(f"gain must be non-negative, got {gain}")
+        self.output_selectivity = gain
+        self._credit = 0.0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self._credit += self.gain
+        count = int(self._credit)
+        self._credit -= count
+        if count <= 0:
+            return []
+        if count == 1:
+            return [item]
+        return [item] * count
+
+    def describe(self) -> str:
+        return f"GainOperator(gain={self.gain:g})"
+
+
 class PaddedOperator(Operator):
     """Wrap an operator so each invocation lasts ``service_time`` seconds.
 

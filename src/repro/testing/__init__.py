@@ -1,0 +1,54 @@
+"""Differential conformance testing of the three execution models.
+
+SpinStreams' optimizations are only as good as the agreement between the
+analytical steady-state model (:mod:`repro.core.steady_state`), the
+discrete-event simulator (:mod:`repro.sim`) and the threaded actor
+runtime (:mod:`repro.runtime`).  This package cross-checks them on
+seeded random topologies (paper Algorithm 5):
+
+* :mod:`repro.testing.oracle` — compares one prediction against one
+  measurement and reports *which* operator diverged and by how much;
+* :mod:`repro.testing.harness` — generates topologies per seed, runs
+  them through the model/simulator/runtime and through the optimizer
+  pipeline, and sweeps seed ranges;
+* :mod:`repro.testing.shrink` — minimizes a failing topology by greedy
+  vertex/edge removal while the discrepancy keeps reproducing.
+
+The ``spinstreams conformance`` CLI subcommand and the tests under
+``tests/conformance/`` are thin drivers over this package.
+"""
+
+from repro.testing.harness import (
+    ConformanceConfig,
+    SweepOutcome,
+    check_optimizer_seed,
+    check_runtime_seed,
+    check_seed,
+    run_sweep,
+    topology_for_seed,
+)
+from repro.testing.oracle import (
+    ConformanceReport,
+    Discrepancy,
+    Oracle,
+    Tolerances,
+)
+from repro.testing.shrink import ShrinkResult, remove_edge, remove_vertex, shrink
+
+__all__ = [
+    "ConformanceConfig",
+    "ConformanceReport",
+    "Discrepancy",
+    "Oracle",
+    "ShrinkResult",
+    "SweepOutcome",
+    "Tolerances",
+    "check_optimizer_seed",
+    "check_runtime_seed",
+    "check_seed",
+    "remove_edge",
+    "remove_vertex",
+    "run_sweep",
+    "shrink",
+    "topology_for_seed",
+]

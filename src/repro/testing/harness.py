@@ -1,0 +1,334 @@
+"""Differential conformance harness: seed -> topology -> three backends.
+
+One seed deterministically produces one random topology (paper
+Algorithm 5 via :mod:`repro.topology.random_gen`), which then runs
+through up to three execution models:
+
+* the analytical steady-state solver (the *prediction*);
+* the discrete-event simulator (virtual time, exact semantics);
+* the threaded actor runtime (wall-clock, sleep-padded operators).
+
+and through the optimizer pipeline (fission then automatic fusion),
+whose transformed topology must keep matching the simulator.
+
+Two measurement details matter for tight tolerances and were tuned
+empirically:
+
+* **Horizon scaling** — ``simulate()`` sets the virtual horizon to
+  ``items / raw_source_rate``.  On heavily throttled topologies that
+  window is far too short: a slow operator's queue takes tens of
+  virtual seconds to fill, and the pre-backpressure transient counts as
+  extra throughput.  The harness instead sets the horizon to
+  ``items / predicted_throughput`` with a 40% warmup, so every run
+  observes a genuine steady state regardless of throttling depth.
+* **Profiles** — the ``tree`` profile (in-degree <= 1) is checked at 2%
+  per-operator tolerance: with a single input per vertex, head-of-line
+  blocking keeps fan-out flows exactly proportional and the fluid model
+  is tight.  The ``dag`` profile allows merges, where BAS FIFO wakeup
+  shares a saturated vertex's capacity per-sender instead of
+  per-offered-rate; that irreducible fluid-model error (the tail of the
+  paper's own Figure 7) gets a 10% tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Mapping, Optional, Tuple
+
+from repro.core.autofusion import auto_fuse
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.graph import Topology
+from repro.core.steady_state import SteadyStateResult, analyze
+from repro.sim.network import SimulationConfig, build_engine
+from repro.testing.oracle import ConformanceReport, Oracle, Tolerances
+from repro.topology.random_gen import GeneratorConfig, RandomTopologyGenerator
+
+AnalyzeFn = Callable[[Topology], SteadyStateResult]
+
+#: Stateless catalog templates used by the wall-clock runtime check:
+#: their gains are realized deterministically by
+#: :class:`repro.runtime.synthetic.GainOperator`, so short runs measure
+#: the configured selectivities exactly instead of sampling them.
+RUNTIME_TEMPLATES: Tuple[str, ...] = (
+    "identity", "field_map", "arithmetic_map", "projection",
+    "filter_low", "filter_high", "flatmap",
+)
+
+
+@dataclass(frozen=True)
+class ConformanceConfig:
+    """Knobs of a conformance run (defaults = tier-1 budget)."""
+
+    profile: str = "tree"
+    base_seed: int = 100
+    #: Items per simulated horizon; the horizon itself is scaled by the
+    #: predicted throughput (see module docstring).
+    items: int = 30_000
+    warmup_fraction: float = 0.4
+    mailbox_capacity: int = 64
+    #: Deterministic service + deficit-round-robin key routing: the
+    #: regime the fluid model describes; stochastic variants are what
+    #: the accuracy *experiments* explore, not what conformance gates.
+    service_family: str = "deterministic"
+    routing: str = "proportional"
+    tolerances: Optional[Tolerances] = None
+    #: Also check the optimizer pipeline (fission + autofusion) per seed.
+    optimizer: bool = True
+    optimizer_throughput_rel: float = 0.05
+    #: Wall-clock seconds per runtime check (warmup is a quarter of it).
+    runtime_duration: float = 3.0
+    #: Small mailboxes keep the queue-fill transient well inside the
+    #: warmup: on a deeply throttled topology a 64-slot mailbox in
+    #: front of a slow operator parks over a second of flow before
+    #: backpressure reaches the source.
+    runtime_mailbox_capacity: int = 16
+    runtime_tolerances: Tolerances = field(default_factory=lambda: Tolerances(
+        departure_rel=0.10, throughput_rel=0.10, min_items=200.0))
+
+    def resolved_tolerances(self) -> Tolerances:
+        if self.tolerances is not None:
+            return self.tolerances
+        if self.profile == "dag":
+            return Tolerances().loosened(0.10)
+        return Tolerances()
+
+    def generator_config(self) -> GeneratorConfig:
+        if self.profile == "tree":
+            return GeneratorConfig(max_vertices=12, max_in_degree=1)
+        if self.profile == "dag":
+            return GeneratorConfig(max_vertices=12)
+        raise ValueError(f"unknown conformance profile {self.profile!r}")
+
+    def runtime_generator_config(self) -> GeneratorConfig:
+        """Topologies small and slow enough to measure on wall-clock.
+
+        Service times are clamped into [4ms, 8ms]: long enough that the
+        ~100-300us of uncompensated scheduling overhead per item (sleep
+        wakeup jitter plus the actor loop itself) stays a few percent
+        of the service time, short enough that a few seconds of
+        execution yield statistically meaningful counts.
+        """
+        return GeneratorConfig(
+            min_vertices=3, max_vertices=6, max_in_degree=1,
+            template_names=RUNTIME_TEMPLATES,
+            min_service_time=4e-3, max_service_time=8e-3,
+        )
+
+
+def topology_for_seed(seed: int,
+                      config: Optional[ConformanceConfig] = None,
+                      generator: Optional[GeneratorConfig] = None) -> Topology:
+    """The deterministic topology of one conformance seed."""
+    config = config or ConformanceConfig()
+    generator = generator or config.generator_config()
+    return RandomTopologyGenerator(seed=seed, config=generator).generate(
+        name=f"conformance-{seed}")
+
+
+def simulate_for_conformance(
+    topology: Topology,
+    predicted: SteadyStateResult,
+    config: ConformanceConfig,
+    seed: int,
+) -> Tuple[Mapping[str, object], float]:
+    """Run the DES with the throughput-scaled horizon.
+
+    Returns ``(vertex_measurements, measured_window_seconds)``.
+    """
+    sim_config = SimulationConfig(
+        mailbox_capacity=config.mailbox_capacity,
+        service_family=config.service_family,
+        routing=config.routing,
+        items=config.items,
+        seed=seed,
+    )
+    engine, _ = build_engine(topology, sim_config)
+    horizon = config.items / predicted.throughput
+    warmup = horizon * config.warmup_fraction
+    measurements = engine.run(until=horizon, warmup=warmup)
+    return measurements.vertex_rates(), measurements.duration
+
+
+def check_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+    analyze_fn: AnalyzeFn = analyze,
+    topology: Optional[Topology] = None,
+) -> ConformanceReport:
+    """Model vs. simulator on the topology of one seed.
+
+    ``analyze_fn`` is injectable so deliberately broken models can be
+    pitted against the simulator (the harness's self-test); ``topology``
+    overrides the seed-generated graph (used by the shrinker, which
+    re-checks candidate sub-topologies under the same seed).
+    """
+    config = config or ConformanceConfig()
+    if topology is None:
+        topology = topology_for_seed(seed, config)
+    predicted = analyze_fn(topology)
+    measured, window = simulate_for_conformance(topology, predicted,
+                                                config, seed)
+    oracle = Oracle(config.resolved_tolerances())
+    return oracle.compare(predicted, measured, window,
+                          backend="simulator", seed=seed)
+
+
+def check_optimizer_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+) -> ConformanceReport:
+    """Optimizer pipeline vs. simulator on the topology of one seed.
+
+    The topology goes through bottleneck elimination (Algorithm 2) and
+    automatic fusion (Algorithms 3-4); the *transformed* topology's
+    predicted throughput must still match the simulator — guarding the
+    replication and fusion cost models, not just the base analysis.
+    """
+    config = config or ConformanceConfig()
+    topology = topology_for_seed(seed, config)
+    fission = eliminate_bottlenecks(topology)
+    fused = auto_fuse(fission.optimized)
+    optimized = fused.fused
+    predicted = analyze(optimized)
+    measured, window = simulate_for_conformance(optimized, predicted,
+                                                config, seed)
+    oracle = Oracle(config.resolved_tolerances().loosened(
+        config.optimizer_throughput_rel))
+    report = oracle.compare(
+        predicted, measured, window, backend="optimizer+simulator",
+        seed=seed, check_departures=False, check_utilization=False,
+        check_bottlenecks=False,
+    )
+    return replace(report, topology_name=f"{topology.name}-optimized")
+
+
+_SLEEP_OVERSHOOT: Optional[float] = None
+
+
+def sleep_overshoot() -> float:
+    """Measured ``time.sleep`` overshoot of this host, cached.
+
+    ``time.sleep`` wakes a few hundred microseconds late (timer slack),
+    which inflates every sleep-padded service time by a constant and
+    would show up as a systematic 5-15% throughput deficit at
+    millisecond service times.  The runtime factories subtract this
+    calibrated constant from their padding targets.
+    """
+    global _SLEEP_OVERSHOOT
+    if _SLEEP_OVERSHOOT is None:
+        import time
+        samples = []
+        for _ in range(25):
+            started = time.perf_counter()
+            time.sleep(2e-3)
+            samples.append(time.perf_counter() - started - 2e-3)
+        samples.sort()
+        _SLEEP_OVERSHOOT = max(0.0, samples[len(samples) // 2])
+    return _SLEEP_OVERSHOOT
+
+
+def check_runtime_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+) -> ConformanceReport:
+    """Model vs. threaded actor runtime on a wall-clock-sized topology.
+
+    Operators are sleep-padded to their configured service times and
+    their selectivities realized deterministically, so the measured
+    departure rates are comparable with the model at the 10% level on a
+    few seconds of execution.  Utilization and bottleneck checks are
+    skipped: sleep padding and GIL scheduling distort busy-time
+    accounting (and the source's pacing sleeps are not busy time).
+    """
+    from repro.operators.source_sink import GeneratorSource
+    from repro.runtime.synthetic import GainOperator, PaddedOperator
+    from repro.runtime.system import RuntimeConfig, run_topology
+
+    config = config or ConformanceConfig()
+    topology = topology_for_seed(seed, config,
+                                 generator=config.runtime_generator_config())
+    predicted = analyze(topology)
+
+    overshoot = sleep_overshoot()
+    factories = {}
+    for spec in topology.operators:
+        if spec.name == topology.source:
+            factories[spec.name] = lambda s=seed: GeneratorSource(seed=s)
+        else:
+            padding = max(spec.service_time - overshoot, 1e-4)
+            factories[spec.name] = lambda g=spec.gain, p=padding: (
+                PaddedOperator(GainOperator(g), p))
+
+    runtime_config = RuntimeConfig(
+        mailbox_capacity=config.runtime_mailbox_capacity,
+        source_rate=topology.operator(topology.source).service_rate,
+        seed=seed,
+    )
+    result = run_topology(
+        topology, factories,
+        duration=config.runtime_duration,
+        warmup=config.runtime_duration * 0.25,
+        config=runtime_config,
+    )
+    oracle = Oracle(config.runtime_tolerances)
+    return oracle.compare(
+        predicted, result.vertices, result.measurements.duration,
+        backend="runtime", seed=seed,
+        check_utilization=False, check_bottlenecks=False,
+    )
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """All reports of a multi-seed conformance sweep."""
+
+    reports: Tuple[ConformanceReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def failures(self) -> List[ConformanceReport]:
+        return [report for report in self.reports if not report.ok]
+
+    @property
+    def max_departure_error(self) -> float:
+        if not self.reports:
+            return 0.0
+        return max(report.max_departure_error for report in self.reports)
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.reports)} checks, {len(self.failures)} failed, "
+            f"max departure error {self.max_departure_error:.2%}"
+        ]
+        for report in self.reports:
+            if not report.ok:
+                lines.append(report.summary())
+        return "\n".join(lines)
+
+
+def run_sweep(
+    seeds: int,
+    config: Optional[ConformanceConfig] = None,
+    runtime_seeds: int = 0,
+    analyze_fn: AnalyzeFn = analyze,
+) -> SweepOutcome:
+    """Sweep ``seeds`` consecutive seeds from ``config.base_seed``.
+
+    Each seed runs the model-vs-simulator check and (when enabled) the
+    optimizer check; the first ``runtime_seeds`` seeds additionally run
+    the wall-clock actor runtime.
+    """
+    config = config or ConformanceConfig()
+    reports: List[ConformanceReport] = []
+    for index in range(seeds):
+        seed = config.base_seed + index
+        reports.append(check_seed(seed, config, analyze_fn=analyze_fn))
+        if config.optimizer:
+            reports.append(check_optimizer_seed(seed, config))
+    for index in range(runtime_seeds):
+        seed = config.base_seed + index
+        reports.append(check_runtime_seed(seed, config))
+    return SweepOutcome(reports=tuple(reports))

@@ -1,0 +1,261 @@
+"""The conformance oracle: compare a prediction with a measurement.
+
+The oracle takes the analytical :class:`~repro.core.steady_state.
+SteadyStateResult` of a topology and per-vertex measurements from an
+execution backend (the discrete-event simulator or the actor runtime —
+anything exposing ``departure_rate`` and ``utilization`` per vertex) and
+produces a :class:`ConformanceReport` listing every :class:`Discrepancy`
+with the operator name, the expected and observed values and the
+tolerance that was exceeded.
+
+Three checks run per topology:
+
+* **departure rates** — relative comparison per operator, but only for
+  operators whose *predicted* item count over the measurement window
+  clears ``Tolerances.min_items``.  Below that floor the measured rate
+  is statistically meaningless (a handful of items on a low-probability
+  ZipF edge), so only a loose absolute bound applies: the backend must
+  not emit more than the floor's worth of extra items.
+* **utilization** — absolute comparison for operators the model does
+  not saturate (saturated operators are covered by the bottleneck
+  check, where "how close to 1" depends on transient noise).
+* **bottleneck identification** — a gray-band classification.  An
+  operator the model pins at utilization one must be measured at least
+  at ``saturated_floor`` ("bottleneck-missing" otherwise); an operator
+  the model keeps under ``clear_ceiling`` must stay under
+  ``spurious_floor`` ("bottleneck-spurious" otherwise).  The band in
+  between is deliberately unclassified: a vertex predicted at rho=0.95
+  legitimately measures on either side of any sharp threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.steady_state import SteadyStateResult
+
+
+@dataclass(frozen=True)
+class Tolerances:
+    """Agreement thresholds of the conformance checks.
+
+    The defaults encode the regime where the fluid queueing model is
+    tight (random trees, deterministic service, proportional routing):
+    2% relative on departure rates, matching the paper's Figure 7/8
+    accuracy results.  DAG profiles with merges feeding saturated
+    vertices loosen ``departure_rel`` to 0.10 — BAS FIFO wakeup shares
+    capacity per-sender rather than per-offered-rate at contended
+    merges, an irreducible fluid-model error the paper itself reports
+    as the tail of its accuracy distribution.
+    """
+
+    departure_rel: float = 0.02
+    throughput_rel: float = 0.02
+    utilization_abs: float = 0.05
+    #: Predicted item-count floor below which only the loose absolute
+    #: departure bound applies.
+    min_items: float = 500.0
+    #: A model-saturated operator must measure at least this utilization.
+    saturated_floor: float = 0.95
+    #: Model utilizations below this are "clearly not a bottleneck" ...
+    clear_ceiling: float = 0.90
+    #: ... and must measure strictly under this.
+    spurious_floor: float = 0.97
+
+    def loosened(self, departure_rel: float) -> "Tolerances":
+        """A copy with a different departure/throughput tolerance."""
+        return replace(self, departure_rel=departure_rel,
+                       throughput_rel=departure_rel)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One disagreement between the model and a measurement backend."""
+
+    kind: str
+    operator: str
+    expected: float
+    actual: float
+    tolerance: float
+
+    @property
+    def error(self) -> float:
+        """Relative error when the expectation is a rate, absolute gap
+        when it is a utilization."""
+        if self.kind in ("departure-rate", "throughput", "departure-count"):
+            if self.expected > 0.0:
+                return abs(self.actual - self.expected) / self.expected
+            return abs(self.actual - self.expected)
+        return abs(self.actual - self.expected)
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}] {self.operator}: expected {self.expected:.4g}, "
+            f"measured {self.actual:.4g} "
+            f"(error {self.error:.2%}, tolerance {self.tolerance:.4g})"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Outcome of comparing one topology across two execution models."""
+
+    topology_name: str
+    backend: str
+    seed: Optional[int]
+    discrepancies: Tuple[Discrepancy, ...]
+    #: Per-operator relative departure errors (operators above the
+    #: count floor only) — the Figure 8 measurement.
+    departure_errors: Mapping[str, float] = field(default_factory=dict)
+    window: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    @property
+    def max_departure_error(self) -> float:
+        if not self.departure_errors:
+            return 0.0
+        return max(self.departure_errors.values())
+
+    @property
+    def worst(self) -> Optional[Discrepancy]:
+        if not self.discrepancies:
+            return None
+        return max(self.discrepancies, key=lambda d: d.error)
+
+    def summary(self) -> str:
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        head = (
+            f"{self.topology_name}{seed} vs {self.backend}: "
+            f"max departure error {self.max_departure_error:.2%}"
+        )
+        if self.ok:
+            return f"{head} — OK"
+        lines = [f"{head} — {len(self.discrepancies)} discrepancies"]
+        lines.extend(f"  {d.describe()}" for d in self.discrepancies)
+        return "\n".join(lines)
+
+
+class Oracle:
+    """Compares steady-state predictions with backend measurements."""
+
+    def __init__(self, tolerances: Optional[Tolerances] = None) -> None:
+        self.tolerances = tolerances or Tolerances()
+
+    def compare(
+        self,
+        predicted: SteadyStateResult,
+        measured: Mapping[str, object],
+        window: float,
+        *,
+        backend: str = "simulator",
+        seed: Optional[int] = None,
+        check_departures: bool = True,
+        check_utilization: bool = True,
+        check_bottlenecks: bool = True,
+        check_throughput: bool = True,
+    ) -> ConformanceReport:
+        """Compare a prediction with per-vertex measurements.
+
+        ``measured`` maps vertex names to objects with ``departure_rate``
+        and ``utilization`` attributes (both the simulator's
+        ``VertexMeasurement`` and the runtime's ``ActorRates`` qualify).
+        ``window`` is the measurement duration in (virtual or wall-clock)
+        seconds, used for the predicted item-count floor.
+        """
+        if window <= 0.0:
+            raise ValueError(f"window must be positive, got {window}")
+        tol = self.tolerances
+        topology = predicted.topology
+        source = topology.source
+        discrepancies: List[Discrepancy] = []
+        departure_errors: Dict[str, float] = {}
+
+        for name in topology.names:
+            rates = predicted.rates[name]
+            vertex = measured[name]
+            model_dep = rates.departure_rate
+            sim_dep = float(vertex.departure_rate)
+            sim_util = float(vertex.utilization)
+            expected_count = model_dep * window
+
+            if check_departures and name != source:
+                if expected_count >= tol.min_items:
+                    error = (abs(sim_dep - model_dep) / model_dep
+                             if model_dep > 0.0 else abs(sim_dep))
+                    departure_errors[name] = error
+                    if error > tol.departure_rel:
+                        discrepancies.append(Discrepancy(
+                            kind="departure-rate", operator=name,
+                            expected=model_dep, actual=sim_dep,
+                            tolerance=tol.departure_rel,
+                        ))
+                else:
+                    # Too few predicted items for a relative check; the
+                    # backend must still stay within the floor's worth
+                    # of extra items.
+                    if sim_dep * window > expected_count + tol.min_items:
+                        discrepancies.append(Discrepancy(
+                            kind="departure-count", operator=name,
+                            expected=expected_count,
+                            actual=sim_dep * window,
+                            tolerance=tol.min_items,
+                        ))
+
+            if name == source:
+                if check_throughput:
+                    error = (abs(sim_dep - model_dep) / model_dep
+                             if model_dep > 0.0 else abs(sim_dep))
+                    departure_errors[name] = error
+                    if error > tol.throughput_rel:
+                        discrepancies.append(Discrepancy(
+                            kind="throughput", operator=name,
+                            expected=model_dep, actual=sim_dep,
+                            tolerance=tol.throughput_rel,
+                        ))
+                # The source's utilization is not comparable across
+                # backends (pacing and blocked time are accounted
+                # differently), so the remaining checks skip it.
+                continue
+
+            if check_bottlenecks:
+                if rates.is_saturated and sim_util < tol.saturated_floor:
+                    discrepancies.append(Discrepancy(
+                        kind="bottleneck-missing", operator=name,
+                        expected=rates.utilization, actual=sim_util,
+                        tolerance=tol.saturated_floor,
+                    ))
+                    continue
+                if (rates.utilization < tol.clear_ceiling
+                        and sim_util >= tol.spurious_floor):
+                    discrepancies.append(Discrepancy(
+                        kind="bottleneck-spurious", operator=name,
+                        expected=rates.utilization, actual=sim_util,
+                        tolerance=tol.spurious_floor,
+                    ))
+                    continue
+
+            if (check_utilization and not rates.is_saturated
+                    and expected_count >= tol.min_items):
+                gap = abs(sim_util - rates.utilization)
+                if gap > tol.utilization_abs:
+                    discrepancies.append(Discrepancy(
+                        kind="utilization", operator=name,
+                        expected=rates.utilization, actual=sim_util,
+                        tolerance=tol.utilization_abs,
+                    ))
+
+        return ConformanceReport(
+            topology_name=topology.name,
+            backend=backend,
+            seed=seed,
+            discrepancies=tuple(discrepancies),
+            departure_errors=departure_errors,
+            window=window,
+        )

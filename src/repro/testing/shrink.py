@@ -1,0 +1,164 @@
+"""Greedy topology shrinking: minimize a failing conformance case.
+
+Given a topology and a predicate ("does the discrepancy still
+reproduce?"), :func:`shrink` repeatedly tries to delete one vertex or
+one edge, keeping each deletion that preserves the failure.  The result
+is a local minimum: no single remaining deletion reproduces the
+discrepancy, which in practice collapses twenty-operator testbed
+graphs to the two-to-four-operator kernel that actually disagrees.
+
+Deletions keep the topology well-formed: removing a vertex drops its
+edges, routing probabilities of the affected predecessors are
+renormalized, and vertices no longer reachable from the source are
+dropped transitively (the structural invariants of
+:class:`~repro.core.graph.Topology` are re-validated on construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.graph import Edge, Topology, TopologyError
+
+Predicate = Callable[[Topology], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    original: Topology
+    reduced: Topology
+    steps: Tuple[str, ...]
+
+    @property
+    def removed_operators(self) -> int:
+        return len(self.original) - len(self.reduced)
+
+
+def _rebuild(topology: Topology, keep_specs: List, edges: List[Edge],
+             name: str) -> Optional[Topology]:
+    """Build a valid sub-topology from kept specs and candidate edges.
+
+    Renormalizes routing probabilities per vertex and drops vertices
+    that lost reachability from the source; returns ``None`` when no
+    valid topology remains (e.g. the source itself lost all operators).
+    """
+    kept = {spec.name for spec in keep_specs}
+    edges = [e for e in edges if e.source in kept and e.target in kept]
+
+    # Drop vertices unreachable from the (original) source.
+    source = topology.source
+    if source not in kept:
+        return None
+    adjacency = {}
+    for edge in edges:
+        adjacency.setdefault(edge.source, []).append(edge.target)
+    reached = set()
+    stack = [source]
+    while stack:
+        current = stack.pop()
+        if current in reached:
+            continue
+        reached.add(current)
+        stack.extend(adjacency.get(current, ()))
+    keep_specs = [s for s in keep_specs if s.name in reached]
+    edges = [e for e in edges if e.source in reached and e.target in reached]
+    if len(keep_specs) < 2:
+        return None
+
+    # Renormalize the out-probabilities of every remaining vertex.
+    totals = {}
+    for edge in edges:
+        totals[edge.source] = totals.get(edge.source, 0.0) + edge.probability
+    normalized = [
+        Edge(e.source, e.target, e.probability / totals[e.source])
+        for e in edges
+    ]
+    try:
+        return Topology(keep_specs, normalized, name=name)
+    except TopologyError:
+        return None
+
+
+def _shrunk_name(name: str) -> str:
+    return name if name.endswith("-shrunk") else f"{name}-shrunk"
+
+
+def remove_vertex(topology: Topology, name: str) -> Optional[Topology]:
+    """The topology without ``name`` (and without anything it orphans).
+
+    Returns ``None`` when the removal is impossible (the source, or a
+    removal that leaves no valid topology).
+    """
+    if name == topology.source or name not in topology:
+        return None
+    specs = [s for s in topology.operators if s.name != name]
+    return _rebuild(topology, specs, topology.edges,
+                    name=_shrunk_name(topology.name))
+
+
+def remove_edge(topology: Topology, source: str,
+                target: str) -> Optional[Topology]:
+    """The topology without the ``source -> target`` edge.
+
+    Siblings of the removed edge are renormalized; vertices that lose
+    reachability are dropped.  Returns ``None`` when the edge does not
+    exist or nothing valid remains.
+    """
+    edges = [e for e in topology.edges
+             if not (e.source == source and e.target == target)]
+    if len(edges) == len(topology.edges):
+        return None
+    return _rebuild(topology, list(topology.operators), edges,
+                    name=_shrunk_name(topology.name))
+
+
+def _holds(predicate: Predicate, topology: Topology) -> bool:
+    """Run the predicate defensively: an analysis crash on a candidate
+    counts as "does not reproduce" so shrinking never aborts."""
+    try:
+        return bool(predicate(topology))
+    except Exception:
+        return False
+
+
+def shrink(topology: Topology, predicate: Predicate,
+           max_steps: int = 1000) -> ShrinkResult:
+    """Greedily minimize ``topology`` while ``predicate`` stays true.
+
+    ``predicate`` must be true for the input topology (otherwise there
+    is nothing to preserve and the input is returned unchanged).  Each
+    round first tries vertex removals (big steps), then edge removals
+    (fine-grained), restarting after every accepted deletion; the loop
+    ends at a fixpoint where no single deletion keeps the failure.
+    """
+    if not _holds(predicate, topology):
+        return ShrinkResult(original=topology, reduced=topology, steps=())
+
+    current = topology
+    steps: List[str] = []
+    improved = True
+    while improved and len(steps) < max_steps:
+        improved = False
+        for name in list(current.names):
+            candidate = remove_vertex(current, name)
+            if candidate is not None and _holds(predicate, candidate):
+                steps.append(f"removed operator {name!r} "
+                             f"({len(current)} -> {len(candidate)} operators)")
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for edge in current.edges:
+            candidate = remove_edge(current, edge.source, edge.target)
+            if (candidate is not None and len(candidate) == len(current)
+                    and _holds(predicate, candidate)):
+                steps.append(f"removed edge {edge.source!r}->{edge.target!r}")
+                current = candidate
+                improved = True
+                break
+    return ShrinkResult(original=topology, reduced=current,
+                        steps=tuple(steps))

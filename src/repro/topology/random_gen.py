@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.graph import Edge, OperatorSpec, StateKind, Topology, TopologyError
 from repro.topology.catalog import (
@@ -29,15 +29,32 @@ from repro.topology.catalog import (
 
 @dataclass(frozen=True)
 class GeneratorConfig:
-    """Parameters of the random testbed (defaults follow the paper)."""
+    """Parameters of the random testbed (defaults follow the paper).
+
+    Beyond the paper's knobs, the config carries the hooks the
+    conformance harness (:mod:`repro.testing`) uses to carve out
+    regime-specific testbeds from the same seeded generator:
+
+    * ``max_in_degree`` caps the in-degree of every vertex.  With a cap
+      of 1 the generator produces random *trees* (fan-outs with ZipF
+      routing, no merges), the regime where the fluid model is tight
+      under head-of-line blocking; ``None`` keeps the paper's DAGs.
+    * ``template_names`` restricts operator assignment to a subset of
+      the catalog (e.g. stateless-only for wall-clock runtime checks).
+    * ``min_service_time`` / ``max_service_time`` clamp the sampled
+      service times into a band, keeping rates measurable on short
+      wall-clock horizons.
+    """
 
     min_vertices: int = 2
     max_vertices: int = 20
     beta_range: Tuple[float, float] = (1.0, 1.2)
     zipf_alpha_range: Tuple[float, float] = (1.05, 2.5)
     source_speedup: float = 1.33
-    #: Generate at least this many vertices when a richer graph is
-    #: needed (e.g. fusion studies); kept at the paper's 2 by default.
+    max_in_degree: Optional[int] = None
+    template_names: Optional[Tuple[str, ...]] = None
+    min_service_time: float = 0.0
+    max_service_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_vertices < 2:
@@ -48,6 +65,26 @@ class GeneratorConfig:
             raise TopologyError("beta_range must satisfy 1 <= lo <= hi")
         if self.source_speedup <= 0.0:
             raise TopologyError("source_speedup must be positive")
+        if self.max_in_degree is not None and self.max_in_degree < 1:
+            raise TopologyError("max_in_degree must be >= 1 when set")
+        if self.template_names is not None and not self.template_names:
+            raise TopologyError("template_names must be non-empty when set")
+        if self.min_service_time < 0.0:
+            raise TopologyError("min_service_time must be non-negative")
+        if (self.max_service_time is not None
+                and self.max_service_time < self.min_service_time):
+            raise TopologyError(
+                "max_service_time must be >= min_service_time"
+            )
+
+    def clamp_service_time(self, service_time: float) -> float:
+        """Apply the service-time band to one sampled service time."""
+        if service_time < self.min_service_time:
+            service_time = self.min_service_time
+        if (self.max_service_time is not None
+                and service_time > self.max_service_time):
+            service_time = self.max_service_time
+        return service_time
 
 
 def generate_edges(num_vertices: int, expected_edges: int,
@@ -81,6 +118,38 @@ def generate_edges(num_vertices: int, expected_edges: int,
     for i in range(1, num_vertices):
         if i not in has_input:
             edges.add((0, i))
+    return sorted(edges)
+
+
+def generate_bounded_edges(num_vertices: int, expected_edges: int,
+                           rng: random.Random,
+                           max_in_degree: int) -> List[Tuple[int, int]]:
+    """Edge construction with a cap on every vertex's in-degree.
+
+    Phase 1 grows a random spanning tree (each vertex picks one parent
+    among its predecessors), which satisfies any cap and keeps the
+    graph rooted at vertex 0.  Phase 2 tops up to ``expected_edges``
+    with forward edges that respect the cap; with ``max_in_degree=1``
+    nothing can be added and the result is a random tree.
+    """
+    if max_in_degree < 1:
+        raise TopologyError("max_in_degree must be >= 1")
+    edges: Set[Tuple[int, int]] = set()
+    in_degree = {v: 0 for v in range(num_vertices)}
+    for v in range(1, num_vertices):
+        u = rng.randint(0, v - 1)
+        edges.add((u, v))
+        in_degree[v] += 1
+    attempts = 0
+    max_attempts = 20 * max(1, expected_edges)
+    while len(edges) < expected_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randint(0, num_vertices - 2)
+        v = rng.randint(u + 1, num_vertices - 1)
+        if (u, v) in edges or in_degree[v] >= max_in_degree:
+            continue
+        edges.add((u, v))
+        in_degree[v] += 1
     return sorted(edges)
 
 
@@ -120,7 +189,11 @@ class RandomTopologyGenerator:
                              round((num_vertices - 1) * beta))
         max_edges = num_vertices * (num_vertices - 1) // 2
         expected_edges = min(expected_edges, max_edges)
-        int_edges = generate_edges(num_vertices, expected_edges, rng)
+        if cfg.max_in_degree is not None:
+            int_edges = generate_bounded_edges(num_vertices, expected_edges,
+                                               rng, cfg.max_in_degree)
+        else:
+            int_edges = generate_edges(num_vertices, expected_edges, rng)
 
         in_degree = {i: 0 for i in range(num_vertices)}
         for _, v in int_edges:
@@ -131,6 +204,14 @@ class RandomTopologyGenerator:
         names: Dict[int, str] = {0: "op0_source"}
         for vertex in range(1, num_vertices):
             templates = eligible_templates(in_degree[vertex])
+            if cfg.template_names is not None:
+                allowed = set(cfg.template_names)
+                templates = [t for t in templates if t.name in allowed]
+                if not templates:
+                    raise TopologyError(
+                        f"no eligible template among {sorted(allowed)} for a "
+                        f"vertex with in-degree {in_degree[vertex]}"
+                    )
             weights = [t.weight for t in templates]
             template = rng.choices(templates, weights=weights, k=1)[0]
             sampled[vertex] = template.sample(rng)
@@ -138,7 +219,8 @@ class RandomTopologyGenerator:
 
         # The source is 33% faster than the fastest operator so that
         # bottlenecks exist and backpressure shapes the steady state.
-        fastest = min(op.service_time for op in sampled.values())
+        fastest = min(cfg.clamp_service_time(op.service_time)
+                      for op in sampled.values())
         source_service_time = fastest / cfg.source_speedup
 
         specs: List[OperatorSpec] = [
@@ -153,7 +235,7 @@ class RandomTopologyGenerator:
             op = sampled[vertex]
             specs.append(OperatorSpec(
                 name=names[vertex],
-                service_time=op.service_time,
+                service_time=cfg.clamp_service_time(op.service_time),
                 state=op.state,
                 input_selectivity=op.input_selectivity,
                 output_selectivity=op.output_selectivity,

@@ -94,8 +94,17 @@ def _read_source(source: Union[str, "os.PathLike[str]"],
     if "<" in text:  # raw XML string
         return text, base_dir or "."
     path = os.fspath(source)
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read(), base_dir or os.path.dirname(os.path.abspath(path))
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return (handle.read(),
+                    base_dir or os.path.dirname(os.path.abspath(path)))
+    except FileNotFoundError:
+        raise XmlFormatError(
+            f"topology file not found: {path!r} "
+            f"(resolved to {os.path.abspath(path)!r}); relative paths are "
+            "resolved against the current working directory — pass an "
+            "absolute path, or an XML string to parse inline"
+        ) from None
 
 
 def _require(element: ET.Element, attribute: str) -> str:

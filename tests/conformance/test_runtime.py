@@ -1,0 +1,61 @@
+"""Wall-clock conformance: model vs. the threaded actor runtime.
+
+These run real sleep-padded actors for a few seconds each, so tier-1
+keeps the seed count minimal; the CLI sweep (``spinstreams conformance
+--runtime-seeds N``) and nightly CI cover more.
+"""
+
+import pytest
+
+from repro.runtime.synthetic import GainOperator
+from repro.testing import ConformanceConfig, check_runtime_seed
+
+
+class TestGainOperator:
+    def test_unit_gain_is_identity(self):
+        op = GainOperator(1.0)
+        assert [op.operator_function(i) for i in range(3)] == [[0], [1], [2]]
+
+    def test_fractional_gain_is_deterministic(self):
+        op = GainOperator(0.5)
+        outputs = [len(op.operator_function(i)) for i in range(10)]
+        assert sum(outputs) == 5
+        assert outputs == [0, 1] * 5
+
+    def test_expanding_gain(self):
+        op = GainOperator(2.5)
+        total = sum(len(op.operator_function(i)) for i in range(10))
+        assert total == 25
+
+    def test_credit_error_bounded_by_one_item(self):
+        op = GainOperator(0.7)
+        for n in range(1, 50):
+            emitted = len(op.operator_function(n))
+            assert emitted in (0, 1)
+        # After 49 items the realized count is within one of 0.7 * 49.
+        op2 = GainOperator(0.7)
+        total = sum(len(op2.operator_function(i)) for i in range(49))
+        assert abs(total - 0.7 * 49) < 1.0
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GainOperator(-0.1)
+
+    def test_gain_property_mirrors_selectivity(self):
+        assert GainOperator(0.25).gain == pytest.approx(0.25)
+
+
+class TestRuntimeConformance:
+    @pytest.mark.parametrize("seed", [100, 101])
+    def test_runtime_matches_model(self, seed):
+        config = ConformanceConfig(runtime_duration=2.0)
+        report = check_runtime_seed(seed, config)
+        assert report.ok, report.summary()
+        assert report.backend == "runtime"
+        assert report.max_departure_error < 0.10
+
+    def test_runtime_topologies_are_wall_clock_sized(self):
+        generator = ConformanceConfig().runtime_generator_config()
+        assert generator.max_vertices <= 6
+        assert generator.min_service_time >= 4e-3
+        assert generator.max_in_degree == 1

@@ -1,0 +1,144 @@
+"""Topology shrinking, and the harness's self-test: a deliberately
+broken model must be caught and minimized to a small reproducer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.graph import Topology
+from repro.core.steady_state import analyze
+from repro.testing import (
+    ConformanceConfig,
+    check_seed,
+    remove_edge,
+    remove_vertex,
+    shrink,
+    topology_for_seed,
+)
+from tests.conftest import make_diamond, make_fig11
+
+
+class TestRemoveVertex:
+    def test_removal_renormalizes_siblings(self):
+        topology = make_diamond(p_left=0.3)
+        reduced = remove_vertex(topology, "left")
+        assert reduced.names == ["src", "right", "sink"]
+        assert reduced.edge("src", "right").probability == pytest.approx(1.0)
+
+    def test_source_cannot_be_removed(self):
+        topology = make_diamond()
+        assert remove_vertex(topology, "src") is None
+
+    def test_unknown_vertex(self):
+        assert remove_vertex(make_diamond(), "nope") is None
+
+    def test_orphaned_vertices_dropped(self):
+        # fig11: removing op3 orphans nothing (op4/op5 stay reachable
+        # through it only) — actually op4 and op5 are reachable only via
+        # op3, so they must go with it.
+        topology = make_fig11()
+        reduced = remove_vertex(topology, "op3")
+        assert reduced.names == ["op1", "op2", "op6"]
+        assert reduced.edge("op1", "op2").probability == pytest.approx(1.0)
+
+
+class TestRemoveEdge:
+    def test_removal_renormalizes_and_drops_unreachable(self):
+        topology = make_diamond(p_left=0.5)
+        reduced = remove_edge(topology, "src", "left")
+        assert reduced.names == ["src", "right", "sink"]
+        assert reduced.edge("src", "right").probability == pytest.approx(1.0)
+
+    def test_missing_edge(self):
+        assert remove_edge(make_diamond(), "left", "right") is None
+
+    def test_load_bearing_edge(self):
+        # A two-operator pipeline cannot lose its only edge.
+        topology = make_diamond()
+        reduced = remove_edge(topology, "left", "sink")
+        # "left" becomes a sink; nothing is orphaned.
+        assert reduced is not None
+        assert "left" in reduced.sinks
+
+
+class TestShrink:
+    def test_predicate_false_initially_returns_unchanged(self):
+        topology = make_fig11()
+        result = shrink(topology, lambda t: False)
+        assert result.reduced is topology
+        assert result.steps == ()
+        assert result.removed_operators == 0
+
+    def test_shrinks_to_fixpoint_of_predicate(self):
+        topology = make_fig11()
+        result = shrink(topology, lambda t: len(t) >= 3)
+        assert len(result.reduced) == 3
+        assert result.removed_operators == 3
+        assert len(result.steps) >= 1
+
+    def test_crashing_predicate_counts_as_not_reproducing(self):
+        topology = make_fig11()
+
+        def fragile(candidate):
+            if len(candidate) < len(topology):
+                raise RuntimeError("boom")
+            return True
+
+        result = shrink(topology, fragile)
+        assert result.reduced is topology or len(result.reduced) == len(topology)
+
+    def test_steps_describe_each_deletion(self):
+        result = shrink(make_fig11(), lambda t: len(t) >= 4)
+        for step in result.steps:
+            assert "removed" in step
+
+
+def flatten_selectivities(topology: Topology) -> Topology:
+    """The injected model bug: drop the s_out/s_in gain correction."""
+    specs = [replace(spec, input_selectivity=1.0, output_selectivity=1.0)
+             for spec in topology.operators]
+    return Topology(specs, list(topology.edges), name=topology.name)
+
+
+def broken_analyze(topology: Topology):
+    return analyze(flatten_selectivities(topology))
+
+
+class TestInjectedModelBug:
+    """The acceptance self-test: a model that ignores selectivities must
+    be caught by the harness and shrunk to a tiny reproducer."""
+
+    SEED = 106  # a 9-operator testbed with several non-unit gains
+
+    def test_broken_model_is_caught(self):
+        report = check_seed(self.SEED, analyze_fn=broken_analyze)
+        assert not report.ok
+        assert report.worst is not None
+        # The report names a concrete diverging operator with rates.
+        assert report.worst.operator in topology_for_seed(self.SEED)
+        assert report.worst.error > ConformanceConfig().resolved_tolerances().departure_rel
+
+    def test_correct_model_passes_same_seed(self):
+        assert check_seed(self.SEED).ok
+
+    def test_bug_shrinks_to_small_reproducer(self):
+        config = ConformanceConfig()
+        topology = topology_for_seed(self.SEED, config)
+
+        def still_fails(candidate):
+            return not check_seed(self.SEED, config,
+                                  analyze_fn=broken_analyze,
+                                  topology=candidate).ok
+
+        result = shrink(topology, still_fails)
+        assert len(result.reduced) <= 4
+        assert result.removed_operators >= 5
+        # The kernel still reproduces: broken model fails on it, the
+        # real model does not.
+        assert still_fails(result.reduced)
+        assert check_seed(self.SEED, config, topology=result.reduced).ok
+        # Something with a non-unit gain survived — the kernel contains
+        # the operator the dropped correction actually matters for.
+        assert any(spec.output_selectivity != 1.0
+                   or spec.input_selectivity != 1.0
+                   for spec in result.reduced.operators)

@@ -1,0 +1,104 @@
+"""Model-vs-simulator conformance sweeps over randomized testbeds.
+
+Tier-1 runs a fast budget (``--conformance-seeds``, default 6); the
+nightly CI job raises the budget to catch rarer topology shapes.
+"""
+
+import math
+
+import pytest
+
+from repro.testing import (
+    ConformanceConfig,
+    check_optimizer_seed,
+    check_seed,
+    run_sweep,
+    topology_for_seed,
+)
+
+
+class TestSeedDeterminism:
+    def test_same_seed_same_topology(self):
+        first = topology_for_seed(123)
+        second = topology_for_seed(123)
+        assert first.names == second.names
+        assert first.edges == second.edges
+        for name in first.names:
+            assert first.operator(name) == second.operator(name)
+
+    def test_different_seeds_differ(self):
+        first = topology_for_seed(123)
+        second = topology_for_seed(124)
+        differs = (
+            first.names != second.names
+            or first.edges != second.edges
+            or any(first.operator(n) != second.operator(n)
+                   for n in first.names if n in second)
+        )
+        assert differs
+
+    def test_same_seed_same_report(self):
+        first = check_seed(100)
+        second = check_seed(100)
+        assert first.discrepancies == second.discrepancies
+        assert first.departure_errors == second.departure_errors
+        assert first.window == second.window
+
+
+class TestTreeSweep:
+    def test_sweep_is_green(self, conformance_seeds):
+        outcome = run_sweep(conformance_seeds)
+        assert outcome.ok, outcome.summary()
+        # Tree profile: the fluid model holds at the 2% level, and in
+        # practice well under it.
+        assert outcome.max_departure_error < 0.02
+
+    def test_sweep_includes_optimizer_reports(self):
+        outcome = run_sweep(2)
+        backends = [report.backend for report in outcome.reports]
+        assert backends.count("simulator") == 2
+        assert backends.count("optimizer+simulator") == 2
+
+    def test_optimizer_disabled(self):
+        outcome = run_sweep(2, ConformanceConfig(optimizer=False))
+        assert all(r.backend == "simulator" for r in outcome.reports)
+
+    def test_reports_carry_seed_and_window(self):
+        report = check_seed(100)
+        assert report.seed == 100
+        assert report.topology_name == "conformance-100"
+        assert report.window > 0.0
+        assert report.departure_errors  # at least one operator judged
+
+
+class TestDagSweep:
+    def test_dag_profile_is_green_at_loose_tolerance(self, conformance_seeds):
+        config = ConformanceConfig(profile="dag")
+        seeds = max(2, conformance_seeds // 2)
+        outcome = run_sweep(seeds, config)
+        assert outcome.ok, outcome.summary()
+
+    def test_dag_profile_loosens_tolerances(self):
+        config = ConformanceConfig(profile="dag")
+        assert config.resolved_tolerances().departure_rel == 0.10
+        assert ConformanceConfig().resolved_tolerances().departure_rel == 0.02
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            ConformanceConfig(profile="torus").generator_config()
+
+
+class TestOptimizerConformance:
+    def test_optimized_topology_matches_simulator(self):
+        report = check_optimizer_seed(100)
+        assert report.ok, report.summary()
+        assert report.backend == "optimizer+simulator"
+        assert report.topology_name.endswith("-optimized")
+
+    def test_optimizer_throughput_error_is_relative(self):
+        # The optimizer check gates throughput only; its departure
+        # errors map carries just the source entry.
+        report = check_optimizer_seed(101)
+        assert report.ok, report.summary()
+        for error in report.departure_errors.values():
+            assert math.isfinite(error)

@@ -7,6 +7,19 @@ import pytest
 from repro.core.graph import Edge, KeyDistribution, OperatorSpec, StateKind, Topology
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--conformance-seeds", type=int, default=6,
+        help="seeds swept by the conformance tests (tier-1 default is a "
+             "fast budget; nightly CI raises it)",
+    )
+
+
+@pytest.fixture(scope="session")
+def conformance_seeds(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--conformance-seeds")
+
+
 def make_pipeline(*service_times_ms: float, name: str = "pipeline") -> Topology:
     """A linear chain src -> op1 -> ... with the given service times (ms)."""
     specs = [

@@ -185,3 +185,18 @@ class TestMemory:
     def test_bytes_per_item_flag(self, fig11_xml, capsys):
         assert main(["memory", fig11_xml, "--bytes-per-item", "1000"]) == 0
         assert "1000 bytes/item" in capsys.readouterr().out
+
+
+class TestConformance:
+    def test_small_sweep_is_green(self, capsys):
+        assert main(["conformance", "--seeds", "2",
+                     "--runtime-seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "4 checks, 0 failed" in out
+
+    def test_single_seed_replay(self, capsys):
+        assert main(["conformance", "--seed", "100", "--runtime-seeds", "0",
+                     "--no-optimizer"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=100" in out
+        assert "OK" in out

@@ -141,6 +141,22 @@ class TestParsingErrors:
         with pytest.raises(XmlFormatError, match="bad probability"):
             parse_topology(xml)
 
+    def test_missing_file(self, tmp_path):
+        missing = str(tmp_path / "no_such_topology.xml")
+        with pytest.raises(XmlFormatError, match="not found") as excinfo:
+            parse_topology(missing)
+        message = str(excinfo.value)
+        assert "no_such_topology.xml" in message
+        assert os.path.abspath(missing) in message
+
+    def test_missing_relative_file_mentions_cwd_resolution(self):
+        # A TopologyError subclass, so the CLI reports it as a user
+        # error instead of a traceback.
+        from repro.core.graph import TopologyError
+
+        with pytest.raises(TopologyError, match="working directory"):
+            parse_topology("definitely_not_here.xml")
+
 
 class TestRoundTrip:
     def test_fig11_round_trip(self):
@@ -181,6 +197,44 @@ class TestRoundTrip:
     def test_serializer_rejects_unknown_unit(self):
         with pytest.raises(XmlFormatError, match="time unit"):
             topology_to_xml(make_fig11(), time_unit="parsec")
+
+
+FIXTURES = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "examples", "topologies")
+
+
+class TestFixtureFileRoundTrip:
+    """Shipped fixtures survive parse -> serialize -> reparse intact."""
+
+    @pytest.mark.parametrize("filename", [
+        "fig11.xml", "runnable_pipeline.xml", "testbed_sample.xml",
+    ])
+    def test_fixture_round_trips(self, filename):
+        original = parse_topology(os.path.join(FIXTURES, filename))
+        parsed = parse_topology(topology_to_xml(original))
+        assert parsed.name == original.name
+        assert parsed.names == original.names
+        for spec in original.operators:
+            twin = parsed.operator(spec.name)
+            assert twin.state is spec.state
+            assert math.isclose(twin.service_time, spec.service_time)
+            assert math.isclose(twin.input_selectivity,
+                                spec.input_selectivity)
+            assert math.isclose(twin.output_selectivity,
+                                spec.output_selectivity)
+            assert twin.replication == spec.replication
+            assert twin.operator_class == spec.operator_class
+            assert dict(twin.operator_args) == dict(spec.operator_args)
+            if spec.keys is None:
+                assert twin.keys is None
+            else:
+                assert dict(twin.keys.frequencies) == pytest.approx(
+                    dict(spec.keys.frequencies))
+        for edge in original.edges:
+            assert math.isclose(
+                parsed.edge(edge.source, edge.target).probability,
+                edge.probability,
+            )
 
 
 class TestKeyFiles:
