@@ -228,6 +228,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.testing import (
         ConformanceConfig,
+        check_chaos_seed,
         check_optimizer_seed,
         check_runtime_seed,
         check_seed,
@@ -251,6 +252,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             reports.append(check_optimizer_seed(args.seed, config))
         if args.runtime_seeds > 0:
             reports.append(check_runtime_seed(args.seed, config))
+        if args.chaos_seeds > 0:
+            reports.append(check_chaos_seed(args.seed, config))
         for report in reports:
             print(report.summary())
         failed = [r for r in reports if not r.ok]
@@ -259,7 +262,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
                               topology_for_seed)
         return 1 if failed else 0
 
-    outcome = run_sweep(args.seeds, config, runtime_seeds=args.runtime_seeds)
+    outcome = run_sweep(args.seeds, config, runtime_seeds=args.runtime_seeds,
+                        chaos_seeds=args.chaos_seeds)
     print(outcome.summary())
     if outcome.ok:
         return 0
@@ -288,6 +292,169 @@ def _shrink_and_print(seed, config, check_seed, shrink_fn,
     print(result.reduced.describe())
     report = check_seed(seed, config, topology=result.reduced)
     print(report.summary())
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.plan import FaultPlanConfig, chaos_profile
+    from repro.sim.network import SimulationConfig, build_engine
+    from repro.testing import ConformanceConfig, topology_for_seed
+
+    fault_config = FaultPlanConfig(
+        crashes_per_operator=args.crashes,
+        poisons_per_operator=args.poisons,
+        slowdowns_per_operator=args.slowdowns,
+        drop_windows_per_operator=args.drop_windows,
+    )
+    conf = ConformanceConfig(profile=args.profile)
+    run_runtime = args.backend in ("runtime", "both")
+    if args.topology is not None:
+        topology = parse_topology(args.topology)
+    elif run_runtime:
+        # Wall-clock backends need slow (4-8ms) operators to measure.
+        topology = topology_for_seed(
+            args.seed, conf, generator=conf.runtime_generator_config())
+    else:
+        topology = topology_for_seed(args.seed, conf)
+
+    base = analyze(topology)
+    items = (max(int(base.throughput * args.duration), 50)
+             if run_runtime else args.items)
+    profile = chaos_profile(topology, args.seed, fault_config, items=items)
+
+    print(f"topology: {topology.name} ({len(topology)} operators), "
+          f"chaos seed {args.seed}, {items} items")
+    print(profile.plan.describe())
+    print(f"\npredicted: base {base.throughput:,.1f} items/s -> derated "
+          f"{profile.derated.throughput:,.1f} items/s "
+          f"(degradation {profile.predicted_degradation:.1%})")
+
+    failed = False
+    if args.backend in ("sim", "both"):
+        failed |= _chaos_sim(args, topology, profile, base,
+                             SimulationConfig, build_engine, items)
+    if run_runtime:
+        failed |= _chaos_runtime(args, topology, profile, base)
+    return 1 if failed else 0
+
+
+def _chaos_supervision_lines(events, dead_letter_counts) -> None:
+    """Print the supervision/dead-letter section shared by both backends."""
+    by_directive: dict = {}
+    for event in events:
+        by_directive[event.directive] = by_directive.get(event.directive, 0) + 1
+    summary = ", ".join(f"{d}={n}" for d, n in sorted(by_directive.items()))
+    print(f"  supervision events: {len(events)} ({summary or 'none'})")
+    for event in events[:10]:
+        print(f"    {event.describe()}")
+    if len(events) > 10:
+        print(f"    ... {len(events) - 10} more")
+    total_dead = sum(dead_letter_counts.values())
+    detail = ", ".join(f"{v}={n}" for v, n in sorted(dead_letter_counts.items()))
+    print(f"  dead letters: {total_dead}" + (f" ({detail})" if detail else ""))
+
+
+def _chaos_sim(args, topology, profile, base,
+               SimulationConfig, build_engine, items) -> bool:
+    """Run (twice, for the replay check) on the simulator; True = failed."""
+
+    def run_once():
+        sim_config = SimulationConfig(
+            mailbox_capacity=args.mailbox_capacity,
+            service_family="deterministic", routing="proportional",
+            items=items, seed=args.seed,
+            fault_plan=profile.plan, supervisor=profile.strategy,
+            on_deadlock="report",
+        )
+        engine, _ = build_engine(topology, sim_config)
+        measurements = engine.run(until=profile.horizon, warmup=0.0)
+        return engine, measurements
+
+    engine, measurements = run_once()
+    vertices = measurements.vertex_rates()
+    measured = vertices[topology.source].departure_rate
+    degradation = (1.0 - measured / base.throughput
+                   if base.throughput > 0 else 0.0)
+    error = (abs(measured - profile.derated.throughput)
+             / profile.derated.throughput
+             if profile.derated.throughput > 0 else 0.0)
+    print(f"\nsimulator: measured {measured:,.1f} items/s "
+          f"(degradation {degradation:.1%}, "
+          f"error vs derated model {error:.1%})")
+    _chaos_supervision_lines(engine.supervision.events,
+                            engine.dead_letters.counts())
+    failed = error > args.tolerance
+    if measurements.deadlock is not None:
+        print(f"  watchdog: {measurements.deadlock.describe()}")
+        failed = True
+    if measurements.halted is not None:
+        print(f"  halted: {measurements.halted}")
+        failed = True
+
+    replay_engine, _ = run_once()
+    deterministic = (replay_engine.supervision.signature()
+                     == engine.supervision.signature())
+    print(f"  replay deterministic: {'yes' if deterministic else 'NO'}")
+    if not deterministic:
+        failed = True
+    if failed:
+        print("  verdict: FAIL")
+    return failed
+
+
+def _chaos_runtime(args, topology, profile, base) -> bool:
+    """Run once on the threaded actor runtime; True = failed."""
+    from repro.operators.source_sink import GeneratorSource
+    from repro.runtime.synthetic import GainOperator, PaddedOperator
+    from repro.runtime.system import RuntimeConfig, run_topology
+    from repro.testing.harness import sleep_overshoot
+
+    overshoot = sleep_overshoot()
+    factories = {}
+    for spec in topology.operators:
+        if spec.name == topology.source:
+            factories[spec.name] = lambda s=args.seed: GeneratorSource(seed=s)
+        else:
+            padding = max(spec.service_time - overshoot, 1e-4)
+            factories[spec.name] = lambda g=spec.gain, p=padding: (
+                PaddedOperator(GainOperator(g), p))
+
+    result = run_topology(
+        topology, factories, duration=args.duration, warmup=0.0,
+        config=RuntimeConfig(
+            mailbox_capacity=16,
+            source_rate=topology.operator(topology.source).service_rate,
+            seed=args.seed,
+            fault_plan=profile.plan, supervisor=profile.strategy,
+        ),
+    )
+    measured = result.vertices[topology.source].departure_rate
+    degradation = (1.0 - measured / base.throughput
+                   if base.throughput > 0 else 0.0)
+    error = (abs(measured - profile.derated.throughput)
+             / profile.derated.throughput
+             if profile.derated.throughput > 0 else 0.0)
+    print(f"\nruntime: measured {measured:,.1f} items/s "
+          f"(degradation {degradation:.1%}, "
+          f"error vs derated model {error:.1%})")
+    _chaos_supervision_lines(result.supervision.events,
+                            result.dead_letters.counts())
+    print(f"  dropped messages: {result.measurements.total_dropped()}")
+    failed = False
+    if result.watchdog is not None and result.watchdog.verdict:
+        print(f"  watchdog: {result.watchdog.describe()}")
+        failed = True
+    if result.leaked_actors:
+        print(f"  leaked threads: {', '.join(result.leaked_actors)}")
+        failed = True
+    if result.failure is not None:
+        print(f"  failure: {result.failure}")
+        failed = True
+    # Wall-clock runs are noisy; gate at double the simulator tolerance.
+    if error > 2 * args.tolerance:
+        failed = True
+    if failed:
+        print("  verdict: FAIL")
+    return failed
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -436,7 +603,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the optimizer-pipeline checks")
     p.add_argument("--no-shrink", action="store_true",
                    help="do not minimize the first failing topology")
+    p.add_argument("--chaos-seeds", type=int, default=0,
+                   help="how many seeds also run the degraded-mode "
+                        "(fault-injected) simulator check (0 disables)")
     p.set_defaults(func=_cmd_conformance)
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection run: supervision events, dead "
+                            "letters, watchdog verdicts and throughput "
+                            "degradation vs. the derated model")
+    p.add_argument("--seed", type=int, default=1,
+                   help="fault-plan (and topology) seed; the same seed "
+                        "replays the identical fault sequence")
+    p.add_argument("--topology", default=None,
+                   help="XML topology (default: the seed's random testbed)")
+    p.add_argument("--backend", default="sim",
+                   choices=("sim", "runtime", "both"))
+    p.add_argument("--profile", default="tree", choices=("tree", "dag"))
+    p.add_argument("--items", type=int, default=30_000,
+                   help="simulated items (sim backend)")
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="wall-clock seconds (runtime backend)")
+    p.add_argument("--mailbox-capacity", type=int, default=64)
+    p.add_argument("--crashes", type=float, default=1.0,
+                   help="expected operator crashes per faulty operator")
+    p.add_argument("--poisons", type=float, default=2.0,
+                   help="expected poison tuples per faulty operator")
+    p.add_argument("--slowdowns", type=float, default=0.5,
+                   help="expected slowdown windows per faulty operator")
+    p.add_argument("--drop-windows", type=float, default=0.0,
+                   help="expected mailbox drop windows per faulty operator")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="max relative error vs. the derated model")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("memory",
                        help="static memory-footprint estimate (extension)")

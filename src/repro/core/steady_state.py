@@ -173,6 +173,9 @@ def analyze(
     source_rate: Optional[float] = None,
     partition_heuristic: str = "greedy",
     max_iterations: Optional[int] = None,
+    availability: Optional[Mapping[str, float]] = None,
+    gain_factor: Optional[Mapping[str, float]] = None,
+    input_factor: Optional[Mapping[str, float]] = None,
 ) -> SteadyStateResult:
     """Run the steady-state analysis (paper Algorithm 1, generalized).
 
@@ -190,6 +193,19 @@ def analyze(
         Safety bound on the number of restarts; defaults to the number
         of operators plus one, which Proposition 3.3 guarantees to be
         sufficient (each correction pins one operator at utilization 1).
+    availability:
+        Degraded-mode derating: per-operator fraction of serving
+        capacity that survives faults (restart downtime, transient
+        slowdowns, source hiccups).  Effective capacity becomes
+        ``capacity * availability``; omitted operators default to 1.
+    gain_factor:
+        Degraded-mode output derating: fraction of served items that
+        actually produce output (poisoned/crashed items are consumed
+        but emit nothing).  Multiplies the operator's gain.
+    input_factor:
+        Degraded-mode input derating: fraction of offered items that
+        reach service (mailbox drop windows shed the rest).  Scales the
+        arrival rate before utilization and departure are computed.
 
     Returns
     -------
@@ -207,16 +223,27 @@ def analyze(
     if max_iterations is None:
         max_iterations = len(order) + 1
 
-    capacities: Dict[str, Tuple[float, float]] = {
-        name: operator_capacity(topology, name, partition_heuristic)
-        for name in order
-    }
+    capacities: Dict[str, Tuple[float, float]] = {}
+    for name in order:
+        capacity, p_max = operator_capacity(topology, name,
+                                            partition_heuristic)
+        if availability is not None:
+            derate = availability.get(name, 1.0)
+            if not 0.0 < derate <= 1.0:
+                raise TopologyError(
+                    f"availability of {name!r} must be in (0, 1], "
+                    f"got {derate}"
+                )
+            capacity *= derate
+        capacities[name] = (capacity, p_max)
 
     corrections: List[Correction] = []
     current_rate = source_rate
 
     for _ in range(max_iterations):
-        rates = _single_pass(topology, order, capacities, current_rate)
+        rates = _single_pass(topology, order, capacities, current_rate,
+                             gain_factor=gain_factor,
+                             input_factor=input_factor)
         bottleneck = _first_bottleneck(order, rates)
         if bottleneck is None:
             return SteadyStateResult(
@@ -248,6 +275,8 @@ def _single_pass(
     order: List[str],
     capacities: Mapping[str, Tuple[float, float]],
     source_rate: float,
+    gain_factor: Optional[Mapping[str, float]] = None,
+    input_factor: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, OperatorRates]:
     """One topological sweep computing rates for a given source rate.
 
@@ -268,11 +297,16 @@ def _single_pass(
                 rates[edge.source].departure_rate * edge.probability
                 for edge in topology.in_edges(name)
             )
-            utilization = arrival * p_max / spec.service_rate
-            if spec.state is not StateKind.PARTITIONED:
-                utilization = arrival / capacity
+            if input_factor is not None:
+                arrival *= input_factor.get(name, 1.0)
+            # Capacity already folds in p_max (mu / p_max for keyed
+            # operators) and any availability derating, so the binding
+            # replica's utilization is arrival / capacity throughout.
+            utilization = arrival / capacity
         served = min(arrival, capacity)
         departure = served * spec.gain
+        if gain_factor is not None:
+            departure *= gain_factor.get(name, 1.0)
         rates[name] = OperatorRates(
             name=name,
             arrival_rate=arrival,

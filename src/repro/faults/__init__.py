@@ -1,0 +1,46 @@
+"""Seeded fault injection shared by the simulator and the actor runtime.
+
+Fault plans are expressed in logical time (per-operator item indices),
+so one seed produces one failure schedule that executes identically in
+the discrete-event simulator and the threaded runtime — the substrate
+of the degraded-mode conformance checks and the ``spinstreams chaos``
+CLI subcommand.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultyOperator,
+    ItemClock,
+    VertexSchedule,
+)
+from repro.faults.plan import (
+    ChaosProfile,
+    CrashFault,
+    FaultPlan,
+    FaultPlanConfig,
+    MailboxDropFault,
+    PoisonFault,
+    SlowdownFault,
+    SourceHiccup,
+    chaos_profile,
+    derating_factors,
+    generate_fault_plan,
+)
+
+__all__ = [
+    "ChaosProfile",
+    "CrashFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanConfig",
+    "FaultyOperator",
+    "ItemClock",
+    "MailboxDropFault",
+    "PoisonFault",
+    "SlowdownFault",
+    "SourceHiccup",
+    "VertexSchedule",
+    "chaos_profile",
+    "derating_factors",
+    "generate_fault_plan",
+]

@@ -1,0 +1,182 @@
+"""Compiled fault schedules and the runtime-side fault wrapper.
+
+The :class:`FaultInjector` compiles a :class:`~repro.faults.plan.
+FaultPlan` into per-vertex :class:`VertexSchedule` lookups that both
+backends consult with nothing but an item index:
+
+* the discrete-event engine asks ``action(i)`` / ``service_factor(i)``
+  as it schedules and completes station services;
+* the threaded runtime wraps each operator in a :class:`FaultyOperator`
+  that counts its own invocations through a shared :class:`ItemClock`
+  (shared so a *restarted* operator keeps the vertex's logical clock
+  instead of replaying its faults from zero).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.operators.base import Operator
+from repro.runtime.supervision import OperatorCrash, PoisonedTuple
+
+
+class VertexSchedule:
+    """The compiled fault schedule of one vertex (cheap point lookups)."""
+
+    __slots__ = ("vertex", "poisons", "crashes", "slowdowns", "hiccups",
+                 "drop_windows")
+
+    def __init__(self, vertex: str) -> None:
+        self.vertex = vertex
+        self.poisons: frozenset = frozenset()
+        self.crashes: frozenset = frozenset()
+        self.slowdowns: Tuple[Tuple[int, int, float], ...] = ()
+        self.hiccups: Dict[int, float] = {}
+        self.drop_windows: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.poisons or self.crashes or self.slowdowns
+                    or self.hiccups or self.drop_windows)
+
+    def action(self, index: int) -> Optional[str]:
+        """``'poison'`` / ``'crash'`` for this item, ``None`` otherwise."""
+        if index in self.crashes:
+            return "crash"
+        if index in self.poisons:
+            return "poison"
+        return None
+
+    def service_factor(self, index: int) -> float:
+        """Service-time inflation of this item (1.0 = nominal)."""
+        factor = 1.0
+        for start, end, value in self.slowdowns:
+            if start <= index < end:
+                factor *= value
+        return factor
+
+    def hiccup_pause(self, index: int) -> float:
+        """Extra pause (seconds) the source takes after this item."""
+        return self.hiccups.get(index, 0.0)
+
+    def drops_arrival(self, index: int) -> bool:
+        """Whether the ``index``-th arrival at this mailbox is shed."""
+        for start, end in self.drop_windows:
+            if start <= index < end:
+                return True
+        return False
+
+
+_EMPTY = VertexSchedule("")
+
+
+class FaultInjector:
+    """Per-vertex schedule lookup compiled from one fault plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._schedules: Dict[str, VertexSchedule] = {}
+        poisons: Dict[str, set] = {}
+        crashes: Dict[str, set] = {}
+        slowdowns: Dict[str, List[Tuple[int, int, float]]] = {}
+        hiccups: Dict[str, Dict[int, float]] = {}
+        drops: Dict[str, List[Tuple[int, int]]] = {}
+        for fault in plan.poisons:
+            poisons.setdefault(fault.vertex, set()).add(fault.item_index)
+        for fault in plan.crashes:
+            crashes.setdefault(fault.vertex, set()).add(fault.item_index)
+        for fault in plan.slowdowns:
+            slowdowns.setdefault(fault.vertex, []).append(
+                (fault.start_item, fault.end_item, fault.factor))
+        for fault in plan.hiccups:
+            hiccups.setdefault(fault.vertex, {})[fault.item_index] = \
+                fault.pause
+        for fault in plan.drops:
+            drops.setdefault(fault.vertex, []).append(
+                (fault.start_item, fault.end_item))
+        for vertex in plan.vertices():
+            schedule = VertexSchedule(vertex)
+            schedule.poisons = frozenset(poisons.get(vertex, ()))
+            schedule.crashes = frozenset(crashes.get(vertex, ()))
+            schedule.slowdowns = tuple(sorted(slowdowns.get(vertex, ())))
+            schedule.hiccups = hiccups.get(vertex, {})
+            schedule.drop_windows = tuple(sorted(drops.get(vertex, ())))
+            self._schedules[vertex] = schedule
+
+    def schedule(self, vertex: str) -> VertexSchedule:
+        """The schedule of one vertex (an empty schedule when untouched)."""
+        return self._schedules.get(vertex, _EMPTY)
+
+
+class ItemClock:
+    """The logical item counter of one actor's operator position.
+
+    Owned by the actor's build site, not by the operator instance, so a
+    supervision Restart (which re-instantiates the operator, and with it
+    the :class:`FaultyOperator` wrapper) continues the count instead of
+    re-triggering the same faults.  Only ever ticked from the single
+    actor thread executing the operator.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def tick(self) -> int:
+        index = self.value
+        self.value = index + 1
+        return index
+
+
+class FaultyOperator(Operator):
+    """Wrap an operator so it executes a vertex's fault schedule.
+
+    Poison and crash indices raise (:class:`PoisonedTuple` /
+    :class:`OperatorCrash`) for the supervisor to handle; slowdown
+    windows inflate the wrapped call's duration by sleeping the
+    difference; source hiccups sleep a fixed pause after the scheduled
+    item.  State kind and selectivities mirror the inner operator so
+    fission/fusion metadata carries through.
+    """
+
+    def __init__(self, inner: Operator, schedule: VertexSchedule,
+                 clock: ItemClock) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self.clock = clock
+        self.state = inner.state
+        self.input_selectivity = inner.input_selectivity
+        self.output_selectivity = inner.output_selectivity
+
+    def operator_function(self, item: Any) -> List[Any]:
+        index = self.clock.tick()
+        action = self.schedule.action(index)
+        if action == "crash":
+            raise OperatorCrash(
+                f"injected crash at {self.schedule.vertex!r} item {index}")
+        if action == "poison":
+            raise PoisonedTuple(
+                f"injected poison at {self.schedule.vertex!r} item {index}")
+        started = time.perf_counter()
+        outputs = self.inner.operator_function(item)
+        elapsed = time.perf_counter() - started
+        extra = (self.schedule.service_factor(index) - 1.0) * elapsed
+        extra += self.schedule.hiccup_pause(index)
+        if extra > 0.0:
+            time.sleep(extra)
+        return outputs
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()
+
+    def key_of(self, item: Any) -> Optional[str]:
+        return self.inner.key_of(item)
+
+    def describe(self) -> str:
+        return f"FaultyOperator({self.inner.describe()})"

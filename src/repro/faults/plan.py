@@ -1,0 +1,365 @@
+"""Seeded, deterministic fault plans injectable into every backend.
+
+A :class:`FaultPlan` is a finite set of fault records expressed in
+*logical time* — the per-operator index of the item being processed —
+rather than wall-clock time.  Item indices are deterministic in both
+execution backends (the discrete-event simulator counts services per
+station, the threaded runtime counts operator invocations per actor),
+so the same plan executes the same failure schedule everywhere:
+
+* :class:`PoisonFault` — the ``item_index``-th item processed by an
+  operator raises (the tuple is poisonous, the operator survives);
+* :class:`CrashFault` — processing the ``item_index``-th item crashes
+  the operator instance (the supervision policy decides what happens);
+* :class:`SlowdownFault` — transient service-time inflation: items in
+  ``[start_item, end_item)`` take ``factor`` times longer;
+* :class:`SourceHiccup` — the source pauses for ``pause`` seconds after
+  emitting item ``item_index`` (virtual seconds in the simulator, slept
+  wall-clock seconds in the runtime);
+* :class:`MailboxDropFault` — a lossy window at an operator's mailbox:
+  arrivals ``[start_item, end_item)`` are shed instead of enqueued.
+
+:func:`generate_fault_plan` samples a plan from a seed and a rate
+configuration; :func:`chaos_profile` bundles the plan with a matching
+supervision strategy and the availability-derated steady-state
+prediction, which is what the degraded-mode conformance oracle checks
+the backends against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.graph import Topology
+from repro.core.steady_state import SteadyStateResult, analyze
+from repro.runtime.supervision import (
+    Directive,
+    SupervisionPolicy,
+    SupervisorStrategy,
+)
+
+
+@dataclass(frozen=True)
+class PoisonFault:
+    vertex: str
+    item_index: int
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    vertex: str
+    item_index: int
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    vertex: str
+    start_item: int
+    end_item: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class SourceHiccup:
+    vertex: str
+    item_index: int
+    pause: float
+
+
+@dataclass(frozen=True)
+class MailboxDropFault:
+    vertex: str
+    start_item: int
+    end_item: int
+
+
+Fault = object  # any of the record types above
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic failure schedule for one topology run."""
+
+    seed: int
+    poisons: Tuple[PoisonFault, ...] = ()
+    crashes: Tuple[CrashFault, ...] = ()
+    slowdowns: Tuple[SlowdownFault, ...] = ()
+    hiccups: Tuple[SourceHiccup, ...] = ()
+    drops: Tuple[MailboxDropFault, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.poisons or self.crashes or self.slowdowns
+                    or self.hiccups or self.drops)
+
+    def vertices(self) -> List[str]:
+        """Vertices the plan touches, sorted."""
+        names = {f.vertex for group in (self.poisons, self.crashes,
+                                        self.slowdowns, self.hiccups,
+                                        self.drops) for f in group}
+        return sorted(names)
+
+    def describe(self) -> str:
+        lines = [f"fault plan (seed {self.seed}):"]
+        for fault in self.poisons:
+            lines.append(f"  poison   {fault.vertex} @ item {fault.item_index}")
+        for fault in self.crashes:
+            lines.append(f"  crash    {fault.vertex} @ item {fault.item_index}")
+        for fault in self.slowdowns:
+            lines.append(
+                f"  slowdown {fault.vertex} items "
+                f"[{fault.start_item}, {fault.end_item}) x{fault.factor:.2f}")
+        for fault in self.hiccups:
+            lines.append(f"  hiccup   {fault.vertex} @ item "
+                         f"{fault.item_index} pause {fault.pause:.4f}s")
+        for fault in self.drops:
+            lines.append(f"  drops    {fault.vertex} arrivals "
+                         f"[{fault.start_item}, {fault.end_item})")
+        if self.empty:
+            lines.append("  (no faults)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FaultPlanConfig:
+    """Sampling rates of :func:`generate_fault_plan`.
+
+    Counts are *expected values per eligible operator* over the plan's
+    horizon; the sampler realizes them as ``floor + Bernoulli(frac)``
+    so the expectation is exact while staying integral per vertex.
+    """
+
+    crashes_per_operator: float = 1.0
+    poisons_per_operator: float = 2.0
+    slowdowns_per_operator: float = 0.5
+    #: Service-time inflation factor range of one slowdown window.
+    slowdown_factor: Tuple[float, float] = (1.5, 2.5)
+    #: Width of one slowdown window as a fraction of the vertex's items.
+    slowdown_span: Tuple[float, float] = (0.05, 0.15)
+    hiccups_per_source: float = 1.0
+    #: One hiccup pauses the source for this fraction of the horizon.
+    hiccup_pause_frac: float = 0.01
+    drop_windows_per_operator: float = 0.0
+    #: Width of one mailbox drop window as a fraction of arrivals.
+    drop_span: Tuple[float, float] = (0.01, 0.05)
+    #: Fraction of non-source vertices eligible for faults (at least 1).
+    fault_fraction: float = 0.6
+    #: Downtime of one crash restart as a fraction of the horizon; the
+    #: matching supervision strategy uses a constant backoff of this
+    #: size so the availability derating is exact.
+    crash_downtime_frac: float = 0.01
+
+
+def _count(rng: random.Random, expected: float) -> int:
+    """An integer with expectation ``expected`` (floor + Bernoulli)."""
+    whole = int(expected)
+    frac = expected - whole
+    return whole + (1 if rng.random() < frac else 0)
+
+
+def generate_fault_plan(
+    topology: Topology,
+    seed: int,
+    config: Optional[FaultPlanConfig] = None,
+    items: int = 30_000,
+    analysis: Optional[SteadyStateResult] = None,
+) -> FaultPlan:
+    """Sample a deterministic fault plan for ``topology``.
+
+    ``items`` is the number of items the source generates over the
+    horizon; per-vertex item budgets follow from the no-fault
+    steady-state analysis, so fault indices land inside the range each
+    operator actually processes.
+    """
+    config = config or FaultPlanConfig()
+    analysis = analysis or analyze(topology)
+    rng = random.Random(seed * 0x9E3779B1 + 7)
+    horizon = items / analysis.throughput
+    source = topology.source
+
+    expected_items: Dict[str, int] = {}
+    for name in topology.names:
+        rate = (analysis.throughput if name == source
+                else analysis.arrival_rate(name))
+        expected_items[name] = max(int(rate * horizon), 1)
+
+    candidates = sorted(n for n in topology.names if n != source)
+    eligible = candidates
+    if candidates and config.fault_fraction < 1.0:
+        keep = max(1, round(len(candidates) * config.fault_fraction))
+        eligible = sorted(rng.sample(candidates, keep))
+
+    poisons: List[PoisonFault] = []
+    crashes: List[CrashFault] = []
+    slowdowns: List[SlowdownFault] = []
+    hiccups: List[SourceHiccup] = []
+    drops: List[MailboxDropFault] = []
+
+    for name in eligible:
+        budget = expected_items[name]
+        for _ in range(_count(rng, config.poisons_per_operator)):
+            poisons.append(PoisonFault(name, rng.randrange(budget)))
+        for _ in range(_count(rng, config.crashes_per_operator)):
+            crashes.append(CrashFault(name, rng.randrange(budget)))
+        for _ in range(_count(rng, config.slowdowns_per_operator)):
+            span = int(budget * rng.uniform(*config.slowdown_span))
+            if span < 1:
+                continue
+            start = rng.randrange(max(budget - span, 1))
+            slowdowns.append(SlowdownFault(
+                name, start, start + span,
+                rng.uniform(*config.slowdown_factor)))
+        for _ in range(_count(rng, config.drop_windows_per_operator)):
+            span = int(budget * rng.uniform(*config.drop_span))
+            if span < 1:
+                continue
+            start = rng.randrange(max(budget - span, 1))
+            drops.append(MailboxDropFault(name, start, start + span))
+
+    for _ in range(_count(rng, config.hiccups_per_source)):
+        hiccups.append(SourceHiccup(
+            source, rng.randrange(expected_items[source]),
+            config.hiccup_pause_frac * horizon))
+
+    return FaultPlan(
+        seed=seed,
+        poisons=tuple(poisons),
+        crashes=tuple(crashes),
+        slowdowns=tuple(slowdowns),
+        hiccups=tuple(hiccups),
+        drops=tuple(drops),
+    )
+
+
+def derating_factors(
+    topology: Topology,
+    plan: FaultPlan,
+    horizon: float,
+    strategy: SupervisorStrategy,
+    analysis: Optional[SteadyStateResult] = None,
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float]]:
+    """Per-operator ``(availability, gain_factor, input_factor)`` of a plan.
+
+    * **availability** derates effective capacity: restart downtime of
+      crashes removes serving time, slowdown windows inflate the mean
+      service time, source hiccups pause generation;
+    * **gain_factor** derates output: poisoned and crashed items are
+      consumed but produce nothing;
+    * **input_factor** derates arrival flow: mailbox drop windows shed
+      a fraction of the offered items before service.
+    """
+    analysis = analysis or analyze(topology)
+    source = topology.source
+    expected: Dict[str, float] = {}
+    for name in topology.names:
+        rate = (analysis.throughput if name == source
+                else analysis.arrival_rate(name))
+        expected[name] = max(rate * horizon, 1.0)
+
+    availability = {name: 1.0 for name in topology.names}
+    gain_factor = {name: 1.0 for name in topology.names}
+    input_factor = {name: 1.0 for name in topology.names}
+
+    downtime: Dict[str, float] = {}
+    for fault in plan.crashes:
+        policy = strategy.policy_for(fault.vertex)
+        n = downtime.get(fault.vertex, 0.0)
+        restarts = int(n / max(policy.backoff_base, 1e-12)) + 1
+        downtime[fault.vertex] = n + policy.backoff(restarts)
+    for name, lost in downtime.items():
+        availability[name] *= max(1.0 - lost / horizon, 1e-6)
+
+    for fault in plan.slowdowns:
+        n = expected[fault.vertex]
+        span = max(min(fault.end_item, n) - min(fault.start_item, n), 0.0)
+        slow_frac = span / n
+        inflation = 1.0 + (fault.factor - 1.0) * slow_frac
+        availability[fault.vertex] /= inflation
+
+    paused = 0.0
+    for fault in plan.hiccups:
+        paused += fault.pause
+    if paused > 0.0:
+        availability[source] *= max(1.0 - paused / horizon, 1e-6)
+
+    lost_items: Dict[str, float] = {}
+    for fault in plan.poisons:
+        lost_items[fault.vertex] = lost_items.get(fault.vertex, 0.0) + 1.0
+    for fault in plan.crashes:
+        lost_items[fault.vertex] = lost_items.get(fault.vertex, 0.0) + 1.0
+    for name, lost in lost_items.items():
+        gain_factor[name] *= max(1.0 - lost / expected[name], 0.0)
+
+    for fault in plan.drops:
+        n = expected[fault.vertex]
+        span = max(min(fault.end_item, n) - min(fault.start_item, n), 0.0)
+        input_factor[fault.vertex] *= max(1.0 - span / n, 0.0)
+
+    return availability, gain_factor, input_factor
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Everything one degraded-mode check needs, derived from one seed."""
+
+    topology: Topology
+    plan: FaultPlan
+    strategy: SupervisorStrategy
+    base: SteadyStateResult
+    derated: SteadyStateResult
+    horizon: float
+
+    @property
+    def predicted_degradation(self) -> float:
+        """Fractional throughput loss the derated model predicts."""
+        if self.base.throughput <= 0.0:
+            return 0.0
+        return 1.0 - self.derated.throughput / self.base.throughput
+
+
+def chaos_profile(
+    topology: Topology,
+    seed: int,
+    config: Optional[FaultPlanConfig] = None,
+    items: int = 30_000,
+    source_rate: Optional[float] = None,
+) -> ChaosProfile:
+    """Build the fault plan, supervision strategy and derated model.
+
+    The supervision strategy restarts crashed operators with a constant
+    backoff of ``crash_downtime_frac * horizon`` seconds (so the
+    availability derating is exact) and resumes on poison tuples; the
+    restart budget is effectively unlimited, keeping conformance runs in
+    the restart regime rather than tipping into Stop.
+    """
+    config = config or FaultPlanConfig()
+    base = analyze(topology, source_rate=source_rate)
+    horizon = items / base.throughput
+    backoff = max(config.crash_downtime_frac * horizon, 1e-9)
+    strategy = SupervisorStrategy(default=SupervisionPolicy(
+        on_crash=Directive.RESTART,
+        max_restarts=1_000_000,
+        window=horizon,
+        backoff_base=backoff,
+        backoff_factor=1.0,
+        backoff_max=backoff,
+    ))
+    plan = generate_fault_plan(topology, seed, config, items=items,
+                               analysis=base)
+    availability, gain_factor, input_factor = derating_factors(
+        topology, plan, horizon, strategy, analysis=base)
+    derated = analyze(
+        topology, source_rate=source_rate,
+        availability=availability, gain_factor=gain_factor,
+        input_factor=input_factor,
+    )
+    return ChaosProfile(
+        topology=topology,
+        plan=plan,
+        strategy=strategy,
+        base=base,
+        derated=derated,
+        horizon=horizon,
+    )

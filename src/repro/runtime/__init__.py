@@ -25,6 +25,22 @@ from repro.runtime.metrics import (
     RuntimeMeasurements,
     rates_between,
 )
+from repro.runtime.supervision import (
+    ActorContext,
+    BlockedActor,
+    DeadLetter,
+    DeadLetterSink,
+    Directive,
+    OperatorCrash,
+    PoisonedTuple,
+    StallWatchdog,
+    SupervisionEvent,
+    SupervisionLog,
+    SupervisionPolicy,
+    SupervisorStrategy,
+    WatchdogReport,
+    find_blocked_cycle,
+)
 from repro.runtime.synthetic import PaddedOperator
 from repro.runtime.system import (
     ActorSystem,
@@ -35,23 +51,37 @@ from repro.runtime.system import (
 
 __all__ = [
     "ActorBase",
+    "ActorContext",
     "ActorCounters",
     "ActorRates",
     "ActorSystem",
+    "BlockedActor",
     "BoundedMailbox",
     "CollectorActor",
     "CounterSnapshot",
+    "DeadLetter",
+    "DeadLetterSink",
+    "Directive",
     "EmitterActor",
     "MailboxClosed",
     "MetaOperatorActor",
     "OperatorActor",
+    "OperatorCrash",
     "PaddedOperator",
+    "PoisonedTuple",
     "Router",
     "RuntimeConfig",
     "RuntimeMeasurements",
     "RuntimeResult",
     "SourceActor",
+    "StallWatchdog",
+    "SupervisionEvent",
+    "SupervisionLog",
+    "SupervisionPolicy",
+    "SupervisorStrategy",
     "Target",
+    "WatchdogReport",
+    "find_blocked_cycle",
     "run_topology",
     "rates_between",
 ]

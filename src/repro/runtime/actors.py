@@ -20,9 +20,22 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.operators.base import Operator, destination_of, unwrap
+from repro.operators.base import (
+    Operator,
+    WrappedItem,
+    destination_of,
+    unwrap,
+)
 from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
 from repro.runtime.metrics import ActorCounters
+from repro.runtime.supervision import (
+    ActorContext,
+    ActorStopped,
+    Directive,
+    RestartTracker,
+    SupervisionEvent,
+    SupervisionPolicy,
+)
 
 #: How often idle actors poll for shutdown while their mailbox is empty.
 _IDLE_POLL_SECONDS = 0.05
@@ -100,13 +113,19 @@ class ActorBase(threading.Thread):
     """Common machinery: mailbox loop, counters, graceful shutdown."""
 
     def __init__(self, name: str, vertex: str, mailbox: BoundedMailbox,
-                 stop_event: threading.Event) -> None:
+                 stop_event: threading.Event,
+                 context: Optional[ActorContext] = None) -> None:
         super().__init__(name=f"actor-{name}", daemon=True)
         self.actor_name = name
         self.vertex = vertex
         self.mailbox = mailbox
         self.stop_event = stop_event
+        self.context = context or ActorContext()
         self.counters = ActorCounters()
+        #: Vertex this actor is currently blocked on (full downstream
+        #: mailbox), read by the stall watchdog.  Written only by this
+        #: actor's thread.
+        self.blocked_on: Optional[str] = None
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
         try:
@@ -115,15 +134,19 @@ class ActorBase(threading.Thread):
                 try:
                     message = self.mailbox.get(timeout=_IDLE_POLL_SECONDS)
                 except TimeoutError:
-                    if self.stop_event.is_set():
+                    if self.stop_event.is_set() or self.mailbox.diverted:
                         break
                     continue
                 except MailboxClosed:
                     break
-                self.handle(message)
+                try:
+                    self.handle(message)
+                except ActorStopped:
+                    break
         except MailboxClosed:
             pass
         finally:
+            self.blocked_on = None
             self.on_stop()
 
     def on_start(self) -> None:
@@ -138,7 +161,11 @@ class ActorBase(threading.Thread):
     def _send(self, target: Target, payload: Any) -> None:
         """Deliver downstream, accounting blocked time (backpressure)."""
         started = time.perf_counter()
-        ok = target.deliver(payload, self.vertex)
+        self.blocked_on = target.name
+        try:
+            ok = target.deliver(payload, self.vertex)
+        finally:
+            self.blocked_on = None
         elapsed = time.perf_counter() - started
         # Any non-negligible delivery time means the sender was blocked
         # on a full mailbox; the threshold filters out lock overhead.
@@ -146,6 +173,13 @@ class ActorBase(threading.Thread):
             self.counters.blocked_time += elapsed
         if ok:
             self.counters.emitted += 1
+        else:
+            # The destination mailbox stayed full past the put timeout:
+            # the tuple is gone.  Count it and route it to dead letters
+            # so the loss is visible instead of silent.
+            self.counters.dropped += 1
+            self.context.dead_letters.record(
+                self.vertex, unwrap(payload), "mailbox-timeout")
 
     def _emit_outputs(self, outputs: Sequence[Any], router: Router,
                       keep_wrapped: bool = False) -> None:
@@ -154,32 +188,133 @@ class ActorBase(threading.Thread):
         ``keep_wrapped`` preserves :class:`WrappedItem` envelopes, used
         by replicas so pinned destinations survive the trip through the
         collector actor.
+
+        Copy-on-route: when one invocation emits the *same* dict object
+        more than once (fan-out via flatmaps or gain > 1), every
+        delivery after the first gets a shallow copy.  Without this,
+        two downstream actors would mutate one shared payload (origin
+        stamping, attribute writes) concurrently.
         """
+        seen_ids: Optional[set] = None
         for output in outputs:
             target = router.resolve(output)
             if target is None:
                 self.counters.emitted += 1  # result leaves the topology
                 continue
-            self._send(target, output if keep_wrapped else unwrap(output))
+            item = output if keep_wrapped else unwrap(output)
+            payload = unwrap(item)
+            if isinstance(payload, dict):
+                if seen_ids is None:
+                    seen_ids = set()
+                if id(payload) in seen_ids:
+                    payload = type(payload)(payload)
+                    if isinstance(item, WrappedItem):
+                        item = WrappedItem(payload, item.destination)
+                    else:
+                        item = payload
+                else:
+                    seen_ids.add(id(payload))
+            self._send(target, item)
 
 
 class OperatorActor(ActorBase):
-    """A dedicated actor executing one (replica of an) operator."""
+    """A dedicated actor executing one (replica of an) operator.
+
+    When the operator function raises, the actor consults its
+    :class:`SupervisionPolicy` (an Akka supervisor's decider): Resume
+    drops the poisonous item, Restart re-instantiates the operator via
+    ``operator_factory`` after a backoff (counting restarts inside the
+    policy window; exceeding the budget degrades to Stop), Stop diverts
+    the mailbox to dead letters and leaves the loop, Escalate
+    propagates to the system level.  Every decision is logged and every
+    dropped tuple lands in the dead-letter sink.
+    """
 
     def __init__(self, name: str, vertex: str, operator: Operator,
                  router: Router, mailbox: BoundedMailbox,
                  stop_event: threading.Event,
-                 keep_wrapped: bool = False) -> None:
-        super().__init__(name, vertex, mailbox, stop_event)
+                 keep_wrapped: bool = False,
+                 operator_factory: Optional[Callable[[], Operator]] = None,
+                 policy: Optional[SupervisionPolicy] = None,
+                 context: Optional[ActorContext] = None) -> None:
+        super().__init__(name, vertex, mailbox, stop_event, context=context)
         self.operator = operator
         self.router = router
         self.keep_wrapped = keep_wrapped
+        self.operator_factory = operator_factory
+        self.policy = policy or SupervisionPolicy()
+        self._restarts = RestartTracker(self.policy)
 
     def on_start(self) -> None:
         self.operator.on_start()
 
     def on_stop(self) -> None:
         self.operator.on_stop()
+
+    def _log_event(self, directive: Directive, error: BaseException) -> None:
+        self.context.supervision.record(SupervisionEvent(
+            time=self.context.now(),
+            vertex=self.vertex,
+            actor=self.actor_name,
+            directive=directive.value,
+            reason=f"{type(error).__name__}: {error}",
+            item_index=self.counters.received - 1,
+            restarts=self._restarts.total,
+        ))
+
+    def _restart_operator(self) -> bool:
+        """Re-instantiate the operator; ``False`` when that too failed."""
+        try:
+            self.operator.on_stop()
+        except Exception:
+            pass  # the old instance is broken; teardown is best-effort
+        backoff = self.policy.backoff(self._restarts.in_window)
+        if backoff > 0.0:
+            self.stop_event.wait(backoff)
+        try:
+            self.operator = self.operator_factory()
+            self.operator.on_start()
+        except Exception:
+            return False
+        self.counters.restarts += 1
+        return True
+
+    def _on_failure(self, payload: Any, error: BaseException) -> None:
+        self.counters.failed += 1
+        directive = self.policy.decide(error)
+        if directive is Directive.RESTART:
+            if self.operator_factory is None:
+                # Nothing to rebuild from: degrade to Resume.
+                directive = Directive.RESUME
+            elif self._restarts.record(self.context.now()):
+                directive = Directive.STOP
+        self._log_event(directive, error)
+        if directive is not Directive.ESCALATE:
+            self.context.dead_letters.record(
+                self.vertex, payload, f"supervision-{directive.value}")
+        if directive is Directive.RESUME:
+            return
+        if directive is Directive.RESTART:
+            if not self._restart_operator():
+                self._log_event(Directive.STOP,
+                                RuntimeError("restart failed"))
+                self._stop_self()
+            return
+        if directive is Directive.STOP:
+            self._stop_self()
+            return
+        self.context.escalate(
+            self.vertex, f"{type(error).__name__}: {error}")
+        raise ActorStopped
+
+    def _stop_self(self) -> None:
+        if self.policy.divert_on_stop:
+            vertex = self.vertex
+            sink = self.context.dead_letters
+            self.mailbox.divert(
+                lambda message: sink.record(vertex, message[0],
+                                            "stopped-actor"))
+        raise ActorStopped
 
     def handle(self, message: Tuple[Any, str]) -> None:
         payload, origin = message
@@ -189,12 +324,9 @@ class OperatorActor(ActorBase):
         started = time.perf_counter()
         try:
             outputs = self.operator.operator_function(payload)
-        except Exception:
-            # Supervision semantics (as an Akka supervisor would apply
-            # a Resume directive): the poisonous item is dropped, the
-            # failure counted, and the actor keeps serving its mailbox.
-            self.counters.failed += 1
+        except Exception as error:
             self.counters.busy_time += time.perf_counter() - started
+            self._on_failure(payload, error)
             return
         finished = time.perf_counter()
         self.counters.busy_time += finished - started
@@ -222,10 +354,12 @@ class SourceActor(ActorBase):
 
     def __init__(self, name: str, operator: Operator, router: Router,
                  stop_event: threading.Event, rate: Optional[float] = None,
-                 max_items: Optional[int] = None) -> None:
+                 max_items: Optional[int] = None,
+                 context: Optional[ActorContext] = None) -> None:
         # The source never receives messages; a 1-slot mailbox satisfies
         # the ActorBase interface and stays unused.
-        super().__init__(name, name, BoundedMailbox(1), stop_event)
+        super().__init__(name, name, BoundedMailbox(1), stop_event,
+                         context=context)
         self.operator = operator
         self.router = router
         self.rate = rate
@@ -246,7 +380,26 @@ class SourceActor(ActorBase):
                     if delay > 0:
                         time.sleep(delay)
                 started = time.perf_counter()
-                outputs = self.operator.operator_function(sequence)
+                try:
+                    outputs = self.operator.operator_function(sequence)
+                except Exception as error:
+                    # Sources are always resumed: a failed generation
+                    # skips one sequence number and the pacing resumes.
+                    self.counters.failed += 1
+                    self.counters.busy_time += time.perf_counter() - started
+                    self.context.supervision.record(SupervisionEvent(
+                        time=self.context.now(),
+                        vertex=self.vertex,
+                        actor=self.actor_name,
+                        directive=Directive.RESUME.value,
+                        reason=f"{type(error).__name__}: {error}",
+                        item_index=sequence,
+                    ))
+                    sequence += 1
+                    if interval is not None:
+                        next_time = max(next_time + interval,
+                                        time.perf_counter())
+                    continue
                 born = time.perf_counter()
                 self.counters.busy_time += born - started
                 self.counters.processed += 1
@@ -279,8 +432,9 @@ class EmitterActor(ActorBase):
     def __init__(self, name: str, vertex: str, replicas: Sequence[Target],
                  mailbox: BoundedMailbox, stop_event: threading.Event,
                  key_of: Optional[Callable[[Any], Optional[str]]] = None,
-                 key_assignment: Optional[Mapping[str, int]] = None) -> None:
-        super().__init__(name, vertex, mailbox, stop_event)
+                 key_assignment: Optional[Mapping[str, int]] = None,
+                 context: Optional[ActorContext] = None) -> None:
+        super().__init__(name, vertex, mailbox, stop_event, context=context)
         if not replicas:
             raise ValueError("emitter needs at least one replica")
         self.replicas = list(replicas)
@@ -308,12 +462,20 @@ class EmitterActor(ActorBase):
         self.counters.busy_time += time.perf_counter() - started
         self.counters.processed += 1
         delivered = time.perf_counter()
-        ok = target.mailbox.put((payload, origin))
+        self.blocked_on = target.name
+        try:
+            ok = target.mailbox.put((payload, origin))
+        finally:
+            self.blocked_on = None
         elapsed = time.perf_counter() - delivered
         if elapsed > 1e-4:
             self.counters.blocked_time += elapsed
         if ok:
             self.counters.emitted += 1
+        else:
+            self.counters.dropped += 1
+            self.context.dead_letters.record(
+                self.vertex, unwrap(payload), "mailbox-timeout")
 
 
 class CollectorActor(ActorBase):
@@ -325,8 +487,9 @@ class CollectorActor(ActorBase):
     """
 
     def __init__(self, name: str, vertex: str, router: Router,
-                 mailbox: BoundedMailbox, stop_event: threading.Event) -> None:
-        super().__init__(name, vertex, mailbox, stop_event)
+                 mailbox: BoundedMailbox, stop_event: threading.Event,
+                 context: Optional[ActorContext] = None) -> None:
+        super().__init__(name, vertex, mailbox, stop_event, context=context)
         self.router = router
 
     def handle(self, message: Tuple[Any, str]) -> None:

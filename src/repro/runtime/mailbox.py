@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional, Sequence, Tuple
 
 
 class MailboxClosed(RuntimeError):
@@ -45,9 +45,46 @@ class BoundedMailbox:
         self._not_full = threading.Condition(self._lock)
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
+        #: Messages dropped because a sender's put timed out (BAS drop).
         self.dropped = 0
+        #: Messages shed by an injected mailbox drop window (faults).
+        self.shed = 0
         self.enqueued = 0
+        #: Put attempts, accepted or not — the arrival index the fault
+        #: drop windows are expressed in.
+        self.offered = 0
         self.high_watermark = 0
+        #: Injected lossy windows: offered-index ranges that are shed.
+        self.drop_windows: Tuple[Tuple[int, int], ...] = ()
+        #: When set, every put is handed to this callback instead of
+        #: being enqueued (a stopped actor's dead-letter diversion).
+        self._divert: Optional[Callable[[Any], None]] = None
+
+    def set_drop_windows(self,
+                         windows: Sequence[Tuple[int, int]]) -> None:
+        """Install injected lossy windows over the offered-index axis."""
+        self.drop_windows = tuple(windows)
+
+    def divert(self, callback: Callable[[Any], None]) -> None:
+        """Divert this mailbox: drain the queue and reroute every put.
+
+        Used when the owning actor is stopped by its supervisor:
+        subsequent messages go to the dead-letter callback instead of
+        accumulating (which would block the senders forever), and any
+        blocked senders are released immediately.
+        """
+        with self._lock:
+            drained = list(self._queue)
+            self._queue.clear()
+            self._divert = callback
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+        for message in drained:
+            callback(message)
+
+    @property
+    def diverted(self) -> bool:
+        return self._divert is not None
 
     def put(self, message: Any, timeout: Optional[float] = -1.0) -> bool:
         """Enqueue ``message``; blocks while full (BAS).
@@ -60,7 +97,15 @@ class BoundedMailbox:
             timeout = self.put_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
-            while len(self._queue) >= self.capacity:
+            index = self.offered
+            self.offered += 1
+            if self.drop_windows and any(
+                    start <= index < end
+                    for start, end in self.drop_windows):
+                self.shed += 1
+                return True
+            while (len(self._queue) >= self.capacity
+                   and self._divert is None):
                 if self._closed:
                     raise MailboxClosed("mailbox closed while sender blocked")
                 if deadline is None:
@@ -71,6 +116,12 @@ class BoundedMailbox:
                         self.dropped += 1
                         return False
                     self._not_full.wait(remaining)
+            if self._divert is not None:
+                # The dead-letter callback only appends to a sink with
+                # its own private lock, so invoking it under this lock
+                # cannot deadlock.
+                self._divert(message)
+                return True
             if self._closed:
                 raise MailboxClosed("cannot put into a closed mailbox")
             self._queue.append(message)

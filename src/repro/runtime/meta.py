@@ -14,12 +14,20 @@ import random
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.fusion import FusionPlan
 from repro.operators.base import Operator, WrappedItem, destination_of, unwrap
 from repro.runtime.actors import ActorBase, Router
 from repro.runtime.mailbox import BoundedMailbox
+from repro.runtime.supervision import (
+    ActorContext,
+    ActorStopped,
+    Directive,
+    RestartTracker,
+    SupervisionEvent,
+    SupervisorStrategy,
+)
 
 
 class _MemberRouting:
@@ -64,8 +72,12 @@ class MetaOperatorActor(ActorBase):
     def __init__(self, name: str, plan: FusionPlan,
                  members: Mapping[str, Operator], router: Router,
                  mailbox: BoundedMailbox, stop_event: threading.Event,
-                 seed: int = 1) -> None:
-        super().__init__(name, name, mailbox, stop_event)
+                 seed: int = 1,
+                 member_factories: Optional[
+                     Mapping[str, Callable[[], Operator]]] = None,
+                 strategy: Optional[SupervisorStrategy] = None,
+                 context: Optional[ActorContext] = None) -> None:
+        super().__init__(name, name, mailbox, stop_event, context=context)
         missing = sorted(set(plan.members) - set(members))
         if missing:
             raise ValueError(f"missing member operators: {missing}")
@@ -81,6 +93,17 @@ class MetaOperatorActor(ActorBase):
                 targets=[e.target for e in edges],
                 probabilities=[e.probability for e in edges],
             )
+        # Member-level supervision: each fused member keeps the policy
+        # and restart budget it would have as a standalone actor; a
+        # member failure must not corrupt the routing of items headed
+        # to the other members.
+        self.strategy = strategy or SupervisorStrategy()
+        self.member_factories = dict(member_factories or {})
+        self._trackers: Dict[str, RestartTracker] = {
+            member: RestartTracker(self.strategy.policy_for(member))
+            for member in plan.members
+        }
+        self._stopped: Set[str] = set()
 
     def on_start(self) -> None:
         for operator in self.members.values():
@@ -89,6 +112,83 @@ class MetaOperatorActor(ActorBase):
     def on_stop(self) -> None:
         for operator in self.members.values():
             operator.on_stop()
+
+    def _log_event(self, member: str, directive: Directive,
+                   error: BaseException) -> None:
+        self.context.supervision.record(SupervisionEvent(
+            time=self.context.now(),
+            vertex=member,
+            actor=self.actor_name,
+            directive=directive.value,
+            reason=f"{type(error).__name__}: {error}",
+            item_index=self.counters.received - 1,
+            restarts=self._trackers[member].total,
+        ))
+
+    def _restart_member(self, member: str) -> bool:
+        try:
+            self.members[member].on_stop()
+        except Exception:
+            pass  # old instance is broken; teardown is best-effort
+        policy = self.strategy.policy_for(member)
+        backoff = policy.backoff(self._trackers[member].in_window)
+        if backoff > 0.0:
+            self.stop_event.wait(backoff)
+        try:
+            fresh = self.member_factories[member]()
+            fresh.on_start()
+        except Exception:
+            return False
+        self.members[member] = fresh
+        self.counters.restarts += 1
+        return True
+
+    def _stop_member(self, member: str) -> None:
+        """Stop one fused member; the meta-actor itself keeps serving.
+
+        Items later routed to a stopped member land in dead letters,
+        exactly as they would hit a diverted mailbox were the member a
+        standalone actor.  When the *front-end* stops, no input can be
+        served at all: the whole meta-actor stops and (policy allowing)
+        diverts its mailbox.
+        """
+        self._stopped.add(member)
+        if member == self.plan.front_end:
+            policy = self.strategy.policy_for(member)
+            if policy.divert_on_stop:
+                sink = self.context.dead_letters
+                self.mailbox.divert(
+                    lambda message: sink.record(member, message[0],
+                                                "stopped-actor"))
+            raise ActorStopped
+
+    def _on_member_failure(self, member: str, item: Any,
+                           error: BaseException) -> None:
+        self.counters.failed += 1
+        policy = self.strategy.policy_for(member)
+        directive = policy.decide(error)
+        if directive is Directive.RESTART:
+            if member not in self.member_factories:
+                directive = Directive.RESUME
+            elif self._trackers[member].record(self.context.now()):
+                directive = Directive.STOP
+        self._log_event(member, directive, error)
+        if directive is not Directive.ESCALATE:
+            self.context.dead_letters.record(
+                member, item, f"supervision-{directive.value}")
+        if directive is Directive.RESUME:
+            return
+        if directive is Directive.RESTART:
+            if not self._restart_member(member):
+                self._log_event(member, Directive.STOP,
+                                RuntimeError("restart failed"))
+                self._stop_member(member)
+            return
+        if directive is Directive.STOP:
+            self._stop_member(member)
+            return
+        self.context.escalate(member, f"{type(error).__name__}: {error}")
+        raise ActorStopped
 
     def handle(self, message: Tuple[Any, str]) -> None:
         payload, origin = message
@@ -103,10 +203,25 @@ class MetaOperatorActor(ActorBase):
         started = time.perf_counter()
         while pending:
             member_name, item, item_origin = pending.popleft()
+            if member_name in self._stopped:
+                # The member's "mailbox" is diverted: the item is dead-
+                # lettered and the rest of the batch routes normally.
+                self.context.dead_letters.record(
+                    member_name, item, "stopped-member")
+                continue
             operator = self.members[member_name]
             if isinstance(item, dict):
                 item["origin"] = item_origin
-            outputs = operator.operator_function(item)
+            try:
+                outputs = operator.operator_function(item)
+            except Exception as error:
+                # Close the busy window before supervising: restart
+                # backoff is downtime, not service time.
+                now = time.perf_counter()
+                self.counters.busy_time += now - started
+                self._on_member_failure(member_name, item, error)
+                started = time.perf_counter()
+                continue
             for output in outputs:
                 destination = destination_of(output)
                 if destination is None:

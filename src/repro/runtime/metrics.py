@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 
@@ -16,17 +16,23 @@ class ActorCounters:
     measurement over seconds.
     """
 
-    __slots__ = ("received", "processed", "emitted", "failed", "busy_time",
-                 "blocked_time", "service_samples",
+    __slots__ = ("received", "processed", "emitted", "failed", "dropped",
+                 "restarts", "busy_time", "blocked_time", "service_samples",
                  "latency_sum", "latency_count")
 
     def __init__(self) -> None:
         self.received = 0
         self.processed = 0
         self.emitted = 0
-        #: Items whose operator_function raised; the actor survives
-        #: (supervision semantics) and the item is dropped.
+        #: Items whose operator_function raised; the supervisor decided
+        #: what happened to the actor, and the item went to dead letters.
         self.failed = 0
+        #: Items this actor failed to deliver downstream because the
+        #: destination mailbox stayed full past the put timeout.
+        self.dropped = 0
+        #: Times this actor's operator was re-instantiated by its
+        #: supervisor (Restart directive).
+        self.restarts = 0
         self.busy_time = 0.0
         self.blocked_time = 0.0
         self.service_samples: List[float] = []
@@ -40,6 +46,9 @@ class ActorCounters:
             received=self.received,
             processed=self.processed,
             emitted=self.emitted,
+            failed=self.failed,
+            dropped=self.dropped,
+            restarts=self.restarts,
             busy_time=self.busy_time,
             blocked_time=self.blocked_time,
             latency_sum=self.latency_sum,
@@ -60,6 +69,9 @@ class CounterSnapshot:
     received: int = 0
     processed: int = 0
     emitted: int = 0
+    failed: int = 0
+    dropped: int = 0
+    restarts: int = 0
     busy_time: float = 0.0
     blocked_time: float = 0.0
     latency_sum: float = 0.0
@@ -79,6 +91,11 @@ class ActorRates:
     blocked_fraction: float
     mean_latency: Optional[float] = None
     latency_samples: int = 0
+    #: Counts over the measurement window (not rates): items whose
+    #: processing failed, deliveries dropped on put timeout, restarts.
+    failed: int = 0
+    dropped: int = 0
+    restarts: int = 0
 
 
 @dataclass(frozen=True)
@@ -87,6 +104,20 @@ class RuntimeMeasurements:
 
     duration: float
     actors: Mapping[str, ActorRates]
+    #: Cumulative counters at shutdown (whole run, not just the
+    #: measurement window) — where total drop/failure accounting and
+    #: the no-fault conformance drop check read from.
+    totals: Mapping[str, CounterSnapshot] = field(default_factory=dict)
+
+    def total_dropped(self) -> int:
+        """Messages silently lost to put timeouts over the whole run."""
+        return sum(s.dropped for s in self.totals.values())
+
+    def total_failed(self) -> int:
+        return sum(s.failed for s in self.totals.values())
+
+    def total_restarts(self) -> int:
+        return sum(s.restarts for s in self.totals.values())
 
     def vertex_rates(self) -> Dict[str, ActorRates]:
         """Aggregate actor rates by topology vertex (replicas summed).
@@ -117,6 +148,9 @@ class RuntimeMeasurements:
                 blocked_fraction=max(m.blocked_fraction for m in members),
                 mean_latency=mean_latency,
                 latency_samples=samples,
+                failed=sum(m.failed for m in members),
+                dropped=sum(m.dropped for m in members),
+                restarts=sum(m.restarts for m in members),
             )
         return out
 
@@ -143,4 +177,7 @@ def rates_between(
         mean_latency=((after.latency_sum - before.latency_sum) / samples
                       if samples else None),
         latency_samples=samples,
+        failed=after.failed - before.failed,
+        dropped=after.dropped - before.dropped,
+        restarts=after.restarts - before.restarts,
     )

@@ -1,0 +1,407 @@
+"""Actor supervision: directives, policies, dead letters and watchdog.
+
+The paper deploys on Akka precisely because actor supervision lets an
+optimized topology survive operator failures.  This module reproduces
+the supervision vocabulary in a backend-neutral way, so the threaded
+actor runtime (:mod:`repro.runtime`) and the discrete-event simulator
+(:mod:`repro.sim`) apply *the same* policies and produce comparable
+event logs:
+
+* :class:`Directive` — the four Akka directives (Resume / Restart /
+  Stop / Escalate);
+* :class:`SupervisionPolicy` — per-operator directive selection with a
+  max-restarts window and exponential restart backoff;
+* :class:`SupervisorStrategy` — the per-vertex policy map of a system;
+* :class:`SupervisionLog` / :class:`SupervisionEvent` — what happened,
+  when, to whom (virtual timestamps in the simulator, wall-clock in the
+  runtime);
+* :class:`DeadLetterSink` — where dropped tuples go instead of
+  silently vanishing;
+* :class:`StallWatchdog` / :class:`WatchdogReport` — detection of BAS
+  backpressure deadlocks (every actor blocked on a full mailbox) with
+  the blocked cycle reported instead of the system hanging forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class Directive(Enum):
+    """What a supervisor does with a failed operator (Akka semantics)."""
+
+    RESUME = "resume"
+    RESTART = "restart"
+    STOP = "stop"
+    ESCALATE = "escalate"
+
+
+class PoisonedTuple(Exception):
+    """An injected poison tuple: processing this item raises."""
+
+
+class OperatorCrash(Exception):
+    """An injected operator crash: the operator instance is unusable."""
+
+
+class ActorStopped(Exception):
+    """Internal control-flow signal: the actor must leave its loop."""
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How one operator's failures are handled.
+
+    ``on_error`` applies to ordinary exceptions from the operator
+    function (the historical behaviour is Resume: drop the poisonous
+    item and keep serving), ``on_poison`` to :class:`PoisonedTuple` and
+    ``on_crash`` to :class:`OperatorCrash`.  A Restart re-instantiates
+    the operator (fresh ``on_start``) after a backoff; more than
+    ``max_restarts`` restarts within ``window`` seconds escalate the
+    directive to Stop.
+    """
+
+    on_error: Directive = Directive.RESUME
+    on_crash: Directive = Directive.RESTART
+    on_poison: Directive = Directive.RESUME
+    max_restarts: int = 5
+    window: float = 10.0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    #: On Stop, divert the dead actor's mailbox to the dead-letter sink
+    #: so upstream senders keep flowing; ``False`` leaves the mailbox to
+    #: fill up (senders block — the regime the watchdog detects).
+    divert_on_stop: bool = True
+
+    def decide(self, error: BaseException) -> Directive:
+        """The directive for one failure, by exception type."""
+        if isinstance(error, PoisonedTuple):
+            return self.on_poison
+        if isinstance(error, OperatorCrash):
+            return self.on_crash
+        return self.on_error
+
+    def decide_fault(self, kind: str) -> Directive:
+        """The directive for an injected fault kind (simulator path)."""
+        if kind == "poison":
+            return self.on_poison
+        if kind == "crash":
+            return self.on_crash
+        return self.on_error
+
+    def backoff(self, restart_number: int) -> float:
+        """Downtime before the ``restart_number``-th restart (1-based)."""
+        if restart_number < 1:
+            restart_number = 1
+        value = self.backoff_base * (
+            self.backoff_factor ** (restart_number - 1))
+        return min(value, self.backoff_max)
+
+
+@dataclass(frozen=True)
+class SupervisorStrategy:
+    """The supervision policy map of one actor system."""
+
+    default: SupervisionPolicy = field(default_factory=SupervisionPolicy)
+    policies: Mapping[str, SupervisionPolicy] = field(default_factory=dict)
+
+    def policy_for(self, vertex: str) -> SupervisionPolicy:
+        return self.policies.get(vertex, self.default)
+
+
+class RestartTracker:
+    """Counts restarts inside a sliding window (one per supervised actor)."""
+
+    def __init__(self, policy: SupervisionPolicy) -> None:
+        self.policy = policy
+        self.total = 0
+        self._times: List[float] = []
+
+    def record(self, now: float) -> bool:
+        """Register a restart at ``now``; ``True`` when the limit is hit."""
+        floor = now - self.policy.window
+        self._times = [t for t in self._times if t >= floor]
+        self._times.append(now)
+        self.total += 1
+        return len(self._times) > self.policy.max_restarts
+
+    @property
+    def in_window(self) -> int:
+        return len(self._times)
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One supervision decision: which operator failed, what was done."""
+
+    time: float
+    vertex: str
+    actor: str
+    directive: str
+    reason: str
+    item_index: Optional[int] = None
+    restarts: int = 0
+
+    def describe(self) -> str:
+        item = f" item={self.item_index}" if self.item_index is not None else ""
+        return (f"t={self.time:.4f}s {self.vertex} [{self.actor}] "
+                f"{self.directive}{item} ({self.reason}, "
+                f"restarts={self.restarts})")
+
+
+class SupervisionLog:
+    """Thread-safe, append-only log of supervision events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[SupervisionEvent] = []
+
+    def record(self, event: SupervisionEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> Tuple[SupervisionEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    def count(self, directive: Optional[str] = None) -> int:
+        with self._lock:
+            if directive is None:
+                return len(self._events)
+            return sum(1 for e in self._events if e.directive == directive)
+
+    def by_vertex(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for event in self._events:
+                counts[event.vertex] = counts.get(event.vertex, 0) + 1
+            return counts
+
+    def signature(self) -> Tuple[Tuple[float, str, str, Optional[int]], ...]:
+        """A replay-comparable digest: (time, vertex, directive, item)."""
+        with self._lock:
+            return tuple((e.time, e.vertex, e.directive, e.item_index)
+                         for e in self._events)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One tuple that left the topology through the dead-letter sink."""
+
+    vertex: str
+    reason: str
+    payload: Any = None
+
+
+class DeadLetterSink:
+    """Thread-safe sink for dropped tuples.
+
+    Counts every dead letter per vertex and retains the first
+    ``retain`` payloads for debugging (bounded, so chaotic runs don't
+    grow memory without limit).
+    """
+
+    def __init__(self, retain: int = 100) -> None:
+        self.retain = retain
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._letters: List[DeadLetter] = []
+
+    def record(self, vertex: str, payload: Any = None,
+               reason: str = "dropped") -> None:
+        with self._lock:
+            self._counts[vertex] = self._counts.get(vertex, 0) + 1
+            if len(self._letters) < self.retain:
+                self._letters.append(DeadLetter(vertex, reason, payload))
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return sum(self._counts.values())
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    @property
+    def letters(self) -> Tuple[DeadLetter, ...]:
+        with self._lock:
+            return tuple(self._letters)
+
+
+class ActorContext:
+    """Shared supervision services handed to every actor of a system."""
+
+    def __init__(
+        self,
+        supervision: Optional[SupervisionLog] = None,
+        dead_letters: Optional[DeadLetterSink] = None,
+        escalate: Optional[Callable[[str, str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.supervision = supervision or SupervisionLog()
+        self.dead_letters = dead_letters or DeadLetterSink()
+        self._escalate = escalate
+        self.clock = clock
+        self._epoch = clock()
+
+    def now(self) -> float:
+        """Seconds since the context was created (log-friendly times)."""
+        return self.clock() - self._epoch
+
+    def escalate(self, vertex: str, reason: str) -> None:
+        """Propagate a failure to the system level (stops the system)."""
+        if self._escalate is not None:
+            self._escalate(vertex, reason)
+
+
+@dataclass(frozen=True)
+class BlockedActor:
+    """One actor observed blocked on a full downstream mailbox."""
+
+    actor: str
+    vertex: str
+    blocked_on: str
+
+
+@dataclass(frozen=True)
+class WatchdogReport:
+    """Verdict of the stall watchdog (or of the post-run leak check).
+
+    ``verdict`` is ``"deadlock"`` when the blocked-on graph contains a
+    cycle (the BAS deadlock of cyclic topologies), ``"stall"`` when
+    progress stopped with blocked senders but no cycle (e.g. a stopped
+    operator whose mailbox filled up), and ``"thread-leak"`` when
+    ``ActorSystem.stop`` left actors alive after the join timeout.
+    """
+
+    verdict: str
+    blocked: Tuple[BlockedActor, ...] = ()
+    cycle: Tuple[str, ...] = ()
+    stalled_for: float = 0.0
+    leaked: Tuple[str, ...] = ()
+
+    @property
+    def is_deadlock(self) -> bool:
+        return self.verdict == "deadlock"
+
+    def describe(self) -> str:
+        lines = [f"watchdog verdict: {self.verdict} "
+                 f"(no progress for {self.stalled_for:.2f}s)"]
+        if self.cycle:
+            lines.append("  blocked cycle: " + " -> ".join(
+                self.cycle + (self.cycle[0],)))
+        for entry in self.blocked:
+            lines.append(f"  {entry.actor} ({entry.vertex}) blocked on "
+                         f"{entry.blocked_on}")
+        if self.leaked:
+            lines.append("  leaked actors: " + ", ".join(self.leaked))
+        return "\n".join(lines)
+
+
+def find_blocked_cycle(edges: Mapping[str, str]) -> Tuple[str, ...]:
+    """A cycle in the vertex-level blocked-on graph, or ``()``.
+
+    ``edges`` maps a blocked vertex to the vertex whose mailbox it waits
+    on.  The graph is functional (first blocking edge wins per vertex),
+    so a simple walk with a visit order finds any reachable cycle.
+    """
+    for start in edges:
+        order: Dict[str, int] = {}
+        node = start
+        while node in edges and node not in order:
+            order[node] = len(order)
+            node = edges[node]
+        if node in order:
+            members = sorted(order, key=order.get)[order[node]:]
+            # Normalize the rotation so the report is deterministic.
+            pivot = members.index(min(members))
+            return tuple(members[pivot:] + members[:pivot])
+    return ()
+
+
+class StallWatchdog(threading.Thread):
+    """Detects systems that stopped making progress while blocked.
+
+    Samples a progress counter every ``interval`` seconds; when the
+    counter stays flat for ``stall_timeout`` seconds *and* at least one
+    actor is blocked on a full mailbox, the watchdog builds a
+    :class:`WatchdogReport` (classifying deadlock vs stall via the
+    blocked-on cycle) and invokes ``on_stall`` — which typically stops
+    the system so the run returns a verdict instead of hanging forever.
+    """
+
+    def __init__(
+        self,
+        progress: Callable[[], int],
+        blocked: Callable[[], Sequence[BlockedActor]],
+        on_stall: Callable[[WatchdogReport], None],
+        interval: float = 0.1,
+        stall_timeout: float = 1.0,
+    ) -> None:
+        super().__init__(name="stall-watchdog", daemon=True)
+        self.progress = progress
+        self.blocked = blocked
+        self.on_stall = on_stall
+        self.interval = interval
+        self.stall_timeout = stall_timeout
+        self.report: Optional[WatchdogReport] = None
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
+        last_progress = self.progress()
+        last_change = time.monotonic()
+        while not self._halt.wait(self.interval):
+            current = self.progress()
+            now = time.monotonic()
+            if current != last_progress:
+                last_progress = current
+                last_change = now
+                continue
+            stalled_for = now - last_change
+            if stalled_for < self.stall_timeout:
+                continue
+            blocked = tuple(self.blocked())
+            if not blocked:
+                # Quiescent but not blocked (e.g. the source drained);
+                # nothing pathological to report.
+                continue
+            edges: Dict[str, str] = {}
+            for entry in blocked:
+                edges.setdefault(entry.vertex, entry.blocked_on)
+            cycle = find_blocked_cycle(edges)
+            self.report = WatchdogReport(
+                verdict="deadlock" if cycle else "stall",
+                blocked=blocked,
+                cycle=cycle,
+                stalled_for=stalled_for,
+            )
+            self.on_stall(self.report)
+            return
+
+
+def attach_leak(report: Optional[WatchdogReport],
+                leaked: Sequence[str]) -> Optional[WatchdogReport]:
+    """Fold post-join thread leaks into the watchdog verdict.
+
+    With an existing report the leaked names are attached to it; leaks
+    without a stall verdict produce a dedicated ``thread-leak`` report.
+    Returns ``None`` when there is nothing to report.
+    """
+    leaked_tuple = tuple(leaked)
+    if report is not None:
+        if leaked_tuple and not report.leaked:
+            return replace(report, leaked=leaked_tuple)
+        return report
+    if leaked_tuple:
+        return WatchdogReport(verdict="thread-leak", leaked=leaked_tuple)
+    return None

@@ -16,11 +16,18 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from typing import TYPE_CHECKING
+
 from repro.core.fusion import FusionPlan
 from repro.core.graph import StateKind, Topology, TopologyError
 from repro.core.partitioning import key_partitioning
 from repro.core.steady_state import SteadyStateResult
 from repro.operators.base import Operator, instantiate_operator
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.faults imports
+    # repro.runtime.supervision, which triggers this package's __init__)
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan
 from repro.runtime.actors import (
     ActorBase,
     CollectorActor,
@@ -38,6 +45,16 @@ from repro.runtime.metrics import (
     RuntimeMeasurements,
     rates_between,
 )
+from repro.runtime.supervision import (
+    ActorContext,
+    BlockedActor,
+    DeadLetterSink,
+    StallWatchdog,
+    SupervisionLog,
+    SupervisorStrategy,
+    WatchdogReport,
+    attach_leak,
+)
 
 OperatorFactory = Callable[[], Operator]
 
@@ -52,16 +69,48 @@ class RuntimeConfig:
     max_items: Optional[int] = None
     partition_heuristic: str = "greedy"
     seed: int = 1
+    #: Per-vertex supervision policies; ``None`` = Akka-like defaults
+    #: (Resume on error, Restart on injected crashes).
+    supervisor: Optional[SupervisorStrategy] = None
+    #: Seeded fault plan to inject (see :mod:`repro.faults`); ``None``
+    #: runs fault-free.
+    fault_plan: Optional["FaultPlan"] = None
+    #: Stall watchdog sampling interval and no-progress timeout; the
+    #: watchdog aborts runs whose actors are all blocked (BAS deadlock)
+    #: instead of letting them hang.  ``watchdog=False`` disables it.
+    watchdog: bool = True
+    watchdog_interval: float = 0.1
+    watchdog_stall_timeout: float = 1.0
 
 
 class RuntimeResult:
     """Measured behaviour of a finished actor-system run."""
 
     def __init__(self, topology: Topology,
-                 measurements: RuntimeMeasurements) -> None:
+                 measurements: RuntimeMeasurements,
+                 supervision: Optional[SupervisionLog] = None,
+                 dead_letters: Optional[DeadLetterSink] = None,
+                 watchdog: Optional[WatchdogReport] = None,
+                 leaked_actors: Sequence[str] = (),
+                 failure: Optional[str] = None) -> None:
         self.topology = topology
         self.measurements = measurements
         self.vertices = measurements.vertex_rates()
+        #: Supervision event log of the run (empty when nothing failed).
+        self.supervision = supervision or SupervisionLog()
+        #: Where every dropped tuple went instead of silently vanishing.
+        self.dead_letters = dead_letters or DeadLetterSink()
+        #: Stall/deadlock/thread-leak verdict, ``None`` on clean runs.
+        self.watchdog = watchdog
+        #: Actors still alive after ``stop`` joined with its timeout.
+        self.leaked_actors = tuple(leaked_actors)
+        #: Escalated failure that aborted the run, ``None`` otherwise.
+        self.failure = failure
+
+    @property
+    def dropped_messages(self) -> int:
+        """Tuples lost to mailbox put timeouts over the whole run."""
+        return self.measurements.total_dropped()
 
     @property
     def throughput(self) -> float:
@@ -109,6 +158,24 @@ class ActorSystem:
         self._mailboxes: List[BoundedMailbox] = []
         self._routers: Dict[str, Router] = {}
         self._started = False
+        self.supervisor = config.supervisor or SupervisorStrategy()
+        self.injector: Optional["FaultInjector"] = None
+        if config.fault_plan is not None:
+            from repro.faults.injector import FaultInjector
+            self.injector = FaultInjector(config.fault_plan)
+        #: Set when an Escalate directive or the watchdog aborts the
+        #: run; ``run`` waits on it instead of sleeping blindly.
+        self.failure = threading.Event()
+        self.failure_reason: Optional[str] = None
+        self.context = ActorContext(escalate=self._fail)
+        self.watchdog_report: Optional[WatchdogReport] = None
+        self._watchdog: Optional[StallWatchdog] = None
+
+    def _fail(self, vertex: str, reason: str) -> None:
+        """Escalation endpoint: abort the run, remember why."""
+        if self.failure_reason is None:
+            self.failure_reason = f"{vertex}: {reason}"
+        self.failure.set()
 
     # ------------------------------------------------------------------
     # construction
@@ -178,21 +245,45 @@ class ActorSystem:
                 router.add(edge.probability, system._entries[edge.target])
         return system
 
-    def _new_mailbox(self) -> BoundedMailbox:
+    def _new_mailbox(self, vertex: Optional[str] = None) -> BoundedMailbox:
         mailbox = BoundedMailbox(self.config.mailbox_capacity,
                                  put_timeout=self.config.put_timeout)
+        if vertex is not None and self.injector is not None:
+            windows = self.injector.schedule(vertex).drop_windows
+            if windows:
+                mailbox.set_drop_windows(windows)
         self._mailboxes.append(mailbox)
         return mailbox
 
+    def _vertex_factory(self, name: str, make_operator) -> OperatorFactory:
+        """Zero-argument factory for one actor's operator instances.
+
+        When the fault plan touches this vertex, every instance the
+        factory produces is wrapped in a :class:`FaultyOperator` sharing
+        one :class:`ItemClock` — so a supervision restart resumes the
+        vertex's logical fault schedule instead of replaying it.
+        Call once per actor (each replica needs its own clock).
+        """
+        if self.injector is None:
+            return lambda: make_operator(name)
+        schedule = self.injector.schedule(name)
+        if schedule.empty:
+            return lambda: make_operator(name)
+        from repro.faults.injector import FaultyOperator, ItemClock
+        clock = ItemClock()
+        return lambda: FaultyOperator(make_operator(name), schedule, clock)
+
     def _defer_source(self, name: str, make_operator, router: Router):
         def build() -> None:
+            factory = self._vertex_factory(name, make_operator)
             actor = SourceActor(
                 name=name,
-                operator=make_operator(name),
+                operator=factory(),
                 router=router,
                 stop_event=self.stop_event,
                 rate=self.config.source_rate,
                 max_items=self.config.max_items,
+                context=self.context,
             )
             self.actors.append(actor)
             self.source_actor = actor
@@ -200,14 +291,18 @@ class ActorSystem:
 
     def _defer_single(self, name: str, make_operator, router: Router):
         def build() -> None:
-            mailbox = self._new_mailbox()
+            mailbox = self._new_mailbox(vertex=name)
+            factory = self._vertex_factory(name, make_operator)
             actor = OperatorActor(
                 name=name,
                 vertex=name,
-                operator=make_operator(name),
+                operator=factory(),
                 router=router,
                 mailbox=mailbox,
                 stop_event=self.stop_event,
+                operator_factory=factory,
+                policy=self.supervisor.policy_for(name),
+                context=self.context,
             )
             self.actors.append(actor)
             self._entries[name] = Target(name, mailbox)
@@ -223,6 +318,7 @@ class ActorSystem:
                 router=router,
                 mailbox=collector_mailbox,
                 stop_event=self.stop_event,
+                context=self.context,
             )
             collector_target = Target(name, collector_mailbox)
 
@@ -232,7 +328,8 @@ class ActorSystem:
                 replica_mailbox = self._new_mailbox()
                 replica_router = Router(f"{name}#{index}")
                 replica_router.add(1.0, collector_target)
-                operator = make_operator(name)
+                factory = self._vertex_factory(name, make_operator)
+                operator = factory()
                 operators.append(operator)
                 actor = OperatorActor(
                     name=f"{name}#{index}",
@@ -242,6 +339,9 @@ class ActorSystem:
                     mailbox=replica_mailbox,
                     stop_event=self.stop_event,
                     keep_wrapped=True,
+                    operator_factory=factory,
+                    policy=self.supervisor.policy_for(name),
+                    context=self.context,
                 )
                 self.actors.append(actor)
                 replica_targets.append(Target(name, replica_mailbox))
@@ -257,7 +357,7 @@ class ActorSystem:
                 )
                 key_assignment = plan.assignment
 
-            emitter_mailbox = self._new_mailbox()
+            emitter_mailbox = self._new_mailbox(vertex=name)
             emitter = EmitterActor(
                 name=f"{name}.emitter",
                 vertex=name,
@@ -266,6 +366,7 @@ class ActorSystem:
                 stop_event=self.stop_event,
                 key_of=key_of,
                 key_assignment=key_assignment,
+                context=self.context,
             )
             self.actors.append(emitter)
             self.actors.append(collector)
@@ -275,8 +376,13 @@ class ActorSystem:
     def _defer_meta(self, plan: FusionPlan, factories, make_operator,
                     router: Router):
         def build() -> None:
-            mailbox = self._new_mailbox()
-            members = {name: make_operator(name) for name in plan.members}
+            mailbox = self._new_mailbox(vertex=plan.fused_name)
+            member_factories = {
+                name: self._vertex_factory(name, make_operator)
+                for name in plan.members
+            }
+            members = {name: factory()
+                       for name, factory in member_factories.items()}
             actor = MetaOperatorActor(
                 name=plan.fused_name,
                 plan=plan,
@@ -285,6 +391,9 @@ class ActorSystem:
                 mailbox=mailbox,
                 stop_event=self.stop_event,
                 seed=self.config.seed,
+                member_factories=member_factories,
+                strategy=self.supervisor,
+                context=self.context,
             )
             self.actors.append(actor)
             self._entries[plan.fused_name] = Target(plan.fused_name, mailbox)
@@ -299,13 +408,54 @@ class ActorSystem:
         self._started = True
         for actor in self.actors:
             actor.start()
+        if self.config.watchdog:
+            self._watchdog = StallWatchdog(
+                progress=self._progress,
+                blocked=self._blocked_actors,
+                on_stall=self._on_stall,
+                interval=self.config.watchdog_interval,
+                stall_timeout=self.config.watchdog_stall_timeout,
+            )
+            self._watchdog.start()
 
-    def stop(self, join_timeout: float = 5.0) -> None:
+    def _progress(self) -> int:
+        """Monotone system-wide progress counter sampled by the watchdog."""
+        return sum(actor.counters.processed + actor.counters.emitted
+                   + actor.counters.dropped + actor.counters.failed
+                   for actor in self.actors)
+
+    def _blocked_actors(self) -> List[BlockedActor]:
+        return [
+            BlockedActor(actor=actor.actor_name, vertex=actor.vertex,
+                         blocked_on=blocked_on)
+            for actor in self.actors
+            if (blocked_on := actor.blocked_on) is not None
+        ]
+
+    def _on_stall(self, report: WatchdogReport) -> None:
+        self.watchdog_report = report
+        self._fail("<watchdog>", report.verdict)
+
+    def stop(self, join_timeout: float = 5.0) -> List[str]:
+        """Stop and join every actor; returns the leaked actor names.
+
+        Closing the mailboxes wakes senders blocked on full mailboxes
+        (they observe :class:`MailboxClosed` and exit), so a deadlocked
+        system unwinds here.  Actors still alive after the join timeout
+        are reported instead of silently leaking their threads.
+        """
         self.stop_event.set()
         for mailbox in self._mailboxes:
             mailbox.close()
         for actor in self.actors:
             actor.join(timeout=join_timeout)
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog.join(timeout=join_timeout)
+            self._watchdog = None
+        leaked = [actor.actor_name for actor in self.actors
+                  if actor.is_alive()]
+        return leaked
 
     def snapshot(self) -> Dict[str, CounterSnapshot]:
         return {actor.actor_name: actor.counters.snapshot()
@@ -315,7 +465,10 @@ class ActorSystem:
             ) -> RuntimeResult:
         """Run for ``duration`` seconds, measuring after ``warmup``.
 
-        ``warmup`` defaults to a quarter of the duration.
+        ``warmup`` defaults to a quarter of the duration.  The run ends
+        early when a failure escalates to the system level or the stall
+        watchdog fires; the result then carries the failure reason and
+        the watchdog verdict next to whatever rates were measured.
         """
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration}")
@@ -325,22 +478,32 @@ class ActorSystem:
             raise ValueError(f"warmup must be in [0, duration), got {warmup}")
         self.start()
         try:
-            time.sleep(warmup)
+            aborted = self.failure.wait(warmup)
             before = self.snapshot()
             started = time.perf_counter()
-            time.sleep(duration - warmup)
+            if not aborted:
+                self.failure.wait(duration - warmup)
             after = self.snapshot()
-            window = time.perf_counter() - started
+            window = max(time.perf_counter() - started, 1e-9)
         finally:
-            self.stop()
+            leaked = self.stop()
         rates: Dict[str, ActorRates] = {}
         for actor in self.actors:
             rates[actor.actor_name] = rates_between(
                 actor.actor_name, actor.vertex,
                 before[actor.actor_name], after[actor.actor_name], window,
             )
-        measurements = RuntimeMeasurements(duration=window, actors=rates)
-        return RuntimeResult(self.topology, measurements)
+        measurements = RuntimeMeasurements(duration=window, actors=rates,
+                                           totals=self.snapshot())
+        return RuntimeResult(
+            self.topology,
+            measurements,
+            supervision=self.context.supervision,
+            dead_letters=self.context.dead_letters,
+            watchdog=attach_leak(self.watchdog_report, leaked),
+            leaked_actors=leaked,
+            failure=self.failure_reason,
+        )
 
 
 def run_topology(

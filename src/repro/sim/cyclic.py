@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.cycles import CyclicGraph, CyclicResult
 from repro.core.graph import StateKind, TopologyError
 from repro.core.partitioning import partition_shares
+from repro.faults.injector import FaultInjector
 from repro.sim.engine import Engine, Measurements, Station, VertexMeasurement
 from repro.sim.network import SimulationConfig, _make_resolver
 
@@ -106,8 +107,12 @@ def build_cyclic_engine(
             for sender in senders:
                 sender.add_route(resolver, edge.probability)
 
-    return Engine(stations, seed=config.seed, routing=config.routing), \
-        source_rate
+    faults = (FaultInjector(config.fault_plan)
+              if config.fault_plan is not None else None)
+    engine = Engine(stations, seed=config.seed, routing=config.routing,
+                    faults=faults, supervisor=config.supervisor,
+                    on_deadlock=config.on_deadlock)
+    return engine, source_rate
 
 
 def simulate_cyclic(

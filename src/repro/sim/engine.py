@@ -27,6 +27,19 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.injector import FaultInjector, VertexSchedule
+from repro.runtime.supervision import (
+    BlockedActor,
+    Directive,
+    RestartTracker,
+    SupervisionEvent,
+    SupervisionLog,
+    SupervisionPolicy,
+    SupervisorStrategy,
+    DeadLetterSink,
+    WatchdogReport,
+    find_blocked_cycle,
+)
 from repro.sim.distributions import Distribution
 
 _IDLE = 0
@@ -42,7 +55,7 @@ class Server:
     """One replica executor of a station (an actor in Akka terms)."""
 
     __slots__ = ("station", "index", "state", "pending", "pending_pos",
-                 "blocked_since", "item_birth")
+                 "blocked_since", "item_birth", "fail_action", "restarting")
 
     def __init__(self, station: "Station", index: int) -> None:
         self.station = station
@@ -54,6 +67,12 @@ class Server:
         #: Timestamp at which the item being served left the source;
         #: outputs inherit it so sinks can measure end-to-end latency.
         self.item_birth = 0.0
+        #: ``(kind, item_index)`` of an injected failure hitting the
+        #: service in flight, handled by the supervisor at completion.
+        self.fail_action: Optional[Tuple[str, int]] = None
+        #: Whether the pending completion event is a restart downtime
+        #: ending rather than a service ending.
+        self.restarting = False
 
 
 class Station:
@@ -71,6 +90,8 @@ class Station:
         "busy_time", "blocked_time",
         "edge_counts", "wait_sum", "wait_count",
         "latency_sum", "latency_count", "latency_max",
+        "schedule", "item_index", "offered", "shed",
+        "failed", "restarts", "stopped", "policy", "tracker",
     )
 
     def __init__(
@@ -116,6 +137,25 @@ class Station:
         self.latency_sum = 0.0
         self.latency_count = 0
         self.latency_max = 0.0
+        # Fault-injection state, wired by the engine when a fault plan
+        # is active (see Engine.__init__).
+        self.schedule: Optional[VertexSchedule] = None
+        #: Logical clock: items whose service started here (the index
+        #: axis that crash/poison/slowdown faults are expressed in).
+        self.item_index = 0
+        #: Delivery attempts at this station's queue (the index axis of
+        #: injected mailbox drop windows).
+        self.offered = 0
+        #: Arrivals shed by an injected drop window.
+        self.shed = 0
+        #: Services that ended in an injected failure.
+        self.failed = 0
+        #: Restart directives applied to this station.
+        self.restarts = 0
+        #: Set when a Stop directive killed this station.
+        self.stopped = False
+        self.policy: Optional[SupervisionPolicy] = None
+        self.tracker: Optional[RestartTracker] = None
 
     def add_route(self, resolver: Callable[[random.Random], "Station"],
                   probability: float) -> None:
@@ -143,6 +183,9 @@ class StationCounters:
     wait_count: int = 0
     latency_sum: float = 0.0
     latency_count: int = 0
+    failed: int = 0
+    restarts: int = 0
+    shed: int = 0
 
 
 class Engine:
@@ -168,9 +211,14 @@ class Engine:
         seed: int = 1,
         routing: str = "stochastic",
         backpressure: bool = True,
+        faults: Optional[FaultInjector] = None,
+        supervisor: Optional[SupervisorStrategy] = None,
+        on_deadlock: str = "raise",
     ) -> None:
         if routing not in ("stochastic", "proportional"):
             raise SimulationError(f"unknown routing mode {routing!r}")
+        if on_deadlock not in ("raise", "report"):
+            raise SimulationError(f"unknown deadlock mode {on_deadlock!r}")
         self.stations = list(stations)
         self.rng = random.Random(seed)
         self.routing = routing
@@ -179,6 +227,26 @@ class Engine:
         #: instead of blocking the sender (Section 2's alternative
         #: communication semantics).
         self.backpressure = backpressure
+        #: ``"raise"`` aborts a BAS deadlock with SimulationError (the
+        #: historical behaviour); ``"report"`` records the blocked cycle
+        #: as a WatchdogReport on the measurements and returns normally.
+        self.on_deadlock = on_deadlock
+        self.faults = faults
+        self.supervisor = supervisor or SupervisorStrategy()
+        #: Supervision decisions in virtual-time order; with the same
+        #: fault-plan seed, two runs produce identical signatures.
+        self.supervision = SupervisionLog()
+        self.dead_letters = DeadLetterSink()
+        self.deadlock: Optional[WatchdogReport] = None
+        self._halted = False
+        self.halt_reason: Optional[str] = None
+        for station in self.stations:
+            station.policy = self.supervisor.policy_for(station.vertex)
+            station.tracker = RestartTracker(station.policy)
+            if faults is not None:
+                schedule = faults.schedule(station.vertex)
+                if not schedule.empty:
+                    station.schedule = schedule
         self.now = 0.0
         self._events: List[Tuple[float, int, Server]] = []
         self._seq = 0
@@ -188,10 +256,35 @@ class Engine:
     # event machinery
     # ------------------------------------------------------------------
     def _schedule_completion(self, server: Server) -> None:
-        duration = server.station.dist.sample(self.rng)
-        server.station.busy_time += duration
+        station = server.station
+        schedule = station.schedule
+        if schedule is not None:
+            index = station.item_index
+            station.item_index = index + 1
+            action = schedule.action(index)
+            if action is not None:
+                # The failure surfaces the instant the operator function
+                # is invoked: a zero-length "service" whose completion
+                # the supervisor handles.
+                server.fail_action = (action, index)
+                self._seq += 1
+                heappush(self._events, (self.now, self._seq, server))
+                return
+            duration = station.dist.sample(self.rng)
+            factor = schedule.service_factor(index)
+            if factor != 1.0:
+                duration *= factor
+            duration += schedule.hiccup_pause(index)
+        else:
+            duration = station.dist.sample(self.rng)
+        station.busy_time += duration
         self._seq += 1
         heappush(self._events, (self.now + duration, self._seq, server))
+
+    def _schedule_restart(self, server: Server, downtime: float) -> None:
+        server.restarting = True
+        self._seq += 1
+        heappush(self._events, (self.now + downtime, self._seq, server))
 
     def run(self, until: float, warmup: float = 0.0,
             max_events: Optional[int] = None) -> "Measurements":
@@ -237,19 +330,39 @@ class Engine:
             # present this only happens when every server is blocked on
             # a full queue — a Blocking-After-Service deadlock, which
             # cyclic topologies can reach when the buffers along a loop
-            # all fill up (see repro.sim.cyclic).
-            blocked = sorted({
-                station.name
+            # all fill up (see repro.sim.cyclic) — or when an Escalate
+            # directive halted the engine.
+            blocked_servers = [
+                s
                 for station in self.stations
                 for s in station.servers if s.state == _BLOCKED
-            })
-            if blocked:
-                raise SimulationError(
-                    "BAS deadlock: all activity stopped at t="
-                    f"{self.now:.6f}s with blocked senders at {blocked}; "
-                    "increase the mailbox capacity or reduce the feedback "
-                    "fraction"
+            ]
+            if blocked_servers and not self._halted:
+                entries = []
+                edges: Dict[str, str] = {}
+                for s in blocked_servers:
+                    target = s.pending[s.pending_pos]
+                    entries.append(BlockedActor(
+                        actor=s.station.name,
+                        vertex=s.station.vertex,
+                        blocked_on=target.vertex,
+                    ))
+                    edges.setdefault(s.station.vertex, target.vertex)
+                cycle = find_blocked_cycle(edges)
+                self.deadlock = WatchdogReport(
+                    verdict="deadlock" if cycle else "stall",
+                    blocked=tuple(sorted(entries,
+                                         key=lambda e: e.actor)),
+                    cycle=cycle,
                 )
+                if self.on_deadlock == "raise":
+                    blocked = sorted({e.actor for e in entries})
+                    raise SimulationError(
+                        "BAS deadlock: all activity stopped at t="
+                        f"{self.now:.6f}s with blocked senders at "
+                        f"{blocked}; increase the mailbox capacity or "
+                        "reduce the feedback fraction"
+                    )
         if not snapped:
             # Nothing happened before the warmup boundary (degenerate
             # run); measure over the full horizon instead.
@@ -271,6 +384,9 @@ class Engine:
                 wait_count=s.wait_count,
                 latency_sum=s.latency_sum,
                 latency_count=s.latency_count,
+                failed=s.failed,
+                restarts=s.restarts,
+                shed=s.shed,
             )
             for s in self.stations
         }
@@ -280,6 +396,8 @@ class Engine:
     # ------------------------------------------------------------------
     def _start_source(self, station: Station) -> None:
         """A source serves a fictitious infinite input stream."""
+        if station.stopped:
+            return
         while station.idle_servers:
             server = station.idle_servers.pop()
             server.state = _BUSY
@@ -287,6 +405,8 @@ class Engine:
 
     def _start_services(self, station: Station) -> None:
         """Assign queued items to idle servers, waking blocked senders."""
+        if station.stopped:
+            return
         while station.queue and station.idle_servers:
             birth, enqueued_at = station.queue.popleft()
             station.wait_sum += self.now - enqueued_at
@@ -309,6 +429,31 @@ class Engine:
 
     def _on_completion(self, server: Server) -> None:
         station = server.station
+        if server.restarting:
+            # End of a restart downtime: the fresh operator instance
+            # resumes serving the queue.
+            server.restarting = False
+            server.pending = []
+            server.pending_pos = 0
+            server.state = _IDLE
+            station.idle_servers.append(server)
+            if station.is_source:
+                self._start_source(station)
+            else:
+                self._start_services(station)
+            return
+        if server.fail_action is not None:
+            action, index = server.fail_action
+            server.fail_action = None
+            self._supervise(server, action, index)
+            return
+        if station.stopped:
+            # The station was stopped while this service was in flight
+            # (another server failed): its result is discarded.
+            self.dead_letters.record(station.vertex, None, "stopped-actor")
+            server.state = _IDLE
+            station.idle_servers.append(server)
+            return
         station.consumed += 1
         if station.is_source:
             # A freshly generated item is born when its generation
@@ -326,11 +471,95 @@ class Engine:
         server.pending_pos = 0
         self._continue_push(server)
 
+    def _supervise(self, server: Server, action: str, index: int) -> None:
+        """Apply the station's supervision policy to an injected failure."""
+        station = server.station
+        station.failed += 1
+        policy = station.policy
+        assert policy is not None and station.tracker is not None
+        directive = policy.decide_fault(action)
+        if directive is Directive.RESTART and \
+                station.tracker.record(self.now):
+            directive = Directive.STOP
+        self.supervision.record(SupervisionEvent(
+            time=self.now,
+            vertex=station.vertex,
+            actor=station.name,
+            directive=directive.value,
+            reason=f"injected {action}",
+            item_index=index,
+            restarts=station.tracker.total,
+        ))
+        if directive is not Directive.ESCALATE:
+            self.dead_letters.record(
+                station.vertex, None, f"supervision-{directive.value}")
+        if directive is Directive.RESTART:
+            station.restarts += 1
+            downtime = policy.backoff(station.tracker.in_window)
+            if downtime > 0.0:
+                self._schedule_restart(server, downtime)
+                return
+            directive = Directive.RESUME
+        if directive is Directive.RESUME:
+            # The failed item is gone; the server serves the next one.
+            server.pending = []
+            server.pending_pos = 0
+            self._continue_push(server)
+            return
+        if directive is Directive.STOP:
+            self._stop_station(station, server)
+            return
+        self._halt(station, f"escalated injected {action}")
+
+    def _stop_station(self, station: Station, server: Server) -> None:
+        """Kill one station; the rest of the network keeps running."""
+        station.stopped = True
+        server.pending = []
+        server.pending_pos = 0
+        server.state = _IDLE
+        station.idle_servers.append(server)
+        assert station.policy is not None
+        if not station.policy.divert_on_stop:
+            # The dead station's queue stays full: upstream senders
+            # block and eventually drain the event heap — the stall
+            # regime the deadlock verdict reports.
+            return
+        while station.queue:
+            station.queue.popleft()
+            self.dead_letters.record(station.vertex, None, "stopped-actor")
+        while station.waiters:
+            waiter = station.waiters.popleft()
+            self.dead_letters.record(station.vertex, None, "stopped-actor")
+            waiter.pending_pos += 1
+            waiter.station.blocked_time += self.now - waiter.blocked_since
+            self._continue_push(waiter)
+
+    def _halt(self, station: Station, reason: str) -> None:
+        """An Escalate directive: the whole system comes down."""
+        self._halted = True
+        self.halt_reason = f"{station.vertex}: {reason}"
+        self._events.clear()
+
     def _continue_push(self, server: Server) -> None:
         """Deliver pending outputs downstream, blocking on full queues."""
         station = server.station
         while server.pending_pos < len(server.pending):
             target = server.pending[server.pending_pos]
+            if target.stopped and target.policy is not None \
+                    and target.policy.divert_on_stop:
+                # Diverted mailbox of a stopped actor: straight to the
+                # dead-letter sink, the sender keeps flowing.
+                self.dead_letters.record(
+                    target.vertex, None, "stopped-actor")
+                server.pending_pos += 1
+                continue
+            if target.schedule is not None:
+                offered = target.offered
+                target.offered = offered + 1
+                if target.schedule.drops_arrival(offered):
+                    target.shed += 1
+                    server.pending_pos += 1
+                    continue
             if target.free_slots > 0 and not target.waiters:
                 target.queue.append((server.item_birth, self.now))
                 target.arrivals += 1
@@ -424,8 +653,13 @@ class Engine:
                 mean_latency=((station.latency_sum - base.latency_sum)
                               / latencies if latencies else None),
                 latency_samples=latencies,
+                failed=station.failed - base.failed,
+                restarts=station.restarts - base.restarts,
+                shed=station.shed - base.shed,
             )
-        return Measurements(duration=duration, stations=per_station)
+        return Measurements(duration=duration, stations=per_station,
+                            deadlock=self.deadlock,
+                            halted=self.halt_reason)
 
 
 @dataclass(frozen=True)
@@ -449,6 +683,10 @@ class StationMeasurement:
     #: (recorded at sinks only; ``None`` elsewhere).
     mean_latency: Optional[float] = None
     latency_samples: int = 0
+    #: Injected failures, restarts and shed arrivals over the window.
+    failed: int = 0
+    restarts: int = 0
+    shed: int = 0
 
 
 @dataclass(frozen=True)
@@ -457,6 +695,11 @@ class Measurements:
 
     duration: float
     stations: Dict[str, StationMeasurement]
+    #: Blocked-cycle verdict when the run drained its event heap with
+    #: blocked senders under ``on_deadlock="report"``.
+    deadlock: Optional[WatchdogReport] = None
+    #: Escalation reason when an Escalate directive halted the engine.
+    halted: Optional[str] = None
 
     def vertex_rates(self) -> Dict[str, "VertexMeasurement"]:
         """Aggregate sub-stations (partitioned replicas) by vertex name."""
@@ -484,6 +727,9 @@ class Measurements:
                 drop_rate=sum(m.drop_rate for m in measurements),
                 mean_wait=max(m.mean_wait for m in measurements),
                 mean_latency=mean_latency,
+                failed=sum(m.failed for m in measurements),
+                restarts=sum(m.restarts for m in measurements),
+                shed=sum(m.shed for m in measurements),
             )
         return out
 
@@ -501,3 +747,6 @@ class VertexMeasurement:
     drop_rate: float = 0.0
     mean_wait: float = 0.0
     mean_latency: Optional[float] = None
+    failed: int = 0
+    restarts: int = 0
+    shed: int = 0

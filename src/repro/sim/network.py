@@ -18,6 +18,13 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.graph import StateKind, Topology, TopologyError
 from repro.core.partitioning import partition_shares
 from repro.core.steady_state import SteadyStateResult
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.runtime.supervision import (
+    SupervisionLog,
+    SupervisorStrategy,
+    WatchdogReport,
+)
 from repro.sim.distributions import Distribution, make_distribution
 from repro.sim.engine import Engine, Measurements, Station, VertexMeasurement
 
@@ -60,6 +67,14 @@ class SimulationConfig:
     warmup_fraction: float = 0.25
     seed: int = 1
     backpressure: bool = True
+    #: Seeded fault plan injected into the run (``None`` = fault-free).
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-vertex supervision policies applied to injected failures.
+    supervisor: Optional[SupervisorStrategy] = None
+    #: ``"raise"`` (historical) aborts BAS deadlocks with an exception;
+    #: ``"report"`` returns normally with the blocked-cycle verdict on
+    #: the measurements.
+    on_deadlock: str = "raise"
 
     def distribution(self, mean: float) -> Distribution:
         return make_distribution(self.service_family, mean, cv=self.service_cv)
@@ -74,11 +89,32 @@ class SimulationResult:
     measurements: Measurements
     vertices: Mapping[str, VertexMeasurement]
     source_rate: float
+    #: Supervision decisions of the run, virtual-time ordered; two runs
+    #: with the same seeds produce identical ``signature()`` digests.
+    supervision: Optional[SupervisionLog] = None
+    #: Dead letters per vertex (supervision drops, stopped actors).
+    dead_letters: Optional[Mapping[str, int]] = None
 
     @property
     def throughput(self) -> float:
         """Measured topology throughput: source departure rate (items/sec)."""
         return self.vertices[self.topology.source].departure_rate
+
+    @property
+    def deadlock(self) -> Optional[WatchdogReport]:
+        """Blocked-cycle verdict (``on_deadlock="report"`` runs only)."""
+        return self.measurements.deadlock
+
+    def total_failed(self) -> int:
+        """Injected failures handled by supervision over the window."""
+        return sum(v.failed for v in self.vertices.values())
+
+    def total_restarts(self) -> int:
+        return sum(v.restarts for v in self.vertices.values())
+
+    def total_shed(self) -> int:
+        """Arrivals shed by injected mailbox drop windows."""
+        return sum(v.shed for v in self.vertices.values())
 
     def departure_rate(self, vertex: str) -> float:
         return self.vertices[vertex].departure_rate
@@ -204,8 +240,12 @@ def build_engine(
             for sender in senders:
                 sender.add_route(resolver, edge.probability)
 
+    faults = (FaultInjector(config.fault_plan)
+              if config.fault_plan is not None else None)
     engine = Engine(stations, seed=config.seed, routing=config.routing,
-                    backpressure=config.backpressure)
+                    backpressure=config.backpressure,
+                    faults=faults, supervisor=config.supervisor,
+                    on_deadlock=config.on_deadlock)
     return engine, source_rate
 
 
@@ -278,6 +318,8 @@ def simulate(
         measurements=measurements,
         vertices=measurements.vertex_rates(),
         source_rate=rate,
+        supervision=engine.supervision,
+        dead_letters=engine.dead_letters.counts(),
     )
 
 

@@ -21,10 +21,13 @@ The ``spinstreams conformance`` CLI subcommand and the tests under
 from repro.testing.harness import (
     ConformanceConfig,
     SweepOutcome,
+    check_chaos_runtime_seed,
+    check_chaos_seed,
     check_optimizer_seed,
     check_runtime_seed,
     check_seed,
     run_sweep,
+    shrink_chaos_failure,
     topology_for_seed,
 )
 from repro.testing.oracle import (
@@ -43,6 +46,8 @@ __all__ = [
     "ShrinkResult",
     "SweepOutcome",
     "Tolerances",
+    "check_chaos_runtime_seed",
+    "check_chaos_seed",
     "check_optimizer_seed",
     "check_runtime_seed",
     "check_seed",
@@ -50,5 +55,6 @@ __all__ = [
     "remove_vertex",
     "run_sweep",
     "shrink",
+    "shrink_chaos_failure",
     "topology_for_seed",
 ]

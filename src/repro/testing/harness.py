@@ -39,8 +39,14 @@ from repro.core.autofusion import auto_fuse
 from repro.core.fission import eliminate_bottlenecks
 from repro.core.graph import Topology
 from repro.core.steady_state import SteadyStateResult, analyze
+from repro.faults.plan import ChaosProfile, FaultPlanConfig, chaos_profile
 from repro.sim.network import SimulationConfig, build_engine
-from repro.testing.oracle import ConformanceReport, Oracle, Tolerances
+from repro.testing.oracle import (
+    ConformanceReport,
+    Discrepancy,
+    Oracle,
+    Tolerances,
+)
 from repro.topology.random_gen import GeneratorConfig, RandomTopologyGenerator
 
 AnalyzeFn = Callable[[Topology], SteadyStateResult]
@@ -84,6 +90,20 @@ class ConformanceConfig:
     runtime_mailbox_capacity: int = 16
     runtime_tolerances: Tolerances = field(default_factory=lambda: Tolerances(
         departure_rel=0.10, throughput_rel=0.10, min_items=200.0))
+    #: Fault sampling rates of the degraded-mode (chaos) checks.
+    chaos_faults: FaultPlanConfig = field(default_factory=FaultPlanConfig)
+    #: Degraded-mode agreement threshold.  The derated model works with
+    #: time-averaged availability, but a slowdown *window* can turn a
+    #: non-bottleneck vertex into a transient bottleneck whose queueing
+    #: loss the average misses — that approximation error is why chaos
+    #: runs are gated at 15% rather than the fault-free 2%.
+    chaos_tolerances: Tolerances = field(default_factory=lambda: Tolerances(
+        departure_rel=0.15, throughput_rel=0.15, min_items=500.0))
+    #: Wall-clock chaos check: a few hundred items and a handful of
+    #: faults per run make the measurement inherently noisy.
+    chaos_runtime_tolerances: Tolerances = field(
+        default_factory=lambda: Tolerances(
+            departure_rel=0.25, throughput_rel=0.20, min_items=100.0))
 
     def resolved_tolerances(self) -> Tolerances:
         if self.tolerances is not None:
@@ -202,6 +222,88 @@ def check_optimizer_seed(
     return replace(report, topology_name=f"{topology.name}-optimized")
 
 
+def check_chaos_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+    topology: Optional[Topology] = None,
+) -> ConformanceReport:
+    """Derated model vs. simulator under the seed's fault plan.
+
+    The seed deterministically produces both the topology and a fault
+    plan (crashes, poison tuples, slowdown windows, source hiccups);
+    the simulator runs it under the matching supervision strategy and
+    the measured rates must agree with the *derated* steady-state model
+    within ``config.chaos_tolerances``.  The run measures the full
+    horizon (no warmup): the derating factors describe full-horizon
+    averages, so discarding a warmup window that contains faults would
+    bias the comparison.
+
+    ``topology`` overrides the seed-generated graph so the shrinker can
+    re-check candidate sub-topologies (the fault plan is regenerated
+    per candidate from the same seed).
+    """
+    config = config or ConformanceConfig()
+    if topology is None:
+        topology = topology_for_seed(seed, config)
+    profile = chaos_profile(topology, seed, config.chaos_faults,
+                            items=config.items)
+    sim_config = SimulationConfig(
+        mailbox_capacity=config.mailbox_capacity,
+        service_family=config.service_family,
+        routing=config.routing,
+        items=config.items,
+        seed=seed,
+        fault_plan=profile.plan,
+        supervisor=profile.strategy,
+        on_deadlock="report",
+    )
+    engine, _ = build_engine(topology, sim_config)
+    measurements = engine.run(until=profile.horizon, warmup=0.0)
+    oracle = Oracle(config.chaos_tolerances)
+    report = oracle.compare(
+        profile.derated, measurements.vertex_rates(), measurements.duration,
+        backend="chaos+simulator", seed=seed,
+        check_utilization=False, check_bottlenecks=False,
+    )
+    extra: List[Discrepancy] = []
+    if measurements.deadlock is not None:
+        extra.append(Discrepancy(
+            kind="watchdog", operator=measurements.deadlock.verdict,
+            expected=0.0,
+            actual=float(len(measurements.deadlock.blocked)),
+            tolerance=0.0,
+        ))
+    if measurements.halted is not None:
+        extra.append(Discrepancy(
+            kind="halted", operator=measurements.halted,
+            expected=0.0, actual=1.0, tolerance=0.0,
+        ))
+    if extra:
+        report = replace(report,
+                         discrepancies=report.discrepancies + tuple(extra))
+    return report
+
+
+def shrink_chaos_failure(seed: int,
+                         config: Optional[ConformanceConfig] = None):
+    """Minimal sub-topology still failing the seed's chaos check.
+
+    Returns the :class:`~repro.testing.shrink.ShrinkResult`, or ``None``
+    when the seed passes (nothing to shrink).
+    """
+    from repro.testing.shrink import shrink
+
+    config = config or ConformanceConfig()
+    topology = topology_for_seed(seed, config)
+    if check_chaos_seed(seed, config, topology=topology).ok:
+        return None
+    return shrink(
+        topology,
+        lambda candidate: not check_chaos_seed(seed, config,
+                                               topology=candidate).ok,
+    )
+
+
 _SLEEP_OVERSHOOT: Optional[float] = None
 
 
@@ -271,11 +373,102 @@ def check_runtime_seed(
         config=runtime_config,
     )
     oracle = Oracle(config.runtime_tolerances)
-    return oracle.compare(
+    report = oracle.compare(
         predicted, result.vertices, result.measurements.duration,
         backend="runtime", seed=seed,
         check_utilization=False, check_bottlenecks=False,
     )
+    # Fault-free hygiene gates: a correctly sized run must deliver every
+    # message (no silent BoundedMailbox.put timeouts) and stop() must
+    # reap every actor thread.
+    extra: List[Discrepancy] = []
+    dropped = result.measurements.total_dropped()
+    if dropped:
+        extra.append(Discrepancy(
+            kind="dropped-messages", operator="<runtime>",
+            expected=0.0, actual=float(dropped), tolerance=0.0,
+        ))
+    if result.leaked_actors:
+        extra.append(Discrepancy(
+            kind="thread-leak", operator=",".join(result.leaked_actors),
+            expected=0.0, actual=float(len(result.leaked_actors)),
+            tolerance=0.0,
+        ))
+    if extra:
+        report = replace(report,
+                         discrepancies=report.discrepancies + tuple(extra))
+    return report
+
+
+def check_chaos_runtime_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+) -> ConformanceReport:
+    """Derated model vs. threaded runtime under the seed's fault plan.
+
+    The wall-clock analog of :func:`check_chaos_seed`: the fault plan is
+    sized to the items a ``runtime_duration``-second run processes, the
+    actor system runs it under the matching supervision strategy, and
+    the measured rates must agree with the derated model within the
+    (loose) ``config.chaos_runtime_tolerances``.  Escalations, watchdog
+    verdicts and leaked threads are hard failures regardless of rates.
+    """
+    from repro.operators.source_sink import GeneratorSource
+    from repro.runtime.synthetic import GainOperator, PaddedOperator
+    from repro.runtime.system import RuntimeConfig, run_topology
+
+    config = config or ConformanceConfig()
+    topology = topology_for_seed(seed, config,
+                                 generator=config.runtime_generator_config())
+    base = analyze(topology)
+    items = max(int(base.throughput * config.runtime_duration), 50)
+    profile = chaos_profile(topology, seed, config.chaos_faults, items=items)
+
+    overshoot = sleep_overshoot()
+    factories = {}
+    for spec in topology.operators:
+        if spec.name == topology.source:
+            factories[spec.name] = lambda s=seed: GeneratorSource(seed=s)
+        else:
+            padding = max(spec.service_time - overshoot, 1e-4)
+            factories[spec.name] = lambda g=spec.gain, p=padding: (
+                PaddedOperator(GainOperator(g), p))
+
+    runtime_config = RuntimeConfig(
+        mailbox_capacity=config.runtime_mailbox_capacity,
+        source_rate=topology.operator(topology.source).service_rate,
+        seed=seed,
+        fault_plan=profile.plan,
+        supervisor=profile.strategy,
+    )
+    result = run_topology(
+        topology, factories,
+        duration=config.runtime_duration,
+        warmup=0.0,
+        config=runtime_config,
+    )
+    oracle = Oracle(config.chaos_runtime_tolerances)
+    report = oracle.compare(
+        profile.derated, result.vertices, result.measurements.duration,
+        backend="chaos+runtime", seed=seed,
+        check_utilization=False, check_bottlenecks=False,
+    )
+    extra: List[Discrepancy] = []
+    if result.failure is not None:
+        extra.append(Discrepancy(
+            kind="runtime-failure", operator=result.failure,
+            expected=0.0, actual=1.0, tolerance=0.0,
+        ))
+    if result.leaked_actors:
+        extra.append(Discrepancy(
+            kind="thread-leak", operator=",".join(result.leaked_actors),
+            expected=0.0, actual=float(len(result.leaked_actors)),
+            tolerance=0.0,
+        ))
+    if extra:
+        report = replace(report,
+                         discrepancies=report.discrepancies + tuple(extra))
+    return report
 
 
 @dataclass(frozen=True)
@@ -314,12 +507,14 @@ def run_sweep(
     config: Optional[ConformanceConfig] = None,
     runtime_seeds: int = 0,
     analyze_fn: AnalyzeFn = analyze,
+    chaos_seeds: int = 0,
 ) -> SweepOutcome:
     """Sweep ``seeds`` consecutive seeds from ``config.base_seed``.
 
     Each seed runs the model-vs-simulator check and (when enabled) the
     optimizer check; the first ``runtime_seeds`` seeds additionally run
-    the wall-clock actor runtime.
+    the wall-clock actor runtime, and the first ``chaos_seeds`` seeds
+    run the degraded-mode (fault-injected) simulator check.
     """
     config = config or ConformanceConfig()
     reports: List[ConformanceReport] = []
@@ -331,4 +526,7 @@ def run_sweep(
     for index in range(runtime_seeds):
         seed = config.base_seed + index
         reports.append(check_runtime_seed(seed, config))
+    for index in range(chaos_seeds):
+        seed = config.base_seed + index
+        reports.append(check_chaos_seed(seed, config))
     return SweepOutcome(reports=tuple(reports))

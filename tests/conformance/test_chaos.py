@@ -1,0 +1,68 @@
+"""Degraded-mode conformance: derated model vs. faulty backends.
+
+Each seed deterministically produces a topology *and* a fault plan;
+the simulator (and, for the smoke test, the threaded runtime) runs it
+under the matching supervision strategy and the measured throughput
+must track the derated steady-state prediction.
+
+The ``chaos`` marker gates the heavier sweeps: tier-1 CI runs a fast
+smoke (``-m chaos`` with the default seed budget), the nightly job
+raises ``--conformance-seeds``.
+"""
+
+import pytest
+
+from repro.testing import (
+    ConformanceConfig,
+    check_chaos_seed,
+    check_chaos_runtime_seed,
+    run_sweep,
+    shrink_chaos_failure,
+)
+
+
+class TestChaosSeedCheck:
+    def test_single_seed_is_green(self):
+        report = check_chaos_seed(100)
+        assert report.ok, report.summary()
+        assert report.backend == "chaos+simulator"
+
+    def test_same_seed_same_report(self):
+        """Fault-plan seed replay: the whole check is deterministic."""
+        first = check_chaos_seed(103)
+        second = check_chaos_seed(103)
+        assert first.discrepancies == second.discrepancies
+        assert first.departure_errors == second.departure_errors
+        assert first.window == second.window
+
+    def test_chaos_tolerances_are_looser_than_fault_free(self):
+        config = ConformanceConfig()
+        assert config.chaos_tolerances.departure_rel > \
+            config.resolved_tolerances().departure_rel
+
+    def test_shrinker_skips_passing_seed(self):
+        assert shrink_chaos_failure(100) is None
+
+
+@pytest.mark.chaos
+class TestChaosSweep:
+    def test_chaos_sweep_is_green(self, conformance_seeds):
+        outcome = run_sweep(0, chaos_seeds=conformance_seeds)
+        assert outcome.ok, outcome.summary()
+        backends = [report.backend for report in outcome.reports]
+        assert backends.count("chaos+simulator") == conformance_seeds
+
+    def test_throughput_degrades_but_tracks_model(self, conformance_seeds):
+        """Faults bite (plans are non-trivial) yet stay within tolerance."""
+        outcome = run_sweep(0, chaos_seeds=conformance_seeds)
+        for report in outcome.reports:
+            assert report.ok, report.summary()
+
+
+@pytest.mark.chaos
+class TestChaosRuntimeSmoke:
+    def test_runtime_survives_fault_plan(self):
+        config = ConformanceConfig(runtime_duration=2.0)
+        report = check_chaos_runtime_seed(100, config)
+        assert report.ok, report.summary()
+        assert report.backend == "chaos+runtime"

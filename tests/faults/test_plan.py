@@ -1,0 +1,208 @@
+"""Unit tests for seeded fault plans, schedules and derated predictions."""
+
+import pytest
+
+from repro.core.steady_state import analyze
+from repro.faults import (
+    ChaosProfile,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanConfig,
+    FaultyOperator,
+    ItemClock,
+    MailboxDropFault,
+    PoisonFault,
+    SlowdownFault,
+    SourceHiccup,
+    chaos_profile,
+    derating_factors,
+    generate_fault_plan,
+)
+from repro.operators.base import Record
+from repro.operators.basic import Identity
+from repro.runtime.supervision import (
+    Directive,
+    OperatorCrash,
+    PoisonedTuple,
+    SupervisionPolicy,
+    SupervisorStrategy,
+)
+from tests.conftest import make_pipeline
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        a = generate_fault_plan(topology, seed=11)
+        b = generate_fault_plan(topology, seed=11)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        a = generate_fault_plan(topology, seed=11)
+        b = generate_fault_plan(topology, seed=12)
+        assert a != b
+
+    def test_source_only_gets_hiccups(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = generate_fault_plan(
+            topology, seed=5,
+            config=FaultPlanConfig(crashes_per_operator=3.0,
+                                   poisons_per_operator=3.0,
+                                   fault_fraction=1.0))
+        source = topology.source
+        assert all(f.vertex != source for f in plan.poisons)
+        assert all(f.vertex != source for f in plan.crashes)
+        assert all(f.vertex != source for f in plan.slowdowns)
+        assert all(f.vertex == source for f in plan.hiccups)
+
+    def test_item_indices_within_horizon(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        items = 5_000
+        plan = generate_fault_plan(topology, seed=9, items=items)
+        for fault in plan.poisons + plan.crashes:
+            assert 0 <= fault.item_index < items
+        for fault in plan.slowdowns:
+            assert 0 <= fault.start_item < fault.end_item
+
+    def test_describe_lists_every_fault(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = generate_fault_plan(topology, seed=3)
+        text = plan.describe()
+        assert f"fault plan (seed 3)" in text
+        faults = (len(plan.poisons) + len(plan.crashes) + len(plan.slowdowns)
+                  + len(plan.hiccups) + len(plan.drops))
+        assert len(text.splitlines()) == faults + 1
+
+    def test_empty_plan(self):
+        assert FaultPlan(seed=0).empty
+        assert "(no faults)" in FaultPlan(seed=0).describe()
+
+
+class TestSchedules:
+    def plan(self):
+        return FaultPlan(
+            seed=1,
+            poisons=(PoisonFault("op1", 5),),
+            crashes=(CrashFault("op1", 9),),
+            slowdowns=(SlowdownFault("op1", 20, 30, 2.0),),
+            hiccups=(SourceHiccup("op0", 3, 0.25),),
+            drops=(MailboxDropFault("op2", 10, 15),),
+        )
+
+    def test_action_lookup(self):
+        schedule = FaultInjector(self.plan()).schedule("op1")
+        assert schedule.action(5) == "poison"
+        assert schedule.action(9) == "crash"
+        assert schedule.action(6) is None
+
+    def test_slowdown_window(self):
+        schedule = FaultInjector(self.plan()).schedule("op1")
+        assert schedule.service_factor(19) == 1.0
+        assert schedule.service_factor(20) == 2.0
+        assert schedule.service_factor(29) == 2.0
+        assert schedule.service_factor(30) == 1.0
+
+    def test_hiccup_and_drops(self):
+        injector = FaultInjector(self.plan())
+        assert injector.schedule("op0").hiccup_pause(3) == 0.25
+        assert injector.schedule("op0").hiccup_pause(4) == 0.0
+        drops = injector.schedule("op2")
+        assert drops.drops_arrival(10) and drops.drops_arrival(14)
+        assert not drops.drops_arrival(15)
+
+    def test_untouched_vertex_gets_empty_schedule(self):
+        schedule = FaultInjector(self.plan()).schedule("nowhere")
+        assert schedule.empty
+        assert schedule.action(0) is None
+
+
+class TestFaultyOperator:
+    def test_raises_on_schedule(self):
+        plan = FaultPlan(seed=1, poisons=(PoisonFault("op1", 1),),
+                         crashes=(CrashFault("op1", 2),))
+        schedule = FaultInjector(plan).schedule("op1")
+        op = FaultyOperator(Identity(), schedule, ItemClock())
+        assert op.operator_function(Record({})) == [Record({})]
+        with pytest.raises(PoisonedTuple):
+            op.operator_function(Record({}))
+        with pytest.raises(OperatorCrash):
+            op.operator_function(Record({}))
+        # Past the schedule the operator works again.
+        assert op.operator_function(Record({})) == [Record({})]
+
+    def test_shared_clock_survives_reinstantiation(self):
+        """A restarted wrapper must not replay the faults already fired."""
+        plan = FaultPlan(seed=1, crashes=(CrashFault("op1", 0),))
+        schedule = FaultInjector(plan).schedule("op1")
+        clock = ItemClock()
+        first = FaultyOperator(Identity(), schedule, clock)
+        with pytest.raises(OperatorCrash):
+            first.operator_function(Record({}))
+        rebuilt = FaultyOperator(Identity(), schedule, clock)
+        assert rebuilt.operator_function(Record({})) == [Record({})]
+
+
+def constant_strategy(downtime: float, horizon: float) -> SupervisorStrategy:
+    return SupervisorStrategy(default=SupervisionPolicy(
+        on_crash=Directive.RESTART, max_restarts=1_000_000, window=horizon,
+        backoff_base=downtime, backoff_factor=1.0, backoff_max=downtime))
+
+
+class TestDerating:
+    def test_no_faults_no_derating(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        availability, gain, inputs = derating_factors(
+            topology, FaultPlan(seed=0), horizon=10.0,
+            strategy=constant_strategy(0.1, 10.0))
+        assert all(v == 1.0 for v in availability.values())
+        assert all(v == 1.0 for v in gain.values())
+        assert all(v == 1.0 for v in inputs.values())
+
+    def test_crash_downtime_reduces_availability(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, crashes=(CrashFault("op1", 100),))
+        availability, gain, _ = derating_factors(
+            topology, plan, horizon=10.0,
+            strategy=constant_strategy(1.0, 10.0))
+        # One crash, one virtual second of restart downtime on a 10s
+        # horizon: 10% of op1's serving time is gone.
+        assert availability["op1"] == pytest.approx(0.9)
+        assert availability["op2"] == 1.0
+        assert gain["op1"] < 1.0  # the crashed item is consumed, not emitted
+
+    def test_drop_window_derates_input(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, drops=(MailboxDropFault("op1", 0, 100),))
+        _, _, inputs = derating_factors(
+            topology, plan, horizon=10.0,
+            strategy=constant_strategy(0.1, 10.0))
+        assert inputs["op1"] < 1.0
+        assert inputs["op2"] == 1.0
+
+    def test_derated_throughput_bounded_by_base(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        profile = chaos_profile(topology, seed=7)
+        assert isinstance(profile, ChaosProfile)
+        assert profile.derated.throughput <= profile.base.throughput + 1e-9
+        assert 0.0 <= profile.predicted_degradation < 1.0
+
+    def test_profile_is_deterministic(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        a = chaos_profile(topology, seed=7)
+        b = chaos_profile(topology, seed=7)
+        assert a.plan == b.plan
+        assert a.derated.throughput == b.derated.throughput
+
+    def test_derated_model_feeds_analyze(self):
+        """The steady-state solver accepts the derating maps directly."""
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        base = analyze(topology)
+        derated = analyze(
+            topology,
+            availability={name: 0.5 for name in topology.names},
+            gain_factor={name: 1.0 for name in topology.names},
+            input_factor={name: 1.0 for name in topology.names},
+        )
+        assert derated.throughput == pytest.approx(base.throughput * 0.5)

@@ -10,6 +10,14 @@ from repro.operators.basic import Filter, Identity
 from repro.runtime.actors import Router, Target
 from repro.runtime.mailbox import BoundedMailbox
 from repro.runtime.meta import MetaOperatorActor
+from repro.runtime.supervision import (
+    ActorContext,
+    ActorStopped,
+    Directive,
+    OperatorCrash,
+    SupervisionPolicy,
+    SupervisorStrategy,
+)
 from tests.conftest import make_fig11, make_pipeline
 
 
@@ -25,7 +33,8 @@ class Tagger(Operator):
         return [item.copy_with(trail=trail)]
 
 
-def build_meta(topology, members, member_ops, external_targets, seed=1):
+def build_meta(topology, members, member_ops, external_targets, seed=1,
+               member_factories=None, strategy=None, context=None):
     plan = plan_fusion(topology, members, fused_name="F")
     router = Router("F")
     targets = {}
@@ -36,6 +45,7 @@ def build_meta(topology, members, member_ops, external_targets, seed=1):
     actor = MetaOperatorActor(
         name="F", plan=plan, members=member_ops, router=router,
         mailbox=BoundedMailbox(64), stop_event=threading.Event(), seed=seed,
+        member_factories=member_factories, strategy=strategy, context=context,
     )
     return actor, targets
 
@@ -165,6 +175,140 @@ class TestLifecycle:
         actor.on_start()
         actor.on_stop()
         assert ("start", "op1") in events and ("stop", "op2") in events
+
+
+class Crasher(Operator):
+    """Tagger whose configured invocation indices raise OperatorCrash."""
+
+    def __init__(self, tag, crash_at=()):
+        self.tag = tag
+        self.calls = 0
+        self.crash_at = set(crash_at)
+
+    def operator_function(self, item):
+        index = self.calls
+        self.calls += 1
+        if index in self.crash_at:
+            raise OperatorCrash(f"injected crash at {self.tag} call {index}")
+        trail = list(item.get("trail", []))
+        trail.append(self.tag)
+        return [item.copy_with(trail=trail)]
+
+
+def fast_restart(**overrides):
+    policy = SupervisionPolicy(backoff_base=0.0, backoff_max=0.0, **overrides)
+    return SupervisorStrategy(default=policy)
+
+
+class TestMemberSupervision:
+    """A fused member's failures follow its standalone supervision
+    policy without corrupting the routing of the other members."""
+
+    def build(self, crash_at, strategy=None, factories=None, context=None):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        context = context or ActorContext()
+        actor, targets = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Tagger("op1"), "op2": Crasher("op2", crash_at)},
+            ["op3"],
+            member_factories=(factories if factories is not None
+                              else {"op2": lambda: Crasher("op2")}),
+            strategy=strategy or fast_restart(),
+            context=context,
+        )
+        return actor, targets, context
+
+    def test_member_restart_preserves_downstream_routing(self):
+        actor, targets, context = self.build(crash_at=[1])
+        for _ in range(4):
+            actor.handle((Record({}), "op0"))
+        # Item 1 crashed op2; items 0, 2 and 3 flowed through.
+        assert len(targets["op3"].mailbox) == 3
+        while len(targets["op3"].mailbox):
+            payload, origin = targets["op3"].mailbox.get()
+            assert payload["trail"] == ["op1", "op2"]
+            assert origin == "F"
+        events = context.supervision.events
+        assert [e.directive for e in events] == ["restart"]
+        assert events[0].vertex == "op2"
+        assert actor.counters.restarts == 1
+        assert actor.counters.failed == 1
+        assert context.dead_letters.counts() == {"op2": 1}
+
+    def test_restart_budget_exhaustion_stops_member(self):
+        strategy = fast_restart(max_restarts=1, window=60.0)
+        actor, targets, context = self.build(crash_at=[1, 2],
+                                             strategy=strategy,
+                                             factories={"op2": lambda:
+                                                        Crasher("op2", [0])})
+        for _ in range(5):
+            actor.handle((Record({}), "op0"))
+        directives = [e.directive for e in context.supervision.events]
+        assert directives == ["restart", "stop"]
+        # op1 still serves; items headed to the stopped op2 dead-letter.
+        dead = context.dead_letters.counts()
+        assert dead["op2"] >= 3  # the two crashed items + later arrivals
+        assert len(targets["op3"].mailbox) == 1  # only item 0 got through
+
+    def test_stopped_member_does_not_corrupt_sibling_routing(self, fig11_table1):
+        context = ActorContext()
+        strategy = SupervisorStrategy(default=SupervisionPolicy(
+            on_crash=Directive.STOP))
+        actor, targets = build_meta(
+            fig11_table1, ["op3", "op4", "op5"],
+            {"op3": Tagger("op3"), "op4": Crasher("op4", [0]),
+             "op5": Tagger("op5")},
+            ["op6"], seed=3, strategy=strategy, context=context,
+        )
+        n = 400
+        for _ in range(n):
+            actor.handle((Record({}), "op1"))
+        assert context.supervision.count("stop") == 1
+        delivered = []
+        while len(targets["op6"].mailbox):
+            payload, _ = targets["op6"].mailbox.get()
+            delivered.append(tuple(payload["trail"]))
+        # The op3 -> op5 path keeps flowing after op4 stopped...
+        assert ("op3", "op5") in set(delivered)
+        # ...and nothing that would have passed through op4 leaks out.
+        assert all("op4" not in trail for trail in delivered)
+        assert context.dead_letters.counts()["op4"] > 0
+
+    def test_front_end_stop_diverts_meta_mailbox(self):
+        topology = make_pipeline(1.0, 1.0, 1.0, 1.0)
+        context = ActorContext()
+        strategy = SupervisorStrategy(default=SupervisionPolicy(
+            on_crash=Directive.STOP))
+        actor, _ = build_meta(
+            topology, ["op1", "op2"],
+            {"op1": Crasher("op1", [0]), "op2": Tagger("op2")},
+            ["op3"], strategy=strategy, context=context,
+        )
+        with pytest.raises(ActorStopped):
+            actor.handle((Record({}), "op0"))
+        assert actor.mailbox.diverted
+        # Later deliveries land in dead letters instead of blocking.
+        actor.mailbox.put((Record({}), "op0"))
+        assert context.dead_letters.counts()["op1"] >= 2
+
+    def test_escalate_reaches_the_system(self):
+        escalations = []
+        context = ActorContext(escalate=lambda vertex, reason:
+                               escalations.append((vertex, reason)))
+        strategy = SupervisorStrategy(default=SupervisionPolicy(
+            on_crash=Directive.ESCALATE))
+        actor, _, _ = self.build(crash_at=[0], strategy=strategy,
+                                 context=context)
+        with pytest.raises(ActorStopped):
+            actor.handle((Record({}), "op0"))
+        assert escalations and escalations[0][0] == "op2"
+
+    def test_member_without_factory_degrades_restart_to_resume(self):
+        actor, targets, context = self.build(crash_at=[0], factories={})
+        actor.handle((Record({}), "op0"))
+        actor.handle((Record({}), "op0"))
+        assert [e.directive for e in context.supervision.events] == ["resume"]
+        assert len(targets["op3"].mailbox) == 1
 
 
 class TestSelectivityInsideFusion:

@@ -1,0 +1,190 @@
+"""Fault injection and supervision inside the discrete-event engine."""
+
+import pytest
+
+from repro.core.cycles import CyclicGraph
+from repro.core.graph import Edge, OperatorSpec
+from repro.faults import (
+    CrashFault,
+    FaultPlan,
+    MailboxDropFault,
+    PoisonFault,
+    SlowdownFault,
+    SourceHiccup,
+    chaos_profile,
+)
+from repro.runtime.supervision import (
+    Directive,
+    SupervisionPolicy,
+    SupervisorStrategy,
+)
+from repro.sim.cyclic import simulate_cyclic
+from repro.sim.network import SimulationConfig, build_engine, simulate
+from tests.conftest import make_pipeline
+
+
+def sim_config(plan, supervisor=None, items=4_000, **kwargs):
+    kwargs.setdefault("warmup_fraction", 0.0)
+    return SimulationConfig(items=items, seed=2, fault_plan=plan,
+                            supervisor=supervisor, **kwargs)
+
+
+def strategy(**overrides):
+    return SupervisorStrategy(default=SupervisionPolicy(**overrides))
+
+
+class TestInjectedFaults:
+    def test_poison_resumes_crash_restarts(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, poisons=(PoisonFault("op1", 50),),
+                         crashes=(CrashFault("op1", 100),))
+        result = simulate(topology, sim_config(plan))
+        assert result.total_failed() == 2
+        assert result.total_restarts() == 1
+        assert result.supervision.count("resume") == 1
+        assert result.supervision.count("restart") == 1
+        assert result.dead_letters == {"op1": 2}
+
+    def test_failed_items_do_not_depart(self):
+        # The victim must not be the bottleneck: a saturated station
+        # backfills a poisoned slot from its queue and the loss never
+        # reaches the sink.
+        topology = make_pipeline(2.0, 1.0, 0.5)
+        items = 4_000
+        plan = FaultPlan(seed=1, poisons=tuple(
+            PoisonFault("op1", i) for i in range(100, 110)))
+        faulty = simulate(topology, sim_config(plan, items=items))
+        clean = simulate(topology, sim_config(None, items=items))
+        lost = (clean.vertices["op2"].departure_rate
+                - faulty.vertices["op2"].departure_rate)
+        window = faulty.measurements.duration
+        assert lost * window == pytest.approx(10, abs=3)
+
+    def test_replay_is_deterministic(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        profile = chaos_profile(topology, seed=9, items=4_000)
+        config = sim_config(profile.plan, profile.strategy)
+        first = simulate(topology, config)
+        second = simulate(topology, config)
+        # Virtual time: signatures match exactly, times included.
+        assert first.supervision.signature() == \
+            second.supervision.signature()
+        assert first.supervision.signature()  # faults actually fired
+        assert first.throughput == second.throughput
+
+    def test_slowdown_window_slows_the_station(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, slowdowns=(
+            SlowdownFault("op1", 0, 2_000, 3.0),))
+        faulty = simulate(topology, sim_config(plan))
+        clean = simulate(topology, sim_config(None))
+        assert faulty.throughput < clean.throughput * 0.8
+
+    def test_source_hiccup_pauses_generation(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, hiccups=(SourceHiccup("op0", 100, 2.0),))
+        faulty = simulate(topology, sim_config(plan))
+        clean = simulate(topology, sim_config(None))
+        assert faulty.throughput < clean.throughput
+
+    def test_drop_window_sheds_arrivals(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, drops=(MailboxDropFault("op1", 0, 200),))
+        result = simulate(topology, sim_config(plan))
+        assert result.total_shed() == 200
+        assert result.vertices["op1"].shed == 200
+
+    def test_degradation_tracks_derated_model(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        profile = chaos_profile(topology, seed=4, items=20_000)
+        config = sim_config(profile.plan, profile.strategy, items=20_000)
+        engine, _ = build_engine(topology, config)
+        measurements = engine.run(until=profile.horizon, warmup=0.0)
+        measured = measurements.vertex_rates()[topology.source].departure_rate
+        assert measured == pytest.approx(profile.derated.throughput, rel=0.15)
+
+
+class TestStopAndEscalate:
+    def test_budget_exhaustion_stops_the_station(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, crashes=(CrashFault("op1", 100),
+                                          CrashFault("op1", 200),
+                                          CrashFault("op1", 300)))
+        supervisor = strategy(on_crash=Directive.RESTART, max_restarts=1,
+                              window=1e9, backoff_base=0.01,
+                              backoff_max=0.01)
+        result = simulate(topology, sim_config(plan, supervisor))
+        directives = [e.directive for e in result.supervision.events]
+        assert directives == ["restart", "stop"]
+        # The diverted station sheds everything after the stop.
+        assert result.dead_letters["op1"] > 100
+        # Nothing reaches the sink once op1 is gone.
+        assert result.vertices["op2"].departure_rate < \
+            result.vertices["op0"].departure_rate * 0.5
+
+    def test_stop_without_divert_yields_stall_verdict(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, crashes=(CrashFault("op1", 50),))
+        supervisor = strategy(on_crash=Directive.STOP,
+                              divert_on_stop=False)
+        result = simulate(topology, sim_config(
+            plan, supervisor, on_deadlock="report"))
+        report = result.deadlock
+        assert report is not None
+        assert report.verdict == "stall"
+        assert report.cycle == ()
+        assert any(b.blocked_on == "op1" for b in report.blocked)
+
+    def test_escalate_halts_the_simulation(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        plan = FaultPlan(seed=1, crashes=(CrashFault("op1", 100),))
+        supervisor = strategy(on_crash=Directive.ESCALATE)
+        result = simulate(topology, sim_config(plan, supervisor))
+        assert result.measurements.halted is not None
+        assert "op1" in result.measurements.halted
+        assert result.supervision.count("escalate") == 1
+        # No deadlock verdict: the halt is deliberate, not a stall.
+        assert result.deadlock is None
+
+
+def retry_loop(work_ms=2.0, feedback=0.8):
+    operators = [
+        OperatorSpec("src", 1e-3),
+        OperatorSpec("work", work_ms * 1e-3),
+        OperatorSpec("check", 0.3e-3),
+        OperatorSpec("sink", 0.05e-3, output_selectivity=0.0),
+    ]
+    edges = [
+        Edge("src", "work"),
+        Edge("work", "check"),
+        Edge("check", "work", feedback),
+        Edge("check", "sink", 1.0 - feedback),
+    ]
+    return CyclicGraph(operators, edges, name="retry")
+
+
+class TestDeadlockReporting:
+    def test_cyclic_deadlock_reported_instead_of_raised(self):
+        result = simulate_cyclic(
+            retry_loop(),
+            SimulationConfig(items=50_000, seed=5, mailbox_capacity=1,
+                             on_deadlock="report"),
+        )
+        report = result.measurements.deadlock
+        assert report is not None
+        assert report.verdict == "deadlock"
+        assert "work" in report.cycle and "check" in report.cycle
+
+    def test_cyclic_deadlock_still_raises_by_default(self):
+        from repro.sim.engine import SimulationError
+        with pytest.raises(SimulationError, match="deadlock"):
+            simulate_cyclic(
+                retry_loop(),
+                SimulationConfig(items=50_000, seed=5, mailbox_capacity=1),
+            )
+
+    def test_acyclic_run_has_no_verdict(self):
+        topology = make_pipeline(1.0, 2.0, 0.5)
+        result = simulate(topology, sim_config(None, on_deadlock="report"))
+        assert result.deadlock is None
+        assert result.measurements.halted is None
