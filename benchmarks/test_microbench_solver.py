@@ -1,0 +1,33 @@
+"""Micro-benchmark: fixed-point work of the optimizer search.
+
+Before the memoized solver, every analysis requested by the optimizer
+pipeline (base prediction, candidate screens, per-round re-analyses,
+the conformance-style final prediction) was a full fixed-point solve.
+The :mod:`repro.core.solver` memo plus incremental re-solves must cut
+that to one full solve per pipeline — at least a 5x reduction in full
+fixed points over the Algorithm 5 testbed.
+"""
+
+from repro.bench import solver_benchmark
+
+
+def test_microbench_solver_solve_reduction():
+    figures = solver_benchmark()
+
+    print("\nMicro-benchmark — steady-state solve accounting")
+    print(f"{figures['topologies']} testbed optimizations: "
+          f"{figures['solve_requests']} analyses -> "
+          f"{figures['full_solves']} full solves "
+          f"({figures['incremental_solves']} incremental, "
+          f"{figures['cache_hits']} cached), "
+          f"{figures['solve_reduction']:.1f}x fewer fixed points in "
+          f"{figures['elapsed_sec'] * 1e3:.0f} ms")
+
+    # One full solve per optimized topology: the initial base
+    # prediction; everything else is served from the memo or re-solved
+    # incrementally.
+    assert figures["full_solves"] == figures["topologies"]
+    assert figures["solve_reduction"] >= 5.0
+    # Incremental solves must actually skip work, not recompute
+    # everything under a different counter.
+    assert figures["vertices_reused"] > 0

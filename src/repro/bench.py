@@ -1,0 +1,264 @@
+"""Microbenchmark suite behind ``spinstreams bench``.
+
+Two hot paths decide whether the tool is "fast as the hardware allows"
+(ROADMAP north star): the discrete-event engine that stands in for the
+paper's Akka measurements, and the steady-state solver the optimizer
+search hammers.  This module measures both and writes the numbers to a
+``BENCH_*.json`` baseline so future changes are gated against observable
+regressions instead of anecdotes:
+
+* **DES benchmarks** — events per second on the Figure 11 topology and
+  on the largest Algorithm 5 testbed entry, the latter both free-running
+  (deeply backpressured: exercises the blocking/wakeup cascade) and
+  paced at its predicted throughput (pure fast-path flow);
+* **solver benchmark** — the full optimizer pipeline (fission, then
+  automatic fusion, then the conformance-style final prediction) over
+  the ten-entry testbed, reporting how many of the requested analyses
+  were answered by full fixed-point solves versus memo hits and
+  incremental re-solves (:mod:`repro.core.solver`).
+
+The JSON layout (``spinstreams bench -o BENCH_3.json``)::
+
+    {
+      "schema": 1,
+      "quick": false,
+      "des": {"fig11": {"events_per_sec": ..., "events": ...}, ...},
+      "solver": {"solve_requests": ..., "full_solves": ...,
+                 "solve_reduction": ..., "elapsed_sec": ...}
+    }
+
+``--baseline`` compares against a committed file and exits non-zero on
+a >30% throughput regression (CI's bench smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.autofusion import auto_fuse
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.graph import Edge, OperatorSpec, Topology
+from repro.core.solver import analyze_cached, clear_cache
+from repro.instrumentation import SOLVER
+from repro.sim.network import SimulationConfig, build_engine
+from repro.topology.random_gen import generate_testbed
+
+#: Relative throughput drop that fails the regression gate.
+REGRESSION_THRESHOLD = 0.30
+
+
+def fig11_topology() -> Topology:
+    """The paper's Figure 11 six-operator example (service times in ms:
+    1.0, 1.2, 0.7, 2.0, 1.5, 0.2)."""
+    operators = [
+        OperatorSpec("op1", 1.0e-3),
+        OperatorSpec("op2", 1.2e-3),
+        OperatorSpec("op3", 0.7e-3),
+        OperatorSpec("op4", 2.0e-3),
+        OperatorSpec("op5", 1.5e-3),
+        OperatorSpec("op6", 0.2e-3),
+    ]
+    edges = [
+        Edge("op1", "op2", 0.7),
+        Edge("op1", "op3", 0.3),
+        Edge("op3", "op4", 0.35),
+        Edge("op3", "op5", 0.65),
+        Edge("op4", "op5", 0.5),
+        Edge("op4", "op6", 0.5),
+        Edge("op2", "op6", 1.0),
+        Edge("op5", "op6", 1.0),
+    ]
+    return Topology(operators, edges, name="fig11")
+
+
+def engine_events_per_second(
+    topology: Topology,
+    items: int,
+    repeats: int = 3,
+    source_rate: Optional[float] = None,
+) -> Tuple[float, int]:
+    """Best-of-``repeats`` event rate of one simulation run.
+
+    Matches the methodology of ``benchmarks/test_microbench_engine.py``:
+    the horizon generates ``items`` source items, the clock wraps only
+    ``engine.run``, and the rate counts every station consumption.
+    """
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        config = SimulationConfig(items=items, seed=5)
+        engine, rate = build_engine(topology, config,
+                                    source_rate=source_rate)
+        horizon = items / rate
+        started = time.perf_counter()
+        engine.run(until=horizon, warmup=0.0)
+        elapsed = time.perf_counter() - started
+        events = sum(station.consumed for station in engine.stations)
+        best = max(best, events / elapsed)
+    return best, events
+
+
+def des_benchmarks(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run the DES microbenchmarks; returns name -> figures."""
+    items = 20_000 if quick else 100_000
+    testbed_items = 10_000 if quick else 50_000
+    repeats = 1 if quick else 3
+
+    largest = max(generate_testbed(10), key=len)
+    paced_rate = analyze_cached(largest).throughput
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name, topology, n_items, source_rate in (
+        ("fig11", fig11_topology(), items, None),
+        ("testbed_raw", largest, testbed_items, None),
+        ("testbed_paced", largest, testbed_items, paced_rate),
+    ):
+        rate, events = engine_events_per_second(
+            topology, n_items, repeats=repeats, source_rate=source_rate)
+        results[name] = {
+            "events_per_sec": round(rate, 1),
+            "events": events,
+            "operators": len(topology),
+        }
+    return results
+
+
+def solver_benchmark(quick: bool = False) -> Dict[str, float]:
+    """Optimizer-search solve accounting over the Algorithm 5 testbed.
+
+    For each testbed entry, the conformance-harness workflow: predict
+    the base topology, run bottleneck elimination and automatic fusion,
+    then predict the transformed topology.  The counters split the
+    requested analyses into full fixed-point solves, incremental
+    re-solves and memo hits; ``solve_reduction`` is requests per full
+    solve — the factor by which memoization shrinks the fixed-point
+    work of the search (every request used to be a full solve).
+    """
+    entries = generate_testbed(3 if quick else 10)
+    clear_cache()
+    before = SOLVER.snapshot()
+    started = time.perf_counter()
+    for topology in entries:
+        analyze_cached(topology)
+        fission = eliminate_bottlenecks(topology)
+        fused = auto_fuse(fission.optimized)
+        analyze_cached(fused.fused)
+    elapsed = time.perf_counter() - started
+    delta = SOLVER.since(before)
+    reduction = (delta.solve_requests / delta.full_solves
+                 if delta.full_solves else float(delta.solve_requests))
+    return {
+        "topologies": len(entries),
+        "solve_requests": delta.solve_requests,
+        "full_solves": delta.full_solves,
+        "incremental_solves": delta.incremental_solves,
+        "cache_hits": delta.cache_hits,
+        "vertices_computed": delta.vertices_computed,
+        "vertices_reused": delta.vertices_reused,
+        "solve_reduction": round(reduction, 2),
+        "elapsed_sec": round(elapsed, 4),
+    }
+
+
+def run_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """The full suite; the returned dict is the ``BENCH_*.json`` payload."""
+    return {
+        "schema": 1,
+        "quick": quick,
+        "des": des_benchmarks(quick=quick),
+        "solver": solver_benchmark(quick=quick),
+    }
+
+
+def format_results(results: Dict[str, object]) -> str:
+    lines: List[str] = ["DES engine:"]
+    for name, figures in results["des"].items():
+        lines.append(
+            f"  {name:<14} {figures['events_per_sec']:>12,.0f} events/sec "
+            f"({figures['events']:,} events, "
+            f"{figures['operators']} operators)"
+        )
+    solver = results["solver"]
+    lines.append(
+        f"solver ({solver['topologies']} testbed optimizations): "
+        f"{solver['solve_requests']} analyses -> "
+        f"{solver['full_solves']} full solves "
+        f"({solver['incremental_solves']} incremental, "
+        f"{solver['cache_hits']} cached) — "
+        f"{solver['solve_reduction']:.1f}x fewer fixed points, "
+        f"{solver['elapsed_sec'] * 1e3:.0f} ms"
+    )
+    return "\n".join(lines)
+
+
+def compare_to_baseline(
+    results: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Regressions of ``results`` against a committed baseline.
+
+    Returns human-readable violation strings (empty = gate passes).
+    Only throughput-like figures are gated; event counts may shift
+    legitimately when topologies or budgets change.  DES rates are
+    compared only when both runs used the same mode — quick runs use
+    smaller item budgets and fewer repeats, so their events/sec are not
+    commensurable with a full-mode baseline.  The solver reduction is
+    deterministic and always gated.
+    """
+    violations: List[str] = []
+    des_comparable = results.get("quick") == baseline.get("quick")
+    for name, base_figures in (baseline.get("des", {}).items()
+                               if des_comparable else ()):
+        current = results["des"].get(name)
+        if current is None:
+            violations.append(f"des benchmark {name!r} disappeared")
+            continue
+        floor = base_figures["events_per_sec"] * (1.0 - threshold)
+        if current["events_per_sec"] < floor:
+            violations.append(
+                f"des {name}: {current['events_per_sec']:,.0f} events/sec "
+                f"< floor {floor:,.0f} "
+                f"(baseline {base_figures['events_per_sec']:,.0f}, "
+                f"-{threshold:.0%})"
+            )
+    base_solver = baseline.get("solver")
+    if base_solver is not None:
+        floor = base_solver["solve_reduction"] * (1.0 - threshold)
+        current = results["solver"]["solve_reduction"]
+        if current < floor:
+            violations.append(
+                f"solver reduction: {current:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base_solver['solve_reduction']:.2f}x)"
+            )
+    return violations
+
+
+def main(
+    output: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    quick: bool = False,
+) -> int:
+    """Entry point of ``spinstreams bench``; returns the exit code."""
+    results = run_benchmarks(quick=quick)
+    print(format_results(results))
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {output}")
+    if baseline_path is not None:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        violations = compare_to_baseline(results, baseline)
+        if violations:
+            print("REGRESSION against "
+                  f"{baseline_path} (>{REGRESSION_THRESHOLD:.0%}):")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        print(f"no regression against {baseline_path} "
+              f"(threshold {REGRESSION_THRESHOLD:.0%})")
+    return 0

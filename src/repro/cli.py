@@ -10,6 +10,7 @@ The console counterpart of the paper's GUI workflow::
     spinstreams generate app.xml -o run_app.py   # SS2Py code generation
     spinstreams random --seed 7 -o random.xml    # Algorithm 5 testbed entry
     spinstreams conformance --seeds 25           # differential conformance
+    spinstreams bench -o BENCH_3.json            # perf microbenchmarks
     spinstreams render app.xml -o app.dot        # Graphviz rendering
 """
 
@@ -59,12 +60,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.instrumentation import SOLVER
+
     topology = parse_topology(args.topology)
     result = eliminate_bottlenecks(
         topology, source_rate=args.source_rate,
         max_replicas=args.max_replicas,
     )
     print(fission_report(result))
+    print(SOLVER.summary())
     if args.output:
         write_topology(result.optimized, args.output)
         print(f"optimized topology written to {args.output}")
@@ -256,6 +260,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             reports.append(check_chaos_seed(args.seed, config))
         for report in reports:
             print(report.summary())
+        from repro import instrumentation
+        print(instrumentation.summary())
         failed = [r for r in reports if not r.ok]
         if failed and not args.no_shrink and not reports[0].ok:
             _shrink_and_print(args.seed, config, check_seed, shrink,
@@ -263,8 +269,10 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         return 1 if failed else 0
 
     outcome = run_sweep(args.seeds, config, runtime_seeds=args.runtime_seeds,
-                        chaos_seeds=args.chaos_seeds)
+                        chaos_seeds=args.chaos_seeds, workers=args.workers)
     print(outcome.summary())
+    from repro import instrumentation
+    print(instrumentation.summary())
     if outcome.ok:
         return 0
     simulator_failures = [r for r in outcome.failures
@@ -457,6 +465,13 @@ def _chaos_runtime(args, topology, profile, base) -> bool:
     return failed
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main as bench_main
+
+    return bench_main(output=args.output, baseline_path=args.baseline,
+                      quick=args.quick)
+
+
 def _cmd_memory(args: argparse.Namespace) -> int:
     topology = parse_topology(args.topology)
     estimate = estimate_memory(
@@ -606,7 +621,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-seeds", type=int, default=0,
                    help="how many seeds also run the degraded-mode "
                         "(fault-injected) simulator check (0 disables)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan the virtual-time checks over this many "
+                        "processes (bit-identical to serial; default "
+                        "serial)")
     p.set_defaults(func=_cmd_conformance)
+
+    p = sub.add_parser("bench",
+                       help="run the solver/DES microbenchmarks and "
+                            "write a BENCH_*.json baseline")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced budgets (CI smoke job)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the results JSON here (e.g. BENCH_3.json)")
+    p.add_argument("--baseline", default=None,
+                   help="committed baseline JSON to gate against "
+                        "(>30%% throughput regression fails)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("chaos",
                        help="fault-injection run: supervision events, dead "

@@ -81,6 +81,12 @@ from repro.core.partitioning import (
     partition_shares,
 )
 from repro.core.report import analysis_report, fission_report, fusion_report
+from repro.core.solver import (
+    SteadyStateSolver,
+    analyze_cached,
+    analyze_edit,
+    clear_cache,
+)
 from repro.core.steady_state import (
     OperatorRates,
     SteadyStateResult,
@@ -113,12 +119,16 @@ __all__ = [
     "PartitionPlan",
     "StateKind",
     "SteadyStateResult",
+    "SteadyStateSolver",
     "Topology",
     "TopologyError",
     "analysis_report",
     "analyze",
+    "analyze_cached",
     "analyze_cyclic",
+    "analyze_edit",
     "auto_fuse",
+    "clear_cache",
     "apply_fusion",
     "apply_replica_bound",
     "build_fused_topology",

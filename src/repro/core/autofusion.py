@@ -30,7 +30,8 @@ from typing import List, Optional, Tuple
 from repro.core.candidates import FusionCandidate, enumerate_candidates
 from repro.core.fusion import FusionPlan, FusionResult, apply_fusion
 from repro.core.graph import Topology, TopologyError
-from repro.core.steady_state import SteadyStateResult, analyze
+from repro.core.solver import analyze_cached
+from repro.core.steady_state import SteadyStateResult
 
 
 @dataclass(frozen=True)
@@ -95,10 +96,15 @@ def auto_fuse(
 
     current = topology
     steps: List[FusionResult] = []
-    baseline = analyze(topology, source_rate=source_rate)
+    baseline = analyze_cached(topology, source_rate=source_rate)
 
+    # Same request structure as the naive loop (analyze every round,
+    # before/after per fusion), but the memoized solver answers the
+    # round-top and final requests from cache and ``apply_fusion``
+    # re-solves only the fused operator's downstream cone — a round
+    # costs O(edit) fixed-point work instead of O(topology).
     for _ in range(max_rounds):
-        analysis = analyze(current, source_rate=source_rate)
+        analysis = analyze_cached(current, source_rate=source_rate)
         candidates = enumerate_candidates(
             current, analysis=analysis, max_size=max_size,
             max_utilization=max_utilization, limit=None,
@@ -107,7 +113,7 @@ def auto_fuse(
         if choice is None:
             break
         result = apply_fusion(current, choice.members,
-                              source_rate=source_rate)
+                              source_rate=source_rate, analysis=analysis)
         if result.impairs_performance:
             # The candidate scoring is an estimate; the full analysis is
             # authoritative.  Skip candidates the analysis rejects.
@@ -115,14 +121,15 @@ def auto_fuse(
                 c for c in candidates
                 if c is not choice and c.predicted_utilization <= headroom
             ]
-            fallback = _first_harmless(current, safe_candidates, source_rate)
+            fallback = _first_harmless(current, safe_candidates,
+                                       source_rate, analysis)
             if fallback is None:
                 break
             result = fallback
         steps.append(result)
         current = result.fused
 
-    final = analyze(current, source_rate=source_rate)
+    final = analyze_cached(current, source_rate=source_rate)
     if final.throughput < baseline.throughput * (1.0 - 1e-9):
         raise TopologyError(
             "auto-fusion degraded the predicted throughput; this is a bug "
@@ -148,14 +155,15 @@ def _pick(candidates: List[FusionCandidate],
 
 def _first_harmless(topology: Topology,
                     candidates: List[FusionCandidate],
-                    source_rate: Optional[float]) -> Optional[FusionResult]:
+                    source_rate: Optional[float],
+                    analysis: SteadyStateResult) -> Optional[FusionResult]:
     """First candidate whose full evaluation confirms no degradation."""
     ordered = sorted(candidates, key=lambda c: (-len(c.members),
                                                 c.predicted_utilization,
                                                 c.members))
     for candidate in ordered:
         result = apply_fusion(topology, candidate.members,
-                              source_rate=source_rate)
+                              source_rate=source_rate, analysis=analysis)
         if not result.impairs_performance:
             return result
     return None

@@ -16,7 +16,8 @@ from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.fusion import FusionError, fusion_service_time, validate_fusion
 from repro.core.graph import Topology
-from repro.core.steady_state import SteadyStateResult, analyze
+from repro.core.solver import analyze_cached
+from repro.core.steady_state import SteadyStateResult
 
 
 @dataclass(frozen=True)
@@ -50,7 +51,8 @@ def enumerate_candidates(
     topology:
         The topology to inspect.
     analysis:
-        An existing steady-state analysis to reuse (recomputed if omitted).
+        An existing steady-state analysis to reuse (resolved through the
+        memoized solver when omitted).
     max_size:
         Maximum number of operators in a candidate sub-graph; candidate
         enumeration grows exponentially, but streaming topologies have
@@ -61,7 +63,7 @@ def enumerate_candidates(
         Return at most this many candidates (best ranked first).
     """
     if analysis is None:
-        analysis = analyze(topology)
+        analysis = analyze_cached(topology)
     eligible = {
         name
         for name in topology.names

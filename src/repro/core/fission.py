@@ -26,10 +26,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.graph import StateKind, Topology, TopologyError
 from repro.core.partitioning import key_partitioning
+from repro.core.solver import analyze_edit
 from repro.core.steady_state import (
     RHO_TOLERANCE,
     SteadyStateResult,
-    analyze,
 )
 
 
@@ -159,7 +159,13 @@ def eliminate_bottlenecks(
     else:
         bound_applied = False
 
-    analysis = analyze(
+    # Incremental against the replication-reset base: when the caller
+    # already analyzed the input topology (the conformance harness
+    # does), only the replicated vertices' downstream cone re-iterates;
+    # downstream consumers (auto-fusion baseline, the conformance
+    # prediction) then hit the memo instead of re-running fixed points.
+    analysis = analyze_edit(
+        base,
         optimized,
         source_rate=source_rate,
         partition_heuristic=partition_heuristic,

@@ -37,7 +37,8 @@ from repro.core.graph import (
     Topology,
     TopologyError,
 )
-from repro.core.steady_state import SteadyStateResult, analyze
+from repro.core.solver import analyze_cached, analyze_edit
+from repro.core.steady_state import SteadyStateResult
 
 
 class FusionError(TopologyError):
@@ -308,22 +309,28 @@ def apply_fusion(
     members: Sequence[str],
     fused_name: Optional[str] = None,
     source_rate: Optional[float] = None,
+    analysis: Optional[SteadyStateResult] = None,
 ) -> FusionResult:
     """Fuse ``members`` and evaluate the resulting topology.
 
-    Runs the steady-state analysis on both the original and the fused
+    Evaluates the steady state of both the original and the fused
     topology so the caller (and the tool's GUI analog) can tell whether
-    the fusion impairs performance before committing to it.
+    the fusion impairs performance before committing to it.  A caller
+    that already analyzed ``topology`` at this ``source_rate`` can pass
+    the result as ``analysis`` to skip the before-solve entirely; the
+    after-solve runs incrementally (only the fused operator's downstream
+    cone is re-iterated).
     """
     plan = plan_fusion(topology, members, fused_name=fused_name)
     fused = build_fused_topology(topology, plan)
-    before = analyze(topology, source_rate=source_rate)
-    after = analyze(fused, source_rate=source_rate)
+    if analysis is None:
+        analysis = analyze_cached(topology, source_rate=source_rate)
+    after = analyze_edit(topology, fused, source_rate=source_rate)
     return FusionResult(
         original=topology,
         fused=fused,
         plan=plan,
-        analysis_before=before,
+        analysis_before=analysis,
         analysis_after=after,
     )
 

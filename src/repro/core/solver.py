@@ -1,0 +1,440 @@
+"""Memoized and incremental steady-state solver.
+
+The optimizer search loops (:mod:`repro.core.candidates`,
+:mod:`repro.core.autofusion`, :mod:`repro.core.fission`) call the
+steady-state analysis once per candidate restructuring per round —
+O(topology) fixed-point work for edits that touch O(1) vertices.  This
+module makes that loop cheap while staying *bit-identical* to
+:func:`repro.core.steady_state.analyze`:
+
+* :meth:`SteadyStateSolver.analyze` memoizes full analyses behind a
+  canonical topology signature (operator specs, edge lists in insertion
+  order, and every analysis parameter), so re-analyzing an unchanged
+  topology is a dictionary lookup;
+* :meth:`SteadyStateSolver.analyze_edit` re-solves a topology derived
+  from an already-analyzed base by recomputing only the *dirty cone* —
+  the edited vertices and their descendants — while clean vertices reuse
+  the converged per-pass rates of the base solve.
+
+Exactness argument for the incremental path: a vertex is *clean* when
+its spec and (ordered) input-edge list are unchanged and no ancestor
+was edited.  Clean vertices form an ancestor-closed set, so during a
+topological pass at a given source rate their arrival sums accumulate
+the same floats in the same order as the base solve — the cached
+:class:`~repro.core.steady_state.OperatorRates` are bit-identical to
+what a fresh pass would produce.  Dirty vertices are recomputed with the
+very same :func:`~repro.core.steady_state._single_pass` code, and the
+Theorem 3.2 correction loop is replicated verbatim, so the fixed point
+(rates, corrections, throttled source rate) matches a fresh
+:func:`~repro.core.steady_state.analyze` exactly.  The property tests in
+``tests/core/test_solver.py`` assert this equality on seeded random
+topologies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.graph import OperatorSpec, Topology, TopologyError
+from repro.core.steady_state import (
+    Correction,
+    OperatorRates,
+    SteadyStateResult,
+    _first_bottleneck,
+    _single_pass,
+    operator_capacity,
+)
+from repro.instrumentation import SOLVER
+
+
+def _spec_signature(spec: OperatorSpec) -> tuple:
+    """Hashable digest of the spec fields the analysis depends on.
+
+    ``operator_class``/``operator_args`` are deliberately excluded: they
+    configure the runtime implementation, not the cost model, so two
+    topologies differing only there share one cache entry.
+    """
+    keys = tuple(spec.keys.items()) if spec.keys is not None else None
+    return (
+        spec.name,
+        spec.service_time,
+        spec.state.value,
+        spec.input_selectivity,
+        spec.output_selectivity,
+        spec.replication,
+        keys,
+    )
+
+
+def _freeze_mapping(mapping: Optional[Mapping[str, float]]) -> Optional[tuple]:
+    if mapping is None:
+        return None
+    return tuple(sorted(mapping.items()))
+
+
+def topology_signature(
+    topology: Topology,
+    source_rate: Optional[float] = None,
+    partition_heuristic: str = "greedy",
+    max_iterations: Optional[int] = None,
+    availability: Optional[Mapping[str, float]] = None,
+    gain_factor: Optional[Mapping[str, float]] = None,
+    input_factor: Optional[Mapping[str, float]] = None,
+) -> tuple:
+    """Canonical cache key of one ``analyze()`` invocation.
+
+    Edge order is part of the key: arrival rates sum floats in input-edge
+    insertion order, and float addition is not associative, so two
+    topologies with re-ordered edges may legitimately produce different
+    last-bit results.
+    """
+    operators = tuple(
+        _spec_signature(topology.operator(name)) for name in topology.names
+    )
+    edges = tuple(
+        (edge.source, edge.target, edge.probability) for edge in topology.edges
+    )
+    return (
+        operators,
+        edges,
+        source_rate,
+        partition_heuristic,
+        max_iterations,
+        _freeze_mapping(availability),
+        _freeze_mapping(gain_factor),
+        _freeze_mapping(input_factor),
+    )
+
+
+class _CacheEntry:
+    """A converged solve plus the intermediate state reuse needs."""
+
+    __slots__ = ("result", "capacities", "passes")
+
+    def __init__(
+        self,
+        result: SteadyStateResult,
+        capacities: Dict[str, Tuple[float, float]],
+        passes: Dict[float, Dict[str, OperatorRates]],
+    ) -> None:
+        self.result = result
+        self.capacities = capacities
+        #: source_rate -> per-vertex rates of the pass run at that rate.
+        self.passes = passes
+
+
+def _dirty_cone(base: Topology, edited: Topology) -> Set[str]:
+    """Vertices of ``edited`` that cannot reuse the base solve.
+
+    A vertex is *changed* when it is new, its spec differs, or its
+    ordered input-edge list differs from the base; the dirty cone is the
+    changed set plus all its descendants in the edited topology.
+    """
+    base_names = set(base.names)
+    changed: Set[str] = set()
+    for name in edited.names:
+        if name not in base_names:
+            changed.add(name)
+            continue
+        if _spec_signature(edited.operator(name)) != _spec_signature(
+            base.operator(name)
+        ):
+            changed.add(name)
+            continue
+        edited_in = tuple(
+            (e.source, e.probability) for e in edited.in_edges(name)
+        )
+        base_in = tuple((e.source, e.probability) for e in base.in_edges(name))
+        if edited_in != base_in:
+            changed.add(name)
+    dirty = set(changed)
+    stack = list(changed)
+    while stack:
+        for successor in edited.successors(stack.pop()):
+            if successor not in dirty:
+                dirty.add(successor)
+                stack.append(successor)
+    return dirty
+
+
+class SteadyStateSolver:
+    """LRU-memoized front-end to the steady-state analysis.
+
+    Results returned from the cache are re-bound to the caller's
+    topology object (``dataclasses.replace``), so identity-based callers
+    (``result.topology is my_topology``) keep working.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # cached full analysis
+
+    def analyze(
+        self,
+        topology: Topology,
+        source_rate: Optional[float] = None,
+        partition_heuristic: str = "greedy",
+        max_iterations: Optional[int] = None,
+        availability: Optional[Mapping[str, float]] = None,
+        gain_factor: Optional[Mapping[str, float]] = None,
+        input_factor: Optional[Mapping[str, float]] = None,
+    ) -> SteadyStateResult:
+        """Memoized equivalent of :func:`repro.core.steady_state.analyze`."""
+        if source_rate is None:
+            # Resolve the default before keying so explicit and implicit
+            # source rates share one entry (analyze() resolves the same).
+            source_rate = topology.operator(topology.source).service_rate
+        signature = topology_signature(
+            topology, source_rate, partition_heuristic, max_iterations,
+            availability, gain_factor, input_factor,
+        )
+        entry = self._cache.get(signature)
+        if entry is not None:
+            SOLVER.cache_hits += 1
+            self._cache.move_to_end(signature)
+            return self._rebind(entry.result, topology)
+        SOLVER.cache_misses += 1
+        entry = self._full_solve(
+            topology, source_rate, partition_heuristic, max_iterations,
+            availability, gain_factor, input_factor,
+        )
+        self._remember(signature, entry)
+        return entry.result
+
+    # ------------------------------------------------------------------
+    # incremental analysis after a topology edit
+
+    def analyze_edit(
+        self,
+        base: Topology,
+        edited: Topology,
+        source_rate: Optional[float] = None,
+        partition_heuristic: str = "greedy",
+        max_iterations: Optional[int] = None,
+        availability: Optional[Mapping[str, float]] = None,
+        gain_factor: Optional[Mapping[str, float]] = None,
+        input_factor: Optional[Mapping[str, float]] = None,
+    ) -> SteadyStateResult:
+        """Analyze ``edited``, reusing a cached solve of ``base``.
+
+        The edit (fusion, fission, spec change) is discovered
+        automatically by diffing the two topologies; only the dirty cone
+        is recomputed per pass.  Falls back to a cached full solve when
+        the base was never analyzed with these parameters.
+        """
+        if source_rate is None:
+            base_rate = base.operator(base.source).service_rate
+            edited_rate = edited.operator(edited.source).service_rate
+        else:
+            base_rate = edited_rate = source_rate
+
+        edited_signature = topology_signature(
+            edited, edited_rate, partition_heuristic, max_iterations,
+            availability, gain_factor, input_factor,
+        )
+        entry = self._cache.get(edited_signature)
+        if entry is not None:
+            SOLVER.cache_hits += 1
+            self._cache.move_to_end(edited_signature)
+            return self._rebind(entry.result, edited)
+        SOLVER.cache_misses += 1
+
+        base_signature = topology_signature(
+            base, base_rate, partition_heuristic, max_iterations,
+            availability, gain_factor, input_factor,
+        )
+        base_entry = self._cache.get(base_signature)
+        if base_entry is None:
+            entry = self._full_solve(
+                edited, edited_rate, partition_heuristic, max_iterations,
+                availability, gain_factor, input_factor,
+            )
+            self._remember(edited_signature, entry)
+            return entry.result
+
+        SOLVER.incremental_solves += 1
+        dirty = _dirty_cone(base, edited)
+        order = edited.topological_order()
+        iterations = max_iterations
+        if iterations is None:
+            iterations = len(order) + 1
+
+        # Clean vertices have unchanged specs and identical derating
+        # parameters (both are part of the base signature), so their
+        # capacities can be copied without re-running partition_shares.
+        capacities: Dict[str, Tuple[float, float]] = {}
+        base_capacities = base_entry.capacities
+        for name in order:
+            if name in dirty:
+                capacities[name] = _derated_capacity(
+                    edited, name, partition_heuristic, availability
+                )
+            else:
+                capacities[name] = base_capacities[name]
+
+        memo = base_entry.passes
+        passes: Dict[float, Dict[str, OperatorRates]] = {}
+        corrections: List[Correction] = []
+        current_rate = edited_rate
+        for _ in range(iterations):
+            reuse = memo.get(current_rate)
+            rates = _single_pass(
+                edited, order, capacities, current_rate,
+                gain_factor=gain_factor, input_factor=input_factor,
+                reuse=reuse, dirty=dirty if reuse is not None else None,
+            )
+            passes[current_rate] = rates
+            bottleneck = _first_bottleneck(order, rates)
+            if bottleneck is None:
+                result = SteadyStateResult(
+                    topology=edited,
+                    rates=rates,
+                    corrections=tuple(corrections),
+                    source_rate=current_rate,
+                )
+                entry = _CacheEntry(result, capacities, passes)
+                self._remember(edited_signature, entry)
+                return result
+            rho = rates[bottleneck].utilization
+            corrected = current_rate / rho
+            corrections.append(
+                Correction(
+                    bottleneck=bottleneck,
+                    utilization=rho,
+                    source_rate_before=current_rate,
+                    source_rate_after=corrected,
+                )
+            )
+            current_rate = corrected
+        raise TopologyError(
+            f"steady-state analysis did not converge after {iterations} "
+            "corrections; the topology violates the model assumptions"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _full_solve(
+        self,
+        topology: Topology,
+        source_rate: float,
+        partition_heuristic: str,
+        max_iterations: Optional[int],
+        availability: Optional[Mapping[str, float]],
+        gain_factor: Optional[Mapping[str, float]],
+        input_factor: Optional[Mapping[str, float]],
+    ) -> _CacheEntry:
+        """Replica of :func:`analyze`'s fixed point, recording each pass."""
+        SOLVER.full_solves += 1
+        if source_rate <= 0.0:
+            raise TopologyError(
+                f"source rate must be positive, got {source_rate}"
+            )
+        order = topology.topological_order()
+        if max_iterations is None:
+            max_iterations = len(order) + 1
+        capacities = {
+            name: _derated_capacity(
+                topology, name, partition_heuristic, availability
+            )
+            for name in order
+        }
+        passes: Dict[float, Dict[str, OperatorRates]] = {}
+        corrections: List[Correction] = []
+        current_rate = source_rate
+        for _ in range(max_iterations):
+            rates = _single_pass(
+                topology, order, capacities, current_rate,
+                gain_factor=gain_factor, input_factor=input_factor,
+            )
+            passes[current_rate] = rates
+            bottleneck = _first_bottleneck(order, rates)
+            if bottleneck is None:
+                result = SteadyStateResult(
+                    topology=topology,
+                    rates=rates,
+                    corrections=tuple(corrections),
+                    source_rate=current_rate,
+                )
+                return _CacheEntry(result, capacities, passes)
+            rho = rates[bottleneck].utilization
+            corrected = current_rate / rho
+            corrections.append(
+                Correction(
+                    bottleneck=bottleneck,
+                    utilization=rho,
+                    source_rate_before=current_rate,
+                    source_rate_after=corrected,
+                )
+            )
+            current_rate = corrected
+        raise TopologyError(
+            f"steady-state analysis did not converge after {max_iterations} "
+            "corrections; the topology violates the model assumptions"
+        )
+
+    def _remember(self, signature: tuple, entry: _CacheEntry) -> None:
+        self._cache[signature] = entry
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+
+    @staticmethod
+    def _rebind(result: SteadyStateResult,
+                topology: Topology) -> SteadyStateResult:
+        if result.topology is topology:
+            return result
+        return replace(result, topology=topology)
+
+
+def _derated_capacity(
+    topology: Topology,
+    name: str,
+    partition_heuristic: str,
+    availability: Optional[Mapping[str, float]],
+) -> Tuple[float, float]:
+    """Capacity with the availability derating ``analyze()`` applies."""
+    capacity, p_max = operator_capacity(topology, name, partition_heuristic)
+    if availability is not None:
+        derate = availability.get(name, 1.0)
+        if not 0.0 < derate <= 1.0:
+            raise TopologyError(
+                f"availability of {name!r} must be in (0, 1], got {derate}"
+            )
+        capacity *= derate
+    return capacity, p_max
+
+
+#: Process-wide default solver: every module of the optimizer pipeline
+#: shares it so candidate evaluation, auto-fusion rounds and the
+#: conformance harness all hit one memo (worker processes of a parallel
+#: sweep each get their own copy via fork/spawn).
+DEFAULT_SOLVER = SteadyStateSolver()
+
+
+def analyze_cached(topology: Topology, **kwargs) -> SteadyStateResult:
+    """Memoized :func:`repro.core.steady_state.analyze` (default solver)."""
+    return DEFAULT_SOLVER.analyze(topology, **kwargs)
+
+
+def analyze_edit(base: Topology, edited: Topology,
+                 **kwargs) -> SteadyStateResult:
+    """Incremental analysis of an edited topology (default solver)."""
+    return DEFAULT_SOLVER.analyze_edit(base, edited, **kwargs)
+
+
+def clear_cache() -> None:
+    """Drop every memoized solve of the default solver."""
+    DEFAULT_SOLVER.clear()

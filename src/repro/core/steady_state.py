@@ -25,10 +25,11 @@ fraction ``p_max`` of the input items.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import AbstractSet, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.graph import StateKind, Topology, TopologyError
 from repro.core.partitioning import partition_shares
+from repro.instrumentation import SOLVER
 
 #: Utilization factors above ``1 + RHO_TOLERANCE`` flag a bottleneck;
 #: the slack absorbs floating-point noise from repeated corrections.
@@ -213,6 +214,7 @@ def analyze(
         Per-operator arrival/departure rates and utilizations, plus the
         sequence of backpressure corrections applied.
     """
+    SOLVER.full_solves += 1
     order = topology.topological_order()
     source = topology.source
     source_spec = topology.operator(source)
@@ -277,16 +279,33 @@ def _single_pass(
     source_rate: float,
     gain_factor: Optional[Mapping[str, float]] = None,
     input_factor: Optional[Mapping[str, float]] = None,
+    reuse: Optional[Mapping[str, OperatorRates]] = None,
+    dirty: Optional[AbstractSet[str]] = None,
 ) -> Dict[str, OperatorRates]:
     """One topological sweep computing rates for a given source rate.
 
     Departure rates are computed as if no *new* bottleneck existed; the
     caller checks utilizations and restarts with a throttled source when
     one is found (Theorem 3.2).
+
+    When ``reuse`` is given (a converged pass of a *base* topology at
+    the same source rate) vertices outside ``dirty`` copy the base
+    rates instead of recomputing them — the incremental fast path of
+    :mod:`repro.core.solver`, which guarantees the copied values are
+    bit-identical (clean vertices have unchanged specs, input edges and
+    ancestors).
     """
+    SOLVER.passes += 1
+    computed = 0
+    reused = 0
     rates: Dict[str, OperatorRates] = {}
     source = topology.source
     for name in order:
+        if reuse is not None and name not in dirty:
+            rates[name] = reuse[name]
+            reused += 1
+            continue
+        computed += 1
         spec = topology.operator(name)
         capacity, p_max = capacities[name]
         if name == source:
@@ -316,6 +335,8 @@ def _single_pass(
             replicas=spec.replication,
             p_max=p_max,
         )
+    SOLVER.vertices_computed += computed
+    SOLVER.vertices_reused += reused
     return rates
 
 

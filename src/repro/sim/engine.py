@@ -22,6 +22,7 @@ that flow conservation is distribution-agnostic).
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
@@ -40,7 +41,8 @@ from repro.runtime.supervision import (
     WatchdogReport,
     find_blocked_cycle,
 )
-from repro.sim.distributions import Distribution
+from repro.instrumentation import ENGINE as ENGINE_COUNTERS
+from repro.sim.distributions import Deterministic, Distribution
 
 _IDLE = 0
 _BUSY = 1
@@ -85,7 +87,8 @@ class Station:
     __slots__ = (
         "name", "vertex", "dist", "gain", "capacity", "servers",
         "idle_servers", "queue", "waiters", "is_source",
-        "routes", "route_probs", "route_deficit", "credits",
+        "det_service", "route_targets", "simple",
+        "routes", "route_probs", "route_cum", "route_deficit", "credits",
         "arrivals", "consumed", "emitted", "dropped",
         "busy_time", "blocked_time",
         "edge_counts", "wait_sum", "wait_count",
@@ -111,6 +114,11 @@ class Station:
         self.name = name
         self.vertex = vertex
         self.dist = dist
+        #: Constant service time for zero-variance distributions; the
+        #: fast path skips the sampling call (which consumes no RNG
+        #: state for a Deterministic distribution, so skipping is exact).
+        self.det_service: Optional[float] = (
+            dist.mean if type(dist) is Deterministic else None)
         self.gain = gain
         self.capacity = capacity
         self.servers = [Server(self, i) for i in range(n_servers)]
@@ -121,6 +129,18 @@ class Station:
         # Routing targets: parallel lists of resolvers and probabilities.
         self.routes: List[Callable[[random.Random], "Station"]] = []
         self.route_probs: List[float] = []
+        #: Running sums of ``route_probs`` (same float partial sums the
+        #: linear scan would produce), so stochastic route choice is a
+        #: C-level bisect instead of a Python loop.
+        self.route_cum: List[float] = []
+        #: Statically known destination per route (``None`` when the
+        #: resolver picks among replica sub-stations at run time).
+        self.route_targets: List[Optional["Station"]] = []
+        #: Unit gain + exactly one statically routed edge: every
+        #: completion emits exactly one item to a known destination, so
+        #: the fast loop skips credit accounting and route choice.
+        #: Computed by the engine once the routes are wired.
+        self.simple = False
         self.route_deficit: List[float] = []
         self.credits = 0.0
         self.arrivals = 0
@@ -161,6 +181,9 @@ class Station:
                   probability: float) -> None:
         self.routes.append(resolver)
         self.route_probs.append(probability)
+        self.route_cum.append((self.route_cum[-1] if self.route_cum
+                               else 0.0) + probability)
+        self.route_targets.append(getattr(resolver, "static_target", None))
         self.route_deficit.append(0.0)
         self.edge_counts.append(0)
 
@@ -203,6 +226,12 @@ class Engine:
         ``"proportional"`` uses deterministic weighted round-robin
         (largest-deficit-first), which converges to the edge
         probabilities with zero variance.
+    fast_path:
+        Process common events (plain service completions of healthy
+        stations) through an inlined event loop instead of the general
+        completion handler.  Behaviour is bit-identical either way —
+        the flag exists so the equivalence is testable and the general
+        handler stays the executable specification.
     """
 
     def __init__(
@@ -214,6 +243,7 @@ class Engine:
         faults: Optional[FaultInjector] = None,
         supervisor: Optional[SupervisorStrategy] = None,
         on_deadlock: str = "raise",
+        fast_path: bool = True,
     ) -> None:
         if routing not in ("stochastic", "proportional"):
             raise SimulationError(f"unknown routing mode {routing!r}")
@@ -243,6 +273,9 @@ class Engine:
         for station in self.stations:
             station.policy = self.supervisor.policy_for(station.vertex)
             station.tracker = RestartTracker(station.policy)
+            station.simple = (station.gain == 1.0
+                              and len(station.routes) == 1
+                              and station.route_targets[0] is not None)
             if faults is not None:
                 schedule = faults.schedule(station.vertex)
                 if not schedule.empty:
@@ -251,6 +284,9 @@ class Engine:
         self._events: List[Tuple[float, int, Server]] = []
         self._seq = 0
         self._source_items: Optional[int] = None
+        self.fast_path = fast_path
+        #: Discrete events processed across all ``run`` calls.
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # event machinery
@@ -310,22 +346,14 @@ class Engine:
         if snapped:
             snapshots = self._snapshot()
 
-        processed = 0
-        while self._events:
-            time, _, server = self._events[0]
-            if time > until:
-                break
-            if not snapped and time >= warmup:
-                self.now = warmup
-                snapshots = self._snapshot()
-                snapped = True
-            heappop(self._events)
-            self.now = time
-            self._on_completion(server)
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
+        ENGINE_COUNTERS.runs += 1
+        if self.fast_path:
+            loop = self._fast_loop
         else:
+            loop = self._reference_loop
+        snapshots, snapped, drained = loop(until, warmup, max_events,
+                                           snapshots, snapped)
+        if drained:
             # The event heap drained before the horizon.  With a source
             # present this only happens when every server is blocked on
             # a full queue — a Blocking-After-Service deadlock, which
@@ -371,6 +399,288 @@ class Engine:
         self.now = until
         return self._measure(snapshots, warmup, until)
 
+    def _reference_loop(
+        self,
+        until: float,
+        warmup: float,
+        max_events: Optional[int],
+        snapshots: Dict[str, StationCounters],
+        snapped: bool,
+    ) -> Tuple[Dict[str, StationCounters], bool, bool]:
+        """The general event loop: one completion handler per event.
+
+        This is the executable specification the fast loop is tested
+        against (``Engine(..., fast_path=False)``); both produce
+        bit-identical measurements, supervision logs and RNG streams.
+        Returns ``(snapshots, snapped, drained)`` where ``drained``
+        means the heap emptied before the horizon.
+        """
+        processed = 0
+        drained = True
+        while self._events:
+            time, _, server = self._events[0]
+            if time > until:
+                drained = False
+                break
+            if not snapped and time >= warmup:
+                self.now = warmup
+                snapshots = self._snapshot()
+                snapped = True
+            heappop(self._events)
+            self.now = time
+            self._on_completion(server)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                drained = False
+                break
+        ENGINE_COUNTERS.events += processed
+        ENGINE_COUNTERS.slow_events += processed
+        self.events_processed += processed
+        return snapshots, snapped, drained
+
+    def _fast_loop(
+        self,
+        until: float,
+        warmup: float,
+        max_events: Optional[int],
+        snapshots: Dict[str, StationCounters],
+        snapped: bool,
+    ) -> Tuple[Dict[str, StationCounters], bool, bool]:
+        """Inlined event loop for the dominant event shape.
+
+        A "common" event is a plain service completion of a healthy
+        station (no restart in flight, no injected failure, not
+        stopped) that emits at most one output along a statically known
+        or sampled route to a healthy destination.  Everything else —
+        fault actions, restarts, stopped stations, fault-window
+        deliveries, multi-output emissions — falls back to the general
+        handlers, so the two loops stay behaviourally identical (there
+        is a conformance test asserting bit-equality).
+
+        The inlining removes five Python function calls plus their
+        argument shuffling per event, which is the bulk of the engine's
+        per-event cost (the actual state updates are a handful of list
+        and float operations).
+        """
+        # Hot-loop locals: the engine state the fast branches touch is
+        # mirrored into locals (``seq``, ``time``) and written back to
+        # the instance around every fallback call and at loop exit, so
+        # the general handlers always see current state.
+        events = self._events
+        rng = self.rng
+        rng_random = rng.random
+        push = heappush
+        pop = heappop
+        bisect = bisect_right
+        stochastic = self.routing == "stochastic"
+        backpressure = self.backpressure
+        limit = max_events if max_events is not None else (1 << 62)
+        seq = self._seq
+        time = self.now
+        processed = 0
+        slow = 0
+        drained = True
+        while events:
+            entry = pop(events)
+            time = entry[0]
+            if time > until:
+                push(events, entry)
+                drained = False
+                break
+            if not snapped and time >= warmup:
+                self.now = warmup
+                snapshots = self._snapshot()
+                snapped = True
+            server = entry[2]
+            station = server.station
+            processed += 1
+            # Restarts, injected failures and stopped stations can only
+            # exist on stations with a fault schedule, so fault-free
+            # runs pay a single is-None test here.
+            if station.schedule is not None and (
+                    server.restarting or server.fail_action is not None
+                    or station.stopped):
+                slow += 1
+                self._seq = seq
+                self.now = time
+                self._on_completion(server)
+                seq = self._seq
+                if processed >= limit:
+                    drained = False
+                    break
+                continue
+            station.consumed += 1
+            if station.simple:
+                # Pipeline common case — unit gain, one static edge:
+                # no credit accounting, no route choice.
+                if station.is_source:
+                    server.item_birth = time
+                station.emitted += 1
+                station.edge_counts[0] += 1
+                target = station.route_targets[0]
+            else:
+                routes = station.routes
+                if station.is_source:
+                    server.item_birth = time
+                elif not routes:
+                    # Sink: the item's journey ends here.
+                    latency = time - server.item_birth
+                    station.latency_sum += latency
+                    station.latency_count += 1
+                    if latency > station.latency_max:
+                        station.latency_max = latency
+                # --- inline _route: credits + route choice ---
+                credits = station.credits + station.gain
+                count = int(credits + 1e-9)
+                station.credits = credits - count
+                station.emitted += count
+                target = None
+                if count == 1 and routes:
+                    n_routes = len(routes)
+                    if n_routes == 1:
+                        index = 0
+                    elif stochastic:
+                        index = bisect(station.route_cum, rng_random())
+                        if index >= n_routes:
+                            index = n_routes - 1
+                    else:
+                        deficit = station.route_deficit
+                        for i, prob in enumerate(station.route_probs):
+                            deficit[i] += prob
+                        index = max(range(n_routes), key=deficit.__getitem__)
+                        deficit[index] -= 1.0
+                    station.edge_counts[index] += 1
+                    target = station.route_targets[index]
+                    if target is None:
+                        target = routes[index](rng)
+                elif count > 0 and routes:
+                    # Multi-output emission (gain > 1): push via the
+                    # general pending-list machinery.
+                    if len(routes) == 1:
+                        station.edge_counts[0] += count
+                        resolved = station.route_targets[0]
+                        outputs = ([resolved] * count
+                                   if resolved is not None
+                                   else [routes[0](rng)
+                                         for _ in range(count)])
+                    else:
+                        outputs = []
+                        for _ in range(count):
+                            index = self._pick_route(station)
+                            station.edge_counts[index] += 1
+                            resolved = station.route_targets[index]
+                            outputs.append(resolved if resolved is not None
+                                           else routes[index](rng))
+                    server.pending = outputs
+                    server.pending_pos = 0
+                    self._seq = seq
+                    self.now = time
+                    self._continue_push(server)
+                    seq = self._seq
+                    if processed >= limit:
+                        drained = False
+                        break
+                    continue
+            if target is not None:
+                # --- inline single-item delivery ---
+                # (a stopped target always has a schedule, see above)
+                if target.schedule is not None:
+                    server.pending = [target]
+                    server.pending_pos = 0
+                    self._seq = seq
+                    self.now = time
+                    self._continue_push(server)
+                    seq = self._seq
+                    if processed >= limit:
+                        drained = False
+                        break
+                    continue
+                if len(target.queue) < target.capacity \
+                        and not target.waiters:
+                    target.arrivals += 1
+                    if target.idle_servers:
+                        # The item is served immediately: enqueue plus
+                        # dequeue at the same instant (zero wait).
+                        target.wait_count += 1
+                        peer = target.idle_servers.pop()
+                        peer.state = _BUSY
+                        peer.item_birth = server.item_birth
+                        duration = target.det_service
+                        if duration is None:
+                            duration = target.dist.sample(rng)
+                        target.busy_time += duration
+                        seq += 1
+                        push(events, (time + duration, seq, peer))
+                    else:
+                        target.queue.append((server.item_birth, time))
+                elif not backpressure:
+                    target.dropped += 1
+                else:
+                    server.state = _BLOCKED
+                    server.blocked_since = time
+                    server.pending = [target]
+                    server.pending_pos = 0
+                    target.waiters.append(server)
+                    if processed >= limit:
+                        drained = False
+                        break
+                    continue
+            # --- the sender goes idle and picks up further work ---
+            server.state = _IDLE
+            station.idle_servers.append(server)
+            if station.is_source:
+                idle = station.idle_servers
+                if station.schedule is None:
+                    while idle:
+                        peer = idle.pop()
+                        peer.state = _BUSY
+                        duration = station.det_service
+                        if duration is None:
+                            duration = station.dist.sample(rng)
+                        station.busy_time += duration
+                        seq += 1
+                        push(events, (time + duration, seq, peer))
+                else:
+                    self._seq = seq
+                    self.now = time
+                    while idle:
+                        peer = idle.pop()
+                        peer.state = _BUSY
+                        self._schedule_completion(peer)
+                    seq = self._seq
+            elif station.queue:
+                if station.schedule is None and not station.waiters:
+                    idle = station.idle_servers
+                    queue = station.queue
+                    while queue and idle:
+                        birth, enqueued_at = queue.popleft()
+                        station.wait_sum += time - enqueued_at
+                        station.wait_count += 1
+                        peer = idle.pop()
+                        peer.state = _BUSY
+                        peer.item_birth = birth
+                        duration = station.det_service
+                        if duration is None:
+                            duration = station.dist.sample(rng)
+                        station.busy_time += duration
+                        seq += 1
+                        push(events, (time + duration, seq, peer))
+                else:
+                    self._seq = seq
+                    self.now = time
+                    self._start_services(station)
+                    seq = self._seq
+            if processed >= limit:
+                drained = False
+                break
+        self._seq = seq
+        self.now = time
+        ENGINE_COUNTERS.events += processed
+        ENGINE_COUNTERS.fast_events += processed - slow
+        ENGINE_COUNTERS.slow_events += slow
+        self.events_processed += processed
+        return snapshots, snapped, drained
+
     def _snapshot(self) -> Dict[str, StationCounters]:
         return {
             s.name: StationCounters(
@@ -398,34 +708,84 @@ class Engine:
         """A source serves a fictitious infinite input stream."""
         if station.stopped:
             return
-        while station.idle_servers:
-            server = station.idle_servers.pop()
-            server.state = _BUSY
-            self._schedule_completion(server)
+        idle = station.idle_servers
+        if station.schedule is None:
+            now = self.now
+            events = self._events
+            while idle:
+                server = idle.pop()
+                server.state = _BUSY
+                duration = station.det_service
+                if duration is None:
+                    duration = station.dist.sample(self.rng)
+                station.busy_time += duration
+                self._seq += 1
+                heappush(events, (now + duration, self._seq, server))
+        else:
+            while idle:
+                server = idle.pop()
+                server.state = _BUSY
+                self._schedule_completion(server)
 
     def _start_services(self, station: Station) -> None:
         """Assign queued items to idle servers, waking blocked senders."""
         if station.stopped:
             return
-        while station.queue and station.idle_servers:
-            birth, enqueued_at = station.queue.popleft()
+        queue = station.queue
+        idle = station.idle_servers
+        schedule = station.schedule
+        while queue and idle:
+            birth, enqueued_at = queue.popleft()
             station.wait_sum += self.now - enqueued_at
             station.wait_count += 1
-            self._backfill(station)
-            server = station.idle_servers.pop()
+            if station.waiters:
+                # Inline _backfill + the waiter's idle transition for
+                # the common single-pending waiter (a blocked sender
+                # holding exactly the one item it could not deliver).
+                waiter = station.waiters.popleft()
+                queue.append((waiter.item_birth, self.now))
+                station.arrivals += 1
+                waiter.pending_pos += 1
+                wstation = waiter.station
+                wstation.blocked_time += self.now - waiter.blocked_since
+                if waiter.pending_pos >= len(waiter.pending):
+                    waiter.pending = []
+                    waiter.pending_pos = 0
+                    waiter.state = _IDLE
+                    wstation.idle_servers.append(waiter)
+                    if not wstation.is_source:
+                        if wstation.queue:
+                            self._start_services(wstation)
+                    elif wstation.schedule is None \
+                            and not wstation.stopped:
+                        widle = wstation.idle_servers
+                        while widle:
+                            peer = widle.pop()
+                            peer.state = _BUSY
+                            duration = wstation.det_service
+                            if duration is None:
+                                duration = wstation.dist.sample(self.rng)
+                            wstation.busy_time += duration
+                            self._seq += 1
+                            heappush(self._events,
+                                     (self.now + duration, self._seq, peer))
+                    else:
+                        self._start_source(wstation)
+                else:
+                    self._continue_push(waiter)
+            server = idle.pop()
             server.state = _BUSY
             server.item_birth = birth
-            self._schedule_completion(server)
-
-    def _backfill(self, station: Station) -> None:
-        """Hand the freed queue slot to the longest-blocked sender."""
-        if station.waiters:
-            waiter = station.waiters.popleft()
-            station.queue.append((waiter.item_birth, self.now))
-            station.arrivals += 1
-            waiter.pending_pos += 1
-            waiter.station.blocked_time += self.now - waiter.blocked_since
-            self._continue_push(waiter)
+            if schedule is None:
+                duration = station.det_service
+                if duration is None:
+                    duration = station.dist.sample(self.rng)
+                station.busy_time += duration
+                self._seq += 1
+                heappush(self._events,
+                         (self.now + duration, self._seq, server))
+            else:
+                self._schedule_completion(server)
 
     def _on_completion(self, server: Server) -> None:
         station = server.station
@@ -560,11 +920,12 @@ class Engine:
                     target.shed += 1
                     server.pending_pos += 1
                     continue
-            if target.free_slots > 0 and not target.waiters:
+            if len(target.queue) < target.capacity and not target.waiters:
                 target.queue.append((server.item_birth, self.now))
                 target.arrivals += 1
                 server.pending_pos += 1
-                self._start_services(target)
+                if target.idle_servers:
+                    self._start_services(target)
             elif not self.backpressure:
                 # Load shedding: the full destination discards the item
                 # and the sender carries on immediately.
@@ -610,13 +971,8 @@ class Engine:
         if len(station.routes) == 1:
             return 0
         if self.routing == "stochastic":
-            draw = self.rng.random()
-            cumulative = 0.0
-            for index, prob in enumerate(station.route_probs):
-                cumulative += prob
-                if draw < cumulative:
-                    return index
-            return len(station.route_probs) - 1
+            index = bisect_right(station.route_cum, self.rng.random())
+            return min(index, len(station.route_probs) - 1)
         # Proportional: weighted round-robin by largest deficit.
         for index, prob in enumerate(station.route_probs):
             station.route_deficit[index] += prob

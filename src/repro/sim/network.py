@@ -259,7 +259,15 @@ def _make_resolver(members: List[Tuple[Station, float]], routing: str):
     """
     if len(members) == 1:
         only = members[0][0]
-        return lambda rng: only
+
+        def resolve_static(rng: random.Random) -> Station:
+            return only
+
+        # Marks the edge as statically routed: the engine's fast path
+        # skips the call entirely (the resolver consumes no RNG state,
+        # so skipping it is exact).
+        resolve_static.static_target = only
+        return resolve_static
 
     stations = [station for station, _ in members]
     shares = [share for _, share in members]

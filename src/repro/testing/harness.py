@@ -38,7 +38,9 @@ from typing import Callable, List, Mapping, Optional, Tuple
 from repro.core.autofusion import auto_fuse
 from repro.core.fission import eliminate_bottlenecks
 from repro.core.graph import Topology
-from repro.core.steady_state import SteadyStateResult, analyze
+from repro.core.solver import analyze_cached
+from repro.core.steady_state import SteadyStateResult
+from repro import instrumentation
 from repro.faults.plan import ChaosProfile, FaultPlanConfig, chaos_profile
 from repro.sim.network import SimulationConfig, build_engine
 from repro.testing.oracle import (
@@ -172,7 +174,7 @@ def simulate_for_conformance(
 def check_seed(
     seed: int,
     config: Optional[ConformanceConfig] = None,
-    analyze_fn: AnalyzeFn = analyze,
+    analyze_fn: AnalyzeFn = analyze_cached,
     topology: Optional[Topology] = None,
 ) -> ConformanceReport:
     """Model vs. simulator on the topology of one seed.
@@ -209,7 +211,8 @@ def check_optimizer_seed(
     fission = eliminate_bottlenecks(topology)
     fused = auto_fuse(fission.optimized)
     optimized = fused.fused
-    predicted = analyze(optimized)
+    # Memo hit: auto_fuse just analyzed this exact topology.
+    predicted = analyze_cached(optimized)
     measured, window = simulate_for_conformance(optimized, predicted,
                                                 config, seed)
     oracle = Oracle(config.resolved_tolerances().loosened(
@@ -349,7 +352,7 @@ def check_runtime_seed(
     config = config or ConformanceConfig()
     topology = topology_for_seed(seed, config,
                                  generator=config.runtime_generator_config())
-    predicted = analyze(topology)
+    predicted = analyze_cached(topology)
 
     overshoot = sleep_overshoot()
     factories = {}
@@ -420,7 +423,7 @@ def check_chaos_runtime_seed(
     config = config or ConformanceConfig()
     topology = topology_for_seed(seed, config,
                                  generator=config.runtime_generator_config())
-    base = analyze(topology)
+    base = analyze_cached(topology)
     items = max(int(base.throughput * config.runtime_duration), 50)
     profile = chaos_profile(topology, seed, config.chaos_faults, items=items)
 
@@ -502,12 +505,39 @@ class SweepOutcome:
         return "\n".join(lines)
 
 
+def _sweep_task(task: Tuple[str, int, ConformanceConfig]):
+    """One virtual-time check, runnable in a worker process.
+
+    Every check derives all randomness from its seed (topology
+    generator, DES RNG, fault plans), so where it runs cannot change the
+    result — parallel sweeps are bit-identical to serial ones.  The
+    worker's counter deltas ride back with the report so the parent can
+    aggregate process-wide stats.
+    """
+    kind, seed, config = task
+    before = instrumentation.snapshot()
+    if kind == "sim":
+        report = check_seed(seed, config)
+    elif kind == "optimizer":
+        report = check_optimizer_seed(seed, config)
+    elif kind == "chaos":
+        report = check_chaos_seed(seed, config)
+    else:  # pragma: no cover - guarded by run_sweep
+        raise ValueError(f"unknown sweep task kind {kind!r}")
+    return (
+        report,
+        instrumentation.SOLVER.since(before.solver),
+        instrumentation.ENGINE.since(before.engine),
+    )
+
+
 def run_sweep(
     seeds: int,
     config: Optional[ConformanceConfig] = None,
     runtime_seeds: int = 0,
-    analyze_fn: AnalyzeFn = analyze,
+    analyze_fn: AnalyzeFn = analyze_cached,
     chaos_seeds: int = 0,
+    workers: Optional[int] = None,
 ) -> SweepOutcome:
     """Sweep ``seeds`` consecutive seeds from ``config.base_seed``.
 
@@ -515,18 +545,59 @@ def run_sweep(
     optimizer check; the first ``runtime_seeds`` seeds additionally run
     the wall-clock actor runtime, and the first ``chaos_seeds`` seeds
     run the degraded-mode (fault-injected) simulator check.
+
+    ``workers`` > 1 fans the virtual-time checks (sim, optimizer,
+    chaos) over a :mod:`multiprocessing` pool.  Seeds are isolated —
+    every RNG is derived from the seed inside the check — so the
+    outcome is bit-identical to the serial sweep in serial order.  The
+    wall-clock runtime checks stay in this process: forking competes
+    with their sleep-calibrated timing, and their thread-per-actor
+    design does not benefit from extra processes.  A custom
+    ``analyze_fn`` (the harness self-test hook) forces the serial path,
+    since arbitrary callables do not cross process boundaries.
     """
     config = config or ConformanceConfig()
-    reports: List[ConformanceReport] = []
-    for index in range(seeds):
-        seed = config.base_seed + index
-        reports.append(check_seed(seed, config, analyze_fn=analyze_fn))
-        if config.optimizer:
-            reports.append(check_optimizer_seed(seed, config))
+    parallel = (
+        workers is not None and workers > 1
+        and analyze_fn is analyze_cached
+        and (seeds > 0 or chaos_seeds > 0)
+    )
+    if parallel:
+        tasks: List[Tuple[str, int, ConformanceConfig]] = []
+        for index in range(seeds):
+            seed = config.base_seed + index
+            tasks.append(("sim", seed, config))
+            if config.optimizer:
+                tasks.append(("optimizer", seed, config))
+        chaos_tasks = [
+            ("chaos", config.base_seed + index, config)
+            for index in range(chaos_seeds)
+        ]
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=workers) as pool:
+            outcomes = pool.map(_sweep_task, tasks + chaos_tasks)
+        reports = []
+        for report, solver_delta, engine_delta in outcomes:
+            reports.append(report)
+            instrumentation.SOLVER.add(solver_delta)
+            instrumentation.ENGINE.add(engine_delta)
+        # Serial order: per-seed checks, then runtime, then chaos.
+        chaos_reports = reports[len(tasks):]
+        reports = reports[:len(tasks)]
+    else:
+        reports = []
+        for index in range(seeds):
+            seed = config.base_seed + index
+            reports.append(check_seed(seed, config, analyze_fn=analyze_fn))
+            if config.optimizer:
+                reports.append(check_optimizer_seed(seed, config))
+        chaos_reports = [
+            check_chaos_seed(config.base_seed + index, config)
+            for index in range(chaos_seeds)
+        ]
     for index in range(runtime_seeds):
         seed = config.base_seed + index
         reports.append(check_runtime_seed(seed, config))
-    for index in range(chaos_seeds):
-        seed = config.base_seed + index
-        reports.append(check_chaos_seed(seed, config))
+    reports.extend(chaos_reports)
     return SweepOutcome(reports=tuple(reports))

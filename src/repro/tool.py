@@ -25,7 +25,8 @@ from repro.core.graph import Topology, TopologyError
 from repro.core.latency import LatencyEstimate, estimate_latency
 from repro.core.memory import MemoryEstimate, estimate_memory
 from repro.core.report import analysis_report
-from repro.core.steady_state import SteadyStateResult, analyze
+from repro.core.solver import analyze_cached
+from repro.core.steady_state import SteadyStateResult
 from repro.sim.network import SimulationConfig, SimulationResult, simulate
 from repro.topology.dot import topology_to_dot
 from repro.topology.xmlio import parse_topology, topology_to_xml
@@ -106,8 +107,8 @@ class SpinStreams:
     # ------------------------------------------------------------------
     def analyze(self, name: Optional[str] = None,
                 source_rate: Optional[float] = None) -> SteadyStateResult:
-        """Steady-state analysis (Algorithm 1) of a version."""
-        return analyze(self.topology(name), source_rate=source_rate)
+        """Steady-state analysis (Algorithm 1) of a version (memoized)."""
+        return analyze_cached(self.topology(name), source_rate=source_rate)
 
     def report(self, name: Optional[str] = None,
                source_rate: Optional[float] = None) -> str:
@@ -117,7 +118,7 @@ class SpinStreams:
     def render(self, name: Optional[str] = None) -> str:
         """DOT rendering of a version annotated with utilizations."""
         topology = self.topology(name)
-        return topology_to_dot(topology, analyze(topology))
+        return topology_to_dot(topology, analyze_cached(topology))
 
     def simulate(self, name: Optional[str] = None,
                  config: Optional[SimulationConfig] = None,

@@ -88,6 +88,44 @@ class TestDagSweep:
             ConformanceConfig(profile="torus").generator_config()
 
 
+class TestParallelSweep:
+    """``run_sweep(workers=N)`` must be bit-identical to the serial path.
+
+    Every check derives all randomness from its seed, so process
+    placement cannot influence results; the reports are frozen
+    dataclasses compared with exact ``==`` (floats included).
+    """
+
+    CONFIG = ConformanceConfig(items=8_000)
+
+    def test_parallel_reports_equal_serial(self):
+        serial = run_sweep(3, self.CONFIG)
+        parallel = run_sweep(3, self.CONFIG, workers=2)
+        assert parallel.reports == serial.reports
+
+    def test_parallel_with_chaos_preserves_report_order(self):
+        serial = run_sweep(2, self.CONFIG, chaos_seeds=2)
+        parallel = run_sweep(2, self.CONFIG, chaos_seeds=2, workers=2)
+        assert parallel.reports == serial.reports
+        backends = [report.backend for report in parallel.reports]
+        assert backends == [report.backend for report in serial.reports]
+
+    def test_parallel_aggregates_worker_counters(self):
+        from repro import instrumentation
+
+        before = instrumentation.snapshot()
+        run_sweep(2, self.CONFIG, workers=2)
+        delta = instrumentation.ENGINE.since(before.engine)
+        assert delta.events > 0
+        assert instrumentation.SOLVER.since(before.solver).solve_requests > 0
+
+    def test_custom_analyze_fn_falls_back_to_serial(self):
+        from repro.core.steady_state import analyze
+
+        outcome = run_sweep(2, self.CONFIG, workers=4, analyze_fn=analyze)
+        assert outcome.ok, outcome.summary()
+
+
 class TestOptimizerConformance:
     def test_optimized_topology_matches_simulator(self):
         report = check_optimizer_seed(100)

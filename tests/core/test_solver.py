@@ -1,0 +1,211 @@
+"""Memoized/incremental solver: bit-exactness and solve accounting.
+
+The whole point of :mod:`repro.core.solver` is that it is *not* an
+approximation: cached, incremental and fresh solves must produce
+identical floats.  The tests compare complete result payloads
+(``OperatorRates`` fields, corrections, source rates) with ``==`` — no
+tolerances anywhere.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.autofusion import auto_fuse
+from repro.core.candidates import enumerate_candidates
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.fusion import apply_fusion
+from repro.core.graph import Edge, OperatorSpec, Topology
+from repro.core.solver import (
+    SteadyStateSolver,
+    analyze_cached,
+    clear_cache,
+    topology_signature,
+)
+from repro.core.steady_state import analyze
+from repro.instrumentation import SOLVER
+from repro.topology.random_gen import RandomTopologyGenerator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _assert_identical(left, right):
+    """Exact equality of two steady-state results (all floats bitwise)."""
+    assert set(left.rates) == set(right.rates)
+    for name, rates in left.rates.items():
+        assert rates == right.rates[name], name
+    assert left.corrections == right.corrections
+    assert left.source_rate == right.source_rate
+
+
+def _random_topology(seed: int) -> Topology:
+    return RandomTopologyGenerator(seed=seed).generate(name=f"prop-{seed}")
+
+
+class TestCachedAnalyze:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_cached_equals_fresh(self, seed):
+        topology = _random_topology(seed)
+        solver = SteadyStateSolver()
+        _assert_identical(solver.analyze(topology), analyze(topology))
+
+    def test_second_call_is_a_hit_rebound_to_caller_topology(self):
+        topology = _random_topology(7)
+        clone = Topology(topology.operators, topology.edges,
+                         name=topology.name)
+        before = SOLVER.snapshot()
+        first = analyze_cached(topology)
+        second = analyze_cached(clone)
+        delta = SOLVER.since(before)
+        assert delta.full_solves == 1 and delta.cache_hits == 1
+        assert first.topology is topology
+        assert second.topology is clone
+        # The hit shares the converged rates verbatim.
+        assert second.rates is first.rates
+
+    def test_explicit_and_default_source_rate_share_an_entry(self):
+        topology = _random_topology(11)
+        rate = topology.operator(topology.source).service_rate
+        before = SOLVER.snapshot()
+        analyze_cached(topology)
+        analyze_cached(topology, source_rate=rate)
+        assert SOLVER.since(before).cache_hits == 1
+
+    def test_derating_parameters_key_the_cache(self):
+        topology = _random_topology(13)
+        availability = {name: 0.5 for name in topology.names}
+        solver = SteadyStateSolver()
+        derated = solver.analyze(topology, availability=availability)
+        plain = solver.analyze(topology)
+        _assert_identical(derated,
+                          analyze(topology, availability=availability))
+        assert derated.rates != plain.rates
+
+    def test_operator_args_do_not_fragment_the_cache(self):
+        spec = OperatorSpec("src", 1e-3, operator_args={"a": 1})
+        sink = OperatorSpec("snk", 1e-3)
+        one = Topology([spec, sink], [Edge("src", "snk")])
+        two = Topology([dataclasses.replace(spec, operator_args={"a": 2}),
+                        sink], [Edge("src", "snk")])
+        assert topology_signature(one) == topology_signature(two)
+
+    def test_lru_eviction_bounds_the_cache(self):
+        solver = SteadyStateSolver(max_entries=3)
+        for seed in range(6):
+            solver.analyze(_random_topology(seed))
+        assert len(solver) == 3
+
+
+class TestIncrementalAnalyze:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_fission_edit_equals_fresh(self, seed):
+        topology = _random_topology(seed)
+        solver = SteadyStateSolver()
+        solver.analyze(topology)
+        edited = eliminate_bottlenecks(topology).optimized
+        _assert_identical(solver.analyze_edit(topology, edited),
+                          analyze(edited))
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_fusion_edit_equals_fresh(self, seed):
+        topology = _random_topology(seed)
+        analysis = analyze_cached(topology)
+        candidates = enumerate_candidates(topology, analysis=analysis)
+        if not candidates:
+            return
+        fused = apply_fusion(topology, candidates[0].members,
+                             analysis=analysis).fused
+        from repro.core.solver import analyze_edit
+        _assert_identical(analyze_edit(topology, fused), analyze(fused))
+
+    def test_edit_without_cached_base_still_exact(self):
+        topology = _random_topology(23)
+        edited = eliminate_bottlenecks(topology).optimized
+        solver = SteadyStateSolver()
+        before = SOLVER.snapshot()
+        result = solver.analyze_edit(topology, edited)
+        delta = SOLVER.since(before)
+        # Fission itself ran incrementally through the default solver;
+        # this private solver has no base entry, so it full-solves.
+        assert delta.incremental_solves == 0
+        _assert_identical(result, analyze(edited))
+
+    def test_incremental_reuses_clean_vertices(self):
+        # A long chain with a slow head: replicating the head dirties
+        # only it; every downstream vertex rides the memoized pass.
+        operators = [OperatorSpec("src", 1e-3),
+                     OperatorSpec("slow", 4e-3)]
+        edges = [Edge("src", "slow")]
+        for index in range(8):
+            operators.append(OperatorSpec(f"op{index}", 0.5e-3))
+            edges.append(Edge("slow" if index == 0 else f"op{index - 1}",
+                              f"op{index}"))
+        topology = Topology(operators, edges, name="chain")
+        solver = SteadyStateSolver()
+        solver.analyze(topology)
+        edited = topology.with_replications({"slow": 4})
+        before = SOLVER.snapshot()
+        result = solver.analyze_edit(topology, edited)
+        delta = SOLVER.since(before)
+        assert delta.incremental_solves == 1
+        assert delta.vertices_reused > 0
+        _assert_identical(result, analyze(edited))
+
+
+class TestOptimizerSolveAccounting:
+    """Satellite: callers reuse provided analyses instead of re-solving."""
+
+    def test_enumerate_candidates_with_analysis_makes_no_solve_request(self):
+        topology = _random_topology(29)
+        analysis = analyze_cached(topology)
+        before = SOLVER.snapshot()
+        enumerate_candidates(topology, analysis=analysis)
+        assert SOLVER.since(before).solve_requests == 0
+
+    def test_apply_fusion_reuses_the_provided_before_analysis(self):
+        topology = _random_topology(29)
+        analysis = analyze_cached(topology)
+        candidates = enumerate_candidates(topology, analysis=analysis)
+        assert candidates, "seed 29 must yield at least one candidate"
+        before = SOLVER.snapshot()
+        result = apply_fusion(topology, candidates[0].members,
+                              analysis=analysis)
+        delta = SOLVER.since(before)
+        assert result.analysis_before is analysis
+        assert delta.full_solves == 0
+        assert delta.incremental_solves == 1  # the after-analysis only
+
+    def test_warm_auto_fuse_performs_no_full_solve(self):
+        topology = _random_topology(29)
+        analyze_cached(topology)
+        before = SOLVER.snapshot()
+        result = auto_fuse(topology)
+        delta = SOLVER.since(before)
+        assert delta.full_solves == 0
+        assert delta.solve_requests >= 2  # baseline + final at minimum
+        _assert_identical(result.analysis, analyze(result.fused))
+
+    def test_optimizer_pipeline_full_solve_reduction(self):
+        """The harness workflow does >=5x fewer full fixed points."""
+        topology = _random_topology(29)
+        before = SOLVER.snapshot()
+        analyze_cached(topology)
+        fission = eliminate_bottlenecks(topology)
+        fused = auto_fuse(fission.optimized)
+        analyze_cached(fused.fused)
+        delta = SOLVER.since(before)
+        assert delta.full_solves == 1
+        assert delta.solve_requests >= 5 * delta.full_solves

@@ -1,0 +1,83 @@
+"""Fast event loop vs the reference loop: bit-identical behaviour.
+
+``Engine(fast_path=True)`` inlines the dominant event shape; the
+general completion handler remains the executable specification.  The
+flag must never change behaviour, so these tests run the same network
+through both loops and compare the complete observable state with
+exact ``==`` — measurements (floats included), supervision signatures,
+dead letters and the final RNG state.
+"""
+
+import pytest
+
+from repro.faults import chaos_profile
+from repro.instrumentation import ENGINE
+from repro.sim.network import SimulationConfig, build_engine
+from repro.topology.random_gen import generate_testbed
+from tests.conftest import make_diamond, make_fig11
+
+
+def run_both(topology, config, source_rate=None):
+    outcomes = []
+    for fast in (True, False):
+        engine, rate = build_engine(topology, config,
+                                    source_rate=source_rate)
+        engine.fast_path = fast
+        horizon = config.items / rate
+        measurements = engine.run(until=horizon, warmup=horizon * 0.1)
+        outcomes.append((engine, measurements))
+    return outcomes
+
+
+def assert_equivalent(topology, config, source_rate=None):
+    (fast_engine, fast), (ref_engine, ref) = run_both(
+        topology, config, source_rate=source_rate)
+    assert fast == ref
+    assert fast_engine.events_processed == ref_engine.events_processed
+    assert fast_engine.rng.getstate() == ref_engine.rng.getstate()
+    assert fast_engine.supervision.signature() == \
+        ref_engine.supervision.signature()
+    assert fast_engine.dead_letters.counts() == \
+        ref_engine.dead_letters.counts()
+
+
+class TestFastPathEquivalence:
+    def test_fig11_stochastic_routing(self):
+        assert_equivalent(make_fig11(), SimulationConfig(items=20_000,
+                                                         seed=5))
+
+    def test_fig11_proportional_routing(self):
+        config = SimulationConfig(items=20_000, seed=5,
+                                  routing="proportional")
+        assert_equivalent(make_fig11(), config)
+
+    def test_diamond_with_selectivity(self):
+        assert_equivalent(make_diamond(), SimulationConfig(items=20_000,
+                                                           seed=7))
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_testbed_backpressured(self, seed):
+        topology = generate_testbed(4, seed=42)[seed]
+        assert_equivalent(topology, SimulationConfig(items=10_000, seed=9))
+
+    def test_load_shedding(self):
+        config = SimulationConfig(items=20_000, seed=5,
+                                  backpressure=False)
+        assert_equivalent(make_fig11(), config)
+
+    def test_chaos_run_matches_reference(self):
+        topology = make_fig11()
+        profile = chaos_profile(topology, seed=11, items=10_000)
+        config = SimulationConfig(items=10_000, seed=11,
+                                  fault_plan=profile.plan,
+                                  supervisor=profile.strategy)
+        assert_equivalent(topology, config)
+
+    def test_fast_loop_actually_engages(self):
+        before = ENGINE.snapshot()
+        config = SimulationConfig(items=5_000, seed=5)
+        engine, rate = build_engine(make_fig11(), config)
+        engine.run(until=5_000 / rate, warmup=0.0)
+        delta = ENGINE.since(before)
+        assert delta.fast_events > 0
+        assert delta.fast_events + delta.slow_events == delta.events
