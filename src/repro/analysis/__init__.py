@@ -1,0 +1,53 @@
+"""Static analysis: the pre-deployment verifier and operator-code linter.
+
+SpinStreams is a *static* optimization tool, so mistakes in the input
+should be caught before any solve or deployment.  This package provides
+two cooperating passes behind one diagnostic framework:
+
+* :mod:`repro.analysis.graph` — the **graph verifier**: structural and
+  numeric sanity of a topology (reachability, probability mass,
+  selectivities, key distributions) plus a *pre-deployment* verdict on
+  BAS deadlock risk for cyclic drafts, complementing the runtime
+  StallWatchdog;
+* :mod:`repro.analysis.opcode` — the **operator-code analyzer**: an
+  ``ast``-based classifier of each operator implementation that infers
+  the true :class:`~repro.core.graph.StateKind` from the code and
+  detects fission-unsafe patterns (shared mutable class attributes,
+  nondeterminism, impure ``key_of``, I/O side effects).
+
+Diagnostics carry stable rule IDs (``SS1xx`` for the graph pass,
+``SS2xx`` for the code pass), a severity (``error``/``warning``/
+``info``), the offending subject and a source location, and render to
+text or machine-readable JSON.  EXPERIMENTS.md lists every rule with
+its rationale.
+
+The verdicts gate the optimization pipeline: bottleneck elimination
+refuses to replicate operators whose code is provably more stateful
+than declared, automatic fusion skips impure operators, SS2Py embeds
+the lint report in generated programs, and ``spinstreams lint`` runs
+both passes from the command line.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.graph import verify_graph
+from repro.analysis.lint import lint_topology
+from repro.analysis.opcode import (
+    OperatorCodeFacts,
+    analyze_class_path,
+    analyze_operator_class,
+    impure_operators,
+    verify_code,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "OperatorCodeFacts",
+    "Severity",
+    "analyze_class_path",
+    "analyze_operator_class",
+    "impure_operators",
+    "lint_topology",
+    "verify_code",
+    "verify_graph",
+]

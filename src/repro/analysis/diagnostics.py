@@ -1,0 +1,206 @@
+"""The diagnostic framework shared by both static-analysis passes.
+
+A :class:`Diagnostic` is one finding: a stable rule ID (``SS101`` ...),
+a :class:`Severity`, a human-readable message, the subject it concerns
+(an operator name or an ``a->b`` edge label) and an optional source
+location (the XML file or the ``module.Class:line`` of operator code).
+A :class:`LintReport` is an ordered collection of diagnostics with
+text and JSON renderings; its :attr:`~LintReport.exit_code` is the
+``spinstreams lint`` process exit status (``0`` clean or info-only,
+``1`` warnings, ``2`` errors).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; the integer value doubles as the exit code."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    rule: str
+    severity: Severity
+    message: str
+    #: Operator name or ``source->target`` edge label, when applicable.
+    subject: Optional[str] = None
+    #: Where the finding points: an XML path or ``module.Class:line``.
+    location: Optional[str] = None
+
+    def render(self) -> str:
+        subject = f" [{self.subject}]" if self.subject else ""
+        location = f" ({self.location})" if self.location else ""
+        return (f"{self.severity.label} {self.rule}{subject}: "
+                f"{self.message}{location}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The ordered findings of one lint run over one topology."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: Name of the linted topology (or file), for the report header.
+    subject_name: str = ""
+    #: Which passes ran, e.g. ``("graph", "opcode")``.
+    passes: Tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity diagnostics (warnings and infos allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No diagnostics at all."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 clean/info, 1 warnings, 2 errors."""
+        worst = self.max_severity
+        if worst is None or worst is Severity.INFO:
+            return 0
+        return int(worst)
+
+    def rules(self) -> List[str]:
+        """The distinct rule IDs present, sorted."""
+        return sorted({d.rule for d in self.diagnostics})
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def has(self, rule: str) -> bool:
+        return any(d.rule == rule for d in self.diagnostics)
+
+    def filter(self, min_severity: Severity) -> "LintReport":
+        """A copy keeping only diagnostics at or above ``min_severity``."""
+        kept = tuple(d for d in self.diagnostics
+                     if d.severity >= min_severity)
+        return LintReport(diagnostics=kept, subject_name=self.subject_name,
+                          passes=self.passes)
+
+    def merge(self, other: "LintReport") -> "LintReport":
+        """This report with another's diagnostics and passes appended."""
+        passes = self.passes + tuple(
+            p for p in other.passes if p not in self.passes)
+        return LintReport(
+            diagnostics=self.diagnostics + other.diagnostics,
+            subject_name=self.subject_name or other.subject_name,
+            passes=passes,
+        )
+
+    def __add__(self, other: "LintReport") -> "LintReport":
+        return self.merge(other)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def summary(self) -> str:
+        """One line: subject, counts per severity."""
+        name = self.subject_name or "topology"
+        if not self.diagnostics:
+            return f"{name}: clean"
+        infos = len(self.diagnostics) - len(self.errors) - len(self.warnings)
+        parts = []
+        if self.errors:
+            parts.append(f"{len(self.errors)} error(s)")
+        if self.warnings:
+            parts.append(f"{len(self.warnings)} warning(s)")
+        if infos:
+            parts.append(f"{infos} info(s)")
+        return f"{name}: {', '.join(parts)}"
+
+    def render(self) -> str:
+        """Multi-line text report, most severe findings first."""
+        lines = [self.summary()]
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (-int(d.severity), d.rule,
+                                        d.subject or ""))
+        lines.extend(f"  {d.render()}" for d in ordered)
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Machine-readable report (stable schema, used by CI)."""
+        payload = {
+            "subject": self.subject_name,
+            "passes": list(self.passes),
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": (len(self.diagnostics) - len(self.errors)
+                         - len(self.warnings)),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def header_lines(self) -> List[str]:
+        """Comment-friendly lines for embedding in generated code."""
+        if not self.diagnostics:
+            return ["Static checks (spinstreams lint): clean"]
+        lines = [f"Static checks (spinstreams lint): {self.summary()}"]
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (-int(d.severity), d.rule,
+                                        d.subject or ""))
+        lines.extend(f"  {d.render()}" for d in ordered)
+        return lines
+
+
+def report_from(diagnostics: Iterable[Diagnostic], subject_name: str = "",
+                passes: Iterable[str] = ()) -> LintReport:
+    """Build a report from an iterable of diagnostics."""
+    return LintReport(diagnostics=tuple(diagnostics),
+                      subject_name=subject_name, passes=tuple(passes))

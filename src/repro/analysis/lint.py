@@ -1,0 +1,56 @@
+"""The lint façade: both analysis passes over any topology-ish input.
+
+:func:`lint_topology` accepts a validated :class:`Topology`, an
+unvalidated :class:`TopologyDraft`, a path to a topology XML file, or
+an XML string, and returns the merged :class:`LintReport` of the graph
+verifier and (when the draft builds) the operator-code analyzer.  The
+code pass needs real :class:`OperatorSpec` objects, so it only runs
+once a strict build succeeds — a draft with structural errors gets the
+graph findings alone, which is what a user needs to fix first anyway.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.graph import verify_graph
+from repro.analysis.opcode import verify_code
+from repro.core.graph import Topology, TopologyError
+from repro.topology.xmlio import TopologyDraft, parse_draft
+
+LintSource = Union[Topology, TopologyDraft, str, "os.PathLike[str]"]
+
+
+def lint_topology(
+    source: LintSource,
+    check_code: bool = True,
+    source_rate: Optional[float] = None,
+) -> LintReport:
+    """Run the static checks and return the merged report.
+
+    ``check_code=False`` restricts the run to the graph pass (useful
+    when operator classes are not importable in the linting
+    environment).  ``source_rate`` feeds the cyclic fixed-point check,
+    defaulting to the source's service rate.
+    """
+    if isinstance(source, Topology):
+        report = verify_graph(source, source_rate=source_rate)
+        if check_code:
+            report = report.merge(verify_code(source))
+        return report
+
+    if isinstance(source, TopologyDraft):
+        draft = source
+    else:
+        draft = parse_draft(source)
+
+    report = verify_graph(draft, source_rate=source_rate)
+    if check_code and report.ok:
+        try:
+            topology = draft.build(strict=True)
+        except TopologyError:
+            return report
+        report = report.merge(verify_code(topology))
+    return report

@@ -2,6 +2,7 @@
 
 The console counterpart of the paper's GUI workflow::
 
+    spinstreams lint app.xml                     # static checks (SS1xx/SS2xx)
     spinstreams analyze app.xml                  # steady-state analysis
     spinstreams optimize app.xml --max-replicas 40
     spinstreams candidates app.xml               # ranked fusion candidates
@@ -20,6 +21,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.analysis.lint import lint_topology
 from repro.codegen.deployment import deployment_json, flink_sketch, storm_sketch
 from repro.codegen.ss2py import CodegenConfig, generate_code
 from repro.core.autofusion import auto_fuse
@@ -44,6 +46,17 @@ def _write_or_print(text: str, output: Optional[str]) -> None:
         with open(output, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"written to {output}")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    report = lint_topology(
+        args.topology,
+        check_code=not args.no_code,
+        source_rate=args.source_rate,
+    )
+    text = report.to_json() if args.json else report.render()
+    _write_or_print(text, args.output)
+    return report.exit_code
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -300,6 +313,9 @@ def _shrink_and_print(seed, config, check_seed, shrink_fn,
     print(result.reduced.describe())
     report = check_seed(seed, config, topology=result.reduced)
     print(report.summary())
+    if result.lint is not None and not result.lint.clean:
+        print("\nstatic checks of the reduced topology:")
+        print(result.lint.render())
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -513,6 +529,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("topology", help="XML topology description")
         p.add_argument("--source-rate", type=float, default=None,
                        help="source generation rate (items/sec)")
+
+    p = sub.add_parser(
+        "lint",
+        help="static checks: graph verifier + operator-code analyzer")
+    topology_arg(p)
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report")
+    p.add_argument("--no-code", action="store_true",
+                   help="skip the operator-code pass (classes not "
+                        "importable here)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the report to a file instead of stdout")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("analyze", help="steady-state analysis (Algorithm 1)")
     topology_arg(p)

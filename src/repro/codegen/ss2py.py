@@ -16,7 +16,7 @@ from __future__ import annotations
 import io
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.fusion import FusionPlan
 from repro.core.graph import (
@@ -38,6 +38,9 @@ class CodegenConfig:
     mailbox_capacity: int = 64
     pad_service_times: bool = True
     seed: int = 1
+    #: Embed the static-analysis report as a comment header, so the
+    #: generated program carries its own pre-deployment verdict.
+    include_lint: bool = True
 
 
 def _literal(value: object) -> str:
@@ -85,7 +88,20 @@ def _spec_code(spec: OperatorSpec) -> str:
 
 
 def _edge_code(edge: Edge) -> str:
-    return f"Edge({edge.source!r}, {edge.target!r}, {edge.probability!r})"
+    capacity = (f", capacity={edge.capacity!r}"
+                if edge.capacity is not None else "")
+    return (f"Edge({edge.source!r}, {edge.target!r}, "
+            f"{edge.probability!r}{capacity})")
+
+
+def _lint_header(topology: Topology) -> List[str]:
+    """Comment lines with the lint report; never fails codegen."""
+    try:
+        from repro.analysis.lint import lint_topology
+
+        return lint_topology(topology).header_lines()
+    except Exception as exc:  # pragma: no cover - defensive
+        return [f"Static checks (spinstreams lint): unavailable ({exc})"]
 
 
 def _plan_code(plan: FusionPlan) -> str:
@@ -143,8 +159,11 @@ def generate_code(
     write('#!/usr/bin/env python3\n')
     write(f'"""Generated by SpinStreams (SS2Py) from topology '
           f'{topology.name!r}.\n\nRun with --duration SECONDS to control '
-          f'the measurement window.\n"""\n\n')
-    write("import argparse\n\n")
+          f'the measurement window.\n"""\n')
+    if config.include_lint:
+        for line in _lint_header(topology):
+            write(f"# {line}\n" if line else "#\n")
+    write("\nimport argparse\n\n")
     write("from repro.core.fusion import FusionPlan\n")
     write("from repro.core.graph import (\n"
           "    Edge, KeyDistribution, OperatorSpec, StateKind, Topology,\n"

@@ -25,7 +25,7 @@ the runtime and the code generator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.core.candidates import FusionCandidate, enumerate_candidates
 from repro.core.fusion import FusionPlan, FusionResult, apply_fusion
@@ -68,6 +68,7 @@ def auto_fuse(
     max_utilization: float = 0.75,
     headroom: float = 0.9,
     max_rounds: int = 32,
+    code_safety: bool = True,
 ) -> AutoFusionResult:
     """Repeatedly fuse safe under-utilized sub-graphs.
 
@@ -90,9 +91,20 @@ def auto_fuse(
     max_rounds:
         Upper bound on fusion rounds (each round strictly shrinks the
         topology, so at most ``len(topology)`` rounds can ever apply).
+    code_safety:
+        When true (the default), operators whose code the static
+        analyzer finds impure (nondeterminism or I/O — rules SS204 and
+        SS206) are kept out of every fusion: merging them would change
+        their scheduling and failure isolation.
     """
     if not 0.0 < headroom <= 1.0:
         raise TopologyError(f"headroom must be in (0, 1], got {headroom}")
+
+    impure: FrozenSet[str] = frozenset()
+    if code_safety:
+        from repro.analysis.opcode import impure_operators
+
+        impure = impure_operators(topology)
 
     current = topology
     steps: List[FusionResult] = []
@@ -108,6 +120,7 @@ def auto_fuse(
         candidates = enumerate_candidates(
             current, analysis=analysis, max_size=max_size,
             max_utilization=max_utilization, limit=None,
+            exclude=impure,
         )
         choice = _pick(candidates, headroom)
         if choice is None:

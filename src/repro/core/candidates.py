@@ -12,7 +12,7 @@ scheduling overhead without risking a new bottleneck.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.fusion import FusionError, fusion_service_time, validate_fusion
 from repro.core.graph import Topology
@@ -43,6 +43,7 @@ def enumerate_candidates(
     max_size: int = 4,
     max_utilization: float = 0.75,
     limit: Optional[int] = 20,
+    exclude: Optional[Iterable[str]] = None,
 ) -> List[FusionCandidate]:
     """Enumerate ranked fusion candidates.
 
@@ -61,6 +62,10 @@ def enumerate_candidates(
         Only operators below this utilization are considered for fusion.
     limit:
         Return at most this many candidates (best ranked first).
+    exclude:
+        Operator names to keep out of every candidate (e.g. operators
+        the code analyzer found impure — fusing them would change
+        their scheduling and failure isolation).
     """
     if analysis is None:
         analysis = analyze_cached(topology)
@@ -70,6 +75,8 @@ def enumerate_candidates(
         if name != topology.source
         and analysis.utilization(name) <= max_utilization
     }
+    if exclude:
+        eligible -= set(exclude)
 
     seen: Set[FrozenSet[str]] = set()
     found: List[FusionCandidate] = []

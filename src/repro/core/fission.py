@@ -21,6 +21,7 @@ degree with the ratio ``N_max / N`` and fixing rounding anomalies.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -96,11 +97,44 @@ class FissionResult:
         return self.analysis.throughput
 
 
+def _check_code_safety(base: Topology, replicas: Dict[str, int],
+                       mode: str) -> None:
+    """Refuse to replicate operators whose code contradicts their spec.
+
+    Only operators actually assigned more than one replica are checked
+    (a wrong declaration on a non-replicated operator is a lint
+    finding, not a fission hazard), and only when they name an
+    importable ``operator_class`` — declarations without code are
+    trusted, as the paper's model does.
+    """
+    from repro.analysis.opcode import state_rank, try_analyze
+
+    for name, degree in sorted(replicas.items()):
+        if degree <= 1:
+            continue
+        spec = base.operator(name)
+        facts = try_analyze(spec.operator_class)
+        if facts is None:
+            continue
+        if state_rank(facts.inferred) > state_rank(spec.state):
+            message = (
+                f"refusing to replicate operator {name!r} x{degree}: "
+                f"declared {spec.state.value} but {facts.class_path} is "
+                f"provably {facts.inferred.value} ({facts.evidence()}); "
+                "replication would split live state [SS201]. Fix the "
+                "declaration or pass code_safety='off'."
+            )
+            if mode == "enforce":
+                raise TopologyError(message)
+            warnings.warn(message, UserWarning, stacklevel=3)
+
+
 def eliminate_bottlenecks(
     topology: Topology,
     source_rate: Optional[float] = None,
     max_replicas: Optional[int] = None,
     partition_heuristic: str = "greedy",
+    code_safety: str = "enforce",
 ) -> FissionResult:
     """Run bottleneck elimination (paper Algorithm 2).
 
@@ -116,7 +150,17 @@ def eliminate_bottlenecks(
         replicas of the optimized topology.
     partition_heuristic:
         Key-partitioning heuristic for partitioned-stateful operators.
+    code_safety:
+        What to do when an operator picked for replication has code
+        provably more stateful than its declared state kind (rule
+        SS201): ``"enforce"`` (default) raises :class:`TopologyError`,
+        ``"warn"`` emits a :class:`UserWarning` and replicates anyway,
+        ``"off"`` skips the check.
     """
+    if code_safety not in ("enforce", "warn", "off"):
+        raise ValueError(
+            f"code_safety must be 'enforce', 'warn' or 'off', "
+            f"got {code_safety!r}")
     base = topology.with_replications({name: 1 for name in topology.names})
     order = base.topological_order()
     source = base.source
@@ -150,6 +194,9 @@ def eliminate_bottlenecks(
             "bottleneck elimination did not converge; the topology violates "
             "the model assumptions"
         )
+
+    if code_safety != "off":
+        _check_code_safety(base, replicas, code_safety)
 
     optimized = base.with_replications(replicas)
     if max_replicas is not None:

@@ -198,11 +198,19 @@ class OperatorSpec:
 
 @dataclass(frozen=True)
 class Edge:
-    """A directed stream between two operators with a routing probability."""
+    """A directed stream between two operators with a routing probability.
+
+    ``capacity`` is the optional bounded-buffer size of the stream (in
+    items).  ``None`` means "unspecified": the runtime falls back to its
+    configured mailbox capacity.  When given it must be at least one —
+    a BAS stream with a zero or negative buffer could never move an
+    item.
+    """
 
     source: str
     target: str
     probability: float = 1.0
+    capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.source == self.target:
@@ -211,6 +219,11 @@ class Edge:
             raise TopologyError(
                 f"edge {self.source!r}->{self.target!r}: probability must be "
                 f"in (0, 1], got {self.probability}"
+            )
+        if self.capacity is not None and self.capacity < 1:
+            raise TopologyError(
+                f"edge {self.source!r}->{self.target!r}: buffer capacity "
+                f"must be >= 1, got {self.capacity}"
             )
 
 

@@ -11,6 +11,7 @@ data and is profiled rather than declared.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -53,9 +54,10 @@ class BandJoin(Operator):
             return False
         if self.left is not None and origin == self.left:
             return True
-        # Unknown origin: alternate deterministically by hashing it, so
-        # both windows fill up in random topologies.
-        return hash(origin) % 2 == 0
+        # Unknown origin: split deterministically so both windows fill
+        # up in random topologies.  crc32 (unlike builtin hash) gives
+        # the same side in every process regardless of PYTHONHASHSEED.
+        return zlib.crc32(str(origin).encode("utf-8")) % 2 == 0
 
     def operator_function(self, item: Record) -> List[Record]:
         value = float(item.get(self.field, 0.0))
@@ -108,7 +110,7 @@ class EquiJoin(Operator):
             return 1
         if self.left is not None and origin == self.left:
             return 0
-        return hash(origin) % 2
+        return zlib.crc32(str(origin).encode("utf-8")) % 2
 
     def operator_function(self, item: Record) -> List[Record]:
         side = self._side_of(item)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Iterable, Iterator, List, Optional
 
+from repro.core.graph import StateKind
 from repro.operators.base import Operator, Record
 
 
@@ -40,7 +41,13 @@ class GeneratorSource(Operator):
 
 
 class IterableSource(Operator):
-    """A source replaying a finite iterable (tests and examples)."""
+    """A source replaying a finite iterable (tests and examples).
+
+    Stateful: the iterator position is live state a replica could not
+    share, so the source must stay single-instance.
+    """
+
+    state = StateKind.STATEFUL
 
     def __init__(self, items: Iterable[Any]) -> None:
         self._iterator: Iterator[Any] = iter(items)
@@ -55,8 +62,13 @@ class IterableSource(Operator):
 
 
 class CountingSink(Operator):
-    """A sink counting items (throughput measurement endpoint)."""
+    """A sink counting items (throughput measurement endpoint).
 
+    Stateful: the running count is live state (replicating the sink
+    would split it into partial counts).
+    """
+
+    state = StateKind.STATEFUL
     output_selectivity = 0.0
 
     def __init__(self) -> None:
@@ -68,8 +80,12 @@ class CountingSink(Operator):
 
 
 class CollectingSink(Operator):
-    """A sink retaining the last ``capacity`` items (for assertions)."""
+    """A sink retaining the last ``capacity`` items (for assertions).
 
+    Stateful: the retained buffer and count are live state.
+    """
+
+    state = StateKind.STATEFUL
     output_selectivity = 0.0
 
     def __init__(self, capacity: int = 10_000) -> None:

@@ -112,7 +112,13 @@ class Debounce(KeyedOperator):
 
 
 class Sampler(Operator):
-    """Deterministic 1-in-N down-sampling (keeps every N-th item)."""
+    """Deterministic 1-in-N down-sampling (keeps every N-th item).
+
+    Stateful: the modulo counter is live state; replicas with private
+    counters would emit a different sample of the stream.
+    """
+
+    state = StateKind.STATEFUL
 
     def __init__(self, every: int = 10) -> None:
         if every < 1:

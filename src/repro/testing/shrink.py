@@ -17,9 +17,12 @@ dropped transitively (the structural invariants of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.core.graph import Edge, Topology, TopologyError
+
+if TYPE_CHECKING:  # avoids a hard dependency on the analysis package
+    from repro.analysis.diagnostics import LintReport
 
 Predicate = Callable[[Topology], bool]
 
@@ -31,6 +34,10 @@ class ShrinkResult:
     original: Topology
     reduced: Topology
     steps: Tuple[str, ...]
+    #: Static-analysis report of the reduced topology: a shrunk
+    #: reproduction that also trips a lint rule usually *is* that rule's
+    #: bug, so the report ships with the kernel.
+    lint: Optional["LintReport"] = None
 
     @property
     def removed_operators(self) -> int:
@@ -73,7 +80,8 @@ def _rebuild(topology: Topology, keep_specs: List, edges: List[Edge],
     for edge in edges:
         totals[edge.source] = totals.get(edge.source, 0.0) + edge.probability
     normalized = [
-        Edge(e.source, e.target, e.probability / totals[e.source])
+        Edge(e.source, e.target, e.probability / totals[e.source],
+             capacity=e.capacity)
         for e in edges
     ]
     try:
@@ -135,7 +143,8 @@ def shrink(topology: Topology, predicate: Predicate,
     ends at a fixpoint where no single deletion keeps the failure.
     """
     if not _holds(predicate, topology):
-        return ShrinkResult(original=topology, reduced=topology, steps=())
+        return ShrinkResult(original=topology, reduced=topology, steps=(),
+                            lint=_lint_of(topology))
 
     current = topology
     steps: List[str] = []
@@ -161,4 +170,14 @@ def shrink(topology: Topology, predicate: Predicate,
                 improved = True
                 break
     return ShrinkResult(original=topology, reduced=current,
-                        steps=tuple(steps))
+                        steps=tuple(steps), lint=_lint_of(current))
+
+
+def _lint_of(topology: Topology) -> Optional["LintReport"]:
+    """Best-effort lint report of a reproduction kernel."""
+    try:
+        from repro.analysis.lint import lint_topology
+
+        return lint_topology(topology)
+    except Exception:
+        return None

@@ -15,6 +15,8 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.lint import lint_topology
 from repro.codegen.deployment import deployment_json, flink_sketch, storm_sketch
 from repro.codegen.ss2py import CodegenConfig, generate_code
 from repro.core.autofusion import AutoFusionResult, auto_fuse
@@ -110,6 +112,12 @@ class SpinStreams:
         """Steady-state analysis (Algorithm 1) of a version (memoized)."""
         return analyze_cached(self.topology(name), source_rate=source_rate)
 
+    def lint(self, name: Optional[str] = None, check_code: bool = True,
+             source_rate: Optional[float] = None) -> LintReport:
+        """Static checks (graph verifier + operator-code analyzer)."""
+        return lint_topology(self.topology(name), check_code=check_code,
+                             source_rate=source_rate)
+
     def report(self, name: Optional[str] = None,
                source_rate: Optional[float] = None) -> str:
         """Human-readable analysis report of a version."""
@@ -135,11 +143,13 @@ class SpinStreams:
         name: Optional[str] = None,
         source_rate: Optional[float] = None,
         max_replicas: Optional[int] = None,
+        code_safety: str = "enforce",
     ) -> FissionResult:
         """Run bottleneck elimination; registers a ``fission-N`` version."""
         base = self.version(name)
         result = eliminate_bottlenecks(
             base.topology, source_rate=source_rate, max_replicas=max_replicas,
+            code_safety=code_safety,
         )
         bound = f", bound={max_replicas}" if max_replicas is not None else ""
         outcome = ("ideal throughput" if result.ideal_throughput_reached

@@ -19,20 +19,37 @@ selectivities).  This module parses and serializes that format::
           <key id="k1" probability="0.5"/>
         </keys>
       </operator>
-      <edge from="src" to="agg" probability="1.0"/>
+      <edge from="src" to="agg" probability="1.0" buffer-capacity="64"/>
     </topology>
 
 Key distributions can also live in a side CSV file (``<keys file="..."/>``
 with ``key,probability`` rows), as the paper's "file with their
 probability distributions".
+
+Parsing happens in two phases.  :func:`parse_draft` performs the
+*lexical* phase: it reads the XML into an unvalidated
+:class:`TopologyDraft` — malformed markup, missing attributes and
+unparseable numbers raise :class:`XmlFormatError`, but *semantic*
+violations (probability mass, negative service times, unreachable
+operators) are preserved verbatim so the static verifier
+(:mod:`repro.analysis.graph`) can report them as diagnostics instead of
+dying on the first one.  :func:`parse_topology` adds the semantic
+phase: with ``strict=True`` (the default) out-edge probability masses
+that do not sum to one and non-positive buffer capacities are rejected
+with an :class:`XmlFormatError` naming the offending operator or edge;
+``strict=False`` is the escape hatch used by the shrinker — the mass is
+renormalized and invalid capacities dropped, mirroring what
+:func:`repro.testing.shrink.shrink` does to keep reduced topologies
+well-formed.
 """
 
 from __future__ import annotations
 
 import csv
-import io
+import math
 import os
 import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.graph import (
@@ -59,13 +76,163 @@ class XmlFormatError(TopologyError):
     """Raised on malformed topology XML."""
 
 
+# ----------------------------------------------------------------------
+# the unvalidated draft layer
+# ----------------------------------------------------------------------
+@dataclass
+class DraftOperator:
+    """One ``<operator>`` element, lexically parsed but unvalidated."""
+
+    name: str
+    service_time: float
+    state: StateKind = StateKind.STATELESS
+    input_selectivity: float = 1.0
+    output_selectivity: float = 1.0
+    replication: int = 1
+    key_frequencies: Optional[Dict[str, float]] = None
+    operator_class: Optional[str] = None
+    operator_args: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> OperatorSpec:
+        """The validated :class:`OperatorSpec` of this draft operator."""
+        keys: Optional[KeyDistribution] = None
+        if self.key_frequencies is not None:
+            try:
+                keys = KeyDistribution(dict(self.key_frequencies))
+            except TopologyError as exc:
+                raise XmlFormatError(
+                    f"operator {self.name!r}: {exc}") from None
+        return OperatorSpec(
+            name=self.name,
+            service_time=self.service_time,
+            state=self.state,
+            input_selectivity=self.input_selectivity,
+            output_selectivity=self.output_selectivity,
+            replication=self.replication,
+            keys=keys,
+            operator_class=self.operator_class,
+            operator_args=self.operator_args,
+        )
+
+
+@dataclass
+class DraftEdge:
+    """One ``<edge>`` element, lexically parsed but unvalidated."""
+
+    source: str
+    target: str
+    probability: float = 1.0
+    capacity: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.source}->{self.target}"
+
+    def build(self) -> Edge:
+        return Edge(self.source, self.target, self.probability,
+                    capacity=self.capacity)
+
+
+@dataclass
+class TopologyDraft:
+    """A lexically parsed topology before any semantic validation.
+
+    The static verifier consumes drafts directly so it can report
+    *every* violation of a broken file; :meth:`build` performs the
+    semantic phase and produces the validated :class:`Topology`.
+    """
+
+    name: str
+    operators: List[DraftOperator]
+    edges: List[DraftEdge]
+    #: Source file of the draft, when parsed from one (diagnostics).
+    path: Optional[str] = None
+
+    def operator_names(self) -> List[str]:
+        return [op.name for op in self.operators]
+
+    def out_mass(self) -> Dict[str, float]:
+        """Total out-edge probability per operator (operators with
+        out-edges only)."""
+        totals: Dict[str, float] = {}
+        for edge in self.edges:
+            totals[edge.source] = totals.get(edge.source, 0.0) + edge.probability
+        return totals
+
+    def build(self, strict: bool = True) -> Topology:
+        """Validate the draft into a :class:`Topology`.
+
+        With ``strict=True`` a probability mass that does not sum to
+        one or a non-positive buffer capacity raises
+        :class:`XmlFormatError` naming the operator or edge.  With
+        ``strict=False`` masses are renormalized and invalid
+        capacities dropped (the shrinker's escape hatch).
+        """
+        edges = list(self.edges)
+        known = set(self.operator_names())
+        totals = self.out_mass()
+        if strict:
+            for name in sorted(totals):
+                if name not in known:
+                    continue  # dangling edge; Topology reports it
+                total = totals[name]
+                if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-6):
+                    raise XmlFormatError(
+                        f"operator {name!r}: output edge probabilities sum "
+                        f"to {total}, expected 1 (pass strict=False to "
+                        "renormalize)"
+                    )
+            for edge in edges:
+                if edge.capacity is not None and edge.capacity < 1:
+                    raise XmlFormatError(
+                        f"edge {edge.label!r}: buffer-capacity must be "
+                        f">= 1, got {edge.capacity} (pass strict=False to "
+                        "drop it)"
+                    )
+        else:
+            normalized: List[DraftEdge] = []
+            for edge in edges:
+                probability = edge.probability
+                total = totals.get(edge.source, 0.0)
+                if (total > 0.0 and math.isfinite(total)
+                        and not math.isclose(total, 1.0, rel_tol=0.0,
+                                             abs_tol=1e-6)):
+                    probability = probability / total
+                capacity = edge.capacity
+                if capacity is not None and capacity < 1:
+                    capacity = None
+                normalized.append(DraftEdge(edge.source, edge.target,
+                                            probability, capacity))
+            edges = normalized
+        return Topology(
+            [op.build() for op in self.operators],
+            [edge.build() for edge in edges],
+            name=self.name,
+        )
+
+
 def parse_topology(source: Union[str, "os.PathLike[str]"],
-                   base_dir: Optional[str] = None) -> Topology:
+                   base_dir: Optional[str] = None,
+                   strict: bool = True) -> Topology:
     """Parse a topology from an XML file path or an XML string.
 
     ``base_dir`` resolves relative ``<keys file="..."/>`` references;
     it defaults to the XML file's directory (or the current directory
-    when parsing from a string).
+    when parsing from a string).  ``strict`` controls the semantic
+    phase: out-edge probability masses that do not sum to one and
+    non-positive buffer capacities are rejected by default, while
+    ``strict=False`` renormalizes and drops them respectively.
+    """
+    return parse_draft(source, base_dir).build(strict=strict)
+
+
+def parse_draft(source: Union[str, "os.PathLike[str]"],
+                base_dir: Optional[str] = None) -> TopologyDraft:
+    """Lexically parse topology XML into an unvalidated draft.
+
+    Raises :class:`XmlFormatError` only for markup-level problems
+    (invalid XML, missing attributes, unparseable numbers); semantic
+    violations survive into the draft for the static verifier.
     """
     text, directory = _read_source(source, base_dir)
     try:
@@ -76,8 +243,8 @@ def parse_topology(source: Union[str, "os.PathLike[str]"],
         raise XmlFormatError(f"root element must be <topology>, got <{root.tag}>")
 
     name = root.get("name", "topology")
-    operators: List[OperatorSpec] = []
-    edges: List[Edge] = []
+    operators: List[DraftOperator] = []
+    edges: List[DraftEdge] = []
     for child in root:
         if child.tag == "operator":
             operators.append(_parse_operator(child, directory))
@@ -85,7 +252,11 @@ def parse_topology(source: Union[str, "os.PathLike[str]"],
             edges.append(_parse_edge(child))
         else:
             raise XmlFormatError(f"unexpected element <{child.tag}>")
-    return Topology(operators, edges, name=name)
+    path = None
+    if "<" not in str(source):
+        path = os.fspath(source)
+    return TopologyDraft(name=name, operators=operators, edges=edges,
+                         path=path)
 
 
 def _read_source(source: Union[str, "os.PathLike[str]"],
@@ -116,7 +287,7 @@ def _require(element: ET.Element, attribute: str) -> str:
     return value
 
 
-def _parse_operator(element: ET.Element, directory: str) -> OperatorSpec:
+def _parse_operator(element: ET.Element, directory: str) -> DraftOperator:
     name = _require(element, "name")
     unit = element.get("time-unit", "ms")
     try:
@@ -129,10 +300,13 @@ def _parse_operator(element: ET.Element, directory: str) -> OperatorSpec:
     except ValueError:
         raise XmlFormatError(f"operator {name!r}: bad service-time") from None
 
-    state = StateKind.parse(element.get("type", "stateless"))
+    try:
+        state = StateKind.parse(element.get("type", "stateless"))
+    except TopologyError as exc:
+        raise XmlFormatError(f"operator {name!r}: {exc}") from None
 
     args: Dict[str, Any] = {}
-    keys: Optional[KeyDistribution] = None
+    keys: Optional[Dict[str, float]] = None
     for child in element:
         if child.tag == "arg":
             arg_name = _require(child, "name")
@@ -156,26 +330,36 @@ def _parse_operator(element: ET.Element, directory: str) -> OperatorSpec:
                 f"operator {name!r}: unexpected element <{child.tag}>"
             )
 
-    return OperatorSpec(
+    try:
+        input_selectivity = float(element.get("input-selectivity", "1"))
+        output_selectivity = float(element.get("output-selectivity", "1"))
+    except ValueError:
+        raise XmlFormatError(f"operator {name!r}: bad selectivity") from None
+    try:
+        replication = int(element.get("replication", "1"))
+    except ValueError:
+        raise XmlFormatError(f"operator {name!r}: bad replication") from None
+
+    return DraftOperator(
         name=name,
         service_time=service_time,
         state=state,
-        input_selectivity=float(element.get("input-selectivity", "1")),
-        output_selectivity=float(element.get("output-selectivity", "1")),
-        replication=int(element.get("replication", "1")),
-        keys=keys,
+        input_selectivity=input_selectivity,
+        output_selectivity=output_selectivity,
+        replication=replication,
+        key_frequencies=keys,
         operator_class=element.get("class"),
         operator_args=args,
     )
 
 
 def _parse_keys(element: ET.Element, operator: str,
-                directory: str) -> KeyDistribution:
+                directory: str) -> Dict[str, float]:
     file_ref = element.get("file")
     if file_ref is not None:
         path = file_ref if os.path.isabs(file_ref) else os.path.join(
             directory, file_ref)
-        return read_key_distribution(path)
+        return _read_key_frequencies(path)
     frequencies: Dict[str, float] = {}
     for child in element:
         if child.tag != "key":
@@ -195,23 +379,31 @@ def _parse_keys(element: ET.Element, operator: str,
         raise XmlFormatError(
             f"operator {operator!r}: <keys> needs a file or <key> children"
         )
-    return KeyDistribution(frequencies)
+    return frequencies
 
 
-def _parse_edge(element: ET.Element) -> Edge:
+def _parse_edge(element: ET.Element) -> DraftEdge:
+    source = _require(element, "from")
+    target = _require(element, "to")
     try:
         probability = float(element.get("probability", "1"))
     except ValueError:
-        raise XmlFormatError("edge: bad probability") from None
-    return Edge(
-        source=_require(element, "from"),
-        target=_require(element, "to"),
-        probability=probability,
-    )
+        raise XmlFormatError(
+            f"edge {source!r}->{target!r}: bad probability") from None
+    capacity: Optional[int] = None
+    raw_capacity = element.get("buffer-capacity")
+    if raw_capacity is not None:
+        try:
+            capacity = int(raw_capacity)
+        except ValueError:
+            raise XmlFormatError(
+                f"edge {source!r}->{target!r}: bad buffer-capacity"
+            ) from None
+    return DraftEdge(source=source, target=target, probability=probability,
+                     capacity=capacity)
 
 
-def read_key_distribution(path: str) -> KeyDistribution:
-    """Read a ``key,probability`` CSV file into a distribution."""
+def _read_key_frequencies(path: str) -> Dict[str, float]:
     frequencies: Dict[str, float] = {}
     with open(path, "r", encoding="utf-8", newline="") as handle:
         for row in csv.reader(handle):
@@ -222,7 +414,12 @@ def read_key_distribution(path: str) -> KeyDistribution:
             frequencies[row[0].strip()] = float(row[1])
     if not frequencies:
         raise XmlFormatError(f"{path}: empty key distribution")
-    return KeyDistribution(frequencies)
+    return frequencies
+
+
+def read_key_distribution(path: str) -> KeyDistribution:
+    """Read a ``key,probability`` CSV file into a distribution."""
+    return KeyDistribution(_read_key_frequencies(path))
 
 
 def write_key_distribution(keys: KeyDistribution, path: str) -> None:
@@ -272,11 +469,14 @@ def topology_to_xml(topology: Topology, time_unit: str = "ms") -> str:
                     "id": key, "probability": repr(frequency),
                 })
     for edge in topology.edges:
-        ET.SubElement(root, "edge", {
+        attributes = {
             "from": edge.source,
             "to": edge.target,
             "probability": repr(edge.probability),
-        })
+        }
+        if edge.capacity is not None:
+            attributes["buffer-capacity"] = str(edge.capacity)
+        ET.SubElement(root, "edge", attributes)
     ET.indent(root)
     return ET.tostring(root, encoding="unicode") + "\n"
 

@@ -1,0 +1,7 @@
+"""Seeded defect corpus for the static-analysis passes.
+
+``ss1XX_{trigger,clean}.xml`` drafts exercise the graph-verifier rules;
+:mod:`.opfixtures` holds operator classes that exercise the
+operator-code rules.  Each rule has exactly one trigger and one clean
+near-miss, so both the hit and the no-false-positive side are pinned.
+"""

@@ -1,0 +1,182 @@
+"""Operator classes seeding the SS2xx defect corpus.
+
+Each rule gets a trigger class and a clean near-miss that is as close
+as possible to the trigger without the defect, so the analyzer's
+discrimination (not just its recall) is under test.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List
+
+from repro.core.graph import StateKind
+from repro.operators.base import KeyedOperator, Operator
+
+
+def _path(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+# -- SS201: declared stateless, provably stateful ----------------------
+class SneakyCounter(Operator):
+    """Declared stateless (the default) but keeps a running count."""
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.total += 1
+        return [item]
+
+
+class HonestMap(Operator):
+    """Near-miss: same shape, but the accumulator is a local."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        total = 0
+        total += 1
+        return [item] if total else []
+
+
+# -- SS201 via alias/helper: writes hidden behind indirection ----------
+class AliasedBuffer(Operator):
+    """Declared stateless; mutates state through a local alias and a
+    helper method (the transitive closure must catch both)."""
+
+    def __init__(self) -> None:
+        self._items: List[Any] = []
+
+    def _stash(self, item: Any) -> None:
+        bucket = self._items
+        bucket.append(item)
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self._stash(item)
+        return [item]
+
+
+# -- SS202: declared stateful, provably pure ---------------------------
+class OverDeclaredMap(Operator):
+    """Declared stateful but the function is a pure map."""
+
+    state = StateKind.STATEFUL
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item]
+
+
+class GenuineAccumulator(Operator):
+    """Near-miss: declared stateful and genuinely stateful."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self) -> None:
+        self.seen = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.seen += 1
+        return [item]
+
+
+# -- SS203: mutable class-level attribute ------------------------------
+class SharedBufferOperator(Operator):
+    """A class-level list is shared by every replica: a static race."""
+
+    state = StateKind.STATEFUL
+    shared: List[Any] = []
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.shared.append(item)
+        return [item]
+
+
+class ImmutableDefaultsOperator(Operator):
+    """Near-miss: the class-level attribute is an immutable tuple."""
+
+    defaults = ("a", "b")
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item] if item in self.defaults else []
+
+
+# -- SS204: nondeterminism ---------------------------------------------
+class JitterMap(Operator):
+    """Module-level random: replicas and replays diverge."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item] if random.random() < 0.5 else []
+
+
+class SeededJitterMap(Operator):
+    """Near-miss: a privately seeded RNG is reproducible."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.rng = random.Random(seed)
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item] if self.rng.random() < 0.5 else []
+
+
+# -- SS205: impure key_of ----------------------------------------------
+class RandomKeyRouter(KeyedOperator):
+    """key_of consults an RNG: routing is unstable across deliveries."""
+
+    def __init__(self) -> None:
+        super().__init__(key_field="key")
+        self._last = {}
+
+    def key_of(self, item: Any) -> str:
+        return random.choice(["a", "b"])
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self._last[self.key_of(item)] = item
+        return [item]
+
+
+class FieldKeyRouter(KeyedOperator):
+    """Near-miss: key_of is a pure projection of the item."""
+
+    def __init__(self) -> None:
+        super().__init__(key_field="key")
+        self._last = {}
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self._last[self.key_of(item)] = item
+        return [item]
+
+
+# -- SS206: I/O side effects -------------------------------------------
+class PrintingMap(Operator):
+    """Prints every item: output interleaving breaks under fission."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        print(item)
+        return [item]
+
+
+class QuietMap(Operator):
+    """Near-miss: formats the item but performs no I/O."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        label = f"item={item!r}"
+        return [item] if label else []
+
+
+# -- SS207: unanalyzable operator class --------------------------------
+#: A dotted path that does not import (the SS207 trigger).
+MISSING_CLASS_PATH = f"{__name__}.DoesNotExist"
+
+SNEAKY_COUNTER_PATH = _path(SneakyCounter)
+HONEST_MAP_PATH = _path(HonestMap)
+ALIASED_BUFFER_PATH = _path(AliasedBuffer)
+OVER_DECLARED_PATH = _path(OverDeclaredMap)
+GENUINE_ACCUMULATOR_PATH = _path(GenuineAccumulator)
+SHARED_BUFFER_PATH = _path(SharedBufferOperator)
+IMMUTABLE_DEFAULTS_PATH = _path(ImmutableDefaultsOperator)
+JITTER_PATH = _path(JitterMap)
+SEEDED_JITTER_PATH = _path(SeededJitterMap)
+RANDOM_KEY_PATH = _path(RandomKeyRouter)
+FIELD_KEY_PATH = _path(FieldKeyRouter)
+PRINTING_PATH = _path(PrintingMap)
+QUIET_PATH = _path(QuietMap)

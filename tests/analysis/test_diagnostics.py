@@ -1,0 +1,101 @@
+"""The diagnostic framework: severities, reports, renderings."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    report_from,
+)
+
+
+def _diag(rule="SS101", severity=Severity.ERROR, message="boom",
+          subject=None, location=None):
+    return Diagnostic(rule=rule, severity=severity, message=message,
+                      subject=subject, location=location)
+
+
+class TestSeverity:
+    def test_ordering_doubles_as_exit_code(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert int(Severity.ERROR) == 2
+
+    def test_parse_round_trips_labels(self):
+        for severity in Severity:
+            assert Severity.parse(severity.label) is severity
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestDiagnostic:
+    def test_render_mentions_rule_subject_and_location(self):
+        text = _diag(subject="op1", location="app.xml").render()
+        assert "error SS101" in text
+        assert "[op1]" in text
+        assert "(app.xml)" in text
+
+    def test_to_dict_is_json_serializable(self):
+        payload = json.dumps(_diag().to_dict())
+        assert json.loads(payload)["rule"] == "SS101"
+
+
+class TestLintReport:
+    def test_empty_report_is_clean_and_ok(self):
+        report = LintReport()
+        assert report.clean and report.ok
+        assert report.exit_code == 0
+        assert report.max_severity is None
+
+    def test_info_only_report_exits_zero(self):
+        report = report_from([_diag(severity=Severity.INFO)])
+        assert not report.clean and report.ok
+        assert report.exit_code == 0
+
+    def test_warning_and_error_exit_codes(self):
+        warn = report_from([_diag(severity=Severity.WARNING)])
+        err = warn.merge(report_from([_diag(severity=Severity.ERROR)]))
+        assert warn.exit_code == 1
+        assert err.exit_code == 2
+
+    def test_merge_concatenates_and_unions_passes(self):
+        left = report_from([_diag(rule="SS101")], subject_name="t",
+                           passes=("graph",))
+        right = report_from([_diag(rule="SS201")], passes=("opcode",))
+        merged = left + right
+        assert merged.rules() == ["SS101", "SS201"]
+        assert merged.passes == ("graph", "opcode")
+        assert merged.subject_name == "t"
+
+    def test_filter_keeps_min_severity(self):
+        report = report_from([
+            _diag(severity=Severity.INFO),
+            _diag(severity=Severity.WARNING),
+            _diag(severity=Severity.ERROR),
+        ])
+        assert len(report.filter(Severity.WARNING)) == 2
+
+    def test_render_orders_most_severe_first(self):
+        report = report_from([
+            _diag(rule="SS901", severity=Severity.INFO),
+            _diag(rule="SS902", severity=Severity.ERROR),
+        ])
+        lines = report.render().splitlines()
+        assert "SS902" in lines[1]
+        assert "SS901" in lines[2]
+
+    def test_json_schema_is_stable(self):
+        report = report_from([_diag()], subject_name="app",
+                             passes=("graph",))
+        payload = json.loads(report.to_json())
+        assert set(payload) == {"subject", "passes", "ok", "exit_code",
+                                "counts", "diagnostics"}
+        assert payload["counts"] == {"error": 1, "warning": 0, "info": 0}
+        assert payload["exit_code"] == 2
+
+    def test_header_lines_for_clean_report(self):
+        assert "clean" in LintReport().header_lines()[0]

@@ -1,0 +1,206 @@
+"""The analysis verdicts gating the optimization pipeline.
+
+The acceptance case of the subsystem: bottleneck elimination refuses
+to replicate an operator that is declared stateless but provably
+stateful, automatic fusion keeps impure operators standalone, SS2Py
+embeds the lint report in generated programs, and the shrinker
+attaches a lint report to reproduction kernels.
+"""
+
+import warnings
+
+import pytest
+
+from repro.codegen.ss2py import CodegenConfig, generate_code
+from repro.core.autofusion import auto_fuse
+from repro.core.candidates import enumerate_candidates
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.graph import (
+    Edge,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.testing.shrink import shrink
+from repro.tool import SpinStreams
+
+from tests.analysis.fixtures import opfixtures as fx
+
+
+def _bottleneck_topology(work_class, work_state=StateKind.STATELESS):
+    """``work`` is a 4x bottleneck, so fission wants to replicate it."""
+    return Topology(
+        operators=[
+            OperatorSpec("source", service_time=0.001),
+            OperatorSpec("work", service_time=0.004, state=work_state,
+                         operator_class=work_class),
+            OperatorSpec("sink", service_time=0.0002,
+                         output_selectivity=0.0),
+        ],
+        edges=[Edge("source", "work"), Edge("work", "sink")],
+        name="gate-fixture",
+    )
+
+
+class TestFissionGate:
+    def test_refuses_to_replicate_provably_stateful_operator(self):
+        """The PR's acceptance criterion: a STATELESS declaration with
+        stateful code must not be replicated."""
+        topology = _bottleneck_topology(fx.SNEAKY_COUNTER_PATH)
+        with pytest.raises(TopologyError, match="SS201") as excinfo:
+            eliminate_bottlenecks(topology)
+        message = str(excinfo.value)
+        assert "work" in message
+        assert "stateless" in message and "stateful" in message
+
+    def test_warn_mode_replicates_with_a_warning(self):
+        topology = _bottleneck_topology(fx.SNEAKY_COUNTER_PATH)
+        with pytest.warns(UserWarning, match="SS201"):
+            result = eliminate_bottlenecks(topology, code_safety="warn")
+        assert result.optimized.operator("work").replication > 1
+
+    def test_off_mode_skips_the_check(self):
+        topology = _bottleneck_topology(fx.SNEAKY_COUNTER_PATH)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = eliminate_bottlenecks(topology, code_safety="off")
+        assert result.optimized.operator("work").replication > 1
+
+    def test_honest_stateless_code_replicates_normally(self):
+        topology = _bottleneck_topology(fx.HONEST_MAP_PATH)
+        result = eliminate_bottlenecks(topology)
+        assert result.optimized.operator("work").replication > 1
+
+    def test_declared_stateful_is_not_second_guessed(self):
+        """A correct (or over-cautious) declaration never trips the
+        gate: the paper's algorithm throttles the source instead."""
+        topology = _bottleneck_topology(fx.SNEAKY_COUNTER_PATH,
+                                        work_state=StateKind.STATEFUL)
+        result = eliminate_bottlenecks(topology)
+        assert result.optimized.operator("work").replication == 1
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="code_safety"):
+            eliminate_bottlenecks(
+                _bottleneck_topology(None), code_safety="maybe")
+
+    def test_tool_facade_forwards_code_safety(self):
+        tool = SpinStreams(_bottleneck_topology(fx.SNEAKY_COUNTER_PATH))
+        with pytest.raises(TopologyError, match="SS201"):
+            tool.eliminate_bottlenecks()
+
+
+def _fusion_topology(middle_class):
+    """A slow source over an under-utilized chain around ``middle``."""
+    return Topology(
+        operators=[
+            OperatorSpec("source", service_time=0.01),
+            OperatorSpec("left", service_time=0.0001),
+            OperatorSpec("middle", service_time=0.0001,
+                         operator_class=middle_class),
+            OperatorSpec("right", service_time=0.0001),
+            OperatorSpec("sink", service_time=0.0001,
+                         output_selectivity=0.0),
+        ],
+        edges=[Edge("source", "left"), Edge("left", "middle"),
+               Edge("middle", "right"), Edge("right", "sink")],
+        name="fusion-gate",
+    )
+
+
+class TestFusionExclusion:
+    def test_enumerate_candidates_respects_exclude(self):
+        topology = _fusion_topology(fx.JITTER_PATH)
+        candidates = enumerate_candidates(topology, exclude={"middle"})
+        assert candidates
+        assert all("middle" not in c.members for c in candidates)
+
+    def test_auto_fuse_keeps_impure_operators_standalone(self):
+        topology = _fusion_topology(fx.JITTER_PATH)
+        result = auto_fuse(topology)
+        assert result.plans  # something still fused around it
+        assert all("middle" not in plan.members for plan in result.plans)
+        assert "middle" in result.fused.names
+
+    def test_code_safety_off_allows_fusing_impure_operators(self):
+        topology = _fusion_topology(fx.JITTER_PATH)
+        result = auto_fuse(topology, code_safety=False)
+        assert any("middle" in plan.members for plan in result.plans)
+
+    def test_pure_operators_fuse_by_default(self):
+        topology = _fusion_topology(fx.QUIET_PATH)
+        result = auto_fuse(topology)
+        assert any("middle" in plan.members for plan in result.plans)
+
+
+def _executable_topology(work_class):
+    """A runnable pipeline: every operator names a class (codegen
+    requires it)."""
+    return Topology(
+        operators=[
+            OperatorSpec(
+                "source", service_time=0.001,
+                operator_class="repro.operators.source_sink.GeneratorSource"),
+            OperatorSpec("work", service_time=0.0005,
+                         operator_class=work_class),
+            OperatorSpec(
+                "sink", service_time=0.0002, state=StateKind.STATEFUL,
+                output_selectivity=0.0,
+                operator_class="repro.operators.source_sink.CountingSink"),
+        ],
+        edges=[Edge("source", "work"), Edge("work", "sink")],
+        name="codegen-gate",
+    )
+
+
+class TestCodegenHeader:
+    def test_generated_program_embeds_lint_report(self):
+        code = generate_code(_executable_topology(fx.SNEAKY_COUNTER_PATH))
+        assert "# Static checks (spinstreams lint)" in code
+        assert "SS201" in code
+        compile(code, "<generated>", "exec")  # header must stay valid code
+
+    def test_clean_topology_gets_clean_header(self):
+        code = generate_code(_executable_topology(fx.HONEST_MAP_PATH))
+        assert "# Static checks (spinstreams lint): clean" in code
+
+    def test_header_can_be_disabled(self):
+        code = generate_code(
+            _executable_topology(fx.HONEST_MAP_PATH),
+            config=CodegenConfig(include_lint=False),
+        )
+        assert "Static checks" not in code
+
+
+class TestShrinkLintAttachment:
+    def test_shrunk_kernel_carries_its_lint_report(self):
+        topology = _bottleneck_topology(fx.SNEAKY_COUNTER_PATH)
+        result = shrink(topology, lambda t: "work" in t.names)
+        assert result.lint is not None
+        assert result.lint.has("SS201")
+
+    def test_edge_capacity_survives_shrinking(self):
+        topology = Topology(
+            operators=[
+                OperatorSpec("source", service_time=0.001),
+                OperatorSpec("a", service_time=0.0005),
+                OperatorSpec("b", service_time=0.0005),
+                OperatorSpec("sink", service_time=0.0002,
+                             output_selectivity=0.0),
+            ],
+            edges=[Edge("source", "a", capacity=7),
+                   Edge("a", "b", capacity=7), Edge("b", "sink")],
+            name="capacities",
+        )
+        result = shrink(topology, lambda t: "a" in t.names)
+        kept = {(e.source, e.target): e.capacity
+                for e in result.reduced.edges}
+        assert kept[("source", "a")] == 7
+
+
+def test_tool_lint_entry_point():
+    tool = SpinStreams(_bottleneck_topology(fx.SNEAKY_COUNTER_PATH))
+    report = tool.lint()
+    assert report.has("SS201")
+    assert not tool.lint(check_code=False).has("SS201")

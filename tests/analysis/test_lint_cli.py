@@ -1,0 +1,68 @@
+"""``spinstreams lint``: text/JSON output and severity exit codes."""
+
+import json
+import os
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "examples", "topologies")
+
+
+def _fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+class TestExitCodes:
+    def test_clean_topology_exits_zero(self, capsys):
+        code = main(["lint", _fixture("ss101_clean.xml")])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warning_exits_one(self, capsys):
+        code = main(["lint", _fixture("ss116_trigger.xml")])
+        assert code == 1
+        assert "SS116" in capsys.readouterr().out
+
+    def test_error_exits_two(self, capsys):
+        code = main(["lint", _fixture("ss108_trigger.xml")])
+        assert code == 2
+        assert "SS108" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_json_report_schema(self, capsys):
+        code = main(["lint", "--json", _fixture("ss108_trigger.xml")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["exit_code"] == 2
+        assert payload["counts"]["error"] >= 1
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "SS108" in rules
+
+    def test_report_written_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(["lint", "--json", "-o", str(out),
+                     _fixture("ss101_clean.xml")])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert "written to" in capsys.readouterr().out
+
+
+class TestCodePass:
+    def test_examples_lint_clean(self, capsys):
+        """The shipped example topologies must stay error-free (the CI
+        lint-smoke job enforces the same invariant)."""
+        for name in sorted(os.listdir(EXAMPLES)):
+            code = main(["lint", os.path.join(EXAMPLES, name)])
+            capsys.readouterr()
+            assert code == 0, f"{name} has lint findings"
+
+    def test_no_code_flag_skips_opcode_pass(self, capsys):
+        path = os.path.join(EXAMPLES, "runnable_pipeline.xml")
+        code = main(["lint", "--json", "--no-code", path])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["passes"] == ["graph"]

@@ -1,0 +1,100 @@
+"""Strict vs lenient semantic validation at parse time.
+
+Strict parsing (the default) rejects probability mass != 1 and
+non-positive buffer capacities with an :class:`XmlFormatError` naming
+the offending operator or edge; ``strict=False`` keeps the lenient
+behavior (renormalize / drop) that the conformance shrinker relies on.
+"""
+
+import math
+
+import pytest
+
+from repro.core.graph import Edge, TopologyError
+from repro.topology.xmlio import (
+    XmlFormatError,
+    parse_draft,
+    parse_topology,
+    topology_to_xml,
+)
+
+BAD_MASS = """<topology name="bad-mass">
+  <operator name="source" type="stateless" service-time="1.0" time-unit="ms" />
+  <operator name="work" type="stateless" service-time="0.5" time-unit="ms" />
+  <operator name="other" type="stateless" service-time="0.5" time-unit="ms" />
+  <operator name="sink" type="stateless" service-time="0.2" time-unit="ms" output-selectivity="0.0" />
+  <edge from="source" to="work" probability="0.6" />
+  <edge from="source" to="other" probability="0.2" />
+  <edge from="work" to="sink" />
+  <edge from="other" to="sink" />
+</topology>
+"""
+
+BAD_CAPACITY = """<topology name="bad-capacity">
+  <operator name="source" type="stateless" service-time="1.0" time-unit="ms" />
+  <operator name="sink" type="stateless" service-time="0.2" time-unit="ms" output-selectivity="0.0" />
+  <edge from="source" to="sink" buffer-capacity="0" />
+</topology>
+"""
+
+GOOD_CAPACITY = BAD_CAPACITY.replace("bad-capacity", "good-capacity").replace(
+    'buffer-capacity="0"', 'buffer-capacity="16"')
+
+
+class TestStrictParsing:
+    def test_probability_mass_violation_names_the_operator(self):
+        with pytest.raises(XmlFormatError,
+                           match=r"operator 'source'.*sum to 0\.8"):
+            parse_topology(BAD_MASS)
+
+    def test_bad_capacity_names_the_edge(self):
+        with pytest.raises(XmlFormatError,
+                           match=r"edge 'source->sink'.*capacity"):
+            parse_topology(BAD_CAPACITY)
+
+    def test_error_is_a_topology_error(self):
+        """Callers catching TopologyError keep working."""
+        with pytest.raises(TopologyError):
+            parse_topology(BAD_MASS)
+
+
+class TestLenientEscapeHatch:
+    def test_mass_is_renormalized(self):
+        topology = parse_topology(BAD_MASS, strict=False)
+        total = sum(e.probability for e in topology.out_edges("source"))
+        assert math.isclose(total, 1.0)
+        by_target = {e.target: e.probability
+                     for e in topology.out_edges("source")}
+        assert math.isclose(by_target["work"], 0.75)
+
+    def test_invalid_capacity_is_dropped(self):
+        topology = parse_topology(BAD_CAPACITY, strict=False)
+        (edge,) = topology.edges
+        assert edge.capacity is None
+
+    def test_draft_preserves_raw_values_for_the_linter(self):
+        draft = parse_draft(BAD_MASS)
+        assert math.isclose(draft.out_mass()["source"], 0.8)
+
+
+class TestBufferCapacity:
+    def test_capacity_parses_onto_the_edge(self):
+        topology = parse_topology(GOOD_CAPACITY)
+        (edge,) = topology.edges
+        assert edge.capacity == 16
+
+    def test_capacity_round_trips_through_xml(self):
+        topology = parse_topology(GOOD_CAPACITY)
+        text = topology_to_xml(topology)
+        assert 'buffer-capacity="16"' in text
+        again = parse_topology(text)
+        assert again.edges[0].capacity == 16
+
+    def test_edge_rejects_non_positive_capacity(self):
+        with pytest.raises(TopologyError, match="capacity"):
+            Edge("a", "b", capacity=0)
+
+    def test_unparseable_capacity_is_lexical(self):
+        with pytest.raises(XmlFormatError):
+            parse_draft(GOOD_CAPACITY.replace('buffer-capacity="16"',
+                                              'buffer-capacity="many"'))
