@@ -15,16 +15,30 @@ regressions instead of anecdotes:
   automatic fusion, then the conformance-style final prediction) over
   the ten-entry testbed, reporting how many of the requested analyses
   were answered by full fixed-point solves versus memo hits and
-  incremental re-solves (:mod:`repro.core.solver`).
+  incremental re-solves (:mod:`repro.core.solver`);
+* **fusion benchmark** — tuples/second through a pure map→filter fused
+  chain executed by the Algorithm 4 meta-operator dispatch loop versus
+  the loop-compiled form (:mod:`repro.codegen.fuseloop`), both driven
+  synchronously so the ratio isolates per-tuple dispatch overhead;
+* **batching benchmark** — end-to-end tuples/second of the threaded
+  runtime on a source→identity→sink chain, unbatched versus batched
+  mailboxes (the per-message hop amortization the batching cost model
+  predicts).
 
-The JSON layout (``spinstreams bench -o BENCH_3.json``)::
+The JSON layout (``spinstreams bench -o BENCH_6.json``)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "quick": false,
       "des": {"fig11": {"events_per_sec": ..., "events": ...}, ...},
       "solver": {"solve_requests": ..., "full_solves": ...,
-                 "solve_reduction": ..., "elapsed_sec": ...}
+                 "solve_reduction": ..., "elapsed_sec": ...},
+      "fusion": {"map_filter_dispatched": {"tuples_per_sec": ...},
+                 "map_filter_loop": {"tuples_per_sec": ...},
+                 "loop_speedup": ...},
+      "batching": {"runtime_unbatched": {"tuples_per_sec": ...},
+                   "runtime_batched_8": {"tuples_per_sec": ...},
+                   "batching_speedup": ...}
     }
 
 ``--baseline`` compares against a committed file and exits non-zero on
@@ -162,34 +176,243 @@ def solver_benchmark(quick: bool = False) -> Dict[str, float]:
     }
 
 
-def run_benchmarks(quick: bool = False) -> Dict[str, object]:
-    """The full suite; the returned dict is the ``BENCH_*.json`` payload."""
+def _map_filter_case():
+    """The fused map→filter chain both fusion backends execute."""
+    from repro.core.fusion import plan_fusion
+
+    topology = Topology(
+        [
+            OperatorSpec("source", 1e-4, operator_class=(
+                "repro.operators.source_sink.GeneratorSource")),
+            OperatorSpec("map", 1e-4,
+                         operator_class="repro.operators.basic.FieldMap",
+                         operator_args={"field": "value"}),
+            OperatorSpec("filt", 1e-4, output_selectivity=0.5,
+                         operator_class="repro.operators.basic.Filter",
+                         operator_args={"threshold": 0.5}),
+            OperatorSpec("sink", 1e-4, operator_class=(
+                "repro.operators.source_sink.CollectingSink")),
+        ],
+        [Edge("source", "map"), Edge("map", "filt"), Edge("filt", "sink")],
+        name="bench-map-filter",
+    )
+    return topology, plan_fusion(topology, ["map", "filt"])
+
+
+def _fresh_members():
+    from repro.operators.basic import FieldMap, Filter
+
+    return {"map": FieldMap(field="value"), "filt": Filter(threshold=0.5)}
+
+
+def meta_dispatch_tuples_per_second(items: int, repeats: int = 3) -> float:
+    """Synchronous Algorithm 4 dispatch rate of the map→filter chain.
+
+    Drives :meth:`MetaOperatorActor.handle` directly (no threads, no
+    mailbox waits), so the measured cost is exactly the per-tuple
+    dispatch work the loop-compiled form eliminates.
+    """
+    import threading
+
+    from repro.operators.base import Record
+    from repro.operators.source_sink import GeneratorSource
+    from repro.runtime.actors import Router, Target
+    from repro.runtime.mailbox import BoundedMailbox
+    from repro.runtime.meta import MetaOperatorActor
+
+    class _CountTarget(Target):
+        def __init__(self, name: str) -> None:
+            self.name = name
+            self.delivered = 0
+
+        def deliver(self, payload, origin) -> bool:
+            self.delivered += 1
+            return True
+
+    _, plan = _map_filter_case()
+    source = GeneratorSource(seed=5)
+    records = [source.operator_function(i)[0] for i in range(items)]
+    best = 0.0
+    for _ in range(repeats):
+        router = Router(plan.fused_name)
+        router.add(1.0, _CountTarget("sink"))
+        actor = MetaOperatorActor(
+            plan.fused_name, plan, _fresh_members(), router,
+            BoundedMailbox(capacity=4), threading.Event(),
+        )
+        started = time.perf_counter()
+        for record in records:
+            actor.handle((Record(record), "source"))
+        elapsed = time.perf_counter() - started
+        best = max(best, items / elapsed)
+    return best
+
+
+def loop_compiled_tuples_per_second(items: int, repeats: int = 3) -> float:
+    """Loop-compiled execution rate of the same map→filter chain."""
+    from repro.codegen.fuseloop import LoopOperator
+    from repro.operators.base import Record
+    from repro.operators.source_sink import GeneratorSource
+
+    _, plan = _map_filter_case()
+    source = GeneratorSource(seed=5)
+    records = [source.operator_function(i)[0] for i in range(items)]
+    best = 0.0
+    for _ in range(repeats):
+        fused_loop = LoopOperator(plan, _fresh_members()).operator_function
+        sink: List[object] = []
+        started = time.perf_counter()
+        for record in records:
+            sink.extend(fused_loop(Record(record)))
+        elapsed = time.perf_counter() - started
+        best = max(best, items / elapsed)
+    return best
+
+
+def fusion_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Dispatched vs loop-compiled tuples/sec on the map→filter chain."""
+    items = 20_000 if quick else 100_000
+    repeats = 1 if quick else 3
+    dispatched = meta_dispatch_tuples_per_second(items, repeats=repeats)
+    loop = loop_compiled_tuples_per_second(items, repeats=repeats)
     return {
-        "schema": 1,
-        "quick": quick,
-        "des": des_benchmarks(quick=quick),
-        "solver": solver_benchmark(quick=quick),
+        "map_filter_dispatched": {"tuples_per_sec": round(dispatched, 1),
+                                  "items": items},
+        "map_filter_loop": {"tuples_per_sec": round(loop, 1),
+                            "items": items},
+        "loop_speedup": round(loop / dispatched, 2),
     }
 
 
-def format_results(results: Dict[str, object]) -> str:
-    lines: List[str] = ["DES engine:"]
-    for name, figures in results["des"].items():
-        lines.append(
-            f"  {name:<14} {figures['events_per_sec']:>12,.0f} events/sec "
-            f"({figures['events']:,} events, "
-            f"{figures['operators']} operators)"
-        )
-    solver = results["solver"]
-    lines.append(
-        f"solver ({solver['topologies']} testbed optimizations): "
-        f"{solver['solve_requests']} analyses -> "
-        f"{solver['full_solves']} full solves "
-        f"({solver['incremental_solves']} incremental, "
-        f"{solver['cache_hits']} cached) — "
-        f"{solver['solve_reduction']:.1f}x fewer fixed points, "
-        f"{solver['elapsed_sec'] * 1e3:.0f} ms"
+def runtime_tuples_per_second(batch_size: int, items: int,
+                              flush_timeout: float = 0.01) -> float:
+    """End-to-end threaded-runtime rate of a source→identity→sink chain.
+
+    The operators are unpadded (near-zero service time), so the mailbox
+    hop dominates and the measured rate responds directly to batching.
+    """
+    from repro.runtime.system import ActorSystem, RuntimeConfig
+
+    topology = Topology(
+        [
+            OperatorSpec("source", 1e-5, operator_class=(
+                "repro.operators.source_sink.GeneratorSource"),
+                operator_args={"seed": 5}),
+            OperatorSpec("ident", 1e-5,
+                         operator_class="repro.operators.basic.Identity"),
+            OperatorSpec("sink", 1e-5, operator_class=(
+                "repro.operators.source_sink.CountingSink")),
+        ],
+        [Edge("source", "ident"), Edge("ident", "sink")],
+        name="bench-batching",
     )
+    factories = {
+        spec.name: (lambda path=spec.operator_class,
+                    args=spec.operator_args: _instantiate(path, args))
+        for spec in topology.operators
+    }
+    system = ActorSystem.build(
+        topology, factories,
+        config=RuntimeConfig(mailbox_capacity=64, max_items=items, seed=5,
+                             watchdog=False, batch_size=batch_size,
+                             batch_flush_timeout=flush_timeout),
+    )
+    counting = next(actor.operator for actor in system.actors
+                    if actor.vertex == "sink")
+    started = time.perf_counter()
+    system.start()
+    try:
+        deadline = started + 60.0
+        if system.source_actor is not None:
+            system.source_actor.join(timeout=60.0)
+        while counting.count < items and time.perf_counter() < deadline:
+            time.sleep(0.002)
+        elapsed = time.perf_counter() - started
+    finally:
+        system.stop()
+    return counting.count / elapsed
+
+
+def _instantiate(path, args):
+    from repro.operators.base import instantiate_operator
+
+    return instantiate_operator(path, args)
+
+
+def batching_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Unbatched vs batched threaded-runtime rates."""
+    items = 10_000 if quick else 50_000
+    unbatched = runtime_tuples_per_second(1, items)
+    batched = runtime_tuples_per_second(8, items)
+    return {
+        "runtime_unbatched": {"tuples_per_sec": round(unbatched, 1),
+                              "items": items},
+        "runtime_batched_8": {"tuples_per_sec": round(batched, 1),
+                              "items": items},
+        "batching_speedup": round(batched / unbatched, 2),
+    }
+
+
+def run_benchmarks(quick: bool = False,
+                   batching_only: bool = False) -> Dict[str, object]:
+    """The full suite; the returned dict is the ``BENCH_*.json`` payload.
+
+    With ``batching_only`` (the ``spinstreams bench --batching`` flag)
+    only the fusion and batching sections run — the transport-level
+    tuple rates — skipping the DES and solver suites.
+    """
+    results: Dict[str, object] = {
+        "schema": 2,
+        "quick": quick,
+    }
+    if not batching_only:
+        results["des"] = des_benchmarks(quick=quick)
+        results["solver"] = solver_benchmark(quick=quick)
+    results["fusion"] = fusion_benchmarks(quick=quick)
+    results["batching"] = batching_benchmarks(quick=quick)
+    return results
+
+
+def format_results(results: Dict[str, object]) -> str:
+    lines: List[str] = []
+    des = results.get("des")
+    if des:
+        lines.append("DES engine:")
+        for name, figures in des.items():
+            lines.append(
+                f"  {name:<14} {figures['events_per_sec']:>12,.0f} "
+                f"events/sec ({figures['events']:,} events, "
+                f"{figures['operators']} operators)"
+            )
+    solver = results.get("solver")
+    if solver:
+        lines.append(
+            f"solver ({solver['topologies']} testbed optimizations): "
+            f"{solver['solve_requests']} analyses -> "
+            f"{solver['full_solves']} full solves "
+            f"({solver['incremental_solves']} incremental, "
+            f"{solver['cache_hits']} cached) — "
+            f"{solver['solve_reduction']:.1f}x fewer fixed points, "
+            f"{solver['elapsed_sec'] * 1e3:.0f} ms"
+        )
+    fusion = results.get("fusion")
+    if fusion:
+        lines.append(
+            "fusion (map->filter chain, synchronous): "
+            f"{fusion['map_filter_dispatched']['tuples_per_sec']:,.0f} "
+            "tuples/sec dispatched -> "
+            f"{fusion['map_filter_loop']['tuples_per_sec']:,.0f} "
+            f"loop-compiled ({fusion['loop_speedup']:.1f}x)"
+        )
+    batching = results.get("batching")
+    if batching:
+        lines.append(
+            "batching (threaded runtime, 3-stage chain): "
+            f"{batching['runtime_unbatched']['tuples_per_sec']:,.0f} "
+            "tuples/sec unbatched -> "
+            f"{batching['runtime_batched_8']['tuples_per_sec']:,.0f} "
+            f"batch=8 ({batching['batching_speedup']:.2f}x)"
+        )
     return "\n".join(lines)
 
 
@@ -209,7 +432,8 @@ def compare_to_baseline(
     deterministic and always gated.
     """
     violations: List[str] = []
-    des_comparable = results.get("quick") == baseline.get("quick")
+    des_comparable = (results.get("quick") == baseline.get("quick")
+                      and "des" in results)
     for name, base_figures in (baseline.get("des", {}).items()
                                if des_comparable else ()):
         current = results["des"].get(name)
@@ -224,8 +448,19 @@ def compare_to_baseline(
                 f"(baseline {base_figures['events_per_sec']:,.0f}, "
                 f"-{threshold:.0%})"
             )
+    # The fusion speedup is a ratio of two same-process measurements, so
+    # unlike raw rates it is comparable across modes and machines.
+    base_fusion = baseline.get("fusion")
+    if base_fusion is not None and "fusion" in results:
+        floor = base_fusion["loop_speedup"] * (1.0 - threshold)
+        current = results["fusion"]["loop_speedup"]
+        if current < floor:
+            violations.append(
+                f"fusion loop speedup: {current:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base_fusion['loop_speedup']:.2f}x)"
+            )
     base_solver = baseline.get("solver")
-    if base_solver is not None:
+    if base_solver is not None and "solver" in results:
         floor = base_solver["solve_reduction"] * (1.0 - threshold)
         current = results["solver"]["solve_reduction"]
         if current < floor:
@@ -240,9 +475,10 @@ def main(
     output: Optional[str] = None,
     baseline_path: Optional[str] = None,
     quick: bool = False,
+    batching_only: bool = False,
 ) -> int:
     """Entry point of ``spinstreams bench``; returns the exit code."""
-    results = run_benchmarks(quick=quick)
+    results = run_benchmarks(quick=quick, batching_only=batching_only)
     print(format_results(results))
     if output is not None:
         with open(output, "w", encoding="utf-8") as handle:

@@ -485,7 +485,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
     return bench_main(output=args.output, baseline_path=args.baseline,
-                      quick=args.quick)
+                      quick=args.quick, batching_only=args.batching)
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -661,6 +661,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "write a BENCH_*.json baseline")
     p.add_argument("--quick", action="store_true",
                    help="reduced budgets (CI smoke job)")
+    p.add_argument("--batching", action="store_true",
+                   help="only the fusion/batching transport benchmarks "
+                        "(loop-compiled vs dispatched, batched vs "
+                        "unbatched mailboxes)")
     p.add_argument("-o", "--output", default=None,
                    help="write the results JSON here (e.g. BENCH_3.json)")
     p.add_argument("--baseline", default=None,

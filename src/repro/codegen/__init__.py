@@ -1,5 +1,29 @@
 """SS2Py code generation: abstract topologies to runnable programs."""
 
+from repro.codegen.fuseloop import (
+    ExecutionChoice,
+    LoopEligibility,
+    LoopOperator,
+    chain_of,
+    choose_execution,
+    compile_loop,
+    generate_loop_source,
+    loop_eligibility,
+    loop_eligibility_from_operators,
+)
 from repro.codegen.ss2py import CodegenConfig, generate_code, write_code
 
-__all__ = ["CodegenConfig", "generate_code", "write_code"]
+__all__ = [
+    "CodegenConfig",
+    "ExecutionChoice",
+    "LoopEligibility",
+    "LoopOperator",
+    "chain_of",
+    "choose_execution",
+    "compile_loop",
+    "generate_code",
+    "generate_loop_source",
+    "loop_eligibility",
+    "loop_eligibility_from_operators",
+    "write_code",
+]

@@ -34,11 +34,35 @@ def deployment_plan(
     topology: Topology,
     analysis: Optional[SteadyStateResult] = None,
     fusion_plans: Sequence[FusionPlan] = (),
+    original: Optional[Topology] = None,
+    utilization_threshold: Optional[float] = None,
 ) -> Dict[str, Any]:
-    """A framework-neutral deployment descriptor of an optimized topology."""
+    """A framework-neutral deployment descriptor of an optimized topology.
+
+    When ``original`` (the pre-fusion topology, carrying the member
+    operator classes) is provided, every fused vertex also carries its
+    chosen execution backend — ``"loop-compiled"`` for SS2xx-pure linear
+    chains hot enough to pay for it, ``"meta-actor"`` otherwise — as
+    decided by :func:`repro.codegen.fuseloop.choose_execution` from the
+    solver's utilization numbers.
+    """
     if analysis is None:
         analysis = analyze(topology)
     fused = {plan.fused_name: plan for plan in fusion_plans}
+    choices: Dict[str, Any] = {}
+    if original is not None and fused:
+        from repro.codegen.fuseloop import (
+            DEFAULT_UTILIZATION_THRESHOLD,
+            choose_execution,
+        )
+        threshold = (utilization_threshold
+                     if utilization_threshold is not None
+                     else DEFAULT_UTILIZATION_THRESHOLD)
+        choices = {
+            name: choose_execution(plan, original, analysis=analysis,
+                                   utilization_threshold=threshold)
+            for name, plan in fused.items()
+        }
 
     operators: List[Dict[str, Any]] = []
     for spec in topology.operators:
@@ -66,6 +90,12 @@ def deployment_plan(
             plan = fused[spec.name]
             entry["fused_members"] = list(plan.members)
             entry["fused_front_end"] = plan.front_end
+            choice = choices.get(spec.name)
+            if choice is not None:
+                entry["execution"] = ("loop-compiled"
+                                      if choice.execution == "loop"
+                                      else "meta-actor")
+                entry["execution_reason"] = choice.reason
         operators.append(entry)
 
     return {

@@ -1,0 +1,373 @@
+"""Fusion-to-loop code generation (Kiselyov-style stream fusion).
+
+The meta-operator actor (:mod:`repro.runtime.meta`, Algorithm 4) already
+removes the *mailbox hops* between fused members, but it still pays a
+per-item dispatch: a deque of ``(member, item, origin)`` work units, a
+routing-table lookup and an RNG-guarded pick per output.  *Stream
+Fusion, to Completeness* (Kiselyov et al., PAPERS.md) shows a fused
+chain should instead compile to one tight loop with the member functions
+inlined as locals — no dispatch, no queue, no routing.
+
+This module generates exactly that loop for *linear* fusion plans:
+
+* :func:`chain_of` — the structural linear order of a plan's members
+  (every member has at most one out-edge and the internal edges form a
+  path from the front-end);
+* :func:`loop_eligibility` / :func:`loop_eligibility_from_operators` —
+  the safety gate: only chains whose every member the SS2xx operator
+  code analyzer (:mod:`repro.analysis.opcode`) proves *pure* (no
+  nondeterminism, no I/O) and honestly declared (no SS202 state
+  mismatch) may be loop-compiled;
+* :func:`generate_loop_source` / :func:`compile_loop` — the generated
+  ``make_fused_loop`` source and its compiled form;
+* :class:`LoopOperator` — an :class:`~repro.operators.base.Operator`
+  wrapping the compiled loop so a plain ``OperatorActor`` can execute
+  the fused vertex;
+* :func:`choose_execution` — the planner policy picking loop-compiled
+  vs actor-backed meta-operators from solver utilization numbers.
+
+Equivalence argument (checked by the differential test layer in
+:mod:`repro.testing.differential`): for a linear chain the meta-actor's
+breadth-first deque and the generated nested loop feed every member the
+*same per-member item subsequence* — both preserve the FIFO order of
+each member's inputs — so member state evolves identically and the
+externally emitted sequence is identical.  Members with several
+out-edges are rejected because the meta-actor would consume RNG state
+to route them, which a loop cannot replay without re-implementing the
+sampler; non-linear plans are rejected because breadth-first and
+depth-first interleavings of *different* members' external emissions can
+diverge.  Stateful-but-pure members (e.g. collecting sinks) are safe
+under these restrictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.opcode import OperatorCodeFacts, analyze_operator_class, try_analyze
+from repro.core.fusion import FusionPlan
+from repro.core.graph import Topology, TopologyError
+from repro.core.steady_state import SteadyStateResult
+from repro.operators.base import (
+    Operator,
+    StateKind,
+    WrappedItem,
+    destination_of,
+    unwrap,
+)
+
+#: Fused vertices at or above this predicted utilization default to the
+#: loop-compiled execution: per-item dispatch overhead is paid once per
+#: tuple, so it matters exactly where tuples are hottest.
+DEFAULT_UTILIZATION_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class LoopEligibility:
+    """Verdict of the loop-compilation safety gate for one fusion plan."""
+
+    plan: FusionPlan
+    eligible: bool
+    #: Linear member order when the structure admits one, else ``()``.
+    chain: Tuple[str, ...]
+    #: Human-readable reasons the plan was rejected (empty if eligible).
+    reasons: Tuple[str, ...]
+
+
+def chain_of(plan: FusionPlan) -> Optional[Tuple[str, ...]]:
+    """The linear member order of a plan, or ``None`` if not a chain.
+
+    A plan is a chain when every member has at most one out-edge in the
+    original topology and the internal edges form a single path visiting
+    every member, starting at the front-end.  Only the last member may
+    have an external (or no) out-edge.
+    """
+    out_edges: Dict[str, List[str]] = {member: [] for member in plan.members}
+    for edge in plan.member_edges:
+        out_edges[edge.source].append(edge.target)
+    if any(len(targets) > 1 for targets in out_edges.values()):
+        return None
+    members = frozenset(plan.members)
+    chain: List[str] = [plan.front_end]
+    seen = {plan.front_end}
+    current = plan.front_end
+    while True:
+        targets = out_edges[current]
+        if not targets or targets[0] not in members:
+            break
+        current = targets[0]
+        if current in seen:
+            return None  # cycle — cannot happen in valid plans, be safe
+        seen.add(current)
+        chain.append(current)
+    if len(chain) != len(plan.members):
+        return None  # members off the path (a tree or diamond, not a chain)
+    return tuple(chain)
+
+
+def _gate(plan: FusionPlan,
+          facts_of: Callable[[str], Tuple[Optional[OperatorCodeFacts], str]],
+          ) -> LoopEligibility:
+    """Shared eligibility logic over a per-member facts provider."""
+    reasons: List[str] = []
+    chain = chain_of(plan)
+    if chain is None:
+        reasons.append(
+            "members do not form a linear chain with single out-edges "
+            "(meta-actor routing would consume RNG state)")
+    for member in plan.members:
+        facts, label = facts_of(member)
+        if facts is None:
+            reasons.append(f"{member}: {label}")
+            continue
+        if not facts.pure:
+            reasons.append(
+                f"{member}: not pure ({facts.evidence or 'nondeterminism/IO'})")
+        if facts.mismatch:
+            reasons.append(
+                f"{member}: declared state kind understates the code "
+                f"({facts.evidence})")
+    return LoopEligibility(
+        plan=plan,
+        eligible=not reasons,
+        chain=chain or (),
+        reasons=tuple(reasons),
+    )
+
+
+def loop_eligibility(plan: FusionPlan, topology: Topology) -> LoopEligibility:
+    """Gate one plan against the *original* topology's operator classes.
+
+    ``topology`` must be the pre-fusion topology (it carries the member
+    specs); members without an ``operator_class`` or whose source the
+    SS2xx analyzer cannot load are conservatively rejected.
+    """
+
+    def facts_of(member: str):
+        if member not in topology:
+            return None, "member spec missing from topology"
+        class_path = topology.operator(member).operator_class
+        if not class_path:
+            return None, "no operator_class to analyze"
+        facts = try_analyze(class_path)
+        if facts is None:
+            return None, f"operator class {class_path!r} cannot be analyzed"
+        return facts, class_path
+
+    return _gate(plan, facts_of)
+
+
+def loop_eligibility_from_operators(
+    plan: FusionPlan,
+    members: Mapping[str, Operator],
+) -> LoopEligibility:
+    """Gate one plan by analyzing the *instantiated* member operators.
+
+    Used by the runtime, which holds live operator instances instead of
+    a pre-fusion topology; wrapper classes (e.g. fault-injecting
+    decorators) naturally fail the purity analysis and force the
+    meta-actor fallback.
+    """
+
+    def facts_of(member: str):
+        operator = members.get(member)
+        if operator is None:
+            return None, "no operator instance"
+        cls = type(operator)
+        try:
+            facts = analyze_operator_class(cls)
+        except (OSError, TypeError, SyntaxError) as exc:
+            return None, f"class {cls.__name__} cannot be analyzed: {exc}"
+        return facts, cls.__name__
+
+    return _gate(plan, facts_of)
+
+
+# ----------------------------------------------------------------------
+# code generation
+
+
+def _identifier(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "op_" + cleaned
+    return cleaned
+
+
+def generate_loop_source(plan: FusionPlan,
+                         chain: Optional[Sequence[str]] = None) -> str:
+    """Source of ``make_fused_loop(members)`` for one linear plan.
+
+    The factory binds every member's ``operator_function`` to a local
+    (one attribute lookup per member per *run*, not per item) and
+    returns the fused loop: nested ``for`` loops following the chain,
+    with the origin stamping the meta-actor performs replicated inline.
+    Outputs pinned to a destination outside the chain short-circuit to
+    the external list; everything the last member emits leaves the loop
+    and is routed by the enclosing actor using the fused vertex's edges.
+    """
+    if chain is None:
+        chain = chain_of(plan)
+    if chain is None:
+        raise TopologyError(
+            f"fusion plan {plan.fused_name!r} is not a linear chain; "
+            "loop compilation is only defined for chains"
+        )
+    if tuple(chain) and set(chain) != set(plan.members):
+        raise TopologyError("chain must cover exactly the plan's members")
+
+    names = [_identifier(member) for member in chain]
+    lines: List[str] = []
+    lines.append(f"def make_fused_loop(members):")
+    lines.append(f'    """Compiled loop of fused chain '
+                 f'{" -> ".join(chain)}."""')
+    for member, name in zip(chain, names):
+        lines.append(f"    _fn_{name} = members[{member!r}].operator_function")
+    lines.append("")
+    lines.append("    def fused_loop(item):")
+    lines.append("        external = []")
+
+    indent = "        "
+    for index, (member, name) in enumerate(zip(chain, names)):
+        last = index == len(chain) - 1
+        source_var = "item" if index == 0 else f"item_{name}"
+        lines.append(f"{indent}for out_{name} in _fn_{name}({source_var}):")
+        indent += "    "
+        if last:
+            lines.append(f"{indent}external.append(out_{name})")
+            continue
+        next_member = chain[index + 1]
+        next_name = names[index + 1]
+        lines.append(f"{indent}dest_{name} = destination_of(out_{name})")
+        lines.append(f"{indent}if dest_{name} is not None "
+                     f"and dest_{name} != {next_member!r}:")
+        lines.append(f"{indent}    external.append(out_{name})")
+        lines.append(f"{indent}    continue")
+        lines.append(f"{indent}item_{next_name} = unwrap(out_{name})")
+        lines.append(f"{indent}if isinstance(item_{next_name}, dict):")
+        lines.append(f"{indent}    item_{next_name}['origin'] = {member!r}")
+    lines.append("        return external")
+    lines.append("")
+    lines.append("    return fused_loop")
+    return "\n".join(lines) + "\n"
+
+
+def compile_loop(plan: FusionPlan,
+                 chain: Optional[Sequence[str]] = None,
+                 ) -> Callable[[Mapping[str, Operator]],
+                               Callable[[object], List[object]]]:
+    """Compile the generated source; returns the ``make_fused_loop`` factory."""
+    source = generate_loop_source(plan, chain)
+    namespace: Dict[str, object] = {
+        "destination_of": destination_of,
+        "unwrap": unwrap,
+        "WrappedItem": WrappedItem,
+    }
+    exec(compile(source, f"<fuseloop:{plan.fused_name}>", "exec"), namespace)
+    return namespace["make_fused_loop"]  # type: ignore[return-value]
+
+
+class LoopOperator(Operator):
+    """The fused chain as one operator running the compiled loop.
+
+    Executed by a plain ``OperatorActor``: one mailbox, zero internal
+    hops, zero per-member dispatch.  Declared stateful so no later
+    transformation replicates it — members may legitimately hold state
+    (pure ≠ stateless; a collecting sink is pure and stateful).
+    """
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, plan: FusionPlan,
+                 members: Mapping[str, Operator],
+                 chain: Optional[Sequence[str]] = None) -> None:
+        if chain is None:
+            chain = chain_of(plan)
+            if chain is None:
+                raise TopologyError(
+                    f"fusion plan {plan.fused_name!r} is not loop-compilable")
+        missing = sorted(set(plan.members) - set(members))
+        if missing:
+            raise ValueError(f"missing member operators: {missing}")
+        self.plan = plan
+        self.chain = tuple(chain)
+        self.members = dict(members)
+        self.output_selectivity = plan.output_selectivity
+        self._loop = compile_loop(plan, self.chain)(self.members)
+
+    def operator_function(self, item: object) -> List[object]:
+        return self._loop(item)
+
+    def on_start(self) -> None:
+        for member in self.chain:
+            self.members[member].on_start()
+
+    def on_stop(self) -> None:
+        for member in self.chain:
+            self.members[member].on_stop()
+
+    def describe(self) -> str:
+        return (f"LoopOperator({' -> '.join(self.chain)}, "
+                f"sel={self.output_selectivity:g})")
+
+
+# ----------------------------------------------------------------------
+# execution planning
+
+
+@dataclass(frozen=True)
+class ExecutionChoice:
+    """How one fused vertex should execute, and why."""
+
+    fused_name: str
+    #: ``"loop"`` (loop-compiled operator) or ``"meta"`` (meta-actor).
+    execution: str
+    utilization: Optional[float]
+    eligibility: LoopEligibility
+
+    @property
+    def reason(self) -> str:
+        if self.execution == "loop":
+            return (f"eligible chain, utilization "
+                    f"{self.utilization:.3f} >= threshold"
+                    if self.utilization is not None
+                    else "eligible chain")
+        if not self.eligibility.eligible:
+            return "; ".join(self.eligibility.reasons)
+        return (f"utilization {self.utilization:.3f} below threshold; "
+                "dispatch overhead negligible, meta-actor keeps member-"
+                "level supervision")
+
+
+def choose_execution(
+    plan: FusionPlan,
+    topology: Topology,
+    analysis: Optional[SteadyStateResult] = None,
+    utilization_threshold: float = DEFAULT_UTILIZATION_THRESHOLD,
+    eligibility: Optional[LoopEligibility] = None,
+) -> ExecutionChoice:
+    """Pick loop-compiled vs meta-actor execution for one fused vertex.
+
+    ``topology`` is the *original* (pre-fusion) topology; ``analysis``
+    is a solve of the *fused* topology (its rates contain the fused
+    vertex).  The policy: loop-compile when the SS2xx gate admits the
+    chain **and** the fused vertex's predicted utilization reaches the
+    threshold — per-item dispatch overhead scales with the tuple rate,
+    so the payoff concentrates on hot vertices, while cold vertices keep
+    the meta-actor's member-level supervision granularity.  Without an
+    ``analysis`` the utilization test is skipped (eligibility decides).
+    """
+    if eligibility is None:
+        eligibility = loop_eligibility(plan, topology)
+    utilization: Optional[float] = None
+    if analysis is not None and plan.fused_name in analysis.rates:
+        utilization = analysis.rates[plan.fused_name].utilization
+    hot = utilization is None or utilization >= utilization_threshold
+    execution = "loop" if (eligibility.eligible and hot) else "meta"
+    return ExecutionChoice(
+        fused_name=plan.fused_name,
+        execution=execution,
+        utilization=utilization,
+        eligibility=eligibility,
+    )

@@ -41,6 +41,16 @@ class CodegenConfig:
     #: Embed the static-analysis report as a comment header, so the
     #: generated program carries its own pre-deployment verdict.
     include_lint: bool = True
+    #: Fused-vertex execution backend passed to the generated
+    #: ``RuntimeConfig``: ``"meta"``, ``"loop"`` or ``"auto"``.  With
+    #: ``"auto"``/``"loop"`` the generated program also embeds the
+    #: compiled-loop sources as documentation comments (the runtime
+    #: recompiles them via :mod:`repro.codegen.fuseloop`).
+    fusion_mode: str = "meta"
+    #: Default mailbox batching of the generated run (tuples per
+    #: message; 1 = unbatched) and its partial-batch flush deadline.
+    batch_size: int = 1
+    batch_flush_timeout: float = 0.05
 
 
 def _literal(value: object) -> str:
@@ -90,8 +100,12 @@ def _spec_code(spec: OperatorSpec) -> str:
 def _edge_code(edge: Edge) -> str:
     capacity = (f", capacity={edge.capacity!r}"
                 if edge.capacity is not None else "")
+    batch = ""
+    if edge.batch is not None:
+        batch = (f", batch=BatchConfig(size={edge.batch.size}, "
+                 f"flush_timeout={edge.batch.flush_timeout!r})")
     return (f"Edge({edge.source!r}, {edge.target!r}, "
-            f"{edge.probability!r}{capacity})")
+            f"{edge.probability!r}{capacity}{batch})")
 
 
 def _lint_header(topology: Topology) -> List[str]:
@@ -166,7 +180,8 @@ def generate_code(
     write("\nimport argparse\n\n")
     write("from repro.core.fusion import FusionPlan\n")
     write("from repro.core.graph import (\n"
-          "    Edge, KeyDistribution, OperatorSpec, StateKind, Topology,\n"
+          "    BatchConfig, Edge, KeyDistribution, OperatorSpec, StateKind,\n"
+          "    Topology,\n"
           ")\n")
     write("from repro.core.steady_state import analyze\n")
     write("from repro.operators.base import instantiate_operator\n")
@@ -185,6 +200,25 @@ def generate_code(
     for plan in plans.values():
         write(f"    {_plan_code(plan)},\n")
     write("]\n\n\n")
+
+    if config.fusion_mode != "meta" and plans:
+        # Document the loop each eligible chain compiles to; the runtime
+        # regenerates and executes the same source via fuseloop.
+        from repro.codegen.fuseloop import generate_loop_source, loop_eligibility
+
+        assert original is not None
+        for plan in plans.values():
+            verdict = loop_eligibility(plan, original)
+            if verdict.eligible:
+                write(f"# Loop-compiled form of {plan.fused_name!r} "
+                      "(fusion-to-loop codegen):\n")
+                for line in generate_loop_source(plan, verdict.chain).splitlines():
+                    write(f"# {line}\n" if line else "#\n")
+            else:
+                write(f"# {plan.fused_name!r} stays on the meta-operator: "
+                      f"{'; '.join(verdict.reasons)}\n")
+            write("\n")
+        write("\n")
 
     write("def make_factories():\n")
     write('    """Fresh operator instances, one per replica."""\n')
@@ -219,6 +253,12 @@ def generate_code(
     write(f"            mailbox_capacity={config.mailbox_capacity},\n")
     write(f"            source_rate={source_rate!r},\n")
     write(f"            seed={config.seed},\n")
+    if config.fusion_mode != "meta":
+        write(f"            fusion_mode={config.fusion_mode!r},\n")
+    if config.batch_size != 1:
+        write(f"            batch_size={config.batch_size},\n")
+        write(f"            batch_flush_timeout="
+              f"{config.batch_flush_timeout!r},\n")
     write("        ),\n")
     write("        fusion_plans=FUSION_PLANS,\n")
     write("    )\n")

@@ -60,6 +60,31 @@ class AutoFusionResult:
     def rounds(self) -> int:
         return len(self.steps)
 
+    def executions(self, utilization_threshold: Optional[float] = None):
+        """Loop-compiled vs meta-actor choice per fused vertex.
+
+        Applies :func:`repro.codegen.fuseloop.choose_execution` to every
+        applied plan using this result's final analysis (the solver
+        utilization numbers) and the original topology's operator
+        classes for the SS2xx purity gate.  Plans whose members are
+        themselves fused vertices (multi-round collapses) conservatively
+        stay on the meta-actor.  Returns ``{fused_name:
+        ExecutionChoice}``.
+        """
+        from repro.codegen.fuseloop import (
+            DEFAULT_UTILIZATION_THRESHOLD,
+            choose_execution,
+        )
+        if utilization_threshold is None:
+            utilization_threshold = DEFAULT_UTILIZATION_THRESHOLD
+        return {
+            plan.fused_name: choose_execution(
+                plan, self.original, analysis=self.analysis,
+                utilization_threshold=utilization_threshold,
+            )
+            for plan in self.plans
+        }
+
 
 def auto_fuse(
     topology: Topology,

@@ -197,6 +197,30 @@ class OperatorSpec:
 
 
 @dataclass(frozen=True)
+class BatchConfig:
+    """Mailbox batching of one stream: message size and flush deadline.
+
+    ``size`` tuples are packed into one mailbox message before delivery,
+    amortizing the per-message hop cost; a partial batch older than
+    ``flush_timeout`` seconds is delivered anyway so idle or exhausted
+    senders never strand tuples.  ``size=1`` is semantically identical
+    to unbatched delivery (gated by the differential test layer).
+    """
+
+    size: int = 1
+    flush_timeout: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise TopologyError(
+                f"batch size must be >= 1, got {self.size}")
+        if self.flush_timeout <= 0.0:
+            raise TopologyError(
+                f"batch flush timeout must be positive, "
+                f"got {self.flush_timeout}")
+
+
+@dataclass(frozen=True)
 class Edge:
     """A directed stream between two operators with a routing probability.
 
@@ -204,13 +228,16 @@ class Edge:
     items).  ``None`` means "unspecified": the runtime falls back to its
     configured mailbox capacity.  When given it must be at least one —
     a BAS stream with a zero or negative buffer could never move an
-    item.
+    item.  ``batch`` optionally batches deliveries on this stream (see
+    :class:`BatchConfig`); ``None`` falls back to the runtime's global
+    batching configuration.
     """
 
     source: str
     target: str
     probability: float = 1.0
     capacity: Optional[int] = None
+    batch: Optional[BatchConfig] = None
 
     def __post_init__(self) -> None:
         if self.source == self.target:

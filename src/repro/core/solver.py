@@ -34,10 +34,10 @@ topologies.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.core.graph import OperatorSpec, Topology, TopologyError
+from repro.core.graph import BatchConfig, OperatorSpec, Topology, TopologyError
 from repro.core.steady_state import (
     Correction,
     OperatorRates,
@@ -415,6 +415,149 @@ def _derated_capacity(
             )
         capacity *= derate
     return capacity, p_max
+
+
+# ----------------------------------------------------------------------
+# batching cost model
+
+
+@dataclass(frozen=True)
+class EdgeBatchLatency:
+    """Predicted extra queueing latency one batched edge adds."""
+
+    source: str
+    target: str
+    batch_size: int
+    #: Mean seconds a tuple waits for its batch to fill (or flush).
+    added_latency: float
+
+
+@dataclass(frozen=True)
+class BatchingPrediction:
+    """Analytical throughput/latency trade-off of mailbox batching.
+
+    Produced by :func:`predict_batching`; all rates are tuples/second
+    and all latencies seconds, comparable with the measured counters of
+    :class:`repro.runtime.system.RuntimeResult`.
+    """
+
+    batch_size: int
+    hop_overhead: float
+    baseline_throughput: float
+    throughput: float
+    edge_latencies: Tuple[EdgeBatchLatency, ...]
+
+    @property
+    def throughput_gain(self) -> float:
+        """Batched over unbatched throughput (1.0 = no gain)."""
+        if self.baseline_throughput <= 0.0:
+            return 1.0
+        return self.throughput / self.baseline_throughput
+
+    @property
+    def mean_added_latency(self) -> float:
+        """Mean per-edge batching delay over all batched edges."""
+        if not self.edge_latencies:
+            return 0.0
+        return (sum(entry.added_latency for entry in self.edge_latencies)
+                / len(self.edge_latencies))
+
+
+def predict_batching(
+    topology: Topology,
+    batch_size: int,
+    hop_overhead: float,
+    flush_timeout: Optional[float] = None,
+    source_rate: Optional[float] = None,
+    solver: Optional["SteadyStateSolver"] = None,
+) -> BatchingPrediction:
+    """Predict what mailbox batching does to throughput and latency.
+
+    Cost model (micro-batch accounting in the spirit of the Spark
+    Streaming simulation literature): every delivered *message* costs
+    its receiver a fixed hop overhead ``hop_overhead`` — mailbox lock,
+    condition wakeup and dispatch — on top of the operator's declared
+    service time.  Packing ``b`` tuples per message amortizes the hop to
+    ``hop_overhead / b`` per tuple, so an operator's effective service
+    time falls from ``T + h`` (unbatched baseline) to ``T + h/b`` and
+    the bottleneck capacity rises accordingly.  The price is queueing
+    delay: on an edge with tuple rate λ the k-th tuple of a batch of
+    ``b`` waits for the remaining ``b - k`` arrivals, a mean of
+    ``(b - 1) / (2λ)`` seconds, capped by the flush timeout (a partial
+    batch never waits past its deadline).
+
+    Per-edge ``Edge.batch`` overrides take precedence over the global
+    ``batch_size``/``flush_timeout``, mirroring the runtime's wiring.
+    An operator fed by edges with different batch sizes amortizes the
+    hop by the arrival-weighted mean of ``1/b`` over its input edges
+    (weights from the unbatched baseline solve).
+    """
+    if batch_size < 1:
+        raise TopologyError(f"batch size must be >= 1, got {batch_size}")
+    if hop_overhead < 0.0:
+        raise TopologyError(
+            f"hop overhead must be non-negative, got {hop_overhead}")
+    if flush_timeout is None:
+        flush_timeout = BatchConfig().flush_timeout
+    solver = solver or DEFAULT_SOLVER
+
+    def edge_batch(edge) -> Tuple[int, float]:
+        if edge.batch is not None:
+            return edge.batch.size, edge.batch.flush_timeout
+        return batch_size, flush_timeout
+
+    def derated(per_vertex_hop: Mapping[str, float]) -> Topology:
+        specs = []
+        for spec in topology.operators:
+            hop = per_vertex_hop.get(spec.name, 0.0)
+            if hop > 0.0:
+                spec = spec.with_service_time(spec.service_time + hop)
+            specs.append(spec)
+        return Topology(specs, topology.edges)
+
+    # Baseline: every tuple is its own message, every non-source vertex
+    # pays the full hop per tuple (the source has no input mailbox).
+    receivers = [name for name in topology.names if name != topology.source]
+    baseline = solver.analyze(
+        derated({name: hop_overhead for name in receivers}),
+        source_rate=source_rate,
+    )
+
+    # Arrival-weighted amortized hop per receiver, using baseline rates.
+    amortized: Dict[str, float] = {}
+    for name in receivers:
+        weighted = 0.0
+        total = 0.0
+        for edge in topology.in_edges(name):
+            size, _ = edge_batch(edge)
+            rate = (baseline.rates[edge.source].departure_rate
+                    * edge.probability)
+            weighted += rate / size
+            total += rate
+        amortized[name] = (hop_overhead * weighted / total if total > 0.0
+                           else hop_overhead / batch_size)
+    batched = solver.analyze(derated(amortized), source_rate=source_rate)
+
+    latencies = []
+    for edge in topology.edges:
+        size, deadline = edge_batch(edge)
+        if size <= 1:
+            continue
+        rate = batched.rates[edge.source].departure_rate * edge.probability
+        fill_wait = (size - 1) / (2.0 * rate) if rate > 0.0 else deadline
+        latencies.append(EdgeBatchLatency(
+            source=edge.source,
+            target=edge.target,
+            batch_size=size,
+            added_latency=min(fill_wait, deadline),
+        ))
+    return BatchingPrediction(
+        batch_size=batch_size,
+        hop_overhead=hop_overhead,
+        baseline_throughput=baseline.throughput,
+        throughput=batched.throughput,
+        edge_latencies=tuple(latencies),
+    )
 
 
 #: Process-wide default solver: every module of the optimizer pipeline

@@ -26,7 +26,7 @@ from repro.operators.base import (
     destination_of,
     unwrap,
 )
-from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
+from repro.runtime.mailbox import Batch, BoundedMailbox, MailboxClosed
 from repro.runtime.metrics import ActorCounters
 from repro.runtime.supervision import (
     ActorContext,
@@ -51,6 +51,90 @@ class Target:
     def deliver(self, payload: Any, origin: str) -> bool:
         """Enqueue ``(payload, origin)``; blocks while full (BAS)."""
         return self.mailbox.put((payload, origin))
+
+
+class BatchingTarget(Target):
+    """A delivery endpoint accumulating tuples into batched messages.
+
+    One instance belongs to exactly one sending actor (the buffer is
+    thread-confined): tuples accumulate until ``size`` is reached, then
+    the whole batch travels as one mailbox message, amortizing the
+    per-message hop cost.  The owning actor flushes partial batches
+    older than ``flush_timeout`` from its idle loop and force-flushes on
+    exhaustion/shutdown, so batching never strands tuples (BAS semantics
+    are preserved: the batched put still blocks on a full mailbox).
+
+    ``on_drop`` is invoked with the batch's tuples when the batched put
+    times out, so the sender can account every lost tuple (dead letters
+    and counters) instead of one lost message.
+    """
+
+    def __init__(self, name: str, mailbox: BoundedMailbox, size: int,
+                 flush_timeout: float,
+                 on_drop: Optional[Callable[[Tuple[Any, ...]], None]] = None,
+                 ) -> None:
+        super().__init__(name, mailbox)
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size}")
+        if flush_timeout <= 0.0:
+            raise ValueError(
+                f"flush timeout must be positive, got {flush_timeout}")
+        self.size = size
+        self.flush_timeout = flush_timeout
+        self.on_drop = on_drop
+        self._buffer: List[Any] = []
+        self._origin: Optional[str] = None
+        self._first_at: Optional[float] = None
+
+    @property
+    def pending(self) -> int:
+        """Tuples currently buffered (visible to tests and flush logic)."""
+        return len(self._buffer)
+
+    def deliver(self, payload: Any, origin: str) -> bool:
+        """Buffer ``payload``; deliver the batch when it reaches ``size``.
+
+        Always returns ``True`` from the caller's perspective: delivery
+        failures of the batched message are reported asynchronously via
+        ``on_drop`` (and the mailbox's weighted ``dropped`` counter), so
+        per-tuple send accounting stays exact.
+        """
+        self._buffer.append(payload)
+        self._origin = origin
+        if self._first_at is None:
+            self._first_at = time.monotonic()
+        if len(self._buffer) >= self.size:
+            self.flush()
+        return True
+
+    def overdue(self) -> bool:
+        """Whether the oldest buffered tuple exceeded the flush timeout."""
+        return (self._first_at is not None
+                and time.monotonic() - self._first_at >= self.flush_timeout)
+
+    def seconds_until_overdue(self) -> Optional[float]:
+        """Time left before the buffered batch must flush; ``None`` if empty."""
+        if self._first_at is None:
+            return None
+        return max(0.0, self._first_at + self.flush_timeout - time.monotonic())
+
+    def flush(self) -> bool:
+        """Deliver the buffered tuples as one batch message now.
+
+        Returns ``False`` when the batched put timed out (the tuples
+        were dropped and reported through ``on_drop``); an empty buffer
+        flushes trivially to ``True``.
+        """
+        if not self._buffer:
+            return True
+        items = tuple(self._buffer)
+        origin = self._origin or ""
+        self._buffer.clear()
+        self._first_at = None
+        ok = self.mailbox.put((Batch(items), origin), weight=len(items))
+        if not ok and self.on_drop is not None:
+            self.on_drop(items)
+        return ok
 
 
 class Router:
@@ -126,6 +210,11 @@ class ActorBase(threading.Thread):
         #: mailbox), read by the stall watchdog.  Written only by this
         #: actor's thread.
         self.blocked_on: Optional[str] = None
+        #: Downstream :class:`BatchingTarget` endpoints owned by this
+        #: actor; populated by the system during wiring.  The run loop
+        #: flushes overdue partial batches from its idle poll and
+        #: force-flushes on shutdown.
+        self.batch_targets: List[BatchingTarget] = []
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
         try:
@@ -136,18 +225,38 @@ class ActorBase(threading.Thread):
                 except TimeoutError:
                     if self.stop_event.is_set() or self.mailbox.diverted:
                         break
+                    if self.batch_targets:
+                        self._flush_batches()
                     continue
                 except MailboxClosed:
                     break
                 try:
-                    self.handle(message)
+                    payload, origin = message
+                    if isinstance(payload, Batch):
+                        for item in payload.items:
+                            self.handle((item, origin))
+                    else:
+                        self.handle(message)
+                    if self.batch_targets:
+                        self._flush_batches()
                 except ActorStopped:
                     break
         except MailboxClosed:
             pass
         finally:
             self.blocked_on = None
+            if self.batch_targets:
+                self._flush_batches(force=True)
             self.on_stop()
+
+    def _flush_batches(self, force: bool = False) -> None:
+        """Flush overdue (or, with ``force``, all) outgoing batches."""
+        for target in self.batch_targets:
+            if force or target.overdue():
+                try:
+                    target.flush()
+                except MailboxClosed:
+                    pass  # receiver already shut down; tuples lost at exit
 
     def on_start(self) -> None:
         """Subclass hook run in the actor thread before the loop."""
@@ -311,9 +420,15 @@ class OperatorActor(ActorBase):
         if self.policy.divert_on_stop:
             vertex = self.vertex
             sink = self.context.dead_letters
-            self.mailbox.divert(
-                lambda message: sink.record(vertex, message[0],
-                                            "stopped-actor"))
+
+            def _divert(message: Tuple[Any, str]) -> None:
+                payload = message[0]
+                # Unpack batch envelopes so dead letters stay per-tuple.
+                items = payload.items if isinstance(payload, Batch) else (payload,)
+                for item in items:
+                    sink.record(vertex, item, "stopped-actor")
+
+            self.mailbox.divert(_divert)
         raise ActorStopped
 
     def handle(self, message: Tuple[Any, str]) -> None:
@@ -378,7 +493,7 @@ class SourceActor(ActorBase):
                     now = time.perf_counter()
                     delay = next_time - now
                     if delay > 0:
-                        time.sleep(delay)
+                        self._paced_sleep(delay)
                 started = time.perf_counter()
                 try:
                     outputs = self.operator.operator_function(sequence)
@@ -411,6 +526,8 @@ class SourceActor(ActorBase):
                     if isinstance(payload, dict):
                         payload["_born"] = born
                 self._emit_outputs(outputs, self.router)
+                if self.batch_targets:
+                    self._flush_batches()
                 if interval is not None:
                     # No catch-up bursts after backpressure stalls: the
                     # source resumes at its nominal pace.
@@ -418,7 +535,34 @@ class SourceActor(ActorBase):
         except MailboxClosed:
             pass
         finally:
+            # Final partial-batch flush: an exhausted source (max_items)
+            # must not strand its last, incomplete batch.
+            if self.batch_targets:
+                self._flush_batches(force=True)
             self.operator.on_stop()
+
+    def _paced_sleep(self, delay: float) -> None:
+        """Sleep ``delay`` seconds, waking early to flush overdue batches.
+
+        A slow source pacing below the batch fill rate would otherwise
+        hold partial batches past their flush deadline for a full
+        inter-arrival interval (the idle-source flush-timeout case).
+        """
+        deadline = time.perf_counter() + delay
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0.0:
+                return
+            if not self.batch_targets:
+                time.sleep(remaining)
+                return
+            self._flush_batches()
+            waits = [wait for wait in
+                     (target.seconds_until_overdue()
+                      for target in self.batch_targets)
+                     if wait is not None]
+            cap = min(remaining, max(min(waits), 1e-3)) if waits else remaining
+            time.sleep(cap)
 
 
 class EmitterActor(ActorBase):

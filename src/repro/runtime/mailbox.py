@@ -21,6 +21,30 @@ class MailboxClosed(RuntimeError):
     """Raised when interacting with a closed mailbox."""
 
 
+class Batch:
+    """An envelope carrying several tuples in one mailbox message.
+
+    Batching senders (see :class:`repro.runtime.actors.BatchingTarget`)
+    pack up to ``BatchConfig.size`` tuples into one ``Batch`` so the
+    per-message mailbox hop (lock, condition wakeup, queue operation) is
+    paid once per batch instead of once per tuple.  Receivers unpack the
+    envelope and handle every tuple individually, so operator semantics
+    are unchanged — the differential test layer gates bit-equality
+    between batched and unbatched executions.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Tuple[Any, ...]) -> None:
+        self.items = items
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:
+        return f"Batch({len(self.items)} items)"
+
+
 class BoundedMailbox:
     """A fixed-capacity FIFO mailbox with blocking senders.
 
@@ -86,23 +110,30 @@ class BoundedMailbox:
     def diverted(self) -> bool:
         return self._divert is not None
 
-    def put(self, message: Any, timeout: Optional[float] = -1.0) -> bool:
+    def put(self, message: Any, timeout: Optional[float] = -1.0,
+            weight: int = 1) -> bool:
         """Enqueue ``message``; blocks while full (BAS).
 
         Returns ``True`` on success and ``False`` when the timeout
         elapsed and the message was dropped.  ``timeout=-1`` uses the
-        mailbox default; ``None`` waits forever.
+        mailbox default; ``None`` waits forever.  ``weight`` is the
+        number of tuples the message carries (> 1 for a :class:`Batch`):
+        the ``dropped``/``shed``/``offered`` counters advance by it, so
+        a timed-out batch of *k* tuples is accounted as *k* lost tuples
+        rather than one lost message.
         """
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
         if timeout is not None and timeout < 0.0:
             timeout = self.put_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
             index = self.offered
-            self.offered += 1
+            self.offered += weight
             if self.drop_windows and any(
                     start <= index < end
                     for start, end in self.drop_windows):
-                self.shed += 1
+                self.shed += weight
                 return True
             while (len(self._queue) >= self.capacity
                    and self._divert is None):
@@ -113,7 +144,7 @@ class BoundedMailbox:
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0.0:
-                        self.dropped += 1
+                        self.dropped += weight
                         return False
                     self._not_full.wait(remaining)
             if self._divert is not None:

@@ -19,10 +19,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.fusion import FusionPlan
-from repro.core.graph import StateKind, Topology, TopologyError
+from repro.core.graph import Edge, StateKind, Topology, TopologyError
 from repro.core.partitioning import key_partitioning
 from repro.core.steady_state import SteadyStateResult
-from repro.operators.base import Operator, instantiate_operator
+from repro.operators.base import Operator, instantiate_operator, unwrap
 
 if TYPE_CHECKING:  # imported lazily at runtime (repro.faults imports
     # repro.runtime.supervision, which triggers this package's __init__)
@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # imported lazily at runtime (repro.faults imports
     from repro.faults.plan import FaultPlan
 from repro.runtime.actors import (
     ActorBase,
+    BatchingTarget,
     CollectorActor,
     EmitterActor,
     OperatorActor,
@@ -69,6 +70,17 @@ class RuntimeConfig:
     max_items: Optional[int] = None
     partition_heuristic: str = "greedy"
     seed: int = 1
+    #: Default mailbox batching for every edge: tuples per batched
+    #: message (1 = unbatched) and the deadline before a partial batch
+    #: flushes anyway.  ``Edge.batch`` overrides both per edge.
+    batch_size: int = 1
+    batch_flush_timeout: float = 0.05
+    #: How fused sub-graphs execute: ``"meta"`` runs the Algorithm 4
+    #: meta-operator actor, ``"loop"`` forces loop-compiled operators
+    #: (see :mod:`repro.codegen.fuseloop`) and raises for ineligible
+    #: plans, ``"auto"`` loop-compiles eligible plans and falls back to
+    #: the meta-operator otherwise.
+    fusion_mode: str = "meta"
     #: Per-vertex supervision policies; ``None`` = Akka-like defaults
     #: (Resume on error, Restart on injected crashes).
     supervisor: Optional[SupervisorStrategy] = None
@@ -157,6 +169,13 @@ class ActorSystem:
         self._entries: Dict[str, Target] = {}
         self._mailboxes: List[BoundedMailbox] = []
         self._routers: Dict[str, Router] = {}
+        #: The actor whose thread drives each vertex's out-router (the
+        #: collector for parallel vertices) — the owner of any batching
+        #: buffers on those edges.
+        self._router_owners: Dict[str, ActorBase] = {}
+        #: How each fused vertex actually executes: ``"loop"`` when its
+        #: chain was loop-compiled, ``"meta"`` for the meta-actor.
+        self.fusion_executions: Dict[str, str] = {}
         self._started = False
         self.supervisor = config.supervisor or SupervisorStrategy()
         self.injector: Optional["FaultInjector"] = None
@@ -239,11 +258,53 @@ class ActorSystem:
             build_actor()
 
         # Pass 2: connect the routers now that every entry exists.
+        # Batched edges get a per-sender BatchingTarget wrapping the
+        # shared entry mailbox, so batch buffers stay thread-confined.
         for spec in topology.operators:
             router = system._routers[spec.name]
+            owner = system._router_owners.get(spec.name)
             for edge in topology.out_edges(spec.name):
-                router.add(edge.probability, system._entries[edge.target])
+                entry = system._entries[edge.target]
+                router.add(edge.probability,
+                           system._edge_target(edge, entry, owner))
+            if owner is not None:
+                owner.batch_targets = [
+                    target for target in router.targets
+                    if isinstance(target, BatchingTarget)
+                ]
         return system
+
+    def _edge_target(self, edge: Edge, entry: Target,
+                     owner: Optional[ActorBase]) -> Target:
+        """The delivery endpoint of one edge: batched or direct."""
+        if edge.batch is not None:
+            size = edge.batch.size
+            flush_timeout = edge.batch.flush_timeout
+        else:
+            size = self.config.batch_size
+            flush_timeout = self.config.batch_flush_timeout
+        if size <= 1:
+            return entry
+        on_drop = None
+        if owner is not None:
+            counters = owner.counters
+            vertex = owner.vertex
+            dead_letters = self.context.dead_letters
+
+            def on_drop(items: Sequence[object]) -> None:
+                # Runs on the owning actor's thread (flush is only ever
+                # called there), so single-writer counters hold.  The
+                # tuples were pre-counted as emitted when buffered;
+                # reclassify them as dropped now that the batched put
+                # timed out.
+                counters.emitted -= len(items)
+                counters.dropped += len(items)
+                for item in items:
+                    dead_letters.record(vertex, unwrap(item),
+                                        "mailbox-timeout")
+
+        return BatchingTarget(entry.name, entry.mailbox, size,
+                              flush_timeout, on_drop=on_drop)
 
     def _new_mailbox(self, vertex: Optional[str] = None) -> BoundedMailbox:
         mailbox = BoundedMailbox(self.config.mailbox_capacity,
@@ -287,6 +348,7 @@ class ActorSystem:
             )
             self.actors.append(actor)
             self.source_actor = actor
+            self._router_owners[name] = actor
         return build
 
     def _defer_single(self, name: str, make_operator, router: Router):
@@ -306,6 +368,7 @@ class ActorSystem:
             )
             self.actors.append(actor)
             self._entries[name] = Target(name, mailbox)
+            self._router_owners[name] = actor
         return build
 
     def _defer_parallel(self, name: str, make_operator, router: Router):
@@ -371,11 +434,18 @@ class ActorSystem:
             self.actors.append(emitter)
             self.actors.append(collector)
             self._entries[name] = Target(name, emitter_mailbox)
+            self._router_owners[name] = collector
         return build
 
     def _defer_meta(self, plan: FusionPlan, factories, make_operator,
                     router: Router):
         def build() -> None:
+            mode = self.config.fusion_mode
+            if mode not in ("meta", "loop", "auto"):
+                raise TopologyError(
+                    f"fusion_mode must be 'meta', 'loop' or 'auto', "
+                    f"got {mode!r}"
+                )
             mailbox = self._new_mailbox(vertex=plan.fused_name)
             member_factories = {
                 name: self._vertex_factory(name, make_operator)
@@ -383,6 +453,10 @@ class ActorSystem:
             }
             members = {name: factory()
                        for name, factory in member_factories.items()}
+            if mode != "meta" and self._try_loop(plan, members, mailbox,
+                                                 router, mode):
+                return
+            self.fusion_executions[plan.fused_name] = "meta"
             actor = MetaOperatorActor(
                 name=plan.fused_name,
                 plan=plan,
@@ -397,7 +471,55 @@ class ActorSystem:
             )
             self.actors.append(actor)
             self._entries[plan.fused_name] = Target(plan.fused_name, mailbox)
+            self._router_owners[plan.fused_name] = actor
         return build
+
+    def _try_loop(self, plan: FusionPlan, members, mailbox: BoundedMailbox,
+                  router: Router, mode: str) -> bool:
+        """Build a loop-compiled actor for a fused vertex if admissible.
+
+        Returns ``True`` when the loop actor was built.  ``"loop"`` mode
+        raises for inadmissible plans; ``"auto"`` silently falls back to
+        the meta-operator.  Fault injection on any member forces the
+        meta-actor regardless (the injected wrapper is deliberately
+        impure, and member-level supervision needs the meta path).
+        """
+        from repro.codegen.fuseloop import (
+            LoopOperator,
+            loop_eligibility_from_operators,
+        )
+        faulted = []
+        if self.injector is not None:
+            faulted = [name for name in plan.members
+                       if not self.injector.schedule(name).empty]
+        verdict = loop_eligibility_from_operators(plan, members)
+        if faulted or not verdict.eligible:
+            if mode == "loop":
+                reasons = list(verdict.reasons)
+                if faulted:
+                    reasons.append(
+                        f"fault plan injects into members {sorted(faulted)}")
+                raise TopologyError(
+                    f"fusion plan {plan.fused_name!r} cannot be "
+                    f"loop-compiled: {'; '.join(reasons)}"
+                )
+            return False
+        operator = LoopOperator(plan, members, chain=verdict.chain)
+        actor = OperatorActor(
+            name=plan.fused_name,
+            vertex=plan.fused_name,
+            operator=operator,
+            router=router,
+            mailbox=mailbox,
+            stop_event=self.stop_event,
+            policy=self.supervisor.policy_for(plan.fused_name),
+            context=self.context,
+        )
+        self.actors.append(actor)
+        self._entries[plan.fused_name] = Target(plan.fused_name, mailbox)
+        self._router_owners[plan.fused_name] = actor
+        self.fusion_executions[plan.fused_name] = "loop"
+        return True
 
     # ------------------------------------------------------------------
     # execution
@@ -445,10 +567,35 @@ class ActorSystem:
         are reported instead of silently leaking their threads.
         """
         self.stop_event.set()
+        # Graceful pass: retire actors in topological order so a final
+        # partial batch force-flushed by an exiting actor lands in a
+        # still-open downstream mailbox instead of being lost — batched
+        # shutdown stays as lossless as unbatched shutdown (receivers
+        # drain closed mailboxes before exiting).  A healthy actor exits
+        # within milliseconds of its mailbox closing; the first one that
+        # doesn't (a deadlocked or wedged system) aborts the pass and
+        # falls through to the global close below, which wakes every
+        # blocked sender at once.
+        grace = min(1.0, join_timeout)
+        by_vertex: Dict[str, List[ActorBase]] = {}
+        for actor in self.actors:
+            by_vertex.setdefault(actor.vertex, []).append(actor)
+        graceful = True
+        for name in self.topology.names:
+            if not graceful:
+                break
+            for actor in by_vertex.get(name, ()):
+                actor.mailbox.close()
+                if actor.is_alive():
+                    actor.join(timeout=grace)
+                if actor.is_alive():
+                    graceful = False
+                    break
         for mailbox in self._mailboxes:
             mailbox.close()
         for actor in self.actors:
-            actor.join(timeout=join_timeout)
+            if actor.is_alive():
+                actor.join(timeout=join_timeout)
         if self._watchdog is not None:
             self._watchdog.stop()
             self._watchdog.join(timeout=join_timeout)

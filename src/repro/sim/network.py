@@ -67,6 +67,14 @@ class SimulationConfig:
     warmup_fraction: float = 0.25
     seed: int = 1
     backpressure: bool = True
+    #: Per-message mailbox hop cost added to every non-source station's
+    #: service time (seconds); batching amortizes it to
+    #: ``hop_overhead / batch_size`` per tuple, matching the analytical
+    #: model of :func:`repro.core.solver.predict_batching`.
+    hop_overhead: float = 0.0
+    #: Global tuples-per-message batch size; ``Edge.batch`` overrides
+    #: per edge (probability-weighted over a station's input edges).
+    batch_size: int = 1
     #: Seeded fault plan injected into the run (``None`` = fault-free).
     fault_plan: Optional[FaultPlan] = None
     #: Per-vertex supervision policies applied to injected failures.
@@ -78,6 +86,27 @@ class SimulationConfig:
 
     def distribution(self, mean: float) -> Distribution:
         return make_distribution(self.service_family, mean, cv=self.service_cv)
+
+    def effective_service_time(self, topology: Topology, name: str) -> float:
+        """Service time of one vertex including the amortized mailbox hop.
+
+        The hop cost of a message is paid by the receiver once per
+        message, so batching ``b`` tuples leaves ``hop_overhead / b``
+        per tuple.  Vertices fed by edges with different per-edge batch
+        sizes amortize by the probability-weighted mean of ``1/b``.
+        """
+        base = topology.operator(name).service_time
+        if self.hop_overhead <= 0.0 or name == topology.source:
+            return base
+        weighted = 0.0
+        total = 0.0
+        for edge in topology.in_edges(name):
+            size = edge.batch.size if edge.batch is not None else self.batch_size
+            weighted += edge.probability / size
+            total += edge.probability
+        if total <= 0.0:
+            return base + self.hop_overhead / self.batch_size
+        return base + self.hop_overhead * weighted / total
 
 
 @dataclass(frozen=True)
@@ -209,11 +238,12 @@ def build_engine(
             shares = partition_shares(spec.keys, spec.replication,
                                       heuristic=partition_heuristic)
             members: List[Tuple[Station, float]] = []
+            service_time = config.effective_service_time(topology, spec.name)
             for index, share in enumerate(shares):
                 station = Station(
                     name=f"{spec.name}#{index}",
                     vertex=spec.name,
-                    dist=config.distribution(spec.service_time),
+                    dist=config.distribution(service_time),
                     gain=spec.gain,
                     capacity=config.mailbox_capacity,
                     n_servers=1,
@@ -225,7 +255,8 @@ def build_engine(
             station = Station(
                 name=spec.name,
                 vertex=spec.name,
-                dist=config.distribution(spec.service_time),
+                dist=config.distribution(
+                    config.effective_service_time(topology, spec.name)),
                 gain=spec.gain,
                 capacity=config.mailbox_capacity,
                 n_servers=spec.replication,

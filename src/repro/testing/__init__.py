@@ -12,12 +12,28 @@ seeded random topologies (paper Algorithm 5):
   them through the model/simulator/runtime and through the optimizer
   pipeline, and sweeps seed ranges;
 * :mod:`repro.testing.shrink` — minimizes a failing topology by greedy
-  vertex/edge removal while the discrepancy keeps reproducing.
+  vertex/edge removal while the discrepancy keeps reproducing;
+* :mod:`repro.testing.differential` — bit-equality oracles proving the
+  batching and fusion-to-loop optimizations transparent: seeded chain
+  testbeds run under two configurations must produce byte-identical
+  sink outputs.
 
 The ``spinstreams conformance`` CLI subcommand and the tests under
 ``tests/conformance/`` are thin drivers over this package.
 """
 
+from repro.testing.differential import (
+    DifferentialConfig,
+    DifferentialReport,
+    canonical,
+    chain_testbed,
+    chaos_fault_plan,
+    check_batching_seed,
+    check_loop_chaos_seed,
+    check_loop_seed,
+    run_capture,
+    topology_factories,
+)
 from repro.testing.harness import (
     ConformanceConfig,
     SweepOutcome,
@@ -41,20 +57,30 @@ from repro.testing.shrink import ShrinkResult, remove_edge, remove_vertex, shrin
 __all__ = [
     "ConformanceConfig",
     "ConformanceReport",
+    "DifferentialConfig",
+    "DifferentialReport",
     "Discrepancy",
     "Oracle",
     "ShrinkResult",
     "SweepOutcome",
     "Tolerances",
+    "canonical",
+    "chain_testbed",
+    "chaos_fault_plan",
+    "check_batching_seed",
     "check_chaos_runtime_seed",
     "check_chaos_seed",
+    "check_loop_chaos_seed",
+    "check_loop_seed",
     "check_optimizer_seed",
     "check_runtime_seed",
     "check_seed",
     "remove_edge",
     "remove_vertex",
+    "run_capture",
     "run_sweep",
     "shrink",
     "shrink_chaos_failure",
+    "topology_factories",
     "topology_for_seed",
 ]

@@ -90,6 +90,12 @@ class ConformanceConfig:
     #: front of a slow operator parks over a second of flow before
     #: backpressure reaches the source.
     runtime_mailbox_capacity: int = 16
+    #: Mailbox batching of the runtime checks (tuples per message; 1 =
+    #: unbatched).  Batching is a transparent transport optimization, so
+    #: the same steady-state tolerances must hold at any batch size —
+    #: parametrizing conformance over this gates batched runs tier-1.
+    runtime_batch_size: int = 1
+    runtime_batch_flush_timeout: float = 0.02
     runtime_tolerances: Tolerances = field(default_factory=lambda: Tolerances(
         departure_rel=0.10, throughput_rel=0.10, min_items=200.0))
     #: Fault sampling rates of the degraded-mode (chaos) checks.
@@ -368,6 +374,8 @@ def check_runtime_seed(
         mailbox_capacity=config.runtime_mailbox_capacity,
         source_rate=topology.operator(topology.source).service_rate,
         seed=seed,
+        batch_size=config.runtime_batch_size,
+        batch_flush_timeout=config.runtime_batch_flush_timeout,
     )
     result = run_topology(
         topology, factories,

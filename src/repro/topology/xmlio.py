@@ -53,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.graph import (
+    BatchConfig,
     Edge,
     KeyDistribution,
     OperatorSpec,
@@ -123,14 +124,24 @@ class DraftEdge:
     target: str
     probability: float = 1.0
     capacity: Optional[int] = None
+    batch_size: Optional[int] = None
+    batch_flush_timeout: Optional[float] = None
 
     @property
     def label(self) -> str:
         return f"{self.source}->{self.target}"
 
     def build(self) -> Edge:
+        batch: Optional[BatchConfig] = None
+        if self.batch_size is not None:
+            batch = BatchConfig(
+                size=self.batch_size,
+                flush_timeout=(self.batch_flush_timeout
+                               if self.batch_flush_timeout is not None
+                               else BatchConfig().flush_timeout),
+            )
         return Edge(self.source, self.target, self.probability,
-                    capacity=self.capacity)
+                    capacity=self.capacity, batch=batch)
 
 
 @dataclass
@@ -189,6 +200,19 @@ class TopologyDraft:
                         f">= 1, got {edge.capacity} (pass strict=False to "
                         "drop it)"
                     )
+                if edge.batch_size is not None and edge.batch_size < 1:
+                    raise XmlFormatError(
+                        f"edge {edge.label!r}: batch-size must be >= 1, "
+                        f"got {edge.batch_size} (pass strict=False to "
+                        "drop it)"
+                    )
+                if (edge.batch_flush_timeout is not None
+                        and edge.batch_flush_timeout <= 0.0):
+                    raise XmlFormatError(
+                        f"edge {edge.label!r}: batch-flush-timeout must be "
+                        f"positive, got {edge.batch_flush_timeout} (pass "
+                        "strict=False to drop it)"
+                    )
         else:
             normalized: List[DraftEdge] = []
             for edge in edges:
@@ -201,8 +225,15 @@ class TopologyDraft:
                 capacity = edge.capacity
                 if capacity is not None and capacity < 1:
                     capacity = None
+                batch_size = edge.batch_size
+                if batch_size is not None and batch_size < 1:
+                    batch_size = None
+                batch_timeout = edge.batch_flush_timeout
+                if batch_timeout is not None and batch_timeout <= 0.0:
+                    batch_timeout = None
                 normalized.append(DraftEdge(edge.source, edge.target,
-                                            probability, capacity))
+                                            probability, capacity,
+                                            batch_size, batch_timeout))
             edges = normalized
         return Topology(
             [op.build() for op in self.operators],
@@ -399,8 +430,27 @@ def _parse_edge(element: ET.Element) -> DraftEdge:
             raise XmlFormatError(
                 f"edge {source!r}->{target!r}: bad buffer-capacity"
             ) from None
+    batch_size: Optional[int] = None
+    raw_batch = element.get("batch-size")
+    if raw_batch is not None:
+        try:
+            batch_size = int(raw_batch)
+        except ValueError:
+            raise XmlFormatError(
+                f"edge {source!r}->{target!r}: bad batch-size"
+            ) from None
+    batch_flush_timeout: Optional[float] = None
+    raw_flush = element.get("batch-flush-timeout")
+    if raw_flush is not None:
+        try:
+            batch_flush_timeout = float(raw_flush)
+        except ValueError:
+            raise XmlFormatError(
+                f"edge {source!r}->{target!r}: bad batch-flush-timeout"
+            ) from None
     return DraftEdge(source=source, target=target, probability=probability,
-                     capacity=capacity)
+                     capacity=capacity, batch_size=batch_size,
+                     batch_flush_timeout=batch_flush_timeout)
 
 
 def _read_key_frequencies(path: str) -> Dict[str, float]:
@@ -476,6 +526,9 @@ def topology_to_xml(topology: Topology, time_unit: str = "ms") -> str:
         }
         if edge.capacity is not None:
             attributes["buffer-capacity"] = str(edge.capacity)
+        if edge.batch is not None:
+            attributes["batch-size"] = str(edge.batch.size)
+            attributes["batch-flush-timeout"] = repr(edge.batch.flush_timeout)
         ET.SubElement(root, "edge", attributes)
     ET.indent(root)
     return ET.tostring(root, encoding="unicode") + "\n"

@@ -46,9 +46,15 @@ class TestGainOperator:
 
 
 class TestRuntimeConformance:
-    @pytest.mark.parametrize("seed", [100, 101])
-    def test_runtime_matches_model(self, seed):
-        config = ConformanceConfig(runtime_duration=2.0)
+    # Batching is a transparent transport optimization: the same
+    # steady-state tolerances must hold unbatched and batched, so the
+    # batched configuration is gated tier-1 alongside the classic one.
+    @pytest.mark.parametrize("seed,batch_size", [
+        (100, 1), (101, 1), (100, 4), (101, 4),
+    ])
+    def test_runtime_matches_model(self, seed, batch_size):
+        config = ConformanceConfig(runtime_duration=2.0,
+                                   runtime_batch_size=batch_size)
         report = check_runtime_seed(seed, config)
         assert report.ok, report.summary()
         assert report.backend == "runtime"

@@ -1,0 +1,222 @@
+"""Batched mailboxes: envelope, weighted accounting and edge cases.
+
+The contract under test: batching changes *when* tuples cross an edge
+(packed into :class:`repro.runtime.mailbox.Batch` envelopes), never
+*whether* or *in what order* — and the mailbox counters keep measuring
+tuples, not messages, so throughput and loss accounting stay exact.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.graph import BatchConfig, Edge, OperatorSpec, Topology, TopologyError
+from repro.runtime.actors import BatchingTarget
+from repro.runtime.mailbox import Batch, BoundedMailbox
+from repro.runtime.system import ActorSystem, RuntimeConfig
+from repro.testing.differential import run_capture, topology_factories
+from repro.topology.xmlio import parse_topology, topology_to_xml
+
+
+class TestBatchEnvelope:
+    def test_len_counts_tuples(self):
+        assert len(Batch((1, 2, 3))) == 3
+
+    def test_repr(self):
+        assert repr(Batch((1, 2))) == "Batch(2 items)"
+
+
+class TestBatchConfig:
+    def test_defaults(self):
+        config = BatchConfig()
+        assert config.size == 1
+        assert config.flush_timeout > 0
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            BatchConfig(size=0)
+
+    def test_flush_timeout_must_be_positive(self):
+        with pytest.raises(TopologyError):
+            BatchConfig(size=2, flush_timeout=0.0)
+
+
+class TestBatchConfigXml:
+    def test_edge_batch_round_trips(self):
+        topology = Topology(
+            [OperatorSpec(name="a", service_time=0.001),
+             OperatorSpec(name="b", service_time=0.001)],
+            [Edge("a", "b", batch=BatchConfig(size=8, flush_timeout=0.25))],
+        )
+        parsed = parse_topology(topology_to_xml(topology))
+        edge = parsed.edges[0]
+        assert edge.batch is not None
+        assert edge.batch.size == 8
+        assert edge.batch.flush_timeout == pytest.approx(0.25)
+
+    def test_unbatched_edge_stays_unbatched(self):
+        topology = Topology(
+            [OperatorSpec(name="a", service_time=0.001),
+             OperatorSpec(name="b", service_time=0.001)],
+            [Edge("a", "b")],
+        )
+        assert parse_topology(topology_to_xml(topology)).edges[0].batch is None
+
+
+class TestWeightedMailboxCounters:
+    def test_offered_advances_by_tuple_count(self):
+        mailbox = BoundedMailbox(capacity=4)
+        mailbox.put(Batch((1, 2, 3)), weight=3)
+        mailbox.put("single")
+        assert mailbox.offered == 4
+        assert mailbox.enqueued == 2  # messages, not tuples
+
+    def test_timed_out_batch_counts_every_tuple_dropped(self):
+        mailbox = BoundedMailbox(capacity=1, put_timeout=0.0)
+        assert mailbox.put("filler")
+        assert mailbox.put(Batch((1, 2, 3, 4, 5)), weight=5) is False
+        assert mailbox.dropped == 5
+
+    def test_shed_window_counts_every_tuple(self):
+        mailbox = BoundedMailbox(capacity=4)
+        mailbox.set_drop_windows([(0, 1)])
+        assert mailbox.put(Batch((1, 2, 3)), weight=3)  # shed, not enqueued
+        assert mailbox.shed == 3
+        assert len(mailbox) == 0
+
+    def test_weight_must_be_positive(self):
+        mailbox = BoundedMailbox(capacity=4)
+        with pytest.raises(ValueError):
+            mailbox.put("x", weight=0)
+
+
+class TestBatchingTarget:
+    def _target(self, capacity=8, size=3, flush_timeout=10.0, on_drop=None,
+                put_timeout=5.0):
+        mailbox = BoundedMailbox(capacity=capacity, put_timeout=put_timeout)
+        target = BatchingTarget("t", mailbox, size=size,
+                                flush_timeout=flush_timeout, on_drop=on_drop)
+        return mailbox, target
+
+    def test_buffers_until_size_then_flushes_one_message(self):
+        mailbox, target = self._target(size=3)
+        target.deliver("a", "src")
+        target.deliver("b", "src")
+        assert len(mailbox) == 0 and target.pending == 2
+        target.deliver("c", "src")
+        assert target.pending == 0
+        message, origin = mailbox.get(timeout=0.1)
+        assert isinstance(message, Batch)
+        assert message.items == ("a", "b", "c")
+        assert origin == "src"
+
+    def test_overdue_partial_batch_flushes(self):
+        mailbox, target = self._target(size=100, flush_timeout=0.01)
+        target.deliver("a", "src")
+        assert not target.overdue()
+        time.sleep(0.02)
+        assert target.overdue()
+        target.flush()
+        message, _ = mailbox.get(timeout=0.1)
+        assert message.items == ("a",)
+        assert target.seconds_until_overdue() is None
+
+    def test_dropped_batch_reports_items(self):
+        dropped = []
+        mailbox, target = self._target(capacity=1, size=2, put_timeout=0.0,
+                                       on_drop=lambda items: dropped.extend(items))
+        mailbox.put("filler")
+        target.deliver("a", "src")
+        target.deliver("b", "src")  # flush fails: mailbox full, timeout 0
+        assert dropped == ["a", "b"]
+        assert mailbox.dropped == 2
+
+    def test_weighted_put_from_flush(self):
+        mailbox, target = self._target(size=4)
+        for item in "abcd":
+            target.deliver(item, "src")
+        assert mailbox.offered == 4
+        assert mailbox.enqueued == 1
+
+
+def _chain_topology(items=10_000):
+    specs = [
+        OperatorSpec(name="source", service_time=0.0002,
+                     operator_class=(
+                         "repro.operators.source_sink.GeneratorSource"),
+                     operator_args={"seed": 11}),
+        OperatorSpec(name="ident", service_time=0.0002,
+                     operator_class="repro.operators.basic.Identity"),
+        OperatorSpec(name="sink", service_time=0.0001,
+                     operator_class=(
+                         "repro.operators.source_sink.CollectingSink"),
+                     operator_args={"capacity": items}),
+    ]
+    return Topology(specs, [Edge("source", "ident"), Edge("ident", "sink")],
+                    name="batch-chain")
+
+
+def _sink_counts(outputs):
+    return {name: len(items) for name, items in outputs.items()}
+
+
+class TestRuntimeBatchingEdgeCases:
+    def test_final_partial_batch_flushes_on_source_exhaustion(self):
+        # 10 items into batches of 8 leaves a 2-item remainder; with a
+        # 30s flush deadline only the shutdown force-flush can deliver
+        # it, so a full sink proves the exhaustion path flushes.
+        topology = _chain_topology()
+        outputs = run_capture(
+            topology,
+            RuntimeConfig(mailbox_capacity=16, max_items=10, seed=1,
+                          watchdog=False, batch_size=8,
+                          batch_flush_timeout=30.0),
+        )
+        assert _sink_counts(outputs) == {"sink": 10}
+
+    def test_flush_timeout_drains_idle_paced_source(self):
+        # Inter-arrival (20ms at 50 items/s) far exceeds the 5ms flush
+        # deadline, so no batch of 16 ever fills: every tuple must reach
+        # the sink through timeout flushes alone.
+        topology = _chain_topology()
+        outputs = run_capture(
+            topology,
+            RuntimeConfig(mailbox_capacity=16, max_items=12, seed=1,
+                          watchdog=False, source_rate=50.0, batch_size=16,
+                          batch_flush_timeout=0.005),
+        )
+        assert _sink_counts(outputs) == {"sink": 12}
+
+    def test_batch_size_one_installs_no_batching_targets(self):
+        topology = _chain_topology()
+        system = ActorSystem.build(
+            topology, topology_factories(topology),
+            config=RuntimeConfig(mailbox_capacity=16, max_items=1,
+                                 watchdog=False, batch_size=1),
+        )
+        try:
+            assert all(not actor.batch_targets for actor in system.actors)
+        finally:
+            system.stop()
+
+    def test_per_edge_batch_config_overrides_runtime_default(self):
+        topology = _chain_topology()
+        batched_edge = Edge("source", "ident",
+                            batch=BatchConfig(size=4, flush_timeout=0.05))
+        topology = Topology(list(topology.operators),
+                            [batched_edge, Edge("ident", "sink")],
+                            name=topology.name)
+        system = ActorSystem.build(
+            topology, topology_factories(topology),
+            config=RuntimeConfig(mailbox_capacity=16, max_items=1,
+                                 watchdog=False, batch_size=1),
+        )
+        try:
+            source_targets = system.source_actor.batch_targets
+            assert [t.size for t in source_targets] == [4]
+            downstream = [actor for actor in system.actors
+                          if actor.vertex == "ident"]
+            assert all(not actor.batch_targets for actor in downstream)
+        finally:
+            system.stop()

@@ -1,0 +1,328 @@
+"""Unit tests of the fusion-to-loop safety gate and execution planner.
+
+The load-bearing property: **no impure operator is ever loop-compiled**.
+The SS2xx operator-code analyzer (:mod:`repro.analysis.opcode`) is the
+gate — every path that can reach :class:`repro.codegen.fuseloop.LoopOperator`
+(direct eligibility checks, the runtime's ``fusion_mode`` dispatch, the
+auto-fusion planner, the deployment descriptor and SS2Py embedding) must
+consult it and fall back to the Algorithm 4 meta-operator actor, which
+tolerates impurity because it preserves per-member dispatch.
+
+The impure specimens come from the PR 4 analyzer fixture gallery
+(``tests/analysis/fixtures/opfixtures.py``): module-level RNG, printing,
+RNG-driven key routing, undeclared state, cross-instance shared buffers.
+"""
+
+import pytest
+
+from repro.codegen.deployment import deployment_plan
+from repro.codegen.fuseloop import (
+    LoopOperator,
+    chain_of,
+    choose_execution,
+    generate_loop_source,
+    loop_eligibility,
+    loop_eligibility_from_operators,
+)
+from repro.codegen.ss2py import CodegenConfig, generate_code
+from repro.core.autofusion import auto_fuse
+from repro.core.fusion import apply_fusion, plan_fusion
+from repro.core.graph import Edge, OperatorSpec, Topology, TopologyError
+from repro.core.steady_state import analyze
+from repro.faults.plan import FaultPlan, PoisonFault
+from repro.operators.basic import Identity
+from repro.operators.source_sink import CollectingSink, GeneratorSource
+from repro.runtime.system import ActorSystem, RuntimeConfig
+
+from tests.analysis.fixtures import opfixtures as fx
+
+IDENTITY_PATH = "repro.operators.basic.Identity"
+SOURCE_PATH = "repro.operators.source_sink.GeneratorSource"
+SINK_PATH = "repro.operators.source_sink.CollectingSink"
+
+
+def chain_topology(mid_class=IDENTITY_PATH, mid_args=None):
+    """source -> mid -> ident -> sink, fusing the two middle stages."""
+    specs = [
+        OperatorSpec(name="source", service_time=0.001,
+                     operator_class=SOURCE_PATH),
+        OperatorSpec(name="mid", service_time=0.001,
+                     operator_class=mid_class,
+                     operator_args=dict(mid_args or {})),
+        OperatorSpec(name="ident", service_time=0.001,
+                     operator_class=IDENTITY_PATH),
+        OperatorSpec(name="sink", service_time=0.001,
+                     operator_class=SINK_PATH),
+    ]
+    edges = [Edge("source", "mid"), Edge("mid", "ident"),
+             Edge("ident", "sink")]
+    topology = Topology(specs, edges, name="gate")
+    return topology, plan_fusion(topology, ["mid", "ident"])
+
+
+def diamond_topology():
+    """source -> a -> {b, c} -> sink; the fused sub-graph is not a chain."""
+    specs = [
+        OperatorSpec(name="source", service_time=0.001,
+                     operator_class=SOURCE_PATH),
+        OperatorSpec(name="a", service_time=0.001,
+                     operator_class=IDENTITY_PATH),
+        OperatorSpec(name="b", service_time=0.001,
+                     operator_class=IDENTITY_PATH),
+        OperatorSpec(name="c", service_time=0.001,
+                     operator_class=IDENTITY_PATH),
+        OperatorSpec(name="sink", service_time=0.001,
+                     operator_class=SINK_PATH),
+    ]
+    edges = [Edge("source", "a"),
+             Edge("a", "b", probability=0.5),
+             Edge("a", "c", probability=0.5),
+             Edge("b", "sink"), Edge("c", "sink")]
+    topology = Topology(specs, edges, name="diamond")
+    return topology, plan_fusion(topology, ["a", "b", "c"])
+
+
+IMPURE_PATHS = [
+    pytest.param(fx.JITTER_PATH, id="module-rng"),
+    pytest.param(fx.PRINTING_PATH, id="printing-io"),
+    pytest.param(fx.RANDOM_KEY_PATH, id="random-key-routing"),
+    pytest.param(fx.SNEAKY_COUNTER_PATH, id="undeclared-state"),
+]
+
+
+class TestEligibilityGate:
+    """SS2xx verdicts decide eligibility; impurity always rejects."""
+
+    @pytest.mark.parametrize("class_path", IMPURE_PATHS)
+    def test_impure_member_rejected(self, class_path):
+        topology, plan = chain_topology(mid_class=class_path)
+        verdict = loop_eligibility(plan, topology)
+        assert not verdict.eligible
+        assert any(reason.startswith("mid:") for reason in verdict.reasons)
+
+    def test_pure_chain_is_eligible(self):
+        topology, plan = chain_topology(mid_class=fx.HONEST_MAP_PATH)
+        verdict = loop_eligibility(plan, topology)
+        assert verdict.eligible
+        assert verdict.chain == ("mid", "ident")
+        assert verdict.reasons == ()
+
+    def test_instantiated_impure_rejected(self):
+        _, plan = chain_topology()
+        verdict = loop_eligibility_from_operators(
+            plan, {"mid": fx.JitterMap(), "ident": Identity()})
+        assert not verdict.eligible
+        assert any("mid" in reason for reason in verdict.reasons)
+
+    def test_instantiated_pure_eligible(self):
+        _, plan = chain_topology()
+        verdict = loop_eligibility_from_operators(
+            plan, {"mid": fx.HonestMap(), "ident": Identity()})
+        assert verdict.eligible
+
+    def test_missing_operator_class_rejected(self):
+        topology, plan = chain_topology(mid_class=None)
+        verdict = loop_eligibility(plan, topology)
+        assert not verdict.eligible
+        assert any("no operator_class" in reason
+                   for reason in verdict.reasons)
+
+    def test_unloadable_class_rejected(self):
+        topology, plan = chain_topology(mid_class="no.such.module.Nope")
+        verdict = loop_eligibility(plan, topology)
+        assert not verdict.eligible
+
+    def test_missing_operator_instance_rejected(self):
+        _, plan = chain_topology()
+        verdict = loop_eligibility_from_operators(
+            plan, {"mid": Identity()})  # "ident" instance absent
+        assert not verdict.eligible
+        assert any("ident" in reason for reason in verdict.reasons)
+
+
+class TestChainStructure:
+    def test_chain_of_linear_plan(self):
+        _, plan = chain_topology()
+        assert chain_of(plan) == ("mid", "ident")
+
+    def test_branching_plan_is_not_a_chain(self):
+        _, plan = diamond_topology()
+        assert chain_of(plan) is None
+        verdict = loop_eligibility(plan, diamond_topology()[0])
+        assert not verdict.eligible
+        assert any("linear chain" in reason for reason in verdict.reasons)
+
+    def test_generate_loop_source_rejects_nonchain(self):
+        _, plan = diamond_topology()
+        with pytest.raises(TopologyError):
+            generate_loop_source(plan)
+
+    def test_loop_operator_requires_all_members(self):
+        _, plan = chain_topology()
+        with pytest.raises(ValueError):
+            LoopOperator(plan, {"mid": Identity()})
+
+
+class TestChooseExecution:
+    def test_eligible_without_analysis_is_loop(self):
+        topology, plan = chain_topology()
+        choice = choose_execution(plan, topology)
+        assert choice.execution == "loop"
+        assert "eligible" in choice.reason
+
+    def test_cold_vertex_stays_meta(self):
+        topology, plan = chain_topology()
+        result = apply_fusion(topology, ["mid", "ident"])
+        choice = choose_execution(plan, topology,
+                                  analysis=result.analysis_after,
+                                  utilization_threshold=2.0)
+        assert choice.execution == "meta"
+        assert choice.utilization is not None
+        assert "below threshold" in choice.reason
+
+    def test_hot_vertex_goes_loop(self):
+        topology, plan = chain_topology()
+        result = apply_fusion(topology, ["mid", "ident"])
+        choice = choose_execution(plan, topology,
+                                  analysis=result.analysis_after,
+                                  utilization_threshold=0.0)
+        assert choice.execution == "loop"
+
+    def test_impure_never_loop_even_when_hot(self):
+        topology, plan = chain_topology(mid_class=fx.JITTER_PATH)
+        choice = choose_execution(plan, topology, utilization_threshold=0.0)
+        assert choice.execution == "meta"
+        assert "mid" in choice.reason
+
+
+class TestRuntimeFusionModes:
+    """The ActorSystem's fusion_mode dispatch honors the gate."""
+
+    def _factories(self, mid):
+        return {
+            "source": lambda: GeneratorSource(seed=3),
+            "mid": mid,
+            "ident": Identity,
+            "sink": CollectingSink,
+        }
+
+    def _build(self, mid, **config):
+        topology, _ = chain_topology()
+        result = apply_fusion(topology, ["mid", "ident"])
+        runtime = RuntimeConfig(max_items=20, watchdog=False, **config)
+        return ActorSystem.build(result.fused, self._factories(mid),
+                                 config=runtime,
+                                 fusion_plans=[result.plan])
+
+    def test_loop_mode_refuses_impure_member(self):
+        with pytest.raises(TopologyError, match="cannot be loop-compiled"):
+            self._build(fx.JitterMap, fusion_mode="loop")
+
+    def test_auto_mode_falls_back_to_meta_for_impure(self):
+        system = self._build(fx.JitterMap, fusion_mode="auto")
+        try:
+            assert list(system.fusion_executions.values()) == ["meta"]
+        finally:
+            system.stop()
+
+    def test_loop_mode_compiles_pure_chain(self):
+        system = self._build(Identity, fusion_mode="loop")
+        try:
+            assert list(system.fusion_executions.values()) == ["loop"]
+        finally:
+            system.stop()
+
+    def test_meta_mode_never_loop_compiles(self):
+        system = self._build(Identity)  # default fusion_mode="meta"
+        try:
+            assert list(system.fusion_executions.values()) == ["meta"]
+        finally:
+            system.stop()
+
+    def test_fault_injected_member_forces_meta(self):
+        fault = FaultPlan(seed=1,
+                          poisons=(PoisonFault(vertex="mid", item_index=5),))
+        system = self._build(Identity, fusion_mode="auto", fault_plan=fault)
+        try:
+            assert list(system.fusion_executions.values()) == ["meta"]
+        finally:
+            system.stop()
+
+    def test_loop_mode_refuses_fault_injected_member(self):
+        fault = FaultPlan(seed=1,
+                          poisons=(PoisonFault(vertex="mid", item_index=5),))
+        with pytest.raises(TopologyError, match="fault plan injects"):
+            self._build(Identity, fusion_mode="loop", fault_plan=fault)
+
+    def test_invalid_fusion_mode_raises(self):
+        with pytest.raises(TopologyError, match="fusion_mode"):
+            self._build(Identity, fusion_mode="bogus")
+
+
+class TestPlannerSurfaces:
+    """executions(), deployment_plan and SS2Py all surface the choice."""
+
+    def test_auto_fuse_executions(self):
+        # Middle stages at 10x the source rate: utilization 0.1 each, so
+        # the auto-fusion planner collapses them in one round.
+        specs = [
+            OperatorSpec(name="source", service_time=0.001,
+                         operator_class=SOURCE_PATH),
+            OperatorSpec(name="mid", service_time=0.0001,
+                         operator_class=IDENTITY_PATH),
+            OperatorSpec(name="ident", service_time=0.0001,
+                         operator_class=IDENTITY_PATH),
+            OperatorSpec(name="sink", service_time=0.0001,
+                         operator_class=SINK_PATH),
+        ]
+        edges = [Edge("source", "mid"), Edge("mid", "ident"),
+                 Edge("ident", "sink")]
+        topology = Topology(specs, edges, name="cold")
+        result = auto_fuse(topology)
+        assert result.plans, "expected the cold chain to fuse"
+        choices = result.executions(utilization_threshold=0.0)
+        assert choices
+        for name, choice in choices.items():
+            assert choice.fused_name == name
+            assert choice.execution == "loop"
+
+    def test_deployment_plan_marks_execution(self):
+        topology, plan = chain_topology()
+        result = apply_fusion(topology, ["mid", "ident"])
+        deployment = deployment_plan(
+            result.fused, fusion_plans=[plan], original=topology,
+            utilization_threshold=0.0)
+        fused_entries = [entry for entry in deployment["operators"]
+                         if entry.get("fused_members")]
+        assert fused_entries
+        assert fused_entries[0]["execution"] == "loop-compiled"
+        assert "execution_reason" in fused_entries[0]
+
+    def test_deployment_plan_impure_is_meta_actor(self):
+        topology, plan = chain_topology(mid_class=fx.JITTER_PATH)
+        result = apply_fusion(topology, ["mid", "ident"])
+        deployment = deployment_plan(
+            result.fused, fusion_plans=[plan], original=topology,
+            utilization_threshold=0.0)
+        fused_entries = [entry for entry in deployment["operators"]
+                         if entry.get("fused_members")]
+        assert fused_entries
+        assert fused_entries[0]["execution"] == "meta-actor"
+
+    def test_ss2py_embeds_loop_source_for_pure_chain(self):
+        topology, plan = chain_topology()
+        result = apply_fusion(topology, ["mid", "ident"])
+        code = generate_code(result.fused, original=topology,
+                             fusion_plans=[plan],
+                             config=CodegenConfig(fusion_mode="auto"))
+        assert "Loop-compiled form of" in code
+        assert "fusion_mode='auto'" in code
+
+    def test_ss2py_documents_meta_fallback_for_impure(self):
+        topology, plan = chain_topology(mid_class=fx.PRINTING_PATH)
+        result = apply_fusion(topology, ["mid", "ident"])
+        code = generate_code(result.fused, original=topology,
+                             fusion_plans=[plan],
+                             config=CodegenConfig(fusion_mode="auto"))
+        assert "stays on the meta-operator" in code
+        assert "Loop-compiled form of" not in code

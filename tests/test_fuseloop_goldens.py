@@ -1,0 +1,154 @@
+"""Golden-file tests of the fusion-to-loop code generator.
+
+The loop source emitted for a fused chain is an API surface: it is
+embedded as documentation in SS2Py programs and ``exec``'d by the
+runtime, so accidental drift matters.  Three committed goldens cover
+the operator families — a stateless map→filter chain, a windowed
+aggregation chain and a keyed (partitioned-state) chain.
+
+To regenerate after an intentional change:
+
+    PYTHONPATH=src python tests/test_fuseloop_goldens.py --regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro.codegen.fuseloop import generate_loop_source, loop_eligibility
+from repro.core.fusion import plan_fusion
+from repro.core.graph import Edge, OperatorSpec, Topology
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def normalize(text):
+    """Whitespace-insensitive form: formatting churn is not an API break.
+
+    Strips trailing whitespace per line, leading/trailing blank lines
+    and collapses runs of blank lines — everything else (names, order,
+    structure) must match the golden byte-for-byte.
+    """
+    lines = [line.rstrip() for line in text.strip().splitlines()]
+    collapsed = []
+    for line in lines:
+        if line == "" and collapsed and collapsed[-1] == "":
+            continue
+        collapsed.append(line)
+    return "\n".join(collapsed) + "\n"
+
+
+def _chain(specs, members):
+    names = [spec.name for spec in specs]
+    edges = [Edge(a, b) for a, b in zip(names, names[1:])]
+    topology = Topology(specs, edges, name="golden")
+    return topology, plan_fusion(topology, members)
+
+
+def build_cases():
+    """The three golden chains: (name, topology, fusion plan)."""
+    source = OperatorSpec(
+        name="source", service_time=0.001,
+        operator_class="repro.operators.source_sink.GeneratorSource")
+    sink = OperatorSpec(
+        name="sink", service_time=0.001,
+        operator_class="repro.operators.source_sink.CollectingSink")
+
+    map_filter = _chain([
+        source,
+        OperatorSpec(name="map", service_time=0.001,
+                     operator_class="repro.operators.basic.FieldMap",
+                     operator_args={"field": "value"}),
+        OperatorSpec(name="filt", service_time=0.001,
+                     output_selectivity=0.5,
+                     operator_class="repro.operators.basic.Filter",
+                     operator_args={"threshold": 0.5}),
+        sink,
+    ], ["map", "filt"])
+
+    windowed = _chain([
+        source,
+        OperatorSpec(name="wsum", service_time=0.001,
+                     input_selectivity=4.0,
+                     operator_class="repro.operators.aggregates.WindowedSum",
+                     operator_args={"length": 8, "slide": 4}),
+        sink,
+    ], ["wsum", "sink"])
+
+    keyed = _chain([
+        source,
+        OperatorSpec(name="keyed", service_time=0.001,
+                     input_selectivity=4.0,
+                     operator_class=(
+                         "repro.operators.aggregates.KeyedWindowedAggregate"),
+                     operator_args={"key_field": "key", "length": 8,
+                                    "slide": 4}),
+        sink,
+    ], ["keyed", "sink"])
+
+    return [
+        ("loop_map_filter", map_filter),
+        ("loop_windowed", windowed),
+        ("loop_keyed", keyed),
+    ]
+
+
+CASES = build_cases()
+
+
+@pytest.mark.parametrize("name,case", CASES, ids=[n for n, _ in CASES])
+class TestFuseloopGoldens:
+    def test_chain_is_loop_eligible(self, name, case):
+        topology, plan = case
+        verdict = loop_eligibility(plan, topology)
+        assert verdict.eligible, verdict.reasons
+
+    def test_generated_source_matches_golden(self, name, case):
+        topology, plan = case
+        verdict = loop_eligibility(plan, topology)
+        generated = generate_loop_source(plan, verdict.chain)
+        golden_path = GOLDEN_DIR / f"{name}.py.golden"
+        assert golden_path.exists(), (
+            f"missing golden {golden_path}; regenerate with "
+            "PYTHONPATH=src python tests/test_fuseloop_goldens.py --regen")
+        golden = golden_path.read_text(encoding="utf-8")
+        assert normalize(generated) == normalize(golden), (
+            f"loop codegen drifted from {golden_path.name}; if intentional, "
+            "regenerate with --regen")
+
+    def test_generated_source_compiles(self, name, case):
+        topology, plan = case
+        verdict = loop_eligibility(plan, topology)
+        compile(generate_loop_source(plan, verdict.chain),
+                f"<golden:{name}>", "exec")
+
+
+class TestNormalizer:
+    def test_trailing_whitespace_ignored(self):
+        assert normalize("a  \nb\n") == normalize("a\nb")
+
+    def test_blank_line_runs_collapse(self):
+        assert normalize("a\n\n\n\nb") == normalize("a\n\nb")
+
+    def test_content_changes_detected(self):
+        assert normalize("a\nb") != normalize("a\nc")
+
+
+def _regen():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, (topology, plan) in build_cases():
+        verdict = loop_eligibility(plan, topology)
+        assert verdict.eligible, (name, verdict.reasons)
+        path = GOLDEN_DIR / f"{name}.py.golden"
+        path.write_text(generate_loop_source(plan, verdict.chain),
+                        encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
