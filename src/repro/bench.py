@@ -285,11 +285,15 @@ def fusion_benchmarks(quick: bool = False) -> Dict[str, object]:
 
 
 def runtime_tuples_per_second(batch_size: int, items: int,
-                              flush_timeout: float = 0.01) -> float:
+                              flush_timeout: float = 0.01,
+                              checkpoint=None) -> float:
     """End-to-end threaded-runtime rate of a source→identity→sink chain.
 
     The operators are unpadded (near-zero service time), so the mailbox
     hop dominates and the measured rate responds directly to batching.
+    With ``checkpoint`` (a :class:`~repro.core.graph.CheckpointConfig`)
+    the run also takes aligned barrier snapshots, so the same figure
+    measures the checkpointing tax on the transport.
     """
     from repro.runtime.system import ActorSystem, RuntimeConfig
 
@@ -305,6 +309,7 @@ def runtime_tuples_per_second(batch_size: int, items: int,
         ],
         [Edge("source", "ident"), Edge("ident", "sink")],
         name="bench-batching",
+        checkpoint=checkpoint,
     )
     factories = {
         spec.name: (lambda path=spec.operator_class,
@@ -353,6 +358,45 @@ def batching_benchmarks(quick: bool = False) -> Dict[str, object]:
     }
 
 
+def recovery_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Checkpoint-barrier overhead and crash-recovery wall time.
+
+    Two figures: the throughput tax of taking aligned snapshots at the
+    default interval (gated at ≤15% by the recovery microbenchmark),
+    and the wall-clock cost of an effectively-once run that crashes the
+    sink twice and rolls back to the last complete epoch each time.
+    """
+    from repro.core.graph import CheckpointConfig
+    from repro.testing.differential import (
+        DifferentialConfig,
+        check_recovery_seed,
+    )
+
+    items = 10_000 if quick else 50_000
+    plain = runtime_tuples_per_second(1, items)
+    checkpointed = runtime_tuples_per_second(
+        1, items, checkpoint=CheckpointConfig())   # snapshot every 100 items
+    overhead = 1.0 - checkpointed / plain
+
+    started = time.perf_counter()
+    report = check_recovery_seed(1, DifferentialConfig(items=300))
+    elapsed = time.perf_counter() - started
+    return {
+        "runtime_plain": {"tuples_per_sec": round(plain, 1),
+                          "items": items},
+        "runtime_checkpointed": {"tuples_per_sec": round(checkpointed, 1),
+                                 "items": items, "interval_items": 100},
+        "checkpoint_overhead_ratio": round(overhead, 4),
+        "crash_recovery": {
+            "seed": 1,
+            "rollbacks": report.recovery_attempts,
+            "bit_equal": report.ok,
+            # baseline run + crashed run incl. every rollback/replay
+            "differential_wall_sec": round(elapsed, 3),
+        },
+    }
+
+
 def run_benchmarks(quick: bool = False,
                    batching_only: bool = False) -> Dict[str, object]:
     """The full suite; the returned dict is the ``BENCH_*.json`` payload.
@@ -370,6 +414,8 @@ def run_benchmarks(quick: bool = False,
         results["solver"] = solver_benchmark(quick=quick)
     results["fusion"] = fusion_benchmarks(quick=quick)
     results["batching"] = batching_benchmarks(quick=quick)
+    if not batching_only:
+        results["recovery"] = recovery_benchmarks(quick=quick)
     return results
 
 
@@ -412,6 +458,20 @@ def format_results(results: Dict[str, object]) -> str:
             "tuples/sec unbatched -> "
             f"{batching['runtime_batched_8']['tuples_per_sec']:,.0f} "
             f"batch=8 ({batching['batching_speedup']:.2f}x)"
+        )
+    recovery = results.get("recovery")
+    if recovery:
+        crash = recovery["crash_recovery"]
+        lines.append(
+            "recovery (aligned snapshots every 100 items): "
+            f"{recovery['runtime_plain']['tuples_per_sec']:,.0f} "
+            "tuples/sec plain -> "
+            f"{recovery['runtime_checkpointed']['tuples_per_sec']:,.0f} "
+            f"checkpointed "
+            f"(overhead {recovery['checkpoint_overhead_ratio']:.1%}); "
+            f"crash+recover differential: {crash['rollbacks']} rollbacks, "
+            f"bit-equal={'yes' if crash['bit_equal'] else 'NO'}, "
+            f"{crash['differential_wall_sec']:.2f} s"
         )
     return "\n".join(lines)
 
@@ -480,6 +540,11 @@ def main(
     """Entry point of ``spinstreams bench``; returns the exit code."""
     results = run_benchmarks(quick=quick, batching_only=batching_only)
     print(format_results(results))
+    recovery = results.get("recovery")
+    if recovery and not recovery["crash_recovery"]["bit_equal"]:
+        print("RECOVERY CHECK FAILED: crash+recover output diverged "
+              "from the fault-free run")
+        return 1
     if output is not None:
         with open(output, "w", encoding="utf-8") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)

@@ -323,6 +323,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.sim.network import SimulationConfig, build_engine
     from repro.testing import ConformanceConfig, topology_for_seed
 
+    if args.recover:
+        return _chaos_recover(args)
+
     fault_config = FaultPlanConfig(
         crashes_per_operator=args.crashes,
         poisons_per_operator=args.poisons,
@@ -358,6 +361,35 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                              SimulationConfig, build_engine, items)
     if run_runtime:
         failed |= _chaos_runtime(args, topology, profile, base)
+    return 1 if failed else 0
+
+
+def _chaos_recover(args) -> int:
+    """Effectively-once sweep: crash + restore must be bit-equal."""
+    from repro.testing import check_recovery_seed
+    from repro.testing.differential import DifferentialConfig
+
+    config = DifferentialConfig(items=args.recover_items)
+    first = args.seed
+    seeds = range(first, first + args.recover_seeds)
+    print(f"recovery sweep: seeds {first}..{first + args.recover_seeds - 1}, "
+          f"{args.recover_items} items per run")
+    failed = 0
+    attempts = 0
+    for seed in seeds:
+        mode = ("meta", "loop")[seed % 2]
+        batch = (1, 8)[(seed // 2) % 2]
+        report = check_recovery_seed(seed, config, fusion_mode=mode,
+                                     batch_size=batch)
+        attempts += report.recovery_attempts
+        status = "ok" if report.ok else "FAIL"
+        print(f"  seed {seed:>3} [{mode}, batch={batch}] {status} "
+              f"(rollbacks: {report.recovery_attempts})")
+        if not report.ok:
+            failed += 1
+            print(report.summary())
+    print(f"\n{len(list(seeds)) - failed}/{args.recover_seeds} seeds "
+          f"bit-equal after crash+recover ({attempts} rollbacks total)")
     return 1 if failed else 0
 
 
@@ -699,6 +731,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="expected mailbox drop windows per faulty operator")
     p.add_argument("--tolerance", type=float, default=0.15,
                    help="max relative error vs. the derated model")
+    p.add_argument("--recover", action="store_true",
+                   help="effectively-once sweep: crash operators, roll "
+                        "back to the last checkpoint and require output "
+                        "bit-equal to a fault-free run")
+    p.add_argument("--recover-seeds", type=int, default=4,
+                   help="how many consecutive seeds the --recover sweep "
+                        "covers (starting at --seed)")
+    p.add_argument("--recover-items", type=int, default=300,
+                   help="source items per --recover run (these runs are "
+                        "wall-clock, so keep this modest)")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("memory",

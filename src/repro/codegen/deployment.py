@@ -98,7 +98,7 @@ def deployment_plan(
                 entry["execution_reason"] = choice.reason
         operators.append(entry)
 
-    return {
+    plan: Dict[str, Any] = {
         "topology": topology.name,
         "source": topology.source,
         "sinks": topology.sinks,
@@ -109,6 +109,22 @@ def deployment_plan(
             for e in topology.edges
         ],
     }
+    if topology.checkpoint is not None:
+        from repro.core.solver import predict_checkpoint
+
+        prediction = predict_checkpoint(topology,
+                                        checkpoint=topology.checkpoint)
+        plan["checkpointing"] = {
+            "interval_items": topology.checkpoint.interval_items,
+            "retained_epochs": topology.checkpoint.retained,
+            "snapshot_overhead_ms":
+                topology.checkpoint.snapshot_overhead * 1e3,
+            "predicted_throughput": prediction.throughput,
+            "predicted_overhead_ratio": round(
+                prediction.overhead_ratio, 6),
+            "predicted_mean_recovery_s": prediction.mean_recovery_time,
+        }
+    return plan
 
 
 def deployment_json(topology: Topology,

@@ -307,6 +307,22 @@ class LoopOperator(Operator):
         for member in self.chain:
             self.members[member].on_stop()
 
+    def snapshot_state(self) -> object:
+        """Member-wise snapshot (one blob per fused member)."""
+        return {member: self.members[member].snapshot_state()
+                for member in self.chain}
+
+    def restore_state(self, snapshot: object) -> None:
+        """Member-wise in-place restore.
+
+        The member instances must be restored in place (not replaced):
+        the compiled loop closure captured direct references to them,
+        and the default ``Operator.restore_state`` would wipe this
+        instance's ``_loop``/``members`` wiring wholesale.
+        """
+        for member, state in snapshot.items():  # type: ignore[union-attr]
+            self.members[member].restore_state(state)
+
     def describe(self) -> str:
         return (f"LoopOperator({' -> '.join(self.chain)}, "
                 f"sel={self.output_selectivity:g})")

@@ -49,6 +49,7 @@ from repro.core.fusion import (
     validate_fusion,
 )
 from repro.core.graph import (
+    CheckpointConfig,
     Edge,
     KeyDistribution,
     OperatorSpec,
@@ -82,10 +83,12 @@ from repro.core.partitioning import (
 )
 from repro.core.report import analysis_report, fission_report, fusion_report
 from repro.core.solver import (
+    CheckpointPrediction,
     SteadyStateSolver,
     analyze_cached,
     analyze_edit,
     clear_cache,
+    predict_checkpoint,
 )
 from repro.core.steady_state import (
     OperatorRates,
@@ -97,6 +100,8 @@ from repro.core.steady_state import (
 
 __all__ = [
     "AutoFusionResult",
+    "CheckpointConfig",
+    "CheckpointPrediction",
     "CyclicGraph",
     "CyclicRates",
     "CyclicResult",
@@ -147,6 +152,7 @@ __all__ = [
     "operator_capacity",
     "partition_shares",
     "plan_fusion",
+    "predict_checkpoint",
     "predicted_throughput",
     "validate_fusion",
     "waiting_time",

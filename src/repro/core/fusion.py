@@ -380,4 +380,5 @@ def build_fused_topology(topology: Topology, plan: FusionPlan) -> Topology:
     for target, probability in plan.edge_probabilities.items():
         edges.append(Edge(plan.fused_name, target, probability))
 
-    return Topology(operators, edges, name=f"{topology.name}+fused")
+    return Topology(operators, edges, name=f"{topology.name}+fused",
+                    checkpoint=topology.checkpoint)

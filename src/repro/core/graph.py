@@ -221,6 +221,38 @@ class BatchConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Aligned-barrier checkpointing of one topology.
+
+    The source injects a barrier envelope every ``interval_items``
+    emitted items; barriers flow in-band through the mailboxes, align at
+    multi-input operators and trigger ``snapshot_state()`` on every
+    operator they pass (see :mod:`repro.runtime.checkpoint`).  The
+    ``retained`` most recent *complete* epochs are kept for rollback;
+    ``snapshot_overhead`` is the per-snapshot cost (seconds) the cost
+    models charge as a periodic service-time tax.
+    """
+
+    interval_items: int = 100
+    retained: int = 2
+    snapshot_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_items < 1:
+            raise TopologyError(
+                f"checkpoint interval must be >= 1 item, "
+                f"got {self.interval_items}")
+        if self.retained < 1:
+            raise TopologyError(
+                f"checkpoint retention must be >= 1 epoch, "
+                f"got {self.retained}")
+        if self.snapshot_overhead < 0.0:
+            raise TopologyError(
+                f"checkpoint snapshot overhead must be non-negative, "
+                f"got {self.snapshot_overhead}")
+
+
+@dataclass(frozen=True)
 class Edge:
     """A directed stream between two operators with a routing probability.
 
@@ -274,8 +306,10 @@ class Topology:
         operators: Iterable[OperatorSpec],
         edges: Iterable[Edge],
         name: str = "topology",
+        checkpoint: Optional[CheckpointConfig] = None,
     ) -> None:
         self.name = name
+        self.checkpoint = checkpoint
         self._operators: Dict[str, OperatorSpec] = {}
         for spec in operators:
             if spec.name in self._operators:
@@ -499,13 +533,21 @@ class Topology:
                 new_specs.append(spec.with_replication(degrees[spec.name]))
             else:
                 new_specs.append(spec)
-        return Topology(new_specs, self._edges, name=self.name)
+        return Topology(new_specs, self._edges, name=self.name,
+                        checkpoint=self.checkpoint)
 
     def with_operator(self, spec: OperatorSpec) -> "Topology":
         """A copy of the topology with one operator spec replaced."""
         self.operator(spec.name)
         new_specs = [spec if s.name == spec.name else s for s in self.operators]
-        return Topology(new_specs, self._edges, name=self.name)
+        return Topology(new_specs, self._edges, name=self.name,
+                        checkpoint=self.checkpoint)
+
+    def with_checkpoint(self,
+                        checkpoint: Optional[CheckpointConfig]) -> "Topology":
+        """A copy of the topology with a different checkpoint config."""
+        return Topology(self.operators, self._edges, name=self.name,
+                        checkpoint=checkpoint)
 
     def total_replicas(self) -> int:
         """Total number of replicas across all operators."""

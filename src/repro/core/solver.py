@@ -560,6 +560,128 @@ def predict_batching(
     )
 
 
+# ----------------------------------------------------------------------
+# checkpointing cost model
+
+
+@dataclass(frozen=True)
+class CheckpointPrediction:
+    """Analytical cost of aligned-barrier checkpointing.
+
+    Produced by :func:`predict_checkpoint`; comparable with the
+    measured throughput of a checkpointed
+    :class:`repro.runtime.system.ActorSystem` run and with the
+    recovery timings of :func:`repro.runtime.checkpoint.
+    run_recoverable`.
+    """
+
+    interval_items: int
+    snapshot_overhead: float
+    baseline_throughput: float
+    throughput: float
+    #: Per-vertex service-time tax (seconds per tuple) the barrier
+    #: cadence adds, in topology insertion order.
+    vertex_taxes: Tuple[Tuple[str, float], ...]
+    #: Mean source items replayed after a crash at a uniformly random
+    #: point of an epoch (half the interval).
+    mean_replay_items: float
+    #: Mean seconds a rollback costs: state restore for every vertex
+    #: plus replaying the lost half-epoch at the checkpointed rate.
+    mean_recovery_time: float
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Fraction of throughput the checkpoint cadence costs (0 = free)."""
+        if self.baseline_throughput <= 0.0:
+            return 0.0
+        return 1.0 - self.throughput / self.baseline_throughput
+
+
+def predict_checkpoint(
+    topology: Topology,
+    checkpoint: Optional["CheckpointConfig"] = None,
+    interval_items: Optional[int] = None,
+    snapshot_overhead: Optional[float] = None,
+    source_rate: Optional[float] = None,
+    solver: Optional["SteadyStateSolver"] = None,
+) -> CheckpointPrediction:
+    """Predict what aligned-barrier checkpointing costs in throughput.
+
+    Cost model: the source emits a barrier every ``interval_items``
+    items, so barriers cross every operator at rate ``λ_src /
+    interval``.  Each crossing pauses the operator for
+    ``snapshot_overhead`` seconds (state capture happens on the actor
+    thread, between items).  Amortized per processed tuple, operator
+    *v* with arrival rate ``λ_v`` pays a service-time tax of
+    ``snapshot_overhead · λ_src / (interval · λ_v)`` — operators late
+    in a selective pipeline see few tuples per barrier and pay
+    proportionally more per tuple.  The derated topology is re-solved
+    to get the checkpointed throughput, mirroring how
+    :func:`predict_batching` prices the mailbox hop (and how the
+    simulator's ``SimulationConfig.checkpoint_interval`` derates its
+    stations, keeping the two backends comparable).
+
+    Parameters come from ``checkpoint`` (a
+    :class:`~repro.core.graph.CheckpointConfig`), from the explicit
+    ``interval_items``/``snapshot_overhead`` overrides, or from
+    ``topology.checkpoint``, in that order of precedence.
+    """
+    from repro.core.graph import CheckpointConfig
+
+    config = checkpoint or topology.checkpoint
+    if interval_items is None:
+        interval_items = (config.interval_items if config is not None
+                          else CheckpointConfig().interval_items)
+    if snapshot_overhead is None:
+        snapshot_overhead = (config.snapshot_overhead if config is not None
+                             else 0.0)
+    if interval_items < 1:
+        raise TopologyError(
+            f"checkpoint interval must be >= 1, got {interval_items}")
+    if snapshot_overhead < 0.0:
+        raise TopologyError(
+            f"snapshot overhead must be non-negative, "
+            f"got {snapshot_overhead}")
+    solver = solver or DEFAULT_SOLVER
+
+    baseline = solver.analyze(topology, source_rate=source_rate)
+    emission = baseline.rates[topology.source].departure_rate
+    barrier_rate = emission / interval_items
+
+    taxes: Dict[str, float] = {}
+    specs = []
+    for spec in topology.operators:
+        rates = baseline.rates[spec.name]
+        arrival = (emission if spec.name == topology.source
+                   else rates.arrival_rate)
+        tax = 0.0
+        if snapshot_overhead > 0.0 and arrival > 0.0:
+            tax = snapshot_overhead * barrier_rate / arrival
+            spec = spec.with_service_time(spec.service_time + tax)
+        taxes[spec.name] = tax
+        specs.append(spec)
+    if snapshot_overhead > 0.0:
+        checked = solver.analyze(Topology(specs, topology.edges),
+                                 source_rate=source_rate)
+        throughput = checked.throughput
+    else:
+        throughput = baseline.throughput
+
+    mean_replay_items = interval_items / 2.0
+    restore_cost = snapshot_overhead * len(topology.names)
+    replay_time = (mean_replay_items / throughput if throughput > 0.0
+                   else float("inf"))
+    return CheckpointPrediction(
+        interval_items=interval_items,
+        snapshot_overhead=snapshot_overhead,
+        baseline_throughput=baseline.throughput,
+        throughput=throughput,
+        vertex_taxes=tuple((name, taxes[name]) for name in topology.names),
+        mean_replay_items=mean_replay_items,
+        mean_recovery_time=restore_cost + replay_time,
+    )
+
+
 #: Process-wide default solver: every module of the optimizer pipeline
 #: shares it so candidate evaluation, auto-fusion rounds and the
 #: conformance harness all hit one memo (worker processes of a parallel

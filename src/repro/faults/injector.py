@@ -175,6 +175,19 @@ class FaultyOperator(Operator):
     def on_stop(self) -> None:
         self.inner.on_stop()
 
+    def snapshot_state(self) -> Any:
+        """Delegate to the wrapped operator.
+
+        The fault schedule and item clock are deliberately *excluded*
+        from epoch snapshots: the clock belongs to the build site and
+        stays monotone across recovery rebuilds, so an injected crash
+        that already fired never re-fires on the replayed items.
+        """
+        return self.inner.snapshot_state()
+
+    def restore_state(self, snapshot: Any) -> None:
+        self.inner.restore_state(snapshot)
+
     def key_of(self, item: Any) -> Optional[str]:
         return self.inner.key_of(item)
 

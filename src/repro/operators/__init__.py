@@ -40,6 +40,7 @@ from repro.operators.basic import (
     spin_work,
 )
 from repro.operators.join import BandJoin, EquiJoin
+from repro.operators.resilience import RetryingOperator, RetryPolicy
 from repro.operators.source_sink import (
     CollectingSink,
     CountingSink,
@@ -70,6 +71,8 @@ __all__ = [
     "Operator",
     "Projection",
     "Record",
+    "RetryPolicy",
+    "RetryingOperator",
     "Sampler",
     "SkylineQuery",
     "Tokenizer",

@@ -17,6 +17,7 @@ partitioning key extractor.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Optional
@@ -84,6 +85,34 @@ class Operator(ABC):
 
     def on_stop(self) -> None:
         """Hook called after the last item (state teardown/flush)."""
+
+    def snapshot_state(self) -> Any:
+        """An epoch-consistent copy of this operator's live state.
+
+        Called by the checkpoint subsystem when an aligned barrier
+        reaches the operator (:mod:`repro.runtime.checkpoint`).  The
+        returned blob must be independent of the operator (mutating the
+        operator afterwards must not change the blob) and acceptable to
+        :meth:`restore_state` of a *fresh* instance built with the same
+        constructor arguments.
+
+        The default deep-copies the instance ``__dict__``, which is
+        correct for the catalog operators (counters, windows, join
+        tables, seeded RNGs).  Operators holding unsnapshotable
+        resources (sockets, files) must override both hooks.
+        """
+        return copy.deepcopy(self.__dict__)
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore this instance to a previously snapshotted state.
+
+        Restoration is **in-place** (the instance identity is
+        preserved) so wrappers and compiled closures holding references
+        to the operator keep working after a rollback.
+        """
+        state = copy.deepcopy(snapshot)
+        self.__dict__.clear()
+        self.__dict__.update(state)
 
     def key_of(self, item: Any) -> Optional[str]:
         """Partitioning key of an item (partitioned-stateful operators).

@@ -1,0 +1,166 @@
+"""Transient-failure retry: exponential backoff for side-effecting edges.
+
+Supervision (:mod:`repro.runtime.supervision`) and checkpoint recovery
+(:mod:`repro.runtime.checkpoint`) handle *operator* failures — the
+instance is broken, so it is restarted or the whole pipeline rolls
+back.  Sources and sinks talking to the outside world fail differently:
+a write bounces off a briefly unavailable endpoint and the very same
+call succeeds a moment later.  Escalating such blips into crash/restart
+(let alone a rollback) would be wildly disproportionate, so
+:class:`RetryingOperator` absorbs them *inside* the operator call:
+retry the failing invocation with exponential backoff and seeded
+jitter up to a max-attempts budget, and only then let the exception
+propagate to supervision.
+
+Injected faults are deliberately *not* absorbed:
+:class:`~repro.runtime.supervision.OperatorCrash` and
+:class:`~repro.runtime.supervision.PoisonedTuple` pass straight
+through, so chaos plans and the recovery differentials keep their
+semantics under a retry wrapper.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.core.graph import StateKind
+from repro.operators.base import Operator
+from repro.runtime.supervision import OperatorCrash, PoisonedTuple
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how patiently.
+
+    The delay before the ``n``-th retry (1-based) is ``backoff_base *
+    backoff_factor**(n-1)``, capped at ``backoff_max``, plus uniform
+    jitter of up to ``jitter`` times that delay (seeded, so runs are
+    reproducible).  ``max_attempts`` counts invocations, not retries:
+    ``max_attempts=3`` means one initial try plus two retries.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.1
+    #: Exception types treated as transient.  Injected faults
+    #: (OperatorCrash / PoisonedTuple) are never retried regardless.
+    retryable: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0.0 or self.backoff_max < 0.0:
+            raise ValueError("backoff must be non-negative")
+        if self.jitter < 0.0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, retry_number: int, rng: random.Random) -> float:
+        """Seconds to sleep before the ``retry_number``-th retry (1-based)."""
+        if retry_number < 1:
+            retry_number = 1
+        base = self.backoff_base * (
+            self.backoff_factor ** (retry_number - 1))
+        base = min(base, self.backoff_max)
+        return base + rng.uniform(0.0, self.jitter * base)
+
+    def is_transient(self, error: BaseException) -> bool:
+        if isinstance(error, (OperatorCrash, PoisonedTuple)):
+            return False
+        return isinstance(error, self.retryable)
+
+
+class RetryingOperator(Operator):
+    """Wrap an operator so transient failures are retried in place.
+
+    Metadata (state kind, selectivities) mirrors the wrapped operator so
+    fission/fusion analysis sees through the wrapper, exactly like the
+    fault wrapper does.  The retry counters are surfaced for metrics:
+
+    ``retries``
+        Invocations that failed transiently and were re-attempted.
+    ``gave_up``
+        Items whose budget was exhausted (the last error propagated).
+    ``recovered``
+        Items that eventually succeeded after at least one retry.
+    """
+
+    #: Conservative class-level declaration for the SS2xx analyzer: the
+    #: retry counters are writes reachable from ``operator_function``.
+    #: Instances mirror the wrapped operator instead (``__init__``) —
+    #: the counters are telemetry, and splitting telemetry across
+    #: replicas never corrupts stream results.
+    state = StateKind.STATEFUL
+
+    def __init__(self, inner: Operator,
+                 policy: Optional[RetryPolicy] = None,
+                 seed: int = 1,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self.state = inner.state
+        self.input_selectivity = inner.input_selectivity
+        self.output_selectivity = inner.output_selectivity
+        self.retries = 0
+        self.gave_up = 0
+        self.recovered = 0
+
+    def metrics(self) -> Dict[str, int]:
+        """The retry counters plus the configured budget, for reports."""
+        return {
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "recovered": self.recovered,
+            "max_attempts": self.policy.max_attempts,
+        }
+
+    def operator_function(self, item: Any) -> List[Any]:
+        attempt = 1
+        while True:
+            try:
+                outputs = self.inner.operator_function(item)
+            except BaseException as error:
+                if (not self.policy.is_transient(error)
+                        or attempt >= self.policy.max_attempts):
+                    if self.policy.is_transient(error):
+                        self.gave_up += 1
+                    raise
+                self.retries += 1
+                self._sleep(self.policy.delay(attempt, self._rng))
+                attempt += 1
+                continue
+            if attempt > 1:
+                self.recovered += 1
+            return outputs
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()
+
+    def snapshot_state(self) -> Any:
+        """Delegate to the wrapped operator.
+
+        The retry counters are runtime telemetry, not stream state: a
+        rollback must not rewind them, or the metrics would undercount
+        the blips that really happened.
+        """
+        return self.inner.snapshot_state()
+
+    def restore_state(self, snapshot: Any) -> None:
+        self.inner.restore_state(snapshot)
+
+    def key_of(self, item: Any) -> Optional[str]:
+        return self.inner.key_of(item)
+
+    def describe(self) -> str:
+        return (f"Retrying({self.inner.describe()}, "
+                f"max_attempts={self.policy.max_attempts})")

@@ -16,6 +16,18 @@ from repro.runtime.actors import (
     SourceActor,
     Target,
 )
+from repro.runtime.checkpoint import (
+    Barrier,
+    BarrierAligner,
+    CheckpointError,
+    CheckpointRestoreError,
+    CheckpointSession,
+    CheckpointStore,
+    EpochSnapshot,
+    RecoveryEvent,
+    RecoveryResult,
+    run_recoverable,
+)
 from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
 from repro.runtime.meta import MetaOperatorActor
 from repro.runtime.metrics import (
@@ -55,13 +67,20 @@ __all__ = [
     "ActorCounters",
     "ActorRates",
     "ActorSystem",
+    "Barrier",
+    "BarrierAligner",
     "BlockedActor",
     "BoundedMailbox",
+    "CheckpointError",
+    "CheckpointRestoreError",
+    "CheckpointSession",
+    "CheckpointStore",
     "CollectorActor",
     "CounterSnapshot",
     "DeadLetter",
     "DeadLetterSink",
     "Directive",
+    "EpochSnapshot",
     "EmitterActor",
     "MailboxClosed",
     "MetaOperatorActor",
@@ -69,6 +88,8 @@ __all__ = [
     "OperatorCrash",
     "PaddedOperator",
     "PoisonedTuple",
+    "RecoveryEvent",
+    "RecoveryResult",
     "Router",
     "RuntimeConfig",
     "RuntimeMeasurements",
@@ -82,6 +103,7 @@ __all__ = [
     "Target",
     "WatchdogReport",
     "find_blocked_cycle",
+    "run_recoverable",
     "run_topology",
     "rates_between",
 ]

@@ -26,6 +26,7 @@ from repro.operators.base import (
     destination_of,
     unwrap,
 )
+from repro.runtime.checkpoint import Barrier, BarrierAligner, CheckpointSession
 from repro.runtime.mailbox import Batch, BoundedMailbox, MailboxClosed
 from repro.runtime.metrics import ActorCounters
 from repro.runtime.supervision import (
@@ -192,6 +193,15 @@ class Router:
                 return self._entries[index][1]
         return self._entries[-1][1]
 
+    def state(self) -> Dict[str, Any]:
+        """Snapshot of the routing state (RNG position, edge counts)."""
+        return {"rng": self._rng.getstate(), "counts": dict(self.counts)}
+
+    def restore(self, blob: Mapping[str, Any]) -> None:
+        """Restore a previously snapshotted routing state in place."""
+        self._rng.setstate(blob["rng"])
+        self.counts = dict(blob["counts"])
+
 
 class ActorBase(threading.Thread):
     """Common machinery: mailbox loop, counters, graceful shutdown."""
@@ -215,6 +225,18 @@ class ActorBase(threading.Thread):
         #: flushes overdue partial batches from its idle poll and
         #: force-flushes on shutdown.
         self.batch_targets: List[BatchingTarget] = []
+        #: Origin stamped on outgoing mailbox messages.  Equal to the
+        #: vertex except for replicas and emitters, whose per-actor
+        #: origins let the checkpoint layer align barriers per channel.
+        self.origin_name = vertex
+        #: Checkpoint wiring (see :mod:`repro.runtime.checkpoint`);
+        #: ``None`` while checkpointing is off — the hot path then pays
+        #: one ``is None`` test per message.
+        self.checkpoint_session: Optional[CheckpointSession] = None
+        self._aligner: Optional[BarrierAligner] = None
+        self._barrier_targets: List[Target] = []
+        #: Epoch snapshots this actor recorded (tests and reports).
+        self.snapshots_taken = 0
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
         try:
@@ -231,12 +253,7 @@ class ActorBase(threading.Thread):
                 except MailboxClosed:
                     break
                 try:
-                    payload, origin = message
-                    if isinstance(payload, Batch):
-                        for item in payload.items:
-                            self.handle((item, origin))
-                    else:
-                        self.handle(message)
+                    self._dispatch(message)
                     if self.batch_targets:
                         self._flush_batches()
                 except ActorStopped:
@@ -248,6 +265,75 @@ class ActorBase(threading.Thread):
             if self.batch_targets:
                 self._flush_batches(force=True)
             self.on_stop()
+
+    def _dispatch(self, message: Tuple[Any, str]) -> None:
+        """Route one mailbox message: defer, align or handle it."""
+        payload, origin = message
+        aligner = self._aligner
+        if aligner is not None and aligner.deferring(origin):
+            # A barrier already arrived on this channel for the epoch
+            # being aligned: everything behind it belongs to the next
+            # epoch and must wait (including the channel's next barrier).
+            aligner.defer(message)
+            return
+        if isinstance(payload, Barrier):
+            self._on_barrier(payload, origin)
+            return
+        if isinstance(payload, Batch):
+            for item in payload.items:
+                self.handle((item, origin))
+        else:
+            self.handle(message)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def configure_checkpoint(self, session: CheckpointSession,
+                             channels: Sequence[str],
+                             targets: Sequence[Target]) -> None:
+        """Wire this actor into a checkpoint session (before ``start``).
+
+        ``channels`` are the origins expected to deliver barriers to the
+        actor's mailbox; ``targets`` the downstream endpoints barriers
+        are forwarded to once aligned.
+        """
+        self.checkpoint_session = session
+        self._aligner = BarrierAligner(channels)
+        self._barrier_targets = list(targets)
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """The actor's epoch snapshot blob (subclasses add their state)."""
+        return {}
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        """Restore a snapshot blob in place (called before ``start``)."""
+
+    def _on_barrier(self, barrier: Barrier, origin: str) -> None:
+        aligner = self._aligner
+        if aligner is None or not aligner.observe(barrier.epoch, origin):
+            return
+        session = self.checkpoint_session
+        if session is not None:
+            session.record(barrier.epoch, self.actor_name,
+                           self.checkpoint_state())
+            self.snapshots_taken += 1
+        self._forward_barrier(barrier)
+        # Replay the messages deferred during alignment; they may
+        # include the next epoch's first barriers.
+        for message in aligner.drain():
+            self._dispatch(message)
+
+    def _forward_barrier(self, barrier: Barrier) -> None:
+        """Send ``barrier`` to every downstream endpoint, in-band.
+
+        Outgoing batch buffers flush first so the barrier never
+        overtakes buffered tuples; the put is a control put (never shed
+        by fault windows, not counted as a data arrival).
+        """
+        for target in self._barrier_targets:
+            if isinstance(target, BatchingTarget):
+                target.flush()
+            target.mailbox.put((barrier, self.origin_name), control=True)
 
     def _flush_batches(self, force: bool = False) -> None:
         """Flush overdue (or, with ``force``, all) outgoing batches."""
@@ -272,7 +358,7 @@ class ActorBase(threading.Thread):
         started = time.perf_counter()
         self.blocked_on = target.name
         try:
-            ok = target.deliver(payload, self.vertex)
+            ok = target.deliver(payload, self.origin_name)
         finally:
             self.blocked_on = None
         elapsed = time.perf_counter() - started
@@ -360,6 +446,14 @@ class OperatorActor(ActorBase):
     def on_stop(self) -> None:
         self.operator.on_stop()
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {"operator": self.operator.snapshot_state(),
+                "router": self.router.state()}
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        self.operator.restore_state(blob["operator"])
+        self.router.restore(blob["router"])
+
     def _log_event(self, directive: Directive, error: BaseException) -> None:
         self.context.supervision.record(SupervisionEvent(
             time=self.context.now(),
@@ -391,12 +485,23 @@ class OperatorActor(ActorBase):
     def _on_failure(self, payload: Any, error: BaseException) -> None:
         self.counters.failed += 1
         directive = self.policy.decide(error)
+        if (directive is Directive.RESTART
+                and self.context.request_recovery is not None):
+            # Checkpointed run: instead of a cold per-actor restart,
+            # roll the whole system back to the last complete epoch.
+            # The crashed item is NOT dead-lettered — the replay from
+            # the source offset re-delivers it (effectively once).
+            self._log_event(directive, error)
+            self.context.request_recovery(
+                self.vertex, f"{type(error).__name__}: {error}")
+            self._stop_self()
+            return
         if directive is Directive.RESTART:
             if self.operator_factory is None:
                 # Nothing to rebuild from: degrade to Resume.
                 directive = Directive.RESUME
             elif self._restarts.record(self.context.now()):
-                directive = Directive.STOP
+                directive = self.policy.exhausted_directive()
         self._log_event(directive, error)
         if directive is not Directive.ESCALATE:
             self.context.dead_letters.record(
@@ -479,16 +584,48 @@ class SourceActor(ActorBase):
         self.router = router
         self.rate = rate
         self.max_items = max_items
+        #: First sequence number to emit; a checkpoint restore rewinds
+        #: this to the recorded epoch offset (source replay).
+        self._start_sequence = 0
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        self.operator.restore_state(blob["operator"])
+        self.router.restore(blob["router"])
+        self._start_sequence = int(blob["sequence"])
+
+    def _emit_barrier(self, sequence: int) -> None:
+        """Snapshot the source and inject the barrier for ``sequence``.
+
+        The snapshot is taken *before* generating the item at
+        ``sequence``, so restoring it and replaying from that offset
+        regenerates the exact post-barrier stream (the RNG state is part
+        of the operator snapshot).
+        """
+        session = self.checkpoint_session
+        assert session is not None
+        epoch = sequence // session.config.interval_items
+        session.record(epoch, self.actor_name, {
+            "operator": self.operator.snapshot_state(),
+            "router": self.router.state(),
+            "sequence": sequence,
+        }, offset=sequence)
+        self.snapshots_taken += 1
+        self._forward_barrier(Barrier(epoch))
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
         interval = None if self.rate is None else 1.0 / self.rate
         next_time = time.perf_counter()
-        sequence = 0
+        sequence = self._start_sequence
         try:
             self.operator.on_start()
             while not self.stop_event.is_set():
                 if self.max_items is not None and sequence >= self.max_items:
                     break
+                if (self.checkpoint_session is not None
+                        and sequence > self._start_sequence
+                        and sequence % self.checkpoint_session.config
+                        .interval_items == 0):
+                    self._emit_barrier(sequence)
                 if interval is not None:
                     now = time.perf_counter()
                     delay = next_time - now
@@ -586,6 +723,13 @@ class EmitterActor(ActorBase):
         self.key_assignment = dict(key_assignment or {})
         self._next = 0
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {"next": self._next, "keys": dict(self.key_assignment)}
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        self._next = int(blob["next"])
+        self.key_assignment = dict(blob["keys"])
+
     def _pick(self, payload: Any) -> Target:
         if self.key_of is not None:
             key = self.key_of(payload)
@@ -635,6 +779,12 @@ class CollectorActor(ActorBase):
                  context: Optional[ActorContext] = None) -> None:
         super().__init__(name, vertex, mailbox, stop_event, context=context)
         self.router = router
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        return {"router": self.router.state()}
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        self.router.restore(blob["router"])
 
     def handle(self, message: Tuple[Any, str]) -> None:
         payload, origin = message

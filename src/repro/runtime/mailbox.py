@@ -111,7 +111,7 @@ class BoundedMailbox:
         return self._divert is not None
 
     def put(self, message: Any, timeout: Optional[float] = -1.0,
-            weight: int = 1) -> bool:
+            weight: int = 1, control: bool = False) -> bool:
         """Enqueue ``message``; blocks while full (BAS).
 
         Returns ``True`` on success and ``False`` when the timeout
@@ -121,6 +121,11 @@ class BoundedMailbox:
         the ``dropped``/``shed``/``offered`` counters advance by it, so
         a timed-out batch of *k* tuples is accounted as *k* lost tuples
         rather than one lost message.
+
+        ``control`` marks a control envelope (a checkpoint barrier): it
+        neither advances the offered-tuple index nor can be shed by an
+        injected drop window, so control flow stays invisible to the
+        fault plans expressed over data-arrival indices.
         """
         if weight < 1:
             raise ValueError(f"weight must be >= 1, got {weight}")
@@ -128,13 +133,14 @@ class BoundedMailbox:
             timeout = self.put_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
-            index = self.offered
-            self.offered += weight
-            if self.drop_windows and any(
-                    start <= index < end
-                    for start, end in self.drop_windows):
-                self.shed += weight
-                return True
+            if not control:
+                index = self.offered
+                self.offered += weight
+                if self.drop_windows and any(
+                        start <= index < end
+                        for start, end in self.drop_windows):
+                    self.shed += weight
+                    return True
             while (len(self._queue) >= self.capacity
                    and self._divert is None):
                 if self._closed:

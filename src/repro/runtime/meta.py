@@ -113,6 +113,29 @@ class MetaOperatorActor(ActorBase):
         for operator in self.members.values():
             operator.on_stop()
 
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Epoch snapshot of the whole fused sub-graph.
+
+        Barriers align on the meta-actor's mailbox like on any other
+        entry actor; the internal member-to-member streams are plain
+        function composition on this thread, so one blob covering every
+        member *is* the consistent cut of the sub-graph.
+        """
+        return {
+            "members": {name: operator.snapshot_state()
+                        for name, operator in self.members.items()},
+            "rng": self._rng.getstate(),
+            "router": self.router.state(),
+            "stopped": set(self._stopped),
+        }
+
+    def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
+        for name, state in blob["members"].items():
+            self.members[name].restore_state(state)
+        self._rng.setstate(blob["rng"])
+        self.router.restore(blob["router"])
+        self._stopped = set(blob["stopped"])
+
     def _log_event(self, member: str, directive: Directive,
                    error: BaseException) -> None:
         self.context.supervision.record(SupervisionEvent(
@@ -167,11 +190,25 @@ class MetaOperatorActor(ActorBase):
         self.counters.failed += 1
         policy = self.strategy.policy_for(member)
         directive = policy.decide(error)
+        if (directive is Directive.RESTART
+                and self.context.request_recovery is not None):
+            # Checkpointed run: roll the whole system back instead of
+            # rebuilding the member cold.  The item is not dead-lettered
+            # — the replay re-delivers it through the front-end.
+            self._log_event(member, directive, error)
+            self.context.request_recovery(
+                member, f"{type(error).__name__}: {error}")
+            if policy.divert_on_stop:
+                sink = self.context.dead_letters
+                self.mailbox.divert(
+                    lambda message: sink.record(member, message[0],
+                                                "stopped-actor"))
+            raise ActorStopped
         if directive is Directive.RESTART:
             if member not in self.member_factories:
                 directive = Directive.RESUME
             elif self._trackers[member].record(self.context.now()):
-                directive = Directive.STOP
+                directive = policy.exhausted_directive()
         self._log_event(member, directive, error)
         if directive is not Directive.ESCALATE:
             self.context.dead_letters.record(

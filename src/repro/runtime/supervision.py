@@ -68,6 +68,10 @@ class SupervisionPolicy:
     on_error: Directive = Directive.RESUME
     on_crash: Directive = Directive.RESTART
     on_poison: Directive = Directive.RESUME
+    #: Directive applied once the restart budget is exhausted (more
+    #: than ``max_restarts`` restarts within ``window``).  The
+    #: historical behaviour is Stop; Escalate aborts the whole system.
+    on_exhausted: Directive = Directive.STOP
     max_restarts: int = 5
     window: float = 10.0
     backoff_base: float = 0.05
@@ -93,6 +97,16 @@ class SupervisionPolicy:
         if kind == "crash":
             return self.on_crash
         return self.on_error
+
+    def exhausted_directive(self) -> Directive:
+        """The directive once the restart budget is spent.
+
+        A further Restart would be self-contradictory (the budget is the
+        reason we are here), so it degrades to Stop.
+        """
+        if self.on_exhausted is Directive.RESTART:
+            return Directive.STOP
+        return self.on_exhausted
 
     def backoff(self, restart_number: int) -> float:
         """Downtime before the ``restart_number``-th restart (1-based)."""
@@ -203,15 +217,22 @@ class DeadLetterSink:
     """Thread-safe sink for dropped tuples.
 
     Counts every dead letter per vertex and retains the first
-    ``retain`` payloads for debugging (bounded, so chaotic runs don't
-    grow memory without limit).
+    ``retain`` payloads for debugging — a hard cap, so sustained
+    poison/chaos runs can't grow memory without limit.  Letters beyond
+    the cap are counted in ``evicted`` (their payloads are discarded),
+    keeping the loss visible instead of silent.
     """
 
     def __init__(self, retain: int = 100) -> None:
+        if retain < 0:
+            raise ValueError(f"retain must be >= 0, got {retain}")
         self.retain = retain
         self._lock = threading.Lock()
         self._counts: Dict[str, int] = {}
         self._letters: List[DeadLetter] = []
+        #: Dead letters whose payload was dropped because the retention
+        #: cap was already full.
+        self.evicted = 0
 
     def record(self, vertex: str, payload: Any = None,
                reason: str = "dropped") -> None:
@@ -219,6 +240,8 @@ class DeadLetterSink:
             self._counts[vertex] = self._counts.get(vertex, 0) + 1
             if len(self._letters) < self.retain:
                 self._letters.append(DeadLetter(vertex, reason, payload))
+            else:
+                self.evicted += 1
 
     @property
     def total(self) -> int:
@@ -244,12 +267,17 @@ class ActorContext:
         dead_letters: Optional[DeadLetterSink] = None,
         escalate: Optional[Callable[[str, str], None]] = None,
         clock: Callable[[], float] = time.monotonic,
+        request_recovery: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         self.supervision = supervision or SupervisionLog()
         self.dead_letters = dead_letters or DeadLetterSink()
         self._escalate = escalate
         self.clock = clock
         self._epoch = clock()
+        #: When set (checkpointed systems), a Restart-able crash asks
+        #: for a system-wide rollback instead of a cold actor restart
+        #: (see :mod:`repro.runtime.checkpoint`).
+        self.request_recovery = request_recovery
 
     def now(self) -> float:
         """Seconds since the context was created (log-friendly times)."""

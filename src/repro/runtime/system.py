@@ -19,7 +19,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.fusion import FusionPlan
-from repro.core.graph import Edge, StateKind, Topology, TopologyError
+from repro.core.graph import (
+    CheckpointConfig,
+    Edge,
+    StateKind,
+    Topology,
+    TopologyError,
+)
 from repro.core.partitioning import key_partitioning
 from repro.core.steady_state import SteadyStateResult
 from repro.operators.base import Operator, instantiate_operator, unwrap
@@ -37,6 +43,10 @@ from repro.runtime.actors import (
     Router,
     SourceActor,
     Target,
+)
+from repro.runtime.checkpoint import (
+    CheckpointRestoreError,
+    CheckpointSession,
 )
 from repro.runtime.mailbox import BoundedMailbox
 from repro.runtime.meta import MetaOperatorActor
@@ -93,6 +103,14 @@ class RuntimeConfig:
     watchdog: bool = True
     watchdog_interval: float = 0.1
     watchdog_stall_timeout: float = 1.0
+    #: Aligned-barrier checkpointing (see
+    #: :mod:`repro.runtime.checkpoint`).  ``None`` falls back to the
+    #: topology's own ``checkpoint`` attribute; both ``None`` disables
+    #: checkpointing entirely (the default — zero overhead).
+    checkpoint: Optional[CheckpointConfig] = None
+    #: Dead-letter payload retention cap (see
+    #: :class:`repro.runtime.supervision.DeadLetterSink`).
+    dead_letter_retain: int = 100
 
 
 class RuntimeResult:
@@ -186,7 +204,19 @@ class ActorSystem:
         #: run; ``run`` waits on it instead of sleeping blindly.
         self.failure = threading.Event()
         self.failure_reason: Optional[str] = None
-        self.context = ActorContext(escalate=self._fail)
+        #: Set when a crashed actor of a checkpointed run asks for a
+        #: system-wide rollback (watched by ``run_recoverable``).
+        self.recovery = threading.Event()
+        self.recovery_vertex: Optional[str] = None
+        self.recovery_reason: Optional[str] = None
+        #: The checkpoint session of this run, ``None`` when
+        #: checkpointing is off.  Shared across the rebuilds of one
+        #: ``run_recoverable`` drive.
+        self.checkpoint_session: Optional[CheckpointSession] = None
+        self.context = ActorContext(
+            dead_letters=DeadLetterSink(retain=config.dead_letter_retain),
+            escalate=self._fail,
+        )
         self.watchdog_report: Optional[WatchdogReport] = None
         self._watchdog: Optional[StallWatchdog] = None
 
@@ -195,6 +225,13 @@ class ActorSystem:
         if self.failure_reason is None:
             self.failure_reason = f"{vertex}: {reason}"
         self.failure.set()
+
+    def _request_recovery(self, vertex: str, reason: str) -> None:
+        """Recovery endpoint: remember the crash, wake the driver."""
+        if self.recovery_reason is None:
+            self.recovery_vertex = vertex
+            self.recovery_reason = reason
+        self.recovery.set()
 
     # ------------------------------------------------------------------
     # construction
@@ -206,6 +243,7 @@ class ActorSystem:
         factories: Mapping[str, OperatorFactory],
         config: Optional[RuntimeConfig] = None,
         fusion_plans: Sequence[FusionPlan] = (),
+        checkpoint: Optional[CheckpointSession] = None,
     ) -> "ActorSystem":
         """Wire the actors of ``topology``.
 
@@ -214,9 +252,22 @@ class ActorSystem:
         For fused vertices, the factories of the *member* operators must
         be provided (not one for the fused name).  Operators without a
         factory fall back to the spec's ``operator_class``.
+
+        ``checkpoint`` is an existing :class:`CheckpointSession` (the
+        ``run_recoverable`` driver passes one so the store and fault
+        clocks survive rebuilds); without it, a fresh session is created
+        when ``config.checkpoint`` or ``topology.checkpoint`` is set.
         """
         config = config or RuntimeConfig()
         system = cls(topology, config)
+        session = checkpoint
+        if session is None:
+            checkpoint_config = config.checkpoint or topology.checkpoint
+            if checkpoint_config is not None:
+                session = CheckpointSession(checkpoint_config)
+        if session is not None:
+            system.checkpoint_session = session
+            system.context.request_recovery = system._request_recovery
         plans = {plan.fused_name: plan for plan in fusion_plans}
 
         def make_operator(name: str) -> Operator:
@@ -272,7 +323,68 @@ class ActorSystem:
                     target for target in router.targets
                     if isinstance(target, BatchingTarget)
                 ]
+        if session is not None:
+            system._wire_checkpoint(session)
         return system
+
+    def _wire_checkpoint(self, session: CheckpointSession) -> None:
+        """Attach every actor to the checkpoint session (after pass 2).
+
+        Computes each actor's barrier *channels* (origins expected to
+        deliver barriers to its mailbox) and barrier *targets* (where
+        aligned barriers are forwarded), declares the expected actor set
+        to the store, and applies the session's pending epoch restore.
+        """
+        preds = {name: tuple(self.topology.predecessors(name))
+                 for name in self.topology.names}
+        for actor in self.actors:
+            vertex = actor.vertex
+            if isinstance(actor, SourceActor):
+                actor.configure_checkpoint(session, (), actor.router.targets)
+            elif isinstance(actor, EmitterActor):
+                # The emitter broadcasts aligned barriers to every
+                # replica under its own origin so the collector can
+                # re-align them per replica channel.
+                actor.origin_name = actor.actor_name
+                actor.configure_checkpoint(session, preds[vertex],
+                                           actor.replicas)
+            elif isinstance(actor, CollectorActor):
+                replica_names = tuple(
+                    peer.actor_name for peer in self.actors
+                    if peer.vertex == vertex
+                    and isinstance(peer, OperatorActor))
+                actor.configure_checkpoint(session, replica_names,
+                                           actor.router.targets)
+            elif isinstance(actor, OperatorActor) \
+                    and actor.actor_name != vertex:
+                # A replica: barriers come from the emitter only, and
+                # go out under the replica's own origin.
+                actor.origin_name = actor.actor_name
+                actor.configure_checkpoint(session,
+                                           (f"{vertex}.emitter",),
+                                           actor.router.targets)
+            else:
+                # Single, loop-compiled or meta entry actor.
+                actor.configure_checkpoint(session, preds[vertex],
+                                           actor.router.targets)
+        session.store.set_expected(
+            actor.actor_name for actor in self.actors)
+        restored = session.restore
+        if restored is None:
+            return
+        for actor in self.actors:
+            blob = restored.states.get(actor.actor_name)
+            if blob is None:
+                continue
+            try:
+                actor.checkpoint_restore(blob)
+            except Exception as error:
+                wrapped = CheckpointRestoreError(
+                    f"restoring epoch {restored.epoch} on actor "
+                    f"{actor.actor_name!r} failed: "
+                    f"{type(error).__name__}: {error}")
+                wrapped.vertex = actor.vertex
+                raise wrapped from error
 
     def _edge_target(self, edge: Edge, entry: Target,
                      owner: Optional[ActorBase]) -> Target:
@@ -316,14 +428,21 @@ class ActorSystem:
         self._mailboxes.append(mailbox)
         return mailbox
 
-    def _vertex_factory(self, name: str, make_operator) -> OperatorFactory:
+    def _vertex_factory(self, name: str, make_operator,
+                        clock_key: Optional[str] = None) -> OperatorFactory:
         """Zero-argument factory for one actor's operator instances.
 
         When the fault plan touches this vertex, every instance the
         factory produces is wrapped in a :class:`FaultyOperator` sharing
         one :class:`ItemClock` — so a supervision restart resumes the
         vertex's logical fault schedule instead of replaying it.
-        Call once per actor (each replica needs its own clock).
+        Call once per actor (each replica needs its own clock, keyed by
+        ``clock_key``).
+
+        In a checkpointed run the clock lives in the session registry,
+        surviving teardown/rebuild recovery cycles: replayed items get
+        *new* clock indices, so a crash fault that already fired never
+        fires again (otherwise recovery could never progress).
         """
         if self.injector is None:
             return lambda: make_operator(name)
@@ -331,7 +450,14 @@ class ActorSystem:
         if schedule.empty:
             return lambda: make_operator(name)
         from repro.faults.injector import FaultyOperator, ItemClock
-        clock = ItemClock()
+        session = self.checkpoint_session
+        key = clock_key or name
+        if session is not None and key in session.clocks:
+            clock = session.clocks[key]
+        else:
+            clock = ItemClock()
+            if session is not None:
+                session.clocks[key] = clock
         return lambda: FaultyOperator(make_operator(name), schedule, clock)
 
     def _defer_source(self, name: str, make_operator, router: Router):
@@ -391,7 +517,8 @@ class ActorSystem:
                 replica_mailbox = self._new_mailbox()
                 replica_router = Router(f"{name}#{index}")
                 replica_router.add(1.0, collector_target)
-                factory = self._vertex_factory(name, make_operator)
+                factory = self._vertex_factory(name, make_operator,
+                                               clock_key=f"{name}#{index}")
                 operator = factory()
                 operators.append(operator)
                 actor = OperatorActor(

@@ -75,6 +75,13 @@ class SimulationConfig:
     #: Global tuples-per-message batch size; ``Edge.batch`` overrides
     #: per edge (probability-weighted over a station's input edges).
     batch_size: int = 1
+    #: Barrier cadence of aligned-barrier checkpointing: a snapshot
+    #: every ``checkpoint_interval`` source items, each pausing a
+    #: station for ``checkpoint_overhead`` seconds.  ``0`` disables the
+    #: derating (the default), mirroring the analytical model of
+    #: :func:`repro.core.solver.predict_checkpoint`.
+    checkpoint_interval: int = 0
+    checkpoint_overhead: float = 0.0
     #: Seeded fault plan injected into the run (``None`` = fault-free).
     fault_plan: Optional[FaultPlan] = None
     #: Per-vertex supervision policies applied to injected failures.
@@ -96,6 +103,7 @@ class SimulationConfig:
         sizes amortize by the probability-weighted mean of ``1/b``.
         """
         base = topology.operator(name).service_time
+        base += self._checkpoint_tax(topology, name)
         if self.hop_overhead <= 0.0 or name == topology.source:
             return base
         weighted = 0.0
@@ -107,6 +115,47 @@ class SimulationConfig:
         if total <= 0.0:
             return base + self.hop_overhead / self.batch_size
         return base + self.hop_overhead * weighted / total
+
+    def _checkpoint_tax(self, topology: Topology, name: str) -> float:
+        """Amortized barrier-snapshot pause per tuple at one station.
+
+        Barriers cross every station at ``1 / checkpoint_interval``
+        times the source emission rate; each crossing costs
+        ``checkpoint_overhead`` seconds of service capacity.  Relative
+        arrival rates come from a nominal selectivity propagation, so
+        the tax per tuple matches the analytical model of
+        :func:`repro.core.solver.predict_checkpoint` without running a
+        solve inside the simulator.
+        """
+        if self.checkpoint_interval <= 0 or self.checkpoint_overhead <= 0.0:
+            return 0.0
+        relative = _relative_arrivals(topology)
+        arrival = relative.get(name, 0.0)
+        if arrival <= 0.0:
+            return 0.0
+        return self.checkpoint_overhead / (self.checkpoint_interval * arrival)
+
+
+def _relative_arrivals(topology: Topology) -> Dict[str, float]:
+    """Nominal arrival rate of every vertex relative to source emission.
+
+    One topological sweep of the selectivity/probability propagation
+    (no capacity clamping — this is the fault-free nominal regime the
+    checkpoint tax is expressed in).  The source's own emissions count
+    as its arrivals: it snapshots between emitted items.
+    """
+    out: Dict[str, float] = {}
+    arrivals: Dict[str, float] = {}
+    source = topology.source
+    for name in topology.topological_order():
+        if name == source:
+            arrival = 1.0
+        else:
+            arrival = sum(out[edge.source] * edge.probability
+                          for edge in topology.in_edges(name))
+        arrivals[name] = arrival
+        out[name] = arrival * topology.operator(name).gain
+    return arrivals
 
 
 @dataclass(frozen=True)

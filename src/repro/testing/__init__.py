@@ -31,6 +31,9 @@ from repro.testing.differential import (
     check_batching_seed,
     check_loop_chaos_seed,
     check_loop_seed,
+    check_recovery_seed,
+    recovery_fault_plan,
+    recovery_testbed,
     run_capture,
     topology_factories,
 )
@@ -73,8 +76,11 @@ __all__ = [
     "check_loop_chaos_seed",
     "check_loop_seed",
     "check_optimizer_seed",
+    "check_recovery_seed",
     "check_runtime_seed",
     "check_seed",
+    "recovery_fault_plan",
+    "recovery_testbed",
     "remove_edge",
     "remove_vertex",
     "run_capture",

@@ -32,10 +32,17 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fusion import FusionPlan, apply_fusion
-from repro.core.graph import BatchConfig, Edge, OperatorSpec, Topology
-from repro.faults.plan import FaultPlan, PoisonFault
+from repro.core.graph import (
+    BatchConfig,
+    CheckpointConfig,
+    Edge,
+    OperatorSpec,
+    Topology,
+)
+from repro.faults.plan import CrashFault, FaultPlan, PoisonFault
 from repro.operators.base import instantiate_operator
 from repro.operators.source_sink import CollectingSink
+from repro.runtime.checkpoint import run_recoverable
 from repro.runtime.system import ActorSystem, RuntimeConfig
 from repro.testing.shrink import ShrinkResult, shrink
 
@@ -94,6 +101,8 @@ class DifferentialReport:
     shrunk: Optional[ShrinkResult] = None
     #: Minimal diverging member chain (loop differentials only).
     shrunk_members: Optional[Tuple[str, ...]] = None
+    #: Rollbacks the recovery side performed (recovery differentials).
+    recovery_attempts: int = 0
 
     @property
     def summary(self) -> str:
@@ -226,6 +235,8 @@ def _collect_sinks(system: ActorSystem) -> Dict[str, List[str]]:
     outputs: Dict[str, List[str]] = {}
 
     def record(name: str, operator: Any) -> None:
+        while hasattr(operator, "inner"):  # FaultyOperator wrappers
+            operator = operator.inner
         if isinstance(operator, CollectingSink):
             outputs[name] = [canonical(item) for item in operator.items]
 
@@ -433,3 +444,144 @@ def _batching_divergences(seed: int, topology: Topology,
         config=config,
     )
     return _compare(seed, "unbatched", f"batch={batch_size}", base, batched)
+
+
+# ----------------------------------------------------------------------
+# effectively-once recovery differentials
+
+
+def recovery_testbed(seed: int,
+                     config: Optional[DifferentialConfig] = None,
+                     ) -> Tuple[Topology, Tuple[str, ...]]:
+    """A chain testbed whose sink stays a standalone actor.
+
+    The recovery differentials crash the sink, and a fault-wrapped
+    member is (correctly) refused by the loop compiler — fusing the
+    sink would silently turn the loop-mode differential into meta vs
+    meta.  Keeping the sink standalone also makes the crash site the
+    actor with the most accumulated state to lose.
+    """
+    topology, members = chain_testbed(seed, config)
+    return topology, tuple(name for name in members if name != "sink")
+
+
+def recovery_fault_plan(topology: Topology, seed: int,
+                        crashes: int = 2,
+                        vertex: str = "sink") -> FaultPlan:
+    """A deterministic crash-only plan aimed at one vertex (the sink).
+
+    Crashes are the fault class recovery exists for: supervision's
+    Restart directive becomes a rollback to the last complete epoch.
+    Sources are never targeted — a crashed source resumes by *skipping*
+    the item, which legitimately changes the stream.  Indices are drawn
+    low so they land within the sink's item budget even on chains whose
+    compound selectivity is far below one.
+    """
+    rng = random.Random(seed * 6271 + 29)
+    indices: set = set()
+    while len(indices) < crashes:
+        indices.add(rng.randrange(4, 40))
+    return FaultPlan(seed=seed, crashes=tuple(
+        CrashFault(vertex=vertex, item_index=index)
+        for index in sorted(indices)))
+
+
+def check_recovery_seed(seed: int,
+                        config: Optional[DifferentialConfig] = None,
+                        fusion_mode: str = "meta",
+                        batch_size: int = 1,
+                        checkpoint: Optional[CheckpointConfig] = None,
+                        ) -> DifferentialReport:
+    """Fault-free vs crash-and-recover execution of one seeded chain.
+
+    The decisive effectively-once oracle: a run with injected sink
+    crashes, rolled back by :func:`repro.runtime.checkpoint.
+    run_recoverable` to the last complete epoch and replayed from the
+    recorded source offset, must produce sink output **bit-equal** to
+    the fault-free run — under both fused execution modes and both
+    unbatched and batched mailboxes.
+    """
+    config = config or DifferentialConfig()
+    if checkpoint is None:
+        checkpoint = CheckpointConfig(interval_items=40)
+    topology, members = recovery_testbed(seed, config)
+    divergences, attempts = _recovery_divergences(
+        seed, topology, members, config, fusion_mode, batch_size,
+        checkpoint)
+    shrunk_members: Optional[Tuple[str, ...]] = None
+    if divergences and config.shrink_failures and len(members) > 1:
+        shrunk_members = _shrink_recovery_chain(
+            seed, topology, members, config, fusion_mode, batch_size,
+            checkpoint)
+    return DifferentialReport(
+        seed=seed, mode_a=fusion_mode,
+        mode_b=f"{fusion_mode}+recovery(batch={batch_size})",
+        ok=not divergences, divergences=tuple(divergences),
+        shrunk_members=shrunk_members,
+        recovery_attempts=attempts,
+    )
+
+
+def _recovery_divergences(seed: int, topology: Topology,
+                          members: Sequence[str],
+                          config: DifferentialConfig,
+                          fusion_mode: str, batch_size: int,
+                          checkpoint: CheckpointConfig,
+                          ) -> Tuple[List[str], int]:
+    result = apply_fusion(topology, list(members))
+    plans = (result.plan,)
+    factories = topology_factories(topology)
+    overrides: Dict[str, Any] = {"fusion_mode": fusion_mode}
+    if batch_size > 1:
+        overrides.update(batch_size=batch_size,
+                         batch_flush_timeout=config.batch_flush_timeout)
+    baseline = run_capture(
+        result.fused, _runtime(config, seed, **overrides),
+        fusion_plans=plans, factories=factories, config=config,
+        expect_execution=fusion_mode)
+    plan = recovery_fault_plan(topology, seed)
+    outcome = run_recoverable(
+        result.fused, factories,
+        runtime=_runtime(config, seed, fault_plan=plan, **overrides),
+        fusion_plans=plans, checkpoint=checkpoint,
+        quiet_period=config.quiet_period,
+        quiet_timeout=config.quiet_timeout)
+    label = f"{fusion_mode}+recovery(batch={batch_size})"
+    if outcome.outcome != "completed":
+        return ([f"recovery run ended {outcome.outcome!r} after "
+                 f"{outcome.attempts} rollback(s)"], outcome.attempts)
+    recovered = _collect_sinks(outcome.system)
+    divergences = _compare(seed, fusion_mode, label, baseline, recovered)
+    return divergences, outcome.attempts
+
+
+def _shrink_recovery_chain(seed: int, topology: Topology,
+                           members: Sequence[str],
+                           config: DifferentialConfig,
+                           fusion_mode: str, batch_size: int,
+                           checkpoint: CheckpointConfig,
+                           ) -> Tuple[str, ...]:
+    """Greedily drop chain members while the recovery divergence holds."""
+
+    def diverges(kept: Sequence[str]) -> bool:
+        if len(kept) < 1:
+            return False
+        try:
+            divergences, _ = _recovery_divergences(
+                seed, topology, kept, config, fusion_mode, batch_size,
+                checkpoint)
+        except Exception:
+            return False  # an invalid sub-chain is not a reproduction
+        return bool(divergences)
+
+    current = list(members)
+    progress = True
+    while progress and len(current) > 1:
+        progress = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            if diverges(candidate):
+                current = candidate
+                progress = True
+                break
+    return tuple(current)

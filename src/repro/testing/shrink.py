@@ -85,7 +85,8 @@ def _rebuild(topology: Topology, keep_specs: List, edges: List[Edge],
         for e in edges
     ]
     try:
-        return Topology(keep_specs, normalized, name=name)
+        return Topology(keep_specs, normalized, name=name,
+                        checkpoint=topology.checkpoint)
     except TopologyError:
         return None
 

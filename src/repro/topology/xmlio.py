@@ -54,6 +54,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.graph import (
     BatchConfig,
+    CheckpointConfig,
     Edge,
     KeyDistribution,
     OperatorSpec,
@@ -145,6 +146,34 @@ class DraftEdge:
 
 
 @dataclass
+class DraftCheckpoint:
+    """One ``<checkpoint>`` element, lexically parsed but unvalidated.
+
+    ``snapshot_overhead`` is already scaled to seconds (the element
+    takes the same ``time-unit`` attribute as operators).
+    """
+
+    interval_items: int
+    retained: int = 2
+    snapshot_overhead: float = 0.0
+
+    def build(self) -> CheckpointConfig:
+        try:
+            return CheckpointConfig(
+                interval_items=self.interval_items,
+                retained=self.retained,
+                snapshot_overhead=self.snapshot_overhead,
+            )
+        except TopologyError as exc:
+            raise XmlFormatError(f"checkpoint: {exc}") from None
+
+    @property
+    def valid(self) -> bool:
+        return (self.interval_items >= 1 and self.retained >= 1
+                and self.snapshot_overhead >= 0.0)
+
+
+@dataclass
 class TopologyDraft:
     """A lexically parsed topology before any semantic validation.
 
@@ -158,6 +187,8 @@ class TopologyDraft:
     edges: List[DraftEdge]
     #: Source file of the draft, when parsed from one (diagnostics).
     path: Optional[str] = None
+    #: Optional ``<checkpoint>`` element of the topology.
+    checkpoint: Optional[DraftCheckpoint] = None
 
     def operator_names(self) -> List[str]:
         return [op.name for op in self.operators]
@@ -235,10 +266,19 @@ class TopologyDraft:
                                             probability, capacity,
                                             batch_size, batch_timeout))
             edges = normalized
+        checkpoint: Optional[CheckpointConfig] = None
+        if self.checkpoint is not None:
+            if strict:
+                checkpoint = self.checkpoint.build()
+            elif self.checkpoint.valid:
+                checkpoint = self.checkpoint.build()
+            # invalid + non-strict: checkpointing is an optimization
+            # annotation, so the shrinker escape hatch just drops it
         return Topology(
             [op.build() for op in self.operators],
             [edge.build() for edge in edges],
             name=self.name,
+            checkpoint=checkpoint,
         )
 
 
@@ -276,18 +316,24 @@ def parse_draft(source: Union[str, "os.PathLike[str]"],
     name = root.get("name", "topology")
     operators: List[DraftOperator] = []
     edges: List[DraftEdge] = []
+    checkpoint: Optional[DraftCheckpoint] = None
     for child in root:
         if child.tag == "operator":
             operators.append(_parse_operator(child, directory))
         elif child.tag == "edge":
             edges.append(_parse_edge(child))
+        elif child.tag == "checkpoint":
+            if checkpoint is not None:
+                raise XmlFormatError(
+                    "at most one <checkpoint> element is allowed")
+            checkpoint = _parse_checkpoint(child)
         else:
             raise XmlFormatError(f"unexpected element <{child.tag}>")
     path = None
     if "<" not in str(source):
         path = os.fspath(source)
     return TopologyDraft(name=name, operators=operators, edges=edges,
-                         path=path)
+                         path=path, checkpoint=checkpoint)
 
 
 def _read_source(source: Union[str, "os.PathLike[str]"],
@@ -413,6 +459,32 @@ def _parse_keys(element: ET.Element, operator: str,
     return frequencies
 
 
+def _parse_checkpoint(element: ET.Element) -> DraftCheckpoint:
+    raw_interval = _require(element, "interval-items")
+    try:
+        interval_items = int(raw_interval)
+    except ValueError:
+        raise XmlFormatError("checkpoint: bad interval-items") from None
+    try:
+        retained = int(element.get("retained", "2"))
+    except ValueError:
+        raise XmlFormatError("checkpoint: bad retained") from None
+    unit = element.get("time-unit", "ms")
+    try:
+        scale = TIME_UNITS[unit]
+    except KeyError:
+        raise XmlFormatError(
+            f"checkpoint: unknown time unit {unit!r}") from None
+    try:
+        snapshot_overhead = float(
+            element.get("snapshot-overhead", "0")) * scale
+    except ValueError:
+        raise XmlFormatError("checkpoint: bad snapshot-overhead") from None
+    return DraftCheckpoint(interval_items=interval_items,
+                           retained=retained,
+                           snapshot_overhead=snapshot_overhead)
+
+
 def _parse_edge(element: ET.Element) -> DraftEdge:
     source = _require(element, "from")
     target = _require(element, "to")
@@ -487,6 +559,14 @@ def topology_to_xml(topology: Topology, time_unit: str = "ms") -> str:
     except KeyError:
         raise XmlFormatError(f"unknown time unit {time_unit!r}") from None
     root = ET.Element("topology", {"name": topology.name})
+    if topology.checkpoint is not None:
+        ET.SubElement(root, "checkpoint", {
+            "interval-items": str(topology.checkpoint.interval_items),
+            "retained": str(topology.checkpoint.retained),
+            "snapshot-overhead": repr(
+                topology.checkpoint.snapshot_overhead / scale),
+            "time-unit": time_unit,
+        })
     for spec in topology.operators:
         attributes = {
             "name": spec.name,

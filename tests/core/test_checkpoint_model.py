@@ -1,0 +1,101 @@
+"""Analytical checkpoint cost model and its DES mirror."""
+
+import pytest
+
+from repro.core.graph import CheckpointConfig, Edge, OperatorSpec, Topology, TopologyError
+from repro.core.solver import SteadyStateSolver, predict_checkpoint
+from repro.sim.network import SimulationConfig, _relative_arrivals
+
+
+def chain(checkpoint=None):
+    specs = [
+        OperatorSpec("src", 1.0e-3),
+        OperatorSpec("mid", 2.0e-3, output_selectivity=0.5),
+        OperatorSpec("snk", 0.5e-3),
+    ]
+    edges = [Edge("src", "mid"), Edge("mid", "snk")]
+    return Topology(specs, edges, name="ckpt-model", checkpoint=checkpoint)
+
+
+class TestPredictCheckpoint:
+    def test_zero_overhead_is_free(self):
+        prediction = predict_checkpoint(chain(), interval_items=100,
+                                        snapshot_overhead=0.0)
+        assert prediction.throughput == prediction.baseline_throughput
+        assert prediction.overhead_ratio == 0.0
+        assert all(tax == 0.0 for _, tax in prediction.vertex_taxes)
+
+    def test_overhead_costs_throughput(self):
+        prediction = predict_checkpoint(chain(), interval_items=50,
+                                        snapshot_overhead=5.0e-3)
+        assert prediction.throughput < prediction.baseline_throughput
+        assert 0.0 < prediction.overhead_ratio < 1.0
+
+    def test_longer_interval_cheaper(self):
+        short = predict_checkpoint(chain(), interval_items=10,
+                                   snapshot_overhead=1.0e-3)
+        long = predict_checkpoint(chain(), interval_items=1000,
+                                  snapshot_overhead=1.0e-3)
+        assert long.throughput > short.throughput
+        assert long.overhead_ratio < short.overhead_ratio
+        # ...but recovery replays more on average
+        assert long.mean_replay_items > short.mean_replay_items
+
+    def test_selective_pipeline_taxes_late_operators_more(self):
+        # mid halves the stream, so snk sees one tuple per two source
+        # items: per tuple it pays twice the per-barrier amortization.
+        prediction = predict_checkpoint(chain(), interval_items=100,
+                                        snapshot_overhead=1.0e-3)
+        taxes = dict(prediction.vertex_taxes)
+        assert taxes["snk"] == pytest.approx(2.0 * taxes["mid"], rel=1e-6)
+
+    def test_config_resolution_order(self):
+        topology = chain(checkpoint=CheckpointConfig(
+            interval_items=25, snapshot_overhead=1.0e-3))
+        from_topology = predict_checkpoint(topology)
+        assert from_topology.interval_items == 25
+        override = predict_checkpoint(
+            topology, checkpoint=CheckpointConfig(interval_items=75))
+        assert override.interval_items == 75
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            predict_checkpoint(chain(), interval_items=0)
+        with pytest.raises(TopologyError):
+            predict_checkpoint(chain(), interval_items=10,
+                               snapshot_overhead=-1.0)
+
+    def test_recovery_time_scales_with_interval(self):
+        fast = predict_checkpoint(chain(), interval_items=10,
+                                  snapshot_overhead=1.0e-4)
+        slow = predict_checkpoint(chain(), interval_items=1000,
+                                  snapshot_overhead=1.0e-4)
+        assert slow.mean_recovery_time > fast.mean_recovery_time
+
+
+class TestSimMirror:
+    def test_relative_arrivals_follow_selectivity(self):
+        relative = _relative_arrivals(chain())
+        assert relative["src"] == pytest.approx(1.0)
+        assert relative["mid"] == pytest.approx(1.0)
+        assert relative["snk"] == pytest.approx(0.5)
+
+    def test_sim_tax_matches_analytical_tax(self):
+        topology = chain()
+        config = SimulationConfig(checkpoint_interval=50,
+                                  checkpoint_overhead=2.0e-3)
+        prediction = predict_checkpoint(topology, interval_items=50,
+                                        snapshot_overhead=2.0e-3,
+                                        solver=SteadyStateSolver())
+        taxes = dict(prediction.vertex_taxes)
+        for name in topology.names:
+            simulated = (config.effective_service_time(topology, name)
+                         - topology.operator(name).service_time)
+            assert simulated == pytest.approx(taxes[name], rel=1e-6), name
+
+    def test_disabled_by_default(self):
+        config = SimulationConfig()
+        topology = chain()
+        for name in topology.names:
+            assert config.effective_service_time(topology, name) == \
+                topology.operator(name).service_time

@@ -1,0 +1,120 @@
+"""Retry-with-backoff wrapper for transient side-effect failures."""
+
+import pytest
+
+from repro.operators.base import Operator
+from repro.operators.basic import Identity
+from repro.operators.resilience import RetryingOperator, RetryPolicy
+from repro.runtime.supervision import OperatorCrash, PoisonedTuple
+
+
+class Flaky(Operator):
+    """Fails the first ``failures`` invocations of each item, then works."""
+
+    def __init__(self, failures=2, error=ConnectionError):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def operator_function(self, item):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error("endpoint briefly unavailable")
+        return [item]
+
+
+def wrap(inner, **policy_kwargs):
+    sleeps = []
+    policy = RetryPolicy(**policy_kwargs)
+    operator = RetryingOperator(inner, policy, seed=5,
+                                sleep=sleeps.append)
+    return operator, sleeps
+
+
+class TestRetryPolicy:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_backoff_grows_then_caps(self):
+        import random
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.3, jitter=0.0)
+        rng = random.Random(1)
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(2, rng) == pytest.approx(0.2)
+        assert policy.delay(3, rng) == pytest.approx(0.3)
+        assert policy.delay(9, rng) == pytest.approx(0.3)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5)
+        a = [policy.delay(1, random.Random(7)) for _ in range(3)]
+        b = [policy.delay(1, random.Random(7)) for _ in range(3)]
+        assert a == b  # reproducible
+        assert all(0.1 <= d <= 0.1 * 1.5 for d in a)
+
+    def test_injected_faults_are_never_transient(self):
+        policy = RetryPolicy()
+        assert not policy.is_transient(OperatorCrash("injected"))
+        assert not policy.is_transient(PoisonedTuple("injected"))
+        assert policy.is_transient(ConnectionError("blip"))
+
+
+class TestRetryingOperator:
+    def test_transient_failure_recovers(self):
+        operator, sleeps = wrap(Flaky(failures=2), max_attempts=3,
+                                backoff_base=0.01, jitter=0.0)
+        assert operator.operator_function({"v": 1}) == [{"v": 1}]
+        assert operator.retries == 2
+        assert operator.recovered == 1
+        assert operator.gave_up == 0
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_budget_exhaustion_propagates_last_error(self):
+        operator, sleeps = wrap(Flaky(failures=10), max_attempts=3,
+                                jitter=0.0)
+        with pytest.raises(ConnectionError):
+            operator.operator_function({"v": 1})
+        assert operator.retries == 2  # two re-attempts before giving up
+        assert operator.gave_up == 1
+        assert len(sleeps) == 2
+
+    def test_injected_crash_passes_straight_through(self):
+        operator, sleeps = wrap(Flaky(failures=5, error=OperatorCrash),
+                                max_attempts=4)
+        with pytest.raises(OperatorCrash):
+            operator.operator_function({"v": 1})
+        assert operator.retries == 0 and sleeps == []
+        assert operator.gave_up == 0  # not a transient giving up
+
+    def test_non_retryable_class_passes_through(self):
+        operator, sleeps = wrap(Flaky(failures=5, error=KeyError),
+                                max_attempts=4, retryable=(IOError,))
+        with pytest.raises(KeyError):
+            operator.operator_function({"v": 1})
+        assert operator.retries == 0 and sleeps == []
+
+    def test_metrics_surface_budget(self):
+        operator, _ = wrap(Flaky(failures=1), max_attempts=3, jitter=0.0)
+        operator.operator_function({"v": 1})
+        assert operator.metrics() == {
+            "retries": 1, "gave_up": 0, "recovered": 1, "max_attempts": 3}
+
+    def test_metadata_mirrors_inner(self):
+        inner = Identity()
+        operator = RetryingOperator(inner)
+        assert operator.state is inner.state
+        assert operator.output_selectivity == inner.output_selectivity
+        assert "Retrying" in operator.describe()
+
+    def test_snapshot_delegates_and_keeps_counters(self):
+        operator, _ = wrap(Flaky(failures=1), max_attempts=3, jitter=0.0)
+        operator.operator_function({"v": 1})
+        snap = operator.snapshot_state()
+        operator.restore_state(snap)
+        assert operator.retries == 1  # telemetry survives rollback

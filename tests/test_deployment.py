@@ -66,6 +66,25 @@ class TestPlan:
         assert fused_entries
         assert all("fused_front_end" in e for e in fused_entries)
 
+    def test_checkpoint_section_absent_by_default(self):
+        plan = deployment_plan(optimized_topology())
+        assert "checkpointing" not in plan
+
+    def test_checkpoint_section_carries_predictions(self):
+        from repro.core.graph import CheckpointConfig
+
+        topology = optimized_topology().with_checkpoint(
+            CheckpointConfig(interval_items=50, retained=3,
+                             snapshot_overhead=1.0e-3))
+        plan = deployment_plan(topology)
+        section = plan["checkpointing"]
+        assert section["interval_items"] == 50
+        assert section["retained_epochs"] == 3
+        assert section["snapshot_overhead_ms"] == pytest.approx(1.0)
+        assert 0.0 < section["predicted_overhead_ratio"] < 1.0
+        assert section["predicted_throughput"] < plan["predicted_throughput"]
+        assert section["predicted_mean_recovery_s"] > 0.0
+
     def test_json_round_trip(self):
         text = deployment_json(optimized_topology())
         parsed = json.loads(text)

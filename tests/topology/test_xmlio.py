@@ -274,3 +274,61 @@ class TestKeyFiles:
         path.write_text("# nothing\n")
         with pytest.raises(XmlFormatError, match="empty"):
             read_key_distribution(str(path))
+
+
+class TestCheckpointElement:
+    XML = (
+        '<topology name="ck">'
+        '<checkpoint interval-items="50" retained="3" '
+        'snapshot-overhead="2.0" time-unit="ms"/>'
+        '<operator name="a" service-time="1"/>'
+        '</topology>'
+    )
+
+    def test_parse(self):
+        topology = parse_topology(self.XML)
+        assert topology.checkpoint is not None
+        assert topology.checkpoint.interval_items == 50
+        assert topology.checkpoint.retained == 3
+        assert topology.checkpoint.snapshot_overhead == pytest.approx(2.0e-3)
+
+    def test_defaults(self):
+        topology = parse_topology(
+            '<topology><checkpoint interval-items="10"/>'
+            '<operator name="a" service-time="1"/></topology>')
+        assert topology.checkpoint.retained == 2
+        assert topology.checkpoint.snapshot_overhead == 0.0
+
+    def test_absent_means_disabled(self):
+        topology = parse_topology(
+            '<topology><operator name="a" service-time="1"/></topology>')
+        assert topology.checkpoint is None
+
+    def test_round_trip(self):
+        topology = parse_topology(self.XML)
+        again = parse_topology(topology_to_xml(topology))
+        assert again.checkpoint == topology.checkpoint
+
+    def test_missing_interval_rejected(self):
+        with pytest.raises(XmlFormatError, match="interval-items"):
+            parse_topology(
+                '<topology><checkpoint/>'
+                '<operator name="a" service-time="1"/></topology>')
+
+    def test_bad_interval_rejected_strict(self):
+        xml = ('<topology><checkpoint interval-items="0"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        with pytest.raises(XmlFormatError, match="interval"):
+            parse_topology(xml)
+
+    def test_bad_interval_dropped_lenient(self):
+        xml = ('<topology><checkpoint interval-items="0"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        assert parse_topology(xml, strict=False).checkpoint is None
+
+    def test_duplicate_rejected(self):
+        xml = ('<topology><checkpoint interval-items="1"/>'
+               '<checkpoint interval-items="2"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        with pytest.raises(XmlFormatError, match="one <checkpoint>"):
+            parse_topology(xml)
