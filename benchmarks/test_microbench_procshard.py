@@ -1,0 +1,57 @@
+"""Micro-benchmark: what the multi-process backend buys (and costs).
+
+The tentpole claim of the sharded backend is escaping the GIL: a
+CPU-bound fissioned chain whose replicas spin (GIL held) must run ≥2x
+faster across 4 shard processes than under the threaded runtime.  That
+claim needs cores to be testable — this container may have only one —
+so the speedup gate arms only when ``os.cpu_count() >= 4`` (live on
+GitHub CI runners) and degrades to an IPC-tax sanity floor otherwise:
+even with nothing to win, pipes, pickling and the credit protocol may
+not cost more than half the threaded throughput.
+
+The measured figures are printed either way and recorded with the host
+core count in ``BENCH_8.json`` by ``spinstreams bench --sharding``.
+"""
+
+import os
+
+from repro.bench import (
+    sharded_busy_tuples_per_second,
+    threaded_busy_tuples_per_second,
+)
+
+BUSY_TIME = 2e-4
+REPLICATION = 4
+ITEMS = 4_000
+
+#: Required process/threaded speedup at 4 shards on a >=4-core host.
+MULTI_CORE_FLOOR = 2.0
+#: Single-core fallback: the process backend may not lose more than
+#: half the threaded rate to IPC overhead.
+IPC_TAX_FLOOR = 0.5
+
+
+def test_microbench_procshard_speedup():
+    threaded = threaded_busy_tuples_per_second(ITEMS, BUSY_TIME, REPLICATION)
+    process = sharded_busy_tuples_per_second(4, ITEMS, BUSY_TIME, REPLICATION)
+    speedup = process / threaded
+    cores = os.cpu_count() or 1
+
+    print("\nMicro-benchmark — threaded vs process backend "
+          f"({REPLICATION} busy replicas x {BUSY_TIME * 1e6:.0f} us, "
+          f"{cores} cores)")
+    print(f"threaded   {threaded:>12,.0f} tuples/sec")
+    print(f"process_4  {process:>12,.0f} tuples/sec ({speedup:.2f}x)")
+
+    if cores >= 4:
+        assert speedup >= MULTI_CORE_FLOOR, (
+            f"process backend at 4 shards reached only {speedup:.2f}x over "
+            f"threaded on a {cores}-core host (floor {MULTI_CORE_FLOOR}x): "
+            "the GIL escape is not paying for its IPC")
+    else:
+        # One or two cores: there is no parallelism to win, so the only
+        # testable property is that the IPC machinery is not ruinous.
+        assert speedup >= IPC_TAX_FLOOR, (
+            f"process backend at 4 shards kept only {speedup:.2f} of the "
+            f"threaded rate on a {cores}-core host (floor {IPC_TAX_FLOOR}): "
+            "IPC overhead is out of hand")

@@ -23,12 +23,20 @@ regressions instead of anecdotes:
 * **batching benchmark** — end-to-end tuples/second of the threaded
   runtime on a source→identity→sink chain, unbatched versus batched
   mailboxes (the per-message hop amortization the batching cost model
-  predicts).
+  predicts);
+* **sharding benchmark** — tuples/second of a CPU-bound fissioned
+  chain (:class:`~repro.runtime.synthetic.BusyOperator` replicas that
+  hold the GIL) under the threaded runtime versus the multi-process
+  backend at 1, 2 and 4 shards.  The recorded ``cpu_count`` keys the
+  honesty of the numbers: on a single-core container the process
+  backend can only show its IPC tax, never a speedup, so the ≥2x gate
+  in ``benchmarks/test_microbench_procshard.py`` only arms on ≥4
+  cores.
 
-The JSON layout (``spinstreams bench -o BENCH_6.json``)::
+The JSON layout (``spinstreams bench -o BENCH_8.json``)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "quick": false,
       "des": {"fig11": {"events_per_sec": ..., "events": ...}, ...},
       "solver": {"solve_requests": ..., "full_solves": ...,
@@ -38,7 +46,10 @@ The JSON layout (``spinstreams bench -o BENCH_6.json``)::
                  "loop_speedup": ...},
       "batching": {"runtime_unbatched": {"tuples_per_sec": ...},
                    "runtime_batched_8": {"tuples_per_sec": ...},
-                   "batching_speedup": ...}
+                   "batching_speedup": ...},
+      "sharding": {"cpu_count": ..., "threaded": {...},
+                   "process_1": {...}, "process_2": {...},
+                   "process_4": {...}, "speedup_4": ...}
     }
 
 ``--baseline`` compares against a committed file and exits non-zero on
@@ -358,6 +369,117 @@ def batching_benchmarks(quick: bool = False) -> Dict[str, object]:
     }
 
 
+def busy_chain(busy_time: float, replication: int) -> Topology:
+    """source → busy (CPU-bound, fissioned) → sink.
+
+    The busy stage spins (GIL held) for ``busy_time`` per tuple, so the
+    threaded runtime serializes its replicas on one core while the
+    process backend spreads them across shards.
+    """
+    specs = [
+        OperatorSpec("source", 2e-5, operator_class=(
+            "repro.operators.source_sink.GeneratorSource"),
+            operator_args={"seed": 5}),
+        OperatorSpec("busy", busy_time, replication=replication,
+                     operator_class="repro.runtime.synthetic.BusyOperator",
+                     operator_args={"busy_time": busy_time}),
+        OperatorSpec("sink", 1e-5, operator_class=(
+            "repro.operators.source_sink.CountingSink")),
+    ]
+    edges = [Edge("source", "busy"), Edge("busy", "sink")]
+    return Topology(specs, edges, name="bench-sharding")
+
+
+def _topology_factories(topology: Topology):
+    return {
+        spec.name: (lambda path=spec.operator_class,
+                    args=spec.operator_args: _instantiate(path, args))
+        for spec in topology.operators
+    }
+
+
+def threaded_busy_tuples_per_second(items: int, busy_time: float,
+                                    replication: int = 4) -> float:
+    """Threaded-runtime rate of the CPU-bound fissioned chain."""
+    from repro.runtime.system import ActorSystem, RuntimeConfig
+
+    topology = busy_chain(busy_time, replication)
+    system = ActorSystem.build(
+        topology, _topology_factories(topology),
+        config=RuntimeConfig(mailbox_capacity=64, max_items=items, seed=5,
+                             watchdog=False, batch_size=8),
+    )
+    counting = next(actor.operator for actor in system.actors
+                    if actor.vertex == "sink")
+    started = time.perf_counter()
+    system.start()
+    try:
+        deadline = started + 120.0
+        if system.source_actor is not None:
+            system.source_actor.join(timeout=120.0)
+        while counting.count < items and time.perf_counter() < deadline:
+            time.sleep(0.002)
+        elapsed = time.perf_counter() - started
+    finally:
+        system.stop()
+    return counting.count / elapsed
+
+
+def sharded_busy_tuples_per_second(shards: int, items: int,
+                                   busy_time: float,
+                                   replication: int = 4) -> float:
+    """Process-backend rate of the same chain at ``shards`` workers.
+
+    Placement comes from the solver-driven default
+    (:func:`repro.codegen.deployment.shard_placement`), exactly what
+    ``spinstreams run --backend process`` would deploy.
+    """
+    from repro.runtime.procshard import ProcShardConfig, ProcShardSystem
+
+    topology = busy_chain(busy_time, replication)
+    config = ProcShardConfig(shards=shards, max_items=items, seed=5,
+                             mailbox_capacity=64, batch_size=8,
+                             channel_batch_size=8)
+    system = ProcShardSystem.build(topology, _topology_factories(topology),
+                                   config=config)
+    result = system.run_to_exhaustion()
+    if result.failure is not None:
+        raise RuntimeError(f"sharded bench run failed: {result.failure}")
+    delivered = result.sink_counts.get("sink", 0)
+    return delivered / result.measurements.duration
+
+
+def sharding_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Threaded vs multi-process rates on the GIL-bound fissioned chain.
+
+    ``speedup_4`` is the four-shard process rate over the threaded
+    rate.  On a machine with fewer cores than shards the process
+    backend cannot win — the figure then measures the IPC tax, which is
+    why ``cpu_count`` is part of the record and the CI gate is
+    conditional on it.
+    """
+    import os
+
+    busy_time = 2e-4
+    replication = 4
+    items = 2_000 if quick else 8_000
+    threaded = threaded_busy_tuples_per_second(items, busy_time, replication)
+    results: Dict[str, object] = {
+        "cpu_count": os.cpu_count() or 1,
+        "busy_us": round(busy_time * 1e6),
+        "items": items,
+        "replication": replication,
+        "threaded": {"tuples_per_sec": round(threaded, 1)},
+    }
+    for shards in (1, 2, 4):
+        rate = sharded_busy_tuples_per_second(shards, items, busy_time,
+                                              replication)
+        results[f"process_{shards}"] = {"tuples_per_sec": round(rate, 1)}
+    results["speedup_4"] = round(
+        results["process_4"]["tuples_per_sec"] / threaded, 2)
+    return results
+
+
 def recovery_benchmarks(quick: bool = False) -> Dict[str, object]:
     """Checkpoint-barrier overhead and crash-recovery wall time.
 
@@ -398,17 +520,23 @@ def recovery_benchmarks(quick: bool = False) -> Dict[str, object]:
 
 
 def run_benchmarks(quick: bool = False,
-                   batching_only: bool = False) -> Dict[str, object]:
+                   batching_only: bool = False,
+                   sharding_only: bool = False) -> Dict[str, object]:
     """The full suite; the returned dict is the ``BENCH_*.json`` payload.
 
     With ``batching_only`` (the ``spinstreams bench --batching`` flag)
     only the fusion and batching sections run — the transport-level
-    tuple rates — skipping the DES and solver suites.
+    tuple rates — skipping the DES and solver suites.  With
+    ``sharding_only`` (``--sharding``) only the threaded-vs-process
+    section runs.
     """
     results: Dict[str, object] = {
-        "schema": 2,
+        "schema": 3,
         "quick": quick,
     }
+    if sharding_only:
+        results["sharding"] = sharding_benchmarks(quick=quick)
+        return results
     if not batching_only:
         results["des"] = des_benchmarks(quick=quick)
         results["solver"] = solver_benchmark(quick=quick)
@@ -416,6 +544,7 @@ def run_benchmarks(quick: bool = False,
     results["batching"] = batching_benchmarks(quick=quick)
     if not batching_only:
         results["recovery"] = recovery_benchmarks(quick=quick)
+        results["sharding"] = sharding_benchmarks(quick=quick)
     return results
 
 
@@ -458,6 +587,20 @@ def format_results(results: Dict[str, object]) -> str:
             "tuples/sec unbatched -> "
             f"{batching['runtime_batched_8']['tuples_per_sec']:,.0f} "
             f"batch=8 ({batching['batching_speedup']:.2f}x)"
+        )
+    sharding = results.get("sharding")
+    if sharding:
+        lines.append(
+            f"sharding (GIL-bound chain, {sharding['replication']} "
+            f"replicas x {sharding['busy_us']} us, "
+            f"{sharding['cpu_count']} cores): "
+            f"{sharding['threaded']['tuples_per_sec']:,.0f} tuples/sec "
+            "threaded -> "
+            + ", ".join(
+                f"{sharding[f'process_{n}']['tuples_per_sec']:,.0f} "
+                f"@{n} shard{'s' if n > 1 else ''}"
+                for n in (1, 2, 4))
+            + f" ({sharding['speedup_4']:.2f}x at 4)"
         )
     recovery = results.get("recovery")
     if recovery:
@@ -519,6 +662,21 @@ def compare_to_baseline(
                 f"fusion loop speedup: {current:.2f}x < floor {floor:.2f}x "
                 f"(baseline {base_fusion['loop_speedup']:.2f}x)"
             )
+    # The sharding speedup only means "multi-core win" when both runs
+    # had the cores to show one; across machines with different core
+    # counts the ratios are not commensurable.
+    base_sharding = baseline.get("sharding")
+    current_sharding = results.get("sharding")
+    if (base_sharding is not None and current_sharding is not None
+            and base_sharding["cpu_count"] == current_sharding["cpu_count"]
+            and base_sharding["cpu_count"] >= 4):
+        floor = base_sharding["speedup_4"] * (1.0 - threshold)
+        current = current_sharding["speedup_4"]
+        if current < floor:
+            violations.append(
+                f"sharding speedup at 4 shards: {current:.2f}x < floor "
+                f"{floor:.2f}x (baseline {base_sharding['speedup_4']:.2f}x)"
+            )
     base_solver = baseline.get("solver")
     if base_solver is not None and "solver" in results:
         floor = base_solver["solve_reduction"] * (1.0 - threshold)
@@ -536,9 +694,11 @@ def main(
     baseline_path: Optional[str] = None,
     quick: bool = False,
     batching_only: bool = False,
+    sharding_only: bool = False,
 ) -> int:
     """Entry point of ``spinstreams bench``; returns the exit code."""
-    results = run_benchmarks(quick=quick, batching_only=batching_only)
+    results = run_benchmarks(quick=quick, batching_only=batching_only,
+                             sharding_only=sharding_only)
     print(format_results(results))
     recovery = results.get("recovery")
     if recovery and not recovery["crash_recovery"]["bit_equal"]:

@@ -9,9 +9,10 @@ The console counterpart of the paper's GUI workflow::
     spinstreams fuse app.xml --ops op3,op4,op5
     spinstreams simulate app.xml --items 200000  # DES measurement
     spinstreams generate app.xml -o run_app.py   # SS2Py code generation
+    spinstreams run app.xml --backend process --shards 4   # execute it
     spinstreams random --seed 7 -o random.xml    # Algorithm 5 testbed entry
     spinstreams conformance --seeds 25           # differential conformance
-    spinstreams bench -o BENCH_3.json            # perf microbenchmarks
+    spinstreams bench -o BENCH_8.json            # perf microbenchmarks
     spinstreams render app.xml -o app.dot        # Graphviz rendering
 """
 
@@ -242,11 +243,90 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_factories(topology, pad: bool, seed: int):
+    """Operator factories for ``spinstreams run``: the declared classes,
+    optionally padded to their declared service times."""
+    from repro.operators.base import instantiate_operator
+    from repro.runtime.synthetic import PaddedOperator
+
+    factories = {}
+    for spec in topology.operators:
+        if not spec.operator_class:
+            raise TopologyError(
+                f"operator {spec.name!r} has no class to run; "
+                "fill <class> in the XML or use `spinstreams simulate`")
+        if pad and spec.name != topology.source:
+            factories[spec.name] = (
+                lambda s=spec: PaddedOperator(
+                    instantiate_operator(s.operator_class, s.operator_args),
+                    s.service_time,
+                )
+            )
+        else:
+            factories[spec.name] = (
+                lambda s=spec: instantiate_operator(s.operator_class,
+                                                    s.operator_args)
+            )
+    return factories
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    topology = parse_topology(args.topology)
+    factories = _run_factories(topology, args.pad, args.seed)
+
+    if args.backend == "process":
+        from repro.runtime.procshard import ProcShardConfig, run_sharded
+
+        config = ProcShardConfig(shards=args.shards, seed=args.seed,
+                                 source_rate=args.source_rate)
+        result = run_sharded(topology, factories,
+                             duration=args.duration, config=config)
+        print(f"backend: process ({args.shards} shards)")
+        for shard in range(args.shards):
+            members = sorted(
+                f"{name}#{i}" if len(shards_of) > 1 else name
+                for name, shards_of in result.placement.items()
+                for i, s in enumerate(shards_of) if s == shard)
+            print(f"  shard {shard}: {', '.join(members) or '(empty)'}")
+        failed = result.failure is not None
+        leaked = result.leaked_workers or result.leaked_actors
+    else:
+        from repro.runtime.system import RuntimeConfig, run_topology
+
+        result = run_topology(
+            topology, factories, duration=args.duration,
+            config=RuntimeConfig(seed=args.seed,
+                                 source_rate=args.source_rate),
+        )
+        print("backend: threaded")
+        failed = result.failure is not None
+        leaked = result.leaked_actors
+
+    print(f"ran {result.measurements.duration:.2f}s measured window:")
+    print(f"{'operator':<24} {'arrive/s':>10} {'depart/s':>10}")
+    for name in topology.names:
+        rates = result.vertices.get(name)
+        if rates is None:
+            continue
+        print(f"{name:<24} {rates.arrival_rate:>10,.1f} "
+              f"{rates.departure_rate:>10,.1f}")
+    dropped = result.measurements.total_dropped()
+    if dropped:
+        print(f"dropped messages: {dropped}")
+    if leaked:
+        print(f"leaked: {', '.join(leaked)}")
+        failed = True
+    if result.failure is not None:
+        print(f"failure: {result.failure}")
+    return 1 if failed else 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.testing import (
         ConformanceConfig,
         check_chaos_seed,
         check_optimizer_seed,
+        check_process_seed,
         check_runtime_seed,
         check_seed,
         run_sweep,
@@ -269,6 +349,8 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
             reports.append(check_optimizer_seed(args.seed, config))
         if args.runtime_seeds > 0:
             reports.append(check_runtime_seed(args.seed, config))
+        if args.process_seeds > 0:
+            reports.append(check_process_seed(args.seed, config))
         if args.chaos_seeds > 0:
             reports.append(check_chaos_seed(args.seed, config))
         for report in reports:
@@ -282,7 +364,9 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         return 1 if failed else 0
 
     outcome = run_sweep(args.seeds, config, runtime_seeds=args.runtime_seeds,
-                        chaos_seeds=args.chaos_seeds, workers=args.workers)
+                        chaos_seeds=args.chaos_seeds,
+                        process_seeds=args.process_seeds,
+                        workers=args.workers)
     print(outcome.summary())
     from repro import instrumentation
     print(instrumentation.summary())
@@ -517,7 +601,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
     return bench_main(output=args.output, baseline_path=args.baseline,
-                      quick=args.quick, batching_only=args.batching)
+                      quick=args.quick, batching_only=args.batching,
+                      sharding_only=args.sharding)
 
 
 def _cmd_memory(args: argparse.Namespace) -> int:
@@ -659,6 +744,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the re-profiled topology XML here")
     p.set_defaults(func=_cmd_profile)
 
+    p = sub.add_parser("run",
+                       help="execute the application on a wall-clock "
+                            "backend (threaded actors or multi-process "
+                            "shards)")
+    topology_arg(p)
+    p.add_argument("--backend", default="threaded",
+                   choices=("threaded", "process"),
+                   help="threaded: one actor thread per replica under "
+                        "the GIL; process: shard worker processes with "
+                        "solver-driven placement")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker processes for --backend process")
+    p.add_argument("--duration", type=float, default=3.0,
+                   help="wall-clock seconds to run")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--pad", action="store_true",
+                   help="pad operators to their declared service times")
+    p.set_defaults(func=_cmd_run)
+
     p = sub.add_parser("conformance",
                        help="differential conformance sweep: model vs. "
                             "simulator vs. runtime on random testbeds")
@@ -675,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runtime-seeds", type=int, default=5,
                    help="how many seeds also run on the wall-clock "
                         "actor runtime (0 disables)")
+    p.add_argument("--process-seeds", type=int, default=0,
+                   help="how many seeds also run on the multi-process "
+                        "sharded backend (0 disables; these fork real "
+                        "worker processes)")
     p.add_argument("--no-optimizer", action="store_true",
                    help="skip the optimizer-pipeline checks")
     p.add_argument("--no-shrink", action="store_true",
@@ -697,6 +805,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only the fusion/batching transport benchmarks "
                         "(loop-compiled vs dispatched, batched vs "
                         "unbatched mailboxes)")
+    p.add_argument("--sharding", action="store_true",
+                   help="only the threaded-vs-process benchmark on the "
+                        "GIL-bound fissioned chain (records cpu_count; "
+                        "honest on single-core hosts)")
     p.add_argument("-o", "--output", default=None,
                    help="write the results JSON here (e.g. BENCH_3.json)")
     p.add_argument("--baseline", default=None,

@@ -23,11 +23,133 @@ tests.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.fusion import FusionPlan
 from repro.core.graph import StateKind, Topology
 from repro.core.steady_state import SteadyStateResult, analyze
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Replica-to-shard assignment chosen by :func:`shard_placement`.
+
+    ``by_vertex`` maps every vertex to one shard id per replica; the
+    first entry is the vertex's *home* shard (single operators, and the
+    emitter/collector of replicated ones, run there).  Shard 0 is the
+    glue shard: source, sinks and cheap operators stay co-located on
+    it, so with ``shards == 1`` the placement degenerates to the
+    threaded layout.
+    """
+
+    shards: int
+    by_vertex: Mapping[str, Tuple[int, ...]]
+    reasons: Mapping[str, str]
+    utilization_threshold: float
+
+    def home(self, name: str) -> int:
+        """The shard hosting the vertex's entry point."""
+        return self.by_vertex[name][0]
+
+    def backend_of(self, name: str) -> str:
+        """``"process"`` if any replica leaves the glue shard."""
+        return ("process" if any(s != 0 for s in self.by_vertex[name])
+                else "thread")
+
+    def members(self, shard: int) -> List[str]:
+        """Replica labels (``op`` or ``op#i``) placed on ``shard``."""
+        out: List[str] = []
+        for name, shards in self.by_vertex.items():
+            if len(shards) == 1:
+                if shards[0] == shard:
+                    out.append(name)
+                continue
+            out.extend(f"{name}#{i}" for i, s in enumerate(shards)
+                       if s == shard)
+        return out
+
+    def as_mapping(self) -> Dict[str, Tuple[int, ...]]:
+        """Plain dict form accepted by ``predict_sharding``."""
+        return dict(self.by_vertex)
+
+
+def shard_placement(
+    topology: Topology,
+    analysis: Optional[SteadyStateResult] = None,
+    shards: int = 2,
+    utilization_threshold: Optional[float] = None,
+) -> ShardPlacement:
+    """Choose thread-vs-process placement from solver utilizations.
+
+    CPU-bound hot operators (predicted utilization at or above the
+    threshold) get their own shard: single-replica hot operators are
+    dedicated the least-loaded non-glue shard, and the replicas of
+    fissioned hot operators are scattered round-robin across all
+    shards so fission buys real cores.  Everything else — source,
+    sinks, glue below the threshold — stays co-located on shard 0 with
+    the driver, where an in-process hop costs nothing.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if analysis is None:
+        analysis = analyze(topology)
+    if utilization_threshold is None:
+        from repro.codegen.fuseloop import DEFAULT_UTILIZATION_THRESHOLD
+        utilization_threshold = DEFAULT_UTILIZATION_THRESHOLD
+
+    loads = [0.0] * shards
+
+    def busy_share(spec) -> float:
+        rates = analysis.rates[spec.name]
+        activations = rates.arrival_rate / spec.input_selectivity
+        return (activations * spec.service_time / spec.replication
+                if rates.arrival_rate > 0.0 else 0.0)
+
+    def least_loaded(candidates: Sequence[int]) -> int:
+        return min(candidates, key=lambda s: (loads[s], s))
+
+    by_vertex: Dict[str, Tuple[int, ...]] = {}
+    reasons: Dict[str, str] = {}
+    for spec in topology.operators:
+        rates = analysis.rates[spec.name]
+        share = busy_share(spec)
+        glue = (spec.name == topology.source
+                or not topology.out_edges(spec.name)
+                or rates.utilization < utilization_threshold
+                or shards == 1)
+        if glue:
+            by_vertex[spec.name] = (0,) * spec.replication
+            loads[0] += share * spec.replication
+            reasons[spec.name] = (
+                "glue shard" if shards > 1 else "single shard")
+            continue
+        if spec.replication == 1:
+            shard = least_loaded(range(1, shards))
+            by_vertex[spec.name] = (shard,)
+            loads[shard] += share
+            reasons[spec.name] = (
+                f"hot (utilization {rates.utilization:.2f} >= "
+                f"{utilization_threshold:.2f}): dedicated shard {shard}")
+            continue
+        assigned = []
+        for _ in range(spec.replication):
+            shard = least_loaded(range(shards))
+            assigned.append(shard)
+            loads[shard] += share
+        # Home first: the emitter/collector live with the first replica.
+        assigned.sort()
+        by_vertex[spec.name] = tuple(assigned)
+        reasons[spec.name] = (
+            f"hot (utilization {rates.utilization:.2f}) x "
+            f"{spec.replication} replicas scattered over "
+            f"{len(set(assigned))} shards")
+    return ShardPlacement(
+        shards=shards,
+        by_vertex=by_vertex,
+        reasons=reasons,
+        utilization_threshold=utilization_threshold,
+    )
 
 
 def deployment_plan(
@@ -36,6 +158,7 @@ def deployment_plan(
     fusion_plans: Sequence[FusionPlan] = (),
     original: Optional[Topology] = None,
     utilization_threshold: Optional[float] = None,
+    shards: Optional[int] = None,
 ) -> Dict[str, Any]:
     """A framework-neutral deployment descriptor of an optimized topology.
 
@@ -45,9 +168,19 @@ def deployment_plan(
     chains hot enough to pay for it, ``"meta-actor"`` otherwise — as
     decided by :func:`repro.codegen.fuseloop.choose_execution` from the
     solver's utilization numbers.
+
+    When ``shards`` is given, the placement pass
+    (:func:`shard_placement`) additionally decides thread-vs-process
+    execution per operator and the plan carries a ``"shards"`` section
+    priced by :func:`repro.core.solver.predict_sharding`.
     """
     if analysis is None:
         analysis = analyze(topology)
+    placement: Optional[ShardPlacement] = None
+    if shards is not None:
+        placement = shard_placement(
+            topology, analysis=analysis, shards=shards,
+            utilization_threshold=utilization_threshold)
     fused = {plan.fused_name: plan for plan in fusion_plans}
     choices: Dict[str, Any] = {}
     if original is not None and fused:
@@ -96,6 +229,12 @@ def deployment_plan(
                                       if choice.execution == "loop"
                                       else "meta-actor")
                 entry["execution_reason"] = choice.reason
+        if placement is not None:
+            entry["placement"] = {
+                "backend": placement.backend_of(spec.name),
+                "shards": list(placement.by_vertex[spec.name]),
+                "reason": placement.reasons[spec.name],
+            }
         operators.append(entry)
 
     plan: Dict[str, Any] = {
@@ -123,6 +262,27 @@ def deployment_plan(
             "predicted_overhead_ratio": round(
                 prediction.overhead_ratio, 6),
             "predicted_mean_recovery_s": prediction.mean_recovery_time,
+        }
+    if placement is not None:
+        from repro.core.solver import predict_sharding
+
+        prediction = predict_sharding(topology, placement.as_mapping())
+        plan["shards"] = {
+            "count": placement.shards,
+            "utilization_threshold": placement.utilization_threshold,
+            "placement": [
+                {"shard": shard, "members": placement.members(shard)}
+                for shard in range(placement.shards)
+            ],
+            "crossing_edges": [
+                {"from": src, "to": dst}
+                for src, dst in prediction.crossing_edges
+            ],
+            "predicted_throughput": prediction.throughput,
+            "predicted_single_process_throughput":
+                prediction.single_process_throughput,
+            "predicted_speedup": round(prediction.predicted_speedup, 6),
+            "predicted_ipc_tax": round(prediction.ipc_tax, 6),
         }
     return plan
 

@@ -23,7 +23,12 @@ Extensions beyond the paper (its §7 future work):
 * :mod:`repro.core.memory` — static memory-footprint estimation.
 """
 
-from repro.core.autofusion import AutoFusionResult, auto_fuse
+from repro.core.autofusion import (
+    AutoFusionResult,
+    BatchSizeChoice,
+    auto_fuse,
+    search_batch_sizes,
+)
 
 from repro.core.candidates import FusionCandidate, enumerate_candidates
 from repro.core.cycles import (
@@ -80,15 +85,18 @@ from repro.core.partitioning import (
     greedy_partitioning,
     key_partitioning,
     partition_shares,
+    stable_key_hash,
 )
 from repro.core.report import analysis_report, fission_report, fusion_report
 from repro.core.solver import (
     CheckpointPrediction,
+    ShardingPrediction,
     SteadyStateSolver,
     analyze_cached,
     analyze_edit,
     clear_cache,
     predict_checkpoint,
+    predict_sharding,
 )
 from repro.core.steady_state import (
     OperatorRates,
@@ -100,6 +108,7 @@ from repro.core.steady_state import (
 
 __all__ = [
     "AutoFusionResult",
+    "BatchSizeChoice",
     "CheckpointConfig",
     "CheckpointPrediction",
     "CyclicGraph",
@@ -124,6 +133,7 @@ __all__ = [
     "PartitionPlan",
     "StateKind",
     "SteadyStateResult",
+    "ShardingPrediction",
     "SteadyStateSolver",
     "Topology",
     "TopologyError",
@@ -133,6 +143,7 @@ __all__ = [
     "analyze_cyclic",
     "analyze_edit",
     "auto_fuse",
+    "search_batch_sizes",
     "clear_cache",
     "apply_fusion",
     "apply_replica_bound",
@@ -151,8 +162,10 @@ __all__ = [
     "merge_sources",
     "operator_capacity",
     "partition_shares",
+    "stable_key_hash",
     "plan_fusion",
     "predict_checkpoint",
+    "predict_sharding",
     "predicted_throughput",
     "validate_fusion",
     "waiting_time",

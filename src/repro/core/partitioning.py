@@ -25,11 +25,23 @@ Stream Processing", VLDB Journal 2014):
 from __future__ import annotations
 
 import hashlib
+import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
 from repro.core.graph import KeyDistribution, TopologyError
+
+
+def stable_key_hash(key: object) -> int:
+    """A process-stable hash of a partitioning key.
+
+    The builtin ``hash`` of a string is salted per interpreter
+    (PYTHONHASHSEED), so two worker processes would route the same key
+    to different replicas.  crc32 of the key's string form is identical
+    in every process and across Python versions.
+    """
+    return zlib.crc32(str(key).encode("utf-8"))
 
 
 @dataclass(frozen=True)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.graph import BatchConfig, OperatorSpec, Topology, TopologyError
 from repro.core.steady_state import (
@@ -557,6 +557,209 @@ def predict_batching(
         baseline_throughput=baseline.throughput,
         throughput=batched.throughput,
         edge_latencies=tuple(latencies),
+    )
+
+
+# ----------------------------------------------------------------------
+# sharding (multi-process placement) cost model
+
+
+#: Default per-tuple pickle/unpickle cost (seconds, one direction).
+DEFAULT_SERIALIZE_OVERHEAD = 2e-6
+#: Default per-message pipe hop cost (send syscall + reader wakeup).
+DEFAULT_IPC_OVERHEAD = 10e-6
+
+
+@dataclass(frozen=True)
+class ShardingPrediction:
+    """Analytical cost/benefit of a multi-process shard placement.
+
+    Produced by :func:`predict_sharding`; comparable with the measured
+    throughput of :class:`repro.runtime.procshard.ProcShardSystem` (the
+    process backend) and of the threaded
+    :class:`repro.runtime.system.ActorSystem` (the GIL-capped estimate
+    in :attr:`single_process_throughput`).
+    """
+
+    shards: int
+    batch_size: int
+    ipc_overhead: float
+    serialize_overhead: float
+    #: Fluid-model throughput with every replica on a dedicated core
+    #: and free communication — the multi-core ideal.
+    baseline_throughput: float
+    #: Throughput after the IPC tax on crossing edges and the per-shard
+    #: one-core capacity cap — what the process backend should reach.
+    throughput: float
+    #: All actors co-located on one core (zero IPC): the analytic cap
+    #: of the threaded backend on a GIL-bound interpreter.
+    single_process_throughput: float
+    #: CPU demand of each shard in cores (busy seconds per second) at
+    #: the predicted operating point, indexed by shard id.
+    shard_loads: Tuple[Tuple[int, float], ...]
+    #: Edges whose endpoints live in different shards (vertex homes).
+    crossing_edges: Tuple[Tuple[str, str], ...]
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Process-backend over threaded-backend throughput."""
+        if self.single_process_throughput <= 0.0:
+            return 1.0
+        return self.throughput / self.single_process_throughput
+
+    @property
+    def ipc_tax(self) -> float:
+        """Fraction of the multi-core ideal lost to hops/pickling."""
+        if self.baseline_throughput <= 0.0:
+            return 0.0
+        return 1.0 - self.throughput / self.baseline_throughput
+
+
+def predict_sharding(
+    topology: Topology,
+    placement: Mapping[str, Sequence[int]],
+    batch_size: int = 1,
+    ipc_overhead: float = DEFAULT_IPC_OVERHEAD,
+    serialize_overhead: float = DEFAULT_SERIALIZE_OVERHEAD,
+    source_rate: Optional[float] = None,
+    solver: Optional["SteadyStateSolver"] = None,
+) -> ShardingPrediction:
+    """Price a process-shard placement analytically.
+
+    ``placement`` maps every vertex to one shard id per replica (length
+    must equal the spec's replication); the first entry is the vertex's
+    *home* shard, where single operators — and the emitter/collector of
+    replicated ones — run.
+
+    Cost model, mirroring :func:`predict_batching`'s hop accounting:
+
+    * a tuple crossing a shard boundary costs
+      ``tau = 2 * serialize_overhead + ipc_overhead / batch_size``
+      (pickle + unpickle, plus the pipe hop amortized over the batch
+      envelope), charged to the receiving vertex's service time
+      weighted by the fraction of its arrivals that cross;
+    * a replicated vertex whose replicas are scattered off its home
+      shard pays ``2 * tau`` on the scattered fraction (emitter to
+      replica and replica to collector both cross);
+    * each shard is one OS process pinned to one core by the GIL, so
+      the co-located replicas of a shard share one core: the fluid
+      throughput is additionally capped by ``1 / max_s C_s`` where
+      ``C_s`` is shard ``s``'s busy CPU seconds per source tuple.
+
+    ``single_process_throughput`` applies the one-core cap to the whole
+    topology with zero IPC — the threaded backend's analytic ceiling —
+    so :attr:`ShardingPrediction.predicted_speedup` prices exactly the
+    gain the process backend should deliver on real hardware.
+    """
+    if batch_size < 1:
+        raise TopologyError(f"batch size must be >= 1, got {batch_size}")
+    if ipc_overhead < 0.0:
+        raise TopologyError(
+            f"ipc overhead must be non-negative, got {ipc_overhead}")
+    if serialize_overhead < 0.0:
+        raise TopologyError(
+            f"serialize overhead must be non-negative, "
+            f"got {serialize_overhead}")
+    for spec in topology.operators:
+        shards_of = placement.get(spec.name)
+        if shards_of is None:
+            raise TopologyError(
+                f"placement misses operator {spec.name!r}")
+        if len(shards_of) != spec.replication:
+            raise TopologyError(
+                f"placement for {spec.name!r} names {len(shards_of)} "
+                f"shards for {spec.replication} replicas")
+        if any(s < 0 for s in shards_of):
+            raise TopologyError(
+                f"placement for {spec.name!r} uses a negative shard id")
+    solver = solver or DEFAULT_SOLVER
+
+    def home(name: str) -> int:
+        return placement[name][0]
+
+    tau = 2.0 * serialize_overhead + ipc_overhead / batch_size
+    crossing = tuple(
+        (edge.source, edge.target) for edge in topology.edges
+        if home(edge.source) != home(edge.target)
+    )
+
+    baseline = solver.analyze(topology, source_rate=source_rate)
+
+    # IPC tax per receiver: arrival-weighted crossing fraction of its
+    # input edges, plus the replica-scatter round trip.
+    taxed_specs = []
+    for spec in topology.operators:
+        tax = 0.0
+        in_edges = topology.in_edges(spec.name)
+        if in_edges:
+            weighted = 0.0
+            total = 0.0
+            for edge in in_edges:
+                rate = (baseline.rates[edge.source].departure_rate
+                        * edge.probability)
+                if home(edge.source) != home(edge.target):
+                    weighted += rate
+                total += rate
+            if total > 0.0:
+                tax += tau * weighted / total
+        scattered = sum(1 for s in placement[spec.name]
+                        if s != home(spec.name))
+        if spec.replication > 1 and scattered:
+            tax += 2.0 * tau * scattered / spec.replication
+        if tax > 0.0:
+            spec = spec.with_service_time(spec.service_time + tax)
+        taxed_specs.append(spec)
+    taxed_topology = Topology(taxed_specs, topology.edges)
+    taxed = solver.analyze(taxed_topology, source_rate=source_rate)
+
+    def shard_demands(result: SteadyStateResult,
+                      topo: Topology,
+                      collapse: bool) -> Dict[int, float]:
+        """Busy CPU seconds per second, per shard (cores of demand)."""
+        demands: Dict[int, float] = {}
+        for spec in topo.operators:
+            arrival = result.rates[spec.name].arrival_rate
+            activations = arrival / spec.input_selectivity
+            busy = activations * spec.service_time
+            if collapse:
+                demands[0] = demands.get(0, 0.0) + busy
+                continue
+            share = busy / spec.replication
+            for shard in placement[spec.name]:
+                demands[shard] = demands.get(shard, 0.0) + share
+        return demands
+
+    def capped_throughput(result: SteadyStateResult,
+                          topo: Topology,
+                          collapse: bool) -> float:
+        demands = shard_demands(result, topo, collapse)
+        worst = max(demands.values(), default=0.0)
+        if worst <= 1.0 or result.throughput <= 0.0:
+            return result.throughput
+        # The fluid solve assumed a dedicated core per replica; scale
+        # the operating point down until the busiest shard fits one.
+        return result.throughput / worst
+
+    throughput = capped_throughput(taxed, taxed_topology, collapse=False)
+    single = capped_throughput(baseline, topology, collapse=True)
+
+    # Shard loads reported at the capped operating point.
+    demands = shard_demands(taxed, taxed_topology, collapse=False)
+    scale = (throughput / taxed.throughput
+             if taxed.throughput > 0.0 else 1.0)
+    shard_ids = sorted({s for shards in placement.values() for s in shards})
+    loads = tuple((s, demands.get(s, 0.0) * scale) for s in shard_ids)
+
+    return ShardingPrediction(
+        shards=len(shard_ids),
+        batch_size=batch_size,
+        ipc_overhead=ipc_overhead,
+        serialize_overhead=serialize_overhead,
+        baseline_throughput=baseline.throughput,
+        throughput=throughput,
+        single_process_throughput=single,
+        shard_loads=loads,
+        crossing_edges=crossing,
     )
 
 

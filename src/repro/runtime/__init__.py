@@ -30,6 +30,13 @@ from repro.runtime.checkpoint import (
 )
 from repro.runtime.mailbox import BoundedMailbox, MailboxClosed
 from repro.runtime.meta import MetaOperatorActor
+from repro.runtime.procshard import (
+    ChannelSender,
+    ProcShardConfig,
+    ProcShardResult,
+    ProcShardSystem,
+    run_sharded,
+)
 from repro.runtime.metrics import (
     ActorCounters,
     ActorRates,
@@ -73,6 +80,7 @@ __all__ = [
     "BoundedMailbox",
     "CheckpointError",
     "CheckpointRestoreError",
+    "ChannelSender",
     "CheckpointSession",
     "CheckpointStore",
     "CollectorActor",
@@ -88,6 +96,9 @@ __all__ = [
     "OperatorCrash",
     "PaddedOperator",
     "PoisonedTuple",
+    "ProcShardConfig",
+    "ProcShardResult",
+    "ProcShardSystem",
     "RecoveryEvent",
     "RecoveryResult",
     "Router",
@@ -104,6 +115,7 @@ __all__ = [
     "WatchdogReport",
     "find_blocked_cycle",
     "run_recoverable",
+    "run_sharded",
     "run_topology",
     "rates_between",
 ]

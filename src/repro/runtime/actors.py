@@ -20,6 +20,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.partitioning import stable_key_hash
 from repro.operators.base import (
     Operator,
     WrappedItem,
@@ -736,7 +737,10 @@ class EmitterActor(ActorBase):
             if key is not None:
                 index = self.key_assignment.get(key)
                 if index is None:
-                    index = hash(key) % len(self.replicas)
+                    # Builtin hash() is PYTHONHASHSEED-salted: two shard
+                    # processes would route the same unseen key to
+                    # different replicas.  crc32 is stable everywhere.
+                    index = stable_key_hash(key) % len(self.replicas)
                 return self.replicas[index % len(self.replicas)]
         target = self.replicas[self._next]
         self._next = (self._next + 1) % len(self.replicas)

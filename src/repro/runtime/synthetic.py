@@ -50,6 +50,32 @@ class GainOperator(Operator):
         return f"GainOperator(gain={self.gain:g})"
 
 
+class BusyOperator(Operator):
+    """Burn CPU for ``busy_time`` seconds per item, holding the GIL.
+
+    The adversarial counterpart of :class:`PaddedOperator`: the service
+    time is realized as a spin loop instead of a sleep, so concurrent
+    threaded replicas serialize on one core while process-sharded
+    replicas scale with the hardware.  This is the workload the
+    ``spinstreams bench --sharding`` suite uses to measure what the
+    multi-process backend actually buys.
+    """
+
+    def __init__(self, busy_time: float) -> None:
+        if busy_time <= 0.0:
+            raise ValueError(f"busy_time must be positive, got {busy_time}")
+        self.busy_time = busy_time
+
+    def operator_function(self, item: Any) -> List[Any]:
+        deadline = time.perf_counter() + self.busy_time
+        while time.perf_counter() < deadline:
+            pass
+        return [item]
+
+    def describe(self) -> str:
+        return f"BusyOperator(busy_time={self.busy_time:g}s)"
+
+
 class PaddedOperator(Operator):
     """Wrap an operator so each invocation lasts ``service_time`` seconds.
 

@@ -1,10 +1,11 @@
-"""Differential conformance testing of the three execution models.
+"""Differential conformance testing of the four execution models.
 
 SpinStreams' optimizations are only as good as the agreement between the
 analytical steady-state model (:mod:`repro.core.steady_state`), the
-discrete-event simulator (:mod:`repro.sim`) and the threaded actor
-runtime (:mod:`repro.runtime`).  This package cross-checks them on
-seeded random topologies (paper Algorithm 5):
+discrete-event simulator (:mod:`repro.sim`), the threaded actor
+runtime (:mod:`repro.runtime`) and the multi-process sharded runtime
+(:mod:`repro.runtime.procshard`).  This package cross-checks the four
+of them on seeded random topologies (paper Algorithm 5):
 
 * :mod:`repro.testing.oracle` — compares one prediction against one
   measurement and reports *which* operator diverged and by how much;
@@ -32,6 +33,7 @@ from repro.testing.differential import (
     check_loop_chaos_seed,
     check_loop_seed,
     check_recovery_seed,
+    check_sharded_seed,
     recovery_fault_plan,
     recovery_testbed,
     run_capture,
@@ -43,6 +45,7 @@ from repro.testing.harness import (
     check_chaos_runtime_seed,
     check_chaos_seed,
     check_optimizer_seed,
+    check_process_seed,
     check_runtime_seed,
     check_seed,
     run_sweep,
@@ -76,8 +79,10 @@ __all__ = [
     "check_loop_chaos_seed",
     "check_loop_seed",
     "check_optimizer_seed",
+    "check_process_seed",
     "check_recovery_seed",
     "check_runtime_seed",
+    "check_sharded_seed",
     "check_seed",
     "recovery_fault_plan",
     "recovery_testbed",

@@ -406,6 +406,71 @@ def check_loop_chaos_seed(seed: int,
     return _loop_differential(seed, topology, members, config, plan)
 
 
+def check_sharded_seed(seed: int,
+                       config: Optional[DifferentialConfig] = None,
+                       shards: int = 2,
+                       ) -> DifferentialReport:
+    """Threaded vs multi-process execution of one seeded chain.
+
+    The sharded backend is transparent by the same contract as batching
+    and loop fusion: same tuples, same values, same order.  Operators
+    are deliberately placed round-robin across shards (instead of the
+    utilization-driven default, which would co-locate a cheap chain on
+    one shard) so *every* edge of the testbed crosses a process
+    boundary — channels, Batch envelopes, the EOS cascade, key routing
+    all sit on the compared path.  The chain is linear and every
+    channel is SPSC, so order must survive; any reordering, loss or
+    duplication is a real defect, reported verbatim alongside shard
+    hygiene (worker leaks, crashed channels, drain failures).
+    """
+    from repro.runtime.procshard import ProcShardConfig, ProcShardSystem
+
+    config = config or DifferentialConfig()
+    topology, _members = chain_testbed(seed, config)
+    factories = topology_factories(topology)
+
+    threaded = run_capture(topology, _runtime(config, seed),
+                           factories=factories, config=config)
+
+    placement = {spec.name: (index % shards,)
+                 for index, spec in enumerate(topology.operators)}
+    proc_config = ProcShardConfig(
+        shards=shards,
+        mailbox_capacity=config.mailbox_capacity,
+        channel_capacity=config.mailbox_capacity,
+        max_items=config.items,
+        seed=seed,
+        batch_size=config.batch_size,
+        batch_flush_timeout=config.batch_flush_timeout,
+        drain_timeout=config.quiet_timeout,
+    )
+    system = ProcShardSystem.build(topology, factories, config=proc_config,
+                                   placement=placement)
+    result = system.run_to_exhaustion()
+    sharded = {name: [canonical(item) for item in items]
+               for name, items in result.sink_items.items()}
+
+    divergences = _compare(seed, "threaded", "process", threaded, sharded)
+    if result.failure:
+        divergences.append(f"shard failure: {result.failure}")
+    if result.leaked_workers:
+        divergences.append(
+            f"leaked workers: {', '.join(result.leaked_workers)}")
+    if result.leaked_actors:
+        divergences.append(
+            f"leaked actors: {', '.join(result.leaked_actors)}")
+    if result.crashed_channels:
+        divergences.append(
+            f"crashed channels: {result.crashed_channels}")
+    if result.dropped_messages:
+        divergences.append(
+            f"{result.dropped_messages} dropped messages")
+    return DifferentialReport(
+        seed=seed, mode_a="threaded", mode_b="process",
+        ok=not divergences, divergences=tuple(divergences),
+    )
+
+
 def check_batching_seed(seed: int,
                         config: Optional[DifferentialConfig] = None,
                         batch_size: Optional[int] = None,

@@ -112,6 +112,8 @@ class ConformanceConfig:
     chaos_runtime_tolerances: Tolerances = field(
         default_factory=lambda: Tolerances(
             departure_rel=0.25, throughput_rel=0.20, min_items=100.0))
+    #: Worker processes of the multi-process (sharded) runtime check.
+    process_shards: int = 2
 
     def resolved_tolerances(self) -> Tolerances:
         if self.tolerances is not None:
@@ -411,6 +413,100 @@ def check_runtime_seed(
     return report
 
 
+def check_process_seed(
+    seed: int,
+    config: Optional[ConformanceConfig] = None,
+) -> ConformanceReport:
+    """Model vs. multi-process sharded runtime (the fourth backend).
+
+    Same topology, factories and tolerances as
+    :func:`check_runtime_seed`, but executed by
+    :class:`repro.runtime.procshard.ProcShardSystem` across
+    ``config.process_shards`` worker processes with solver-driven
+    placement.  Beyond rate agreement, the check gates process hygiene:
+    zero dropped messages, no wedged actors inside any shard, no worker
+    process surviving teardown, and no shard-level failure (crashed
+    channel, drain timeout, lost report).
+    """
+    from repro.operators.source_sink import GeneratorSource
+    from repro.runtime.procshard import ProcShardConfig, run_sharded
+    from repro.runtime.synthetic import GainOperator, PaddedOperator
+
+    config = config or ConformanceConfig()
+    topology = topology_for_seed(seed, config,
+                                 generator=config.runtime_generator_config())
+    predicted = analyze_cached(topology)
+
+    overshoot = sleep_overshoot()
+    factories = {}
+    for spec in topology.operators:
+        if spec.name == topology.source:
+            factories[spec.name] = lambda s=seed: GeneratorSource(seed=s)
+        else:
+            padding = max(spec.service_time - overshoot, 1e-4)
+            factories[spec.name] = lambda g=spec.gain, p=padding: (
+                PaddedOperator(GainOperator(g), p))
+
+    proc_config = ProcShardConfig(
+        shards=config.process_shards,
+        mailbox_capacity=config.runtime_mailbox_capacity,
+        # Keep the queue-fill transient inside the warmup: the credit
+        # window stands in for the remote mailbox, and channel
+        # envelopes stay at the runtime batch size — the default
+        # 32-tuple envelopes would triple the slack on a crossing edge
+        # and the throttled steady state would not be reached in time.
+        channel_capacity=config.runtime_mailbox_capacity,
+        channel_batch_size=max(config.runtime_batch_size, 1),
+        source_rate=topology.operator(topology.source).service_rate,
+        seed=seed,
+        batch_size=config.runtime_batch_size,
+        batch_flush_timeout=config.runtime_batch_flush_timeout,
+    )
+    result = run_sharded(
+        topology, factories,
+        duration=config.runtime_duration,
+        # Crossing edges roughly double the buffered slack of a local
+        # edge, so the process check warms up longer than the threaded
+        # check's quarter.
+        warmup=config.runtime_duration * 0.5,
+        config=proc_config,
+    )
+    oracle = Oracle(config.runtime_tolerances)
+    report = oracle.compare(
+        predicted, result.vertices, result.measurements.duration,
+        backend="process", seed=seed,
+        check_utilization=False, check_bottlenecks=False,
+    )
+    extra: List[Discrepancy] = []
+    dropped = result.dropped_messages
+    if dropped:
+        extra.append(Discrepancy(
+            kind="dropped-messages", operator="<process>",
+            expected=0.0, actual=float(dropped), tolerance=0.0,
+        ))
+    if result.leaked_actors:
+        extra.append(Discrepancy(
+            kind="thread-leak", operator=",".join(result.leaked_actors),
+            expected=0.0, actual=float(len(result.leaked_actors)),
+            tolerance=0.0,
+        ))
+    if result.leaked_workers:
+        extra.append(Discrepancy(
+            kind="worker-leak", operator=",".join(result.leaked_workers),
+            expected=0.0, actual=float(len(result.leaked_workers)),
+            tolerance=0.0,
+        ))
+    if result.failure:
+        extra.append(Discrepancy(
+            kind="shard-failure", operator=result.failure,
+            expected=0.0, actual=1.0, tolerance=0.0,
+        ))
+    if extra:
+        report = replace(report,
+                         discrepancies=report.discrepancies + tuple(extra))
+    return report
+
+
 def check_chaos_runtime_seed(
     seed: int,
     config: Optional[ConformanceConfig] = None,
@@ -546,13 +642,15 @@ def run_sweep(
     analyze_fn: AnalyzeFn = analyze_cached,
     chaos_seeds: int = 0,
     workers: Optional[int] = None,
+    process_seeds: int = 0,
 ) -> SweepOutcome:
     """Sweep ``seeds`` consecutive seeds from ``config.base_seed``.
 
     Each seed runs the model-vs-simulator check and (when enabled) the
     optimizer check; the first ``runtime_seeds`` seeds additionally run
-    the wall-clock actor runtime, and the first ``chaos_seeds`` seeds
-    run the degraded-mode (fault-injected) simulator check.
+    the wall-clock actor runtime, the first ``process_seeds`` seeds run
+    the multi-process sharded runtime, and the first ``chaos_seeds``
+    seeds run the degraded-mode (fault-injected) simulator check.
 
     ``workers`` > 1 fans the virtual-time checks (sim, optimizer,
     chaos) over a :mod:`multiprocessing` pool.  Seeds are isolated —
@@ -607,5 +705,11 @@ def run_sweep(
     for index in range(runtime_seeds):
         seed = config.base_seed + index
         reports.append(check_runtime_seed(seed, config))
+    # Process-backend checks also run in this process (the driver forks
+    # its own shard workers; nesting it in a pool worker would orphan
+    # them on a pool timeout).
+    for index in range(process_seeds):
+        seed = config.base_seed + index
+        reports.append(check_process_seed(seed, config))
     reports.extend(chaos_reports)
     return SweepOutcome(reports=tuple(reports))

@@ -13,11 +13,22 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="seeds swept by the conformance tests (tier-1 default is a "
              "fast budget; nightly CI raises it)",
     )
+    parser.addoption(
+        "--process-seeds", type=int, default=2,
+        help="seeds swept by the multi-process backend conformance tests "
+             "(each forks shard workers and runs wall-clock seconds; "
+             "tier-1 keeps a 2-seed smoke, nightly CI raises it)",
+    )
 
 
 @pytest.fixture(scope="session")
 def conformance_seeds(request: pytest.FixtureRequest) -> int:
     return request.config.getoption("--conformance-seeds")
+
+
+@pytest.fixture(scope="session")
+def process_seeds(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--process-seeds")
 
 
 def make_pipeline(*service_times_ms: float, name: str = "pipeline") -> Topology:

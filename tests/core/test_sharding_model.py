@@ -1,0 +1,140 @@
+"""The sharding cost model and the solver-driven placement pass.
+
+``predict_sharding`` prices serialization + pipe hops analytically and
+caps each shard at one core; ``shard_placement`` turns solver
+utilizations into a replica-to-shard map (hot operators get their own
+shard, glue stays on shard 0); ``deployment_plan(shards=N)`` carries
+both into the deployment descriptor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.deployment import deployment_plan, shard_placement
+from repro.core.graph import Edge, OperatorSpec, Topology, TopologyError
+from repro.core.solver import predict_sharding
+
+
+def hot_chain(replication: int = 4) -> Topology:
+    """src -> hot (CPU-bound, fissioned) -> sink."""
+    specs = [
+        OperatorSpec(name="src", service_time=2.5e-4),
+        OperatorSpec(name="hot", service_time=1e-3,
+                     replication=replication),
+        OperatorSpec(name="sink", service_time=1e-4),
+    ]
+    edges = [Edge("src", "hot"), Edge("hot", "sink")]
+    return Topology(specs, edges, name="hot-chain")
+
+
+def spread_placement(replication: int = 4):
+    return {"src": (0,), "hot": tuple(range(replication)), "sink": (0,)}
+
+
+class TestPredictSharding:
+    def test_spreading_a_hot_operator_beats_one_process(self):
+        prediction = predict_sharding(hot_chain(), spread_placement(),
+                                      batch_size=32)
+        # Four dedicated cores for a 1ms operator vs everything on one
+        # core: the model must predict a clear multiple.
+        assert prediction.predicted_speedup > 2.0
+        assert prediction.throughput > prediction.single_process_throughput
+
+    def test_single_shard_placement_equals_one_process(self):
+        placement = {"src": (0,), "hot": (0, 0, 0, 0), "sink": (0,)}
+        prediction = predict_sharding(hot_chain(), placement)
+        assert prediction.crossing_edges == ()
+        # No crossing edges, everything on one core: the sharded
+        # estimate must collapse to the single-process one (speedup 1).
+        assert prediction.throughput == pytest.approx(
+            prediction.single_process_throughput)
+        assert prediction.predicted_speedup == pytest.approx(1.0)
+
+    def test_batching_amortizes_the_hop(self):
+        unbatched = predict_sharding(hot_chain(), spread_placement(),
+                                     batch_size=1)
+        batched = predict_sharding(hot_chain(), spread_placement(),
+                                   batch_size=64)
+        assert batched.throughput > unbatched.throughput
+        assert batched.ipc_tax < unbatched.ipc_tax
+
+    def test_shard_loads_capped_at_one_core(self):
+        prediction = predict_sharding(hot_chain(), spread_placement(),
+                                      batch_size=32)
+        assert prediction.shard_loads
+        for _, load in prediction.shard_loads:
+            assert load <= 1.0 + 1e-9
+
+    def test_crossing_edges_reported_by_home(self):
+        prediction = predict_sharding(hot_chain(), spread_placement(),
+                                      batch_size=32)
+        # hot's home is shard 0 (first replica), so only the scattered
+        # replicas cross; the src->hot and hot->sink home edges do not.
+        assert ("src", "hot") not in prediction.crossing_edges
+
+    def test_missing_vertex_rejected(self):
+        with pytest.raises(TopologyError, match="placement"):
+            predict_sharding(hot_chain(), {"src": (0,), "hot": (0, 1, 2, 3)})
+
+    def test_wrong_replica_count_rejected(self):
+        with pytest.raises(TopologyError, match="replica"):
+            predict_sharding(hot_chain(),
+                             {"src": (0,), "hot": (0, 1), "sink": (0,)})
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(TopologyError, match="shard"):
+            predict_sharding(hot_chain(),
+                             {"src": (0,), "hot": (0, 1, 2, -1),
+                              "sink": (0,)})
+
+
+class TestShardPlacement:
+    def test_hot_replicas_spread_glue_stays_home(self):
+        placement = shard_placement(hot_chain(), shards=4)
+        assert placement.by_vertex["src"] == (0,)
+        assert placement.by_vertex["sink"] == (0,)
+        # The hot operator's four replicas use all four shards.
+        assert sorted(placement.by_vertex["hot"]) == [0, 1, 2, 3]
+
+    def test_one_shard_degenerates_to_threaded_layout(self):
+        placement = shard_placement(hot_chain(), shards=1)
+        for shards_of in placement.by_vertex.values():
+            assert set(shards_of) == {0}
+        assert placement.backend_of("hot") == "thread"
+
+    def test_backend_of_reflects_scatter(self):
+        placement = shard_placement(hot_chain(), shards=4)
+        assert placement.backend_of("hot") == "process"
+        assert placement.backend_of("src") == "thread"
+
+    def test_members_partition_the_replicas(self):
+        placement = shard_placement(hot_chain(), shards=4)
+        members = [m for shard in range(4)
+                   for m in placement.members(shard)]
+        # src, sink, and one entry per hot replica — each exactly once.
+        assert sorted(members) == sorted(
+            ["src", "sink"] + [f"hot#{i}" for i in range(4)])
+
+
+class TestDeploymentPlanShards:
+    def test_plan_carries_shards_section(self):
+        plan = deployment_plan(hot_chain(), shards=4)
+        section = plan["shards"]
+        assert section["count"] == 4
+        assert len(section["placement"]) == 4
+        assert section["predicted_speedup"] > 2.0
+        assert 0.0 <= section["predicted_ipc_tax"] < 1.0
+
+    def test_operator_entries_carry_placement(self):
+        plan = deployment_plan(hot_chain(), shards=4)
+        by_name = {entry["name"]: entry for entry in plan["operators"]}
+        assert by_name["hot"]["placement"]["backend"] == "process"
+        assert by_name["src"]["placement"]["backend"] == "thread"
+        assert by_name["src"]["placement"]["shards"] == [0]
+
+    def test_no_shards_requested_no_section(self):
+        plan = deployment_plan(hot_chain())
+        assert "shards" not in plan
+        for entry in plan["operators"]:
+            assert "placement" not in entry

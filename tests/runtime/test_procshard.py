@@ -1,0 +1,209 @@
+"""Multi-process sharded backend: losslessness, hygiene, crash cleanup.
+
+The bit-equality and rate-conformance gates live under
+``tests/conformance``; this module covers the process-lifecycle
+contract: graceful topological shutdown delivers every tuple, teardown
+never leaks worker processes or wedged actors (the multi-process analog
+of the thread-leak gate on ``ActorSystem.stop``), and a crashed worker
+is detected, reported and reaped — no zombies, no orphaned pipes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.graph import (
+    Edge,
+    KeyDistribution,
+    OperatorSpec,
+    StateKind,
+    Topology,
+    TopologyError,
+)
+from repro.operators.base import Operator
+from repro.operators.source_sink import CollectingSink, GeneratorSource
+from repro.runtime.procshard import (
+    ProcShardConfig,
+    ProcShardSystem,
+    run_sharded,
+)
+
+
+def chain_topology(replication: int = 1,
+                   keys: KeyDistribution | None = None) -> Topology:
+    state = StateKind.PARTITIONED if keys is not None else StateKind.STATELESS
+    specs = [
+        OperatorSpec(name="source", service_time=2e-4,
+                     operator_class=(
+                         "repro.operators.source_sink.GeneratorSource"),
+                     operator_args={"seed": 7}),
+        OperatorSpec(name="stage", service_time=2e-4,
+                     replication=replication, state=state, keys=keys,
+                     operator_class="repro.runtime.synthetic.GainOperator",
+                     operator_args={"gain": 1.0}),
+        OperatorSpec(name="sink", service_time=1e-4,
+                     operator_class=(
+                         "repro.operators.source_sink.CollectingSink"),
+                     operator_args={"capacity": 100_000}),
+    ]
+    edges = [Edge("source", "stage"), Edge("stage", "sink")]
+    return Topology(specs, edges, name="procshard-test")
+
+
+def factories_for(topology: Topology):
+    from repro.testing.differential import topology_factories
+
+    return topology_factories(topology)
+
+
+class ExitingOperator(Operator):
+    """Kills its whole worker process after ``fuse`` items (crash test)."""
+
+    def __init__(self, fuse: int) -> None:
+        self.fuse = fuse
+        self.seen = 0
+
+    def operator_function(self, item):
+        self.seen += 1
+        if self.seen >= self.fuse:
+            os._exit(17)
+        return [item]
+
+
+class TestLosslessShutdown:
+    def test_exhaustion_delivers_every_item(self):
+        topology = chain_topology()
+        config = ProcShardConfig(shards=2, max_items=500, batch_size=4,
+                                 channel_batch_size=16, mailbox_capacity=32)
+        system = ProcShardSystem.build(
+            topology, factories_for(topology), config=config,
+            placement={"source": (0,), "stage": (1,), "sink": (0,)})
+        result = system.run_to_exhaustion()
+        assert result.failure is None
+        assert result.sink_counts == {"sink": 500}
+        assert result.dropped_messages == 0
+
+    def test_fission_across_shards_is_lossless(self):
+        topology = chain_topology(replication=3)
+        config = ProcShardConfig(shards=2, max_items=400, batch_size=2,
+                                 channel_batch_size=8)
+        system = ProcShardSystem.build(
+            topology, factories_for(topology), config=config,
+            placement={"source": (0,), "stage": (0, 1, 1), "sink": (0,)})
+        result = system.run_to_exhaustion()
+        assert result.failure is None
+        assert result.sink_counts == {"sink": 400}
+
+    def test_partitioned_stage_across_shards(self):
+        keys = KeyDistribution({f"k{i}": 1 / 64 for i in range(64)})
+        topology = chain_topology(replication=2, keys=keys)
+        config = ProcShardConfig(shards=2, max_items=300)
+        system = ProcShardSystem.build(
+            topology, factories_for(topology), config=config,
+            placement={"source": (0,), "stage": (0, 1), "sink": (0,)})
+        result = system.run_to_exhaustion()
+        assert result.failure is None
+        assert result.sink_counts == {"sink": 300}
+
+    def test_exhaustion_requires_max_items(self):
+        topology = chain_topology()
+        system = ProcShardSystem.build(topology, factories_for(topology),
+                                       config=ProcShardConfig(shards=1))
+        with pytest.raises(TopologyError, match="max_items"):
+            system.run_to_exhaustion()
+
+
+class TestProcessHygiene:
+    def test_no_worker_survives_teardown(self):
+        topology = chain_topology()
+        config = ProcShardConfig(shards=3, max_items=200)
+        system = ProcShardSystem.build(
+            topology, factories_for(topology), config=config,
+            placement={"source": (0,), "stage": (1,), "sink": (2,)})
+        result = system.run_to_exhaustion()
+        assert result.failure is None
+        assert result.leaked_workers == ()
+        assert result.leaked_actors == ()
+        for process in system.processes:
+            assert not process.is_alive()
+            # join() after exit reaps the child, so no zombie remains.
+            assert process.exitcode is not None
+
+    def test_wall_clock_run_reaps_workers(self):
+        topology = chain_topology()
+        config = ProcShardConfig(shards=2, source_rate=300.0)
+        result = run_sharded(topology, factories_for(topology),
+                             duration=0.8, warmup=0.2, config=config)
+        assert result.failure is None
+        assert result.leaked_workers == ()
+        assert result.dropped_messages == 0
+
+    def test_crashed_worker_is_detected_and_reaped(self):
+        topology = chain_topology()
+        factories = {
+            "source": lambda: GeneratorSource(seed=1),
+            "stage": lambda: ExitingOperator(fuse=50),
+            "sink": lambda: CollectingSink(capacity=100_000),
+        }
+        config = ProcShardConfig(shards=2, max_items=400,
+                                 join_timeout=2.0, drain_timeout=8.0)
+        system = ProcShardSystem.build(
+            topology, factories, config=config,
+            placement={"source": (0,), "stage": (1,), "sink": (0,)})
+        result = system.run_to_exhaustion()
+        # The run must fail loudly: the dead shard never reports, and
+        # its channels EOF without the EOS marker.
+        assert result.failure is not None
+        assert result.crashed_channels or "no report" in result.failure
+        # ... but cleanly: every worker is terminated and reaped.
+        for process in system.processes:
+            assert not process.is_alive()
+
+    def test_double_start_rejected(self):
+        topology = chain_topology()
+        system = ProcShardSystem.build(topology, factories_for(topology),
+                                       config=ProcShardConfig(
+                                           shards=1, max_items=50))
+        result = system.run_to_exhaustion()
+        assert result.failure is None
+        with pytest.raises(RuntimeError, match="already started"):
+            system.start()
+
+
+class TestPlacementValidation:
+    def test_missing_operator_rejected(self):
+        topology = chain_topology()
+        with pytest.raises(TopologyError, match="placement"):
+            ProcShardSystem.build(
+                topology, factories_for(topology),
+                config=ProcShardConfig(shards=2),
+                placement={"source": (0,), "sink": (0,)})
+
+    def test_wrong_replica_count_rejected(self):
+        topology = chain_topology(replication=3)
+        with pytest.raises(TopologyError, match="3 shards"):
+            ProcShardSystem.build(
+                topology, factories_for(topology),
+                config=ProcShardConfig(shards=2),
+                placement={"source": (0,), "stage": (0, 1),
+                           "sink": (0,)})
+
+    def test_out_of_range_shard_rejected(self):
+        topology = chain_topology()
+        with pytest.raises(TopologyError, match="outside"):
+            ProcShardSystem.build(
+                topology, factories_for(topology),
+                config=ProcShardConfig(shards=2),
+                placement={"source": (0,), "stage": (5,), "sink": (0,)})
+
+    def test_config_validation(self):
+        with pytest.raises(TopologyError, match="shards"):
+            ProcShardConfig(shards=0)
+        with pytest.raises(TopologyError, match="channel capacity"):
+            ProcShardConfig(channel_capacity=0)
+        with pytest.raises(TopologyError, match="channel batch"):
+            ProcShardConfig(channel_batch_size=0)
+        with pytest.raises(TopologyError, match="flush timeout"):
+            ProcShardConfig(channel_flush_timeout=0.0)
