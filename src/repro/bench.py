@@ -33,10 +33,18 @@ regressions instead of anecdotes:
   in ``benchmarks/test_microbench_procshard.py`` only arms on ≥4
   cores.
 
-The JSON layout (``spinstreams bench -o BENCH_8.json``)::
+* **adaptive benchmark** — the seed-100 online re-optimization scenario
+  (:mod:`repro.testing.adaptive`) run live: time from a mid-run
+  service-time shift to the controller's first reconfiguration, and the
+  post-shift delivered items as a fraction of an ideally pre-provisioned
+  plan, side by side with the never-adapting static plan and the
+  reactive threshold-elasticity baseline
+  (:mod:`repro.baselines.elasticity`).
+
+The JSON layout (``spinstreams bench -o BENCH_9.json``)::
 
     {
-      "schema": 3,
+      "schema": 4,
       "quick": false,
       "des": {"fig11": {"events_per_sec": ..., "events": ...}, ...},
       "solver": {"solve_requests": ..., "full_solves": ...,
@@ -49,7 +57,11 @@ The JSON layout (``spinstreams bench -o BENCH_8.json``)::
                    "batching_speedup": ...},
       "sharding": {"cpu_count": ..., "threaded": {...},
                    "process_1": {...}, "process_2": {...},
-                   "process_4": {...}, "speedup_4": ...}
+                   "process_4": {...}, "speedup_4": ...},
+      "adaptive": {"time_to_adapt_s": ...,
+                   "online": {"delivered_fraction": ...},
+                   "static": {...}, "reactive_baseline": {...},
+                   "beats_baseline": ...}
     }
 
 ``--baseline`` compares against a committed file and exits non-zero on
@@ -519,6 +531,114 @@ def recovery_benchmarks(quick: bool = False) -> Dict[str, object]:
     }
 
 
+def adaptive_benchmarks(quick: bool = False) -> Dict[str, object]:
+    """Online re-optimization vs static plan vs reactive elasticity.
+
+    Runs the seed-100 adaptation scenario live on the elastic runtime:
+    a mid-run service-time shift turns one operator into a bottleneck,
+    and the adaptive controller (:mod:`repro.runtime.adaptive`) must
+    re-solve and rescale.  Figures:
+
+    * ``time_to_adapt_s`` — shift to the first applied reconfiguration;
+    * ``time_to_converge_s`` — shift to the controller standing pat on
+      the re-solved plan;
+    * ``delivered_fraction`` — items the source pushed through over the
+      whole post-shift horizon, as a fraction of what an ideally
+      pre-provisioned plan would deliver (the adaptation tax: time
+      spent saturated before the controller lands on the fix);
+    * the same fraction for the never-adapting static plan (analytical)
+      and for the classic reactive threshold controller
+      (:mod:`repro.baselines.elasticity`, which pays a step-by-step
+      search plus reconfiguration downtime).
+
+    ``beats_static``/``beats_baseline`` summarize the comparison; the
+    regression gate holds ``delivered_fraction`` and ``time_to_adapt_s``
+    to the committed baseline.
+    """
+    from repro.baselines.elasticity import (
+        ElasticityConfig,
+        WorkloadPhase,
+        run_elastic,
+    )
+    from repro.testing.adaptive import (
+        AdaptiveScenarioConfig,
+        apply_shift,
+        build_scenario,
+    )
+
+    seed = 100
+    scenario = AdaptiveScenarioConfig()
+    sc = build_scenario(seed, scenario=scenario)
+    system, controller = sc.system, sc.controller
+    shifted = sc.shifted_topology
+    ideal_plan = eliminate_bottlenecks(
+        shifted, source_rate=sc.offered_rate, code_safety="off").optimized
+    ideal = analyze_cached(ideal_plan, source_rate=sc.offered_rate).throughput
+    static = analyze_cached(shifted, source_rate=sc.offered_rate).throughput
+
+    time_to_adapt = None
+    quiet = 0
+    system.start()
+    try:
+        for _ in range(scenario.warmup_ticks):
+            time.sleep(scenario.control_period)
+            controller.tick()
+        source = system.source_actor
+        emitted_at_shift = source.counters.emitted
+        apply_shift(sc)
+        shift_started = time.perf_counter()
+        for _ in range(scenario.max_ticks):
+            time.sleep(scenario.control_period)
+            decision = controller.tick()
+            if decision.fired:
+                quiet = 0
+                if time_to_adapt is None:
+                    time_to_adapt = time.perf_counter() - shift_started
+            elif (controller.fired_decisions
+                  and not decision.reason.startswith("cooldown")):
+                quiet += 1
+                if quiet >= scenario.settle_ticks:
+                    break
+        time_to_converge = time.perf_counter() - shift_started
+        time.sleep(scenario.measure_duration)
+        horizon = time.perf_counter() - shift_started
+        delivered = source.counters.emitted - emitted_at_shift
+    finally:
+        system.stop()
+
+    online_fraction = delivered / (ideal * horizon)
+    baseline_run = run_elastic(
+        shifted,
+        [WorkloadPhase(rate=sc.offered_rate, duration=horizon)],
+        ElasticityConfig(control_period=scenario.control_period),
+        SimulationConfig(items=2_000 if quick else 10_000, seed=seed),
+    )
+    baseline_fraction = baseline_run.items_processed / (ideal * horizon)
+    static_fraction = static / ideal
+    return {
+        "seed": seed,
+        "shift_vertex": sc.shift_vertex,
+        "shift_factor": sc.shift_factor,
+        "offered_rate": round(sc.offered_rate, 1),
+        "control_period_s": scenario.control_period,
+        "ideal_throughput": round(ideal, 1),
+        "horizon_s": round(horizon, 3),
+        "time_to_adapt_s": (round(time_to_adapt, 3)
+                            if time_to_adapt is not None else None),
+        "time_to_converge_s": round(time_to_converge, 3),
+        "reconfigurations": system.reconfigurations,
+        "online": {"delivered_fraction": round(online_fraction, 4)},
+        "static": {"delivered_fraction": round(static_fraction, 4)},
+        "reactive_baseline": {
+            "delivered_fraction": round(baseline_fraction, 4),
+            "reconfigurations": baseline_run.reconfigurations,
+            "downtime_s": round(baseline_run.total_downtime, 3),
+        },
+        "beats_static": online_fraction > static_fraction,
+        "beats_baseline": online_fraction > baseline_fraction,
+    }
+
+
 def run_benchmarks(quick: bool = False,
                    batching_only: bool = False,
                    sharding_only: bool = False) -> Dict[str, object]:
@@ -531,7 +651,7 @@ def run_benchmarks(quick: bool = False,
     section runs.
     """
     results: Dict[str, object] = {
-        "schema": 3,
+        "schema": 4,
         "quick": quick,
     }
     if sharding_only:
@@ -545,6 +665,7 @@ def run_benchmarks(quick: bool = False,
     if not batching_only:
         results["recovery"] = recovery_benchmarks(quick=quick)
         results["sharding"] = sharding_benchmarks(quick=quick)
+        results["adaptive"] = adaptive_benchmarks(quick=quick)
     return results
 
 
@@ -601,6 +722,20 @@ def format_results(results: Dict[str, object]) -> str:
                 f"@{n} shard{'s' if n > 1 else ''}"
                 for n in (1, 2, 4))
             + f" ({sharding['speedup_4']:.2f}x at 4)"
+        )
+    adaptive = results.get("adaptive")
+    if adaptive:
+        adapt_s = adaptive["time_to_adapt_s"]
+        lines.append(
+            f"adaptive (seed {adaptive['seed']}, "
+            f"{adaptive['shift_vertex']} x{adaptive['shift_factor']:g} "
+            "shift): "
+            f"adapted in {adapt_s if adapt_s is not None else 'NEVER'} s, "
+            f"delivered {adaptive['online']['delivered_fraction']:.1%} of "
+            "ideal vs "
+            f"{adaptive['static']['delivered_fraction']:.1%} static, "
+            f"{adaptive['reactive_baseline']['delivered_fraction']:.1%} "
+            "reactive baseline"
         )
     recovery = results.get("recovery")
     if recovery:
@@ -677,6 +812,39 @@ def compare_to_baseline(
                 f"sharding speedup at 4 shards: {current:.2f}x < floor "
                 f"{floor:.2f}x (baseline {base_sharding['speedup_4']:.2f}x)"
             )
+    # Delivered-fraction and adaptation-time figures are ratios of (or
+    # intervals dominated by) the same scenario's own model and tick
+    # schedule, so they compare across machines like the speedups do.
+    base_adaptive = baseline.get("adaptive")
+    current_adaptive = results.get("adaptive")
+    if base_adaptive is not None and current_adaptive is not None:
+        floor = (base_adaptive["online"]["delivered_fraction"]
+                 * (1.0 - threshold))
+        current = current_adaptive["online"]["delivered_fraction"]
+        if current < floor:
+            violations.append(
+                f"adaptive delivered fraction: {current:.1%} < floor "
+                f"{floor:.1%} (baseline "
+                f"{base_adaptive['online']['delivered_fraction']:.1%})"
+            )
+        base_adapt_s = base_adaptive.get("time_to_adapt_s")
+        current_adapt_s = current_adaptive.get("time_to_adapt_s")
+        if current_adapt_s is None:
+            violations.append("adaptive controller never fired")
+        elif base_adapt_s is not None:
+            # Adaptation time is quantized by the control period, so a
+            # loaded runner can land one or two ticks later than the
+            # baseline without any regression — allow that slack on
+            # top of the relative threshold.
+            tick_slack = 2.0 * float(
+                current_adaptive.get("control_period_s", 0.25)
+            )
+            ceiling = base_adapt_s * (1.0 + threshold) + tick_slack
+            if current_adapt_s > ceiling:
+                violations.append(
+                    f"adaptive time-to-adapt: {current_adapt_s:.2f}s > "
+                    f"ceiling {ceiling:.2f}s (baseline {base_adapt_s:.2f}s)"
+                )
     base_solver = baseline.get("solver")
     if base_solver is not None and "solver" in results:
         floor = base_solver["solve_reduction"] * (1.0 - threshold)

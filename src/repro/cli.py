@@ -12,6 +12,7 @@ The console counterpart of the paper's GUI workflow::
     spinstreams run app.xml --backend process --shards 4   # execute it
     spinstreams random --seed 7 -o random.xml    # Algorithm 5 testbed entry
     spinstreams conformance --seeds 25           # differential conformance
+    spinstreams adapt --seeds 20 -o decisions.json   # online re-optimization
     spinstreams bench -o BENCH_8.json            # perf microbenchmarks
     spinstreams render app.xml -o app.dot        # Graphviz rendering
 """
@@ -597,6 +598,55 @@ def _chaos_runtime(args, topology, profile, base) -> bool:
     return failed
 
 
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.testing import (
+        check_adaptive_chaos_seed,
+        check_adaptive_seed,
+        check_migration_seed,
+        check_stationary_seed,
+    )
+
+    if args.seed is not None:
+        seeds = [args.seed]
+    else:
+        seeds = list(range(args.base_seed, args.base_seed + args.seeds))
+    if args.mode == "stationary":
+        check = check_stationary_seed
+    elif args.mode == "chaos":
+        check = check_adaptive_chaos_seed
+    elif args.mode == "migration":
+        check = lambda seed: check_migration_seed(seed, fused=args.fused)  # noqa: E731
+    else:
+        check = check_adaptive_seed
+    logs = [] if args.output else None
+    failed = 0
+    for seed in seeds:
+        if args.mode == "shift" and logs is not None:
+            report = check_adaptive_seed(seed, decision_sink=logs)
+        else:
+            report = check(seed)
+        status = "ok" if report.ok else "FAIL"
+        backend = getattr(report, "backend", None) or report.mode_b
+        fires = ""
+        if logs is not None and args.mode == "shift":
+            fired = sum(1 for d in logs[-1]["decisions"] if d["fired"])
+            fires = (f" shift={logs[-1]['shift_vertex']}"
+                     f"x{logs[-1]['shift_factor']:g} fires={fired}")
+        print(f"  seed {seed:>3} [{backend}] {status}{fires}")
+        if not report.ok:
+            failed += 1
+            summary = report.summary
+            print(summary() if callable(summary) else summary)
+    if args.output and logs is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(logs, handle, indent=2)
+        print(f"decision log written to {args.output}")
+    print(f"{len(seeds) - failed}/{len(seeds)} seeds ok")
+    return 1 if failed else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
@@ -795,6 +845,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes (bit-identical to serial; default "
                         "serial)")
     p.set_defaults(func=_cmd_conformance)
+
+    p = sub.add_parser("adapt",
+                       help="online re-optimization conformance: seeded "
+                            "phase shifts, stationary negative controls, "
+                            "chaos interaction and zero-loss migrations")
+    p.add_argument("--seeds", type=int, default=2,
+                   help="number of consecutive seeds to sweep")
+    p.add_argument("--seed", type=int, default=None,
+                   help="replay a single seed instead of sweeping")
+    p.add_argument("--base-seed", type=int, default=100,
+                   help="first seed of the sweep")
+    p.add_argument("--mode", default="shift",
+                   choices=("shift", "stationary", "chaos", "migration"),
+                   help="shift: mid-run service-time shift, controller "
+                        "must fire and land on the re-solved model; "
+                        "stationary: no shift, controller must stand "
+                        "pat; chaos: crashes during reconfiguration; "
+                        "migration: bit-equality under live state moves")
+    p.add_argument("--fused", action="store_true",
+                   help="migration mode: migrate fused meta-operator "
+                        "members instead of standalone actors")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the controller decision logs as JSON "
+                        "(shift mode; the nightly CI artifact)")
+    p.set_defaults(func=_cmd_adapt)
 
     p = sub.add_parser("bench",
                        help="run the solver/DES microbenchmarks and "

@@ -1,0 +1,189 @@
+"""Plan diffing: deployed plan vs freshly re-solved plan → minimal actions.
+
+The adaptive controller (:mod:`repro.runtime.adaptive`) closes the
+paper's loop: measured per-operator service times and gains flow back
+into the steady-state solver, which re-runs bottleneck elimination
+(Algorithm 2) against the *measured* topology.  This module is the pure
+functional core of that loop — no threads, no wall clock — so every
+controller decision is a deterministic function of the measurements it
+was handed, replayable in tests.
+
+``replan`` returns a :class:`PlanDiff`: the re-solved target plan, the
+analytical throughput of the *current* deployment under the measured
+rates (via the memoized solver, so repeated control periods with
+unchanged measurements cost nothing), and the minimal list of
+:class:`ReplicaChange` actions that turns the current deployment into
+the target.  The controller applies hysteresis on top (predicted gain
+margins, cooldowns); this module just states the facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.fission import eliminate_bottlenecks
+from repro.core.graph import Topology
+from repro.core.solver import analyze_cached
+from repro.core.steady_state import SteadyStateResult
+
+
+@dataclass(frozen=True)
+class VertexMeasurement:
+    """A confident online estimate of one operator's true parameters.
+
+    ``service_time`` and ``gain`` are ``None`` when the estimator had
+    no confident value for that dimension (the spec's declared value is
+    kept).  ``samples`` records how many processed items back the
+    estimate, for decision logs.
+    """
+
+    vertex: str
+    service_time: Optional[float] = None
+    gain: Optional[float] = None
+    samples: int = 0
+
+
+@dataclass(frozen=True)
+class ReplicaChange:
+    """One minimal reconfiguration action: resize a vertex's replicas."""
+
+    vertex: str
+    before: int
+    after: int
+
+    @property
+    def delta(self) -> int:
+        return self.after - self.before
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """The re-solved plan next to the one currently deployed."""
+
+    #: Topology carrying the measured service times / selectivities
+    #: (replication reset by the re-solve; see ``target``).
+    measured: Topology
+    #: The freshly re-solved plan over the measured topology.
+    target: Topology
+    #: Steady state of the *current* deployment under measured rates.
+    current_analysis: SteadyStateResult
+    #: Steady state of the re-solved target plan.
+    target_analysis: SteadyStateResult
+    #: Minimal replica resizes turning current into target (scalable
+    #: vertices only, deterministic topological order).
+    actions: Tuple[ReplicaChange, ...]
+
+    @property
+    def predicted_gain(self) -> float:
+        """Relative throughput gain of adopting the target plan."""
+        current = self.current_analysis.throughput
+        if current <= 0.0:
+            return float("inf") if self.target_analysis.throughput > 0.0 else 0.0
+        return (self.target_analysis.throughput - current) / current
+
+    @property
+    def replica_delta(self) -> int:
+        """Net replicas added (negative: freed) by the actions."""
+        return sum(action.delta for action in self.actions)
+
+
+def apply_measurements(
+    topology: Topology,
+    measurements: Mapping[str, VertexMeasurement],
+) -> Topology:
+    """A copy of ``topology`` with measured parameters substituted.
+
+    A measured gain updates ``output_selectivity`` under the profiler's
+    adoption rule (``gain * input_selectivity``), mirroring
+    :meth:`repro.profiling.ProfileReport.profiled_topology`.
+    """
+    edited = topology
+    for spec in topology.operators:
+        measurement = measurements.get(spec.name)
+        if measurement is None:
+            continue
+        updated = spec
+        if measurement.service_time is not None and measurement.service_time > 0:
+            updated = updated.with_service_time(measurement.service_time)
+        if measurement.gain is not None and measurement.gain >= 0 \
+                and spec.name != topology.source and spec.output_selectivity > 0:
+            updated = replace(
+                updated,
+                output_selectivity=measurement.gain * updated.input_selectivity,
+            )
+        if updated is not spec:
+            edited = edited.with_operator(updated)
+    return edited
+
+
+def diff_replicas(
+    topology: Topology,
+    current: Mapping[str, int],
+    target: Mapping[str, int],
+    scalable: Optional[Sequence[str]] = None,
+) -> Tuple[ReplicaChange, ...]:
+    """Minimal replica resizes from ``current`` to ``target``.
+
+    Restricted to ``scalable`` vertices when given (the live system can
+    only resize stateless ensembles); emitted in topological order so
+    upstream capacity grows before downstream demand shifts.
+    """
+    allowed = None if scalable is None else set(scalable)
+    actions = []
+    for name in topology.names:
+        if allowed is not None and name not in allowed:
+            continue
+        before = current.get(name, 1)
+        after = target.get(name, 1)
+        if before != after:
+            actions.append(ReplicaChange(name, before, after))
+    return tuple(actions)
+
+
+def replan(
+    topology: Topology,
+    current_replications: Mapping[str, int],
+    measurements: Mapping[str, VertexMeasurement],
+    source_rate: Optional[float] = None,
+    max_replicas: Optional[int] = None,
+    scalable: Optional[Sequence[str]] = None,
+) -> PlanDiff:
+    """Re-solve the plan under measured rates and diff it vs current.
+
+    ``topology`` is the *deployed* logical topology (replications as
+    declared); ``current_replications`` what the live system actually
+    runs right now.  The re-solve uses ``code_safety="off"`` — the
+    scalable set already restricts actions to vertices the runtime
+    proved safe to replicate when it built their ensembles.
+    """
+    measured = apply_measurements(topology, measurements)
+    result = eliminate_bottlenecks(
+        measured,
+        source_rate=source_rate,
+        max_replicas=max_replicas,
+        code_safety="off",
+    )
+    target_reps: Dict[str, int] = dict(result.replications)
+    if scalable is not None:
+        allowed = set(scalable)
+        target_reps = {
+            name: (degree if name in allowed
+                   else current_replications.get(name, 1))
+            for name, degree in target_reps.items()
+        }
+    deployed = measured.with_replications(dict(current_replications))
+    current_analysis = analyze_cached(deployed, source_rate=source_rate)
+    target = measured.with_replications(target_reps)
+    target_analysis = (result.analysis
+                       if target_reps == result.replications
+                       else analyze_cached(target, source_rate=source_rate))
+    actions = diff_replicas(topology, current_replications, target_reps,
+                            scalable=scalable)
+    return PlanDiff(
+        measured=measured,
+        target=target,
+        current_analysis=current_analysis,
+        target_analysis=target_analysis,
+        actions=actions,
+    )

@@ -1,5 +1,12 @@
 """Profiling: measure operator costs and routing frequencies from runs."""
 
+from repro.profiling.online import (
+    EstimatorConfig,
+    OnlineEstimator,
+    TickSample,
+    VertexEstimate,
+    window_estimates,
+)
 from repro.profiling.profiler import (
     OperatorProfile,
     ProfileReport,
@@ -8,8 +15,13 @@ from repro.profiling.profiler import (
 )
 
 __all__ = [
+    "EstimatorConfig",
+    "OnlineEstimator",
     "OperatorProfile",
     "ProfileReport",
     "ServiceTimer",
+    "TickSample",
+    "VertexEstimate",
     "profile_topology",
+    "window_estimates",
 ]

@@ -1,0 +1,178 @@
+"""Online estimation of operator parameters from live counter deltas.
+
+The offline profiler (:mod:`repro.profiling.profiler`) measures a run
+after the fact; the adaptive controller needs the same figures *while*
+the system runs, robust against measurement noise, and — because the
+adaptive conformance suite replays scenarios seed by seed — perfectly
+deterministic.  Three design rules make that hold:
+
+* **Item-count windows, not wall-clock windows.**  An estimate is a
+  function of the counter deltas of the last ``window_ticks`` control
+  periods; window boundaries are the controller's tick sequence, never
+  ``time.time()``.  Replaying the same tick-delta sequence replays the
+  same estimates bit for bit.
+* **Confidence gating.**  A window backed by fewer than ``min_items``
+  processed items yields an unconfident estimate; the controller keeps
+  the declared figure instead of chasing noise.
+* **Explicit RNG.**  The bounded service-sample reservoir uses a
+  caller-seeded ``random.Random`` (Vitter's Algorithm R); no global
+  RNG, no hash-order dependence.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Window and confidence knobs of one online estimator."""
+
+    #: Sliding-window length in control ticks.
+    window_ticks: int = 5
+    #: Minimum processed items inside the window for confidence.
+    min_items: int = 30
+    #: Relative deviation from the declared figure below which the
+    #: measurement is treated as "unchanged" (anti-thrashing: noise
+    #: around the declared value never triggers a replan).
+    change_threshold: float = 0.25
+    #: Bounded reservoir size for tick-level service-time samples.
+    reservoir_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.window_ticks < 1:
+            raise ValueError(f"window_ticks must be >= 1, got {self.window_ticks}")
+        if self.min_items < 1:
+            raise ValueError(f"min_items must be >= 1, got {self.min_items}")
+        if self.change_threshold < 0.0:
+            raise ValueError(
+                f"change_threshold must be >= 0, got {self.change_threshold}")
+        if self.reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {self.reservoir_size}")
+
+
+@dataclass(frozen=True)
+class TickSample:
+    """Counter deltas of one vertex over one control period."""
+
+    processed: int
+    emitted: int
+    busy_time: float
+
+
+@dataclass(frozen=True)
+class VertexEstimate:
+    """The estimator's current belief about one operator."""
+
+    vertex: str
+    #: Measured mean service time over the window; ``None`` when the
+    #: window processed nothing.
+    service_time: Optional[float]
+    #: Measured selectivity gain (emitted / processed) over the window.
+    gain: Optional[float]
+    #: Processed items backing the estimate.
+    samples: int
+    #: Whether the window clears the ``min_items`` confidence gate.
+    confident: bool
+
+    def service_changed(self, declared: float,
+                        threshold: float) -> bool:
+        """Did the measured service time drift beyond ``threshold``?"""
+        if not self.confident or self.service_time is None or declared <= 0.0:
+            return False
+        return abs(self.service_time - declared) / declared > threshold
+
+    def gain_changed(self, declared: float, threshold: float) -> bool:
+        """Did the measured gain drift beyond ``threshold``?"""
+        if not self.confident or self.gain is None:
+            return False
+        if declared <= 0.0:
+            return self.gain > threshold
+        return abs(self.gain - declared) / declared > threshold
+
+
+class OnlineEstimator:
+    """Sliding-window estimator over one vertex's counter deltas.
+
+    Feed :meth:`observe` once per control tick with the tick's counter
+    deltas (processed, emitted, busy seconds); read :meth:`estimate`
+    for the windowed belief.  Pure counter arithmetic — two estimators
+    fed the same tick sequence agree bit for bit.
+    """
+
+    def __init__(self, vertex: str, config: Optional[EstimatorConfig] = None,
+                 seed: int = 1) -> None:
+        self.vertex = vertex
+        self.config = config or EstimatorConfig()
+        self._window: Deque[TickSample] = deque(maxlen=self.config.window_ticks)
+        self._rng = random.Random(seed)
+        #: Seeded reservoir of tick-level mean service times (Algorithm
+        #: R) for percentile queries over long runs at bounded memory.
+        self._reservoir: List[float] = []
+        self._reservoir_seen = 0
+        #: Ticks observed over the estimator's lifetime.
+        self.ticks = 0
+
+    def observe(self, processed: int, emitted: int,
+                busy_time: float) -> None:
+        """Record one control period's counter deltas."""
+        if processed < 0 or emitted < 0 or busy_time < 0.0:
+            raise ValueError(
+                f"{self.vertex}: counter deltas must be non-negative "
+                f"(got processed={processed}, emitted={emitted}, "
+                f"busy_time={busy_time})")
+        self.ticks += 1
+        self._window.append(TickSample(processed, emitted, busy_time))
+        if processed > 0:
+            self._offer_reservoir(busy_time / processed)
+
+    def _offer_reservoir(self, sample: float) -> None:
+        self._reservoir_seen += 1
+        if len(self._reservoir) < self.config.reservoir_size:
+            self._reservoir.append(sample)
+            return
+        slot = self._rng.randrange(self._reservoir_seen)
+        if slot < self.config.reservoir_size:
+            self._reservoir[slot] = sample
+
+    def estimate(self) -> VertexEstimate:
+        """The windowed belief as of the last observed tick."""
+        processed = sum(sample.processed for sample in self._window)
+        emitted = sum(sample.emitted for sample in self._window)
+        busy = sum(sample.busy_time for sample in self._window)
+        service = busy / processed if processed > 0 else None
+        gain = emitted / processed if processed > 0 else None
+        return VertexEstimate(
+            vertex=self.vertex,
+            service_time=service,
+            gain=gain,
+            samples=processed,
+            confident=processed >= self.config.min_items,
+        )
+
+    def service_percentile(self, q: float) -> Optional[float]:
+        """Percentile ``q`` in [0, 1] of the reservoir's tick means."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def reset(self) -> None:
+        """Forget the window (after a reconfiguration changed the
+        regime the window measured — old ticks would pollute the new
+        steady state)."""
+        self._window.clear()
+
+
+def window_estimates(
+    estimators: "dict[str, OnlineEstimator]",
+) -> Tuple[VertexEstimate, ...]:
+    """All estimators' current beliefs, in sorted vertex order."""
+    return tuple(estimators[name].estimate() for name in sorted(estimators))

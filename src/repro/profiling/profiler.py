@@ -18,7 +18,8 @@ the optimization algorithms, plus the raw figures.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from types import SimpleNamespace
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.graph import Edge, OperatorSpec, Topology, TopologyError
@@ -120,6 +121,8 @@ def profile_topology(
     duration: float = 2.0,
     warmup: Optional[float] = None,
     config: Optional[RuntimeConfig] = None,
+    items: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> ProfileReport:
     """Run the application unmodified and measure its operators.
 
@@ -127,10 +130,28 @@ def profile_topology(
     forced to one (profiling measures the *initial* design, as in the
     paper's workflow) and the measured service times, gains and routing
     frequencies are extracted from the actor counters and routers.
+
+    ``items`` switches to *deterministic exhaustion profiling*: instead
+    of a wall-clock window the source generates exactly ``items`` items
+    and the run measures the whole stream — no wall-clock-dependent
+    window boundaries, so a seeded run replays its profile exactly
+    (item counts and gains are bit-stable; service-time means inherit
+    only scheduler jitter).  ``seed`` overrides the run seed in this
+    mode.
     """
     base = topology.with_replications({name: 1 for name in topology.names})
-    system = ActorSystem.build(base, factories, config=config)
-    result = system.run(duration, warmup=warmup)
+    if items is not None:
+        if items < 1:
+            raise TopologyError(f"items must be >= 1, got {items}")
+        run_config = config or RuntimeConfig()
+        run_config = replace(run_config, max_items=items)
+        if seed is not None:
+            run_config = replace(run_config, seed=seed)
+        system = ActorSystem.build(base, factories, config=run_config)
+        result = _run_exhausted(system)
+    else:
+        system = ActorSystem.build(base, factories, config=config)
+        result = system.run(duration, warmup=warmup)
 
     profiles: Dict[str, OperatorProfile] = {}
     for actor in system.actors:
@@ -160,6 +181,39 @@ def profile_topology(
         duration=result.measurements.duration,
         profiles=profiles,
     )
+
+
+def _run_exhausted(system: ActorSystem,
+                   quiet_period: float = 0.25,
+                   quiet_timeout: float = 30.0) -> SimpleNamespace:
+    """Drive a bounded run to exhaustion and quiescence; measure totals.
+
+    The source stops itself after ``max_items``; the run then ends when
+    the system-wide progress counter stays flat for ``quiet_period``
+    seconds (every in-flight item drained).  The window boundary is the
+    item count, not the clock — the determinism the adaptive replay
+    tests rely on.
+    """
+    started = time.perf_counter()
+    system.start()
+    source = system.source_actor
+    deadline = started + quiet_timeout
+    if source is not None:
+        source.join(timeout=quiet_timeout)
+    last = -1
+    quiet_since = time.perf_counter()
+    while time.perf_counter() < deadline:
+        current = system._progress()
+        now = time.perf_counter()
+        if current != last:
+            last = current
+            quiet_since = now
+        elif now - quiet_since >= quiet_period:
+            break
+        time.sleep(0.02)
+    window = max(time.perf_counter() - started, 1e-9)
+    system.stop()
+    return SimpleNamespace(measurements=SimpleNamespace(duration=window))
 
 
 class ServiceTimer:

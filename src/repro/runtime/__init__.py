@@ -12,13 +12,23 @@ from repro.runtime.actors import (
     CollectorActor,
     EmitterActor,
     OperatorActor,
+    RetireNotice,
     Router,
+    ScaleDirective,
     SourceActor,
     Target,
+)
+from repro.runtime.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    ControllerDecision,
+    plan_reconfiguration,
+    wait_for_adaptation,
 )
 from repro.runtime.checkpoint import (
     Barrier,
     BarrierAligner,
+    MigrationTicket,
     CheckpointError,
     CheckpointRestoreError,
     CheckpointSession,
@@ -60,7 +70,11 @@ from repro.runtime.supervision import (
     WatchdogReport,
     find_blocked_cycle,
 )
-from repro.runtime.synthetic import PaddedOperator
+from repro.runtime.synthetic import (
+    AdjustablePaddedOperator,
+    PaddedOperator,
+    ServiceTimeControl,
+)
 from repro.runtime.system import (
     ActorSystem,
     RuntimeConfig,
@@ -74,24 +88,29 @@ __all__ = [
     "ActorCounters",
     "ActorRates",
     "ActorSystem",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdjustablePaddedOperator",
     "Barrier",
     "BarrierAligner",
     "BlockedActor",
     "BoundedMailbox",
+    "ChannelSender",
     "CheckpointError",
     "CheckpointRestoreError",
-    "ChannelSender",
     "CheckpointSession",
     "CheckpointStore",
     "CollectorActor",
+    "ControllerDecision",
     "CounterSnapshot",
     "DeadLetter",
     "DeadLetterSink",
     "Directive",
-    "EpochSnapshot",
     "EmitterActor",
+    "EpochSnapshot",
     "MailboxClosed",
     "MetaOperatorActor",
+    "MigrationTicket",
     "OperatorActor",
     "OperatorCrash",
     "PaddedOperator",
@@ -101,10 +120,13 @@ __all__ = [
     "ProcShardSystem",
     "RecoveryEvent",
     "RecoveryResult",
+    "RetireNotice",
     "Router",
     "RuntimeConfig",
     "RuntimeMeasurements",
     "RuntimeResult",
+    "ScaleDirective",
+    "ServiceTimeControl",
     "SourceActor",
     "StallWatchdog",
     "SupervisionEvent",
@@ -114,8 +136,10 @@ __all__ = [
     "Target",
     "WatchdogReport",
     "find_blocked_cycle",
+    "plan_reconfiguration",
+    "rates_between",
     "run_recoverable",
     "run_sharded",
     "run_topology",
-    "rates_between",
+    "wait_for_adaptation",
 ]

@@ -27,7 +27,12 @@ from repro.operators.base import (
     destination_of,
     unwrap,
 )
-from repro.runtime.checkpoint import Barrier, BarrierAligner, CheckpointSession
+from repro.runtime.checkpoint import (
+    Barrier,
+    BarrierAligner,
+    CheckpointSession,
+    MigrationTicket,
+)
 from repro.runtime.mailbox import Batch, BoundedMailbox, MailboxClosed
 from repro.runtime.metrics import ActorCounters
 from repro.runtime.supervision import (
@@ -204,6 +209,38 @@ class Router:
         self.counts = dict(blob["counts"])
 
 
+class ScaleDirective:
+    """Control envelope asking an emitter to swap its replica list.
+
+    Routed through the emitter's own mailbox so the swap happens on the
+    emitter thread, strictly ordered against its round-robin picks: no
+    pick can race the resize, and retire notices enqueued to outgoing
+    replicas land *behind* every item the emitter already sent them.
+    """
+
+    __slots__ = ("replicas", "retired", "done")
+
+    def __init__(self, replicas: Sequence["Target"],
+                 retired: Sequence["Target"]) -> None:
+        self.replicas = list(replicas)
+        self.retired = list(retired)
+        self.done = threading.Event()
+
+
+class RetireNotice:
+    """Control envelope telling a drained replica to exit its loop.
+
+    Travels in FIFO order behind all data the emitter routed to the
+    replica, so by the time it is dequeued the replica has processed
+    everything it will ever receive — retirement loses zero tuples.
+    """
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
 class ActorBase(threading.Thread):
     """Common machinery: mailbox loop, counters, graceful shutdown."""
 
@@ -238,6 +275,8 @@ class ActorBase(threading.Thread):
         self._barrier_targets: List[Target] = []
         #: Epoch snapshots this actor recorded (tests and reports).
         self.snapshots_taken = 0
+        #: Drain-and-migrate cycles this actor completed (tests/metrics).
+        self.migrations = 0
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
         try:
@@ -279,6 +318,15 @@ class ActorBase(threading.Thread):
             return
         if isinstance(payload, Barrier):
             self._on_barrier(payload, origin)
+            return
+        if isinstance(payload, MigrationTicket):
+            self._on_migrate(payload)
+            return
+        if isinstance(payload, ScaleDirective):
+            self._on_scale(payload)
+            return
+        if isinstance(payload, RetireNotice):
+            self._on_retire(payload)
             return
         if isinstance(payload, Batch):
             for item in payload.items:
@@ -323,6 +371,24 @@ class ActorBase(threading.Thread):
         # include the next epoch's first barriers.
         for message in aligner.drain():
             self._dispatch(message)
+
+    def _on_migrate(self, ticket: MigrationTicket) -> None:
+        """Perform an in-band drain-and-migrate; acknowledge the ticket.
+
+        The base class has no migratable state: acknowledge and move on
+        (collectors/sinks reached by a fanned-out ticket behave this
+        way).  Subclasses holding operator state override this.
+        """
+        ticket.acknowledge()
+
+    def _on_scale(self, directive: ScaleDirective) -> None:
+        """Only emitters resize; elsewhere the directive is a no-op."""
+        directive.done.set()
+
+    def _on_retire(self, notice: RetireNotice) -> None:
+        """Exit the loop: everything before the notice was processed."""
+        notice.done.set()
+        raise ActorStopped
 
     def _forward_barrier(self, barrier: Barrier) -> None:
         """Send ``barrier`` to every downstream endpoint, in-band.
@@ -454,6 +520,36 @@ class OperatorActor(ActorBase):
     def checkpoint_restore(self, blob: Mapping[str, Any]) -> None:
         self.operator.restore_state(blob["operator"])
         self.router.restore(blob["router"])
+
+    def _on_migrate(self, ticket: MigrationTicket) -> None:
+        """Checkpoint the operator, rebuild it fresh, restore, resume.
+
+        Runs in the actor's own thread after the mailbox FIFO delivered
+        every item that preceded the ticket — the drain is implicit, so
+        no tuple is lost or reordered.  Without a factory there is
+        nothing to rebuild from and the migration is refused.
+        """
+        if self.operator_factory is None:
+            ticket.acknowledge(
+                f"{self.vertex}: no operator factory, cannot migrate")
+            return
+        try:
+            blob = self.operator.snapshot_state()
+            replacement = self.operator_factory()
+            replacement.on_start()
+            replacement.restore_state(blob)
+        except Exception as error:
+            ticket.acknowledge(
+                f"{self.vertex}: {type(error).__name__}: {error}")
+            return
+        old = self.operator
+        self.operator = replacement
+        try:
+            old.on_stop()
+        except Exception:
+            pass  # the old instance is being discarded; best-effort
+        self.migrations += 1
+        ticket.acknowledge()
 
     def _log_event(self, directive: Directive, error: BaseException) -> None:
         self.context.supervision.record(SupervisionEvent(
@@ -614,12 +710,15 @@ class SourceActor(ActorBase):
         self._forward_barrier(Barrier(epoch))
 
     def run(self) -> None:  # pragma: no cover - thread body, exercised E2E
-        interval = None if self.rate is None else 1.0 / self.rate
         next_time = time.perf_counter()
         sequence = self._start_sequence
         try:
             self.operator.on_start()
             while not self.stop_event.is_set():
+                # Re-read the rate every iteration: the adaptive layer
+                # changes it mid-run (phase-shifted arrival workloads).
+                rate = self.rate
+                interval = None if rate is None else 1.0 / rate
                 if self.max_items is not None and sequence >= self.max_items:
                     break
                 if (self.checkpoint_session is not None
@@ -732,6 +831,10 @@ class EmitterActor(ActorBase):
         self.key_assignment = dict(blob["keys"])
 
     def _pick(self, payload: Any) -> Target:
+        # Snapshot the replica list once: the adaptive controller swaps
+        # in a whole new list object when scaling (atomic under the
+        # GIL), so indexing a local never races a concurrent resize.
+        replicas = self.replicas
         if self.key_of is not None:
             key = self.key_of(payload)
             if key is not None:
@@ -740,11 +843,37 @@ class EmitterActor(ActorBase):
                     # Builtin hash() is PYTHONHASHSEED-salted: two shard
                     # processes would route the same unseen key to
                     # different replicas.  crc32 is stable everywhere.
-                    index = stable_key_hash(key) % len(self.replicas)
-                return self.replicas[index % len(self.replicas)]
-        target = self.replicas[self._next]
-        self._next = (self._next + 1) % len(self.replicas)
-        return target
+                    index = stable_key_hash(key) % len(replicas)
+                return replicas[index % len(replicas)]
+        index = self._next % len(replicas)
+        self._next = (index + 1) % len(replicas)
+        return replicas[index]
+
+    def _on_migrate(self, ticket: MigrationTicket) -> None:
+        """Fan the ticket out to every replica, in-band behind the data.
+
+        The ticket completes only when all replicas acknowledged; the
+        emitter itself holds no operator state, so it contributes no
+        part of its own.
+        """
+        replicas = self.replicas
+        ticket.split(len(replicas))
+        for target in replicas:
+            target.mailbox.put((ticket, self.origin_name), control=True)
+
+    def _on_scale(self, directive: ScaleDirective) -> None:
+        """Swap the replica list on this thread, then retire the rest.
+
+        Running here (not on the controller thread) strictly orders the
+        swap against round-robin picks, and the retire notices enqueue
+        behind every item already routed to the outgoing replicas.
+        """
+        self.replicas = directive.replicas
+        self._next = 0
+        for target in directive.retired:
+            target.mailbox.put((RetireNotice(), self.origin_name),
+                               control=True)
+        directive.done.set()
 
     def handle(self, message: Tuple[Any, str]) -> None:
         payload, origin = message

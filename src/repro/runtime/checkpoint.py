@@ -83,6 +83,64 @@ class Barrier:
         return f"Barrier(epoch={self.epoch})"
 
 
+class MigrationTicket:
+    """An in-band drain-and-migrate request (control envelope).
+
+    A ticket enqueued into a vertex's entry mailbox travels *behind*
+    every data item already in flight, so by the time the owning actor
+    dequeues it the operator has processed everything that preceded the
+    migration point — the drain is implicit in mailbox FIFO order.  The
+    actor then performs "checkpoint member → move state blob → restore
+    → resume" synchronously in its own thread: ``snapshot_state()`` on
+    the live operator, a fresh instance from the factory, and
+    ``restore_state(blob)`` on the replacement, after which processing
+    resumes with zero tuple loss (nothing is dequeued in between).
+
+    For replicated vertices the emitter fans one ticket out to every
+    replica; ``parts`` counts the outstanding acknowledgements so
+    :meth:`wait` returns only when all members migrated.  ``member``
+    optionally names a single meta-operator member to migrate
+    (``None`` migrates every member).
+    """
+
+    __slots__ = ("vertex", "member", "parts", "errors", "_done", "_lock")
+
+    def __init__(self, vertex: str, member: Optional[str] = None,
+                 parts: int = 1) -> None:
+        self.vertex = vertex
+        self.member = member
+        self.parts = parts
+        self.errors: List[str] = []
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+
+    def split(self, parts: int) -> None:
+        """Declare the ticket will be acknowledged ``parts`` times."""
+        with self._lock:
+            self.parts = parts
+
+    def acknowledge(self, error: Optional[str] = None) -> None:
+        """One member finished migrating (or failed with ``error``)."""
+        with self._lock:
+            if error is not None:
+                self.errors.append(error)
+            self.parts -= 1
+            if self.parts <= 0:
+                self._done.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until every part acknowledged; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def ok(self) -> bool:
+        return self._done.is_set() and not self.errors
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        member = f", member={self.member!r}" if self.member else ""
+        return f"MigrationTicket(vertex={self.vertex!r}{member})"
+
+
 class CheckpointError(RuntimeError):
     """A checkpointing invariant was violated."""
 

@@ -136,6 +136,41 @@ class MetaOperatorActor(ActorBase):
         self.router.restore(blob["router"])
         self._stopped = set(blob["stopped"])
 
+    def _migrate_member(self, member: str) -> Optional[str]:
+        """Checkpoint one member, rebuild it, restore; error or ``None``."""
+        if member not in self.member_factories:
+            return f"{member}: no member factory, cannot migrate"
+        try:
+            blob = self.members[member].snapshot_state()
+            fresh = self.member_factories[member]()
+            fresh.on_start()
+            fresh.restore_state(blob)
+        except Exception as error:
+            return f"{member}: {type(error).__name__}: {error}"
+        old = self.members[member]
+        self.members[member] = fresh
+        try:
+            old.on_stop()
+        except Exception:
+            pass  # the old instance is being discarded; best-effort
+        return None
+
+    def _on_migrate(self, ticket) -> None:
+        """Drain-and-migrate fused members in-band (zero tuple loss).
+
+        The ticket names one member or, with ``member=None``, migrates
+        every live member of the sub-graph.  Member-to-member streams
+        are function composition on this thread, so migrating between
+        two ``handle`` calls is a consistent cut by construction.
+        """
+        names = ([ticket.member] if ticket.member is not None
+                 else [m for m in self.plan.members if m not in self._stopped])
+        errors = [error for error in map(self._migrate_member, names)
+                  if error is not None]
+        if not errors:
+            self.migrations += 1
+        ticket.acknowledge("; ".join(errors) if errors else None)
+
     def _log_event(self, member: str, directive: Directive,
                    error: BaseException) -> None:
         self.context.supervision.record(SupervisionEvent(

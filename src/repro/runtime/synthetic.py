@@ -76,6 +76,79 @@ class BusyOperator(Operator):
         return f"BusyOperator(busy_time={self.busy_time:g}s)"
 
 
+class ServiceTimeControl:
+    """Mutable, shared service-time knob read once per invocation.
+
+    The adaptive conformance scenarios shift an operator's service time
+    *mid-run* (the workload phase change the controller must detect).
+    One control instance is shared between the test driver and every
+    replica/rebuilt instance of the operator, so a live migration or
+    supervision restart keeps seeing the current value.
+    """
+
+    __slots__ = ("service_time",)
+
+    def __init__(self, service_time: float) -> None:
+        if service_time <= 0.0:
+            raise ValueError(f"service_time must be positive, got {service_time}")
+        self.service_time = service_time
+
+    def set(self, service_time: float) -> None:
+        if service_time <= 0.0:
+            raise ValueError(f"service_time must be positive, got {service_time}")
+        self.service_time = service_time
+
+    def scale(self, factor: float) -> None:
+        self.set(self.service_time * factor)
+
+
+class AdjustablePaddedOperator(Operator):
+    """A :class:`PaddedOperator` whose padding can change mid-run.
+
+    Reads the shared :class:`ServiceTimeControl` on every invocation;
+    the control is deliberately excluded from state snapshots so a
+    migrated or restarted instance re-attaches to the *live* knob
+    instead of a deep-copied stale one.
+    """
+
+    def __init__(self, inner: Operator, control: ServiceTimeControl) -> None:
+        self.inner = inner
+        self.control = control
+        self.state = inner.state
+        self.input_selectivity = inner.input_selectivity
+        self.output_selectivity = inner.output_selectivity
+
+    def operator_function(self, item: Any) -> List[Any]:
+        service_time = self.control.service_time
+        started = time.perf_counter()
+        outputs = self.inner.operator_function(item)
+        remaining = service_time - (time.perf_counter() - started)
+        if remaining > 0.0:
+            time.sleep(remaining)
+        return outputs
+
+    def snapshot_state(self) -> dict:
+        return {"inner": self.inner.snapshot_state()}
+
+    def restore_state(self, snapshot: dict) -> None:
+        self.inner.restore_state(snapshot["inner"])
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_stop(self) -> None:
+        self.inner.on_stop()
+
+    def key_of(self, item: Any) -> Optional[str]:
+        return self.inner.key_of(item)
+
+    def describe(self) -> str:
+        return (
+            f"AdjustablePaddedOperator({self.inner.describe()}, "
+            f"service_time={self.control.service_time:g}s)"
+        )
+
+
 class PaddedOperator(Operator):
     """Wrap an operator so each invocation lasts ``service_time`` seconds.
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -41,12 +41,14 @@ from repro.runtime.actors import (
     EmitterActor,
     OperatorActor,
     Router,
+    ScaleDirective,
     SourceActor,
     Target,
 )
 from repro.runtime.checkpoint import (
     CheckpointRestoreError,
     CheckpointSession,
+    MigrationTicket,
 )
 from repro.runtime.mailbox import BoundedMailbox
 from repro.runtime.meta import MetaOperatorActor
@@ -68,6 +70,29 @@ from repro.runtime.supervision import (
 )
 
 OperatorFactory = Callable[[], Operator]
+
+
+@dataclass
+class _Ensemble:
+    """Live-scaling wiring of one elastic vertex.
+
+    Kept only for vertices built as emitter + replicas + collector so
+    the controller can spawn/retire replicas mid-run: the spawn closure
+    reproduces exactly what ``_defer_parallel`` builds per replica
+    (mailbox, per-replica router into the collector, operator factory
+    with its own fault clock).
+    """
+
+    vertex: str
+    emitter: EmitterActor
+    #: ``spawn(index)`` builds one fresh, unstarted replica.
+    spawn: Callable[[int], "Tuple[Target, OperatorActor]"]
+    #: Next fresh replica index (never reused, so actor names and fault
+    #: clock keys stay unique across scale up/down cycles).
+    next_index: int
+    #: Live replicas in emitter order (target, actor) — the emitter's
+    #: ``replicas`` list is always a projection of this.
+    members: "List[Tuple[Target, OperatorActor]]"
 
 
 @dataclass(frozen=True)
@@ -111,6 +136,13 @@ class RuntimeConfig:
     #: Dead-letter payload retention cap (see
     #: :class:`repro.runtime.supervision.DeadLetterSink`).
     dead_letter_retain: int = 100
+    #: Build every stateless non-source vertex as an emitter + replicas
+    #: + collector ensemble even at replication 1, so the adaptive
+    #: controller (:mod:`repro.runtime.adaptive`) can scale replicas
+    #: up/down behind the emitter while the system runs.  Off by
+    #: default — static runs pay zero extra actors.  Incompatible with
+    #: checkpointing (the barrier channel set is fixed at wiring time).
+    elastic: bool = False
 
 
 class RuntimeResult:
@@ -194,6 +226,13 @@ class ActorSystem:
         #: How each fused vertex actually executes: ``"loop"`` when its
         #: chain was loop-compiled, ``"meta"`` for the meta-actor.
         self.fusion_executions: Dict[str, str] = {}
+        #: Live-scaling wiring per elastic vertex (see :class:`_Ensemble`);
+        #: populated only for vertices built as ensembles.
+        self._ensembles: Dict[str, _Ensemble] = {}
+        #: Serializes live reconfigurations (controller vs. tests).
+        self._reconfig_lock = threading.Lock()
+        #: Completed live reconfiguration actions (scales + migrations).
+        self.reconfigurations = 0
         self._started = False
         self.supervisor = config.supervisor or SupervisorStrategy()
         self.injector: Optional["FaultInjector"] = None
@@ -268,6 +307,11 @@ class ActorSystem:
         if session is not None:
             system.checkpoint_session = session
             system.context.request_recovery = system._request_recovery
+        if config.elastic and session is not None:
+            raise TopologyError(
+                "elastic mode is incompatible with checkpointing: the "
+                "barrier channel set is fixed at wiring time"
+            )
         plans = {plan.fused_name: plan for plan in fusion_plans}
 
         def make_operator(name: str) -> Operator:
@@ -297,7 +341,8 @@ class ActorSystem:
                                        router)
                 )
                 continue
-            if spec.replication > 1:
+            if spec.replication > 1 or (config.elastic
+                                        and spec.state is StateKind.STATELESS):
                 deferred.append(
                     system._defer_parallel(spec.name, make_operator, router)
                 )
@@ -511,20 +556,17 @@ class ActorSystem:
             )
             collector_target = Target(name, collector_mailbox)
 
-            replica_targets: List[Target] = []
-            operators: List[Operator] = []
-            for index in range(spec.replication):
+            def spawn(index: int) -> Tuple[Target, OperatorActor]:
+                """One replica exactly as pass 1 builds it (unstarted)."""
                 replica_mailbox = self._new_mailbox()
                 replica_router = Router(f"{name}#{index}")
                 replica_router.add(1.0, collector_target)
                 factory = self._vertex_factory(name, make_operator,
                                                clock_key=f"{name}#{index}")
-                operator = factory()
-                operators.append(operator)
                 actor = OperatorActor(
                     name=f"{name}#{index}",
                     vertex=name,
-                    operator=operator,
+                    operator=factory(),
                     router=replica_router,
                     mailbox=replica_mailbox,
                     stop_event=self.stop_event,
@@ -533,8 +575,17 @@ class ActorSystem:
                     policy=self.supervisor.policy_for(name),
                     context=self.context,
                 )
+                return Target(name, replica_mailbox), actor
+
+            members: List[Tuple[Target, OperatorActor]] = []
+            replica_targets: List[Target] = []
+            operators: List[Operator] = []
+            for index in range(spec.replication):
+                target, actor = spawn(index)
                 self.actors.append(actor)
-                replica_targets.append(Target(name, replica_mailbox))
+                members.append((target, actor))
+                replica_targets.append(target)
+                operators.append(actor.operator)
 
             key_of = None
             key_assignment = None
@@ -562,6 +613,18 @@ class ActorSystem:
             self.actors.append(collector)
             self._entries[name] = Target(name, emitter_mailbox)
             self._router_owners[name] = collector
+            if key_of is None:
+                # Stateless (round-robin) vertices can live-scale; a
+                # fixed key-to-replica assignment cannot be resized
+                # without re-partitioning state, so partitioned
+                # ensembles stay static.
+                self._ensembles[name] = _Ensemble(
+                    vertex=name,
+                    emitter=emitter,
+                    spawn=spawn,
+                    next_index=spec.replication,
+                    members=members,
+                )
         return build
 
     def _defer_meta(self, plan: FusionPlan, factories, make_operator,
@@ -735,6 +798,113 @@ class ActorSystem:
         return {actor.actor_name: actor.counters.snapshot()
                 for actor in self.actors}
 
+    # ------------------------------------------------------------------
+    # live reconfiguration (see repro.runtime.adaptive)
+    # ------------------------------------------------------------------
+    def scalable_vertices(self) -> List[str]:
+        """Vertices whose replica count can change while running."""
+        return sorted(self._ensembles)
+
+    def replication_of(self, vertex: str) -> int:
+        """The vertex's current live replica count."""
+        ensemble = self._ensembles.get(vertex)
+        if ensemble is not None:
+            return len(ensemble.members)
+        return 1
+
+    def set_source_rate(self, rate: Optional[float]) -> None:
+        """Change the source's arrival rate mid-run (``None`` = max)."""
+        if self.source_actor is None:
+            raise TopologyError("system has no source actor")
+        self.source_actor.rate = rate
+
+    def scale_vertex(self, vertex: str, replicas: int,
+                     timeout: float = 10.0) -> int:
+        """Resize a vertex's replica set without stopping the world.
+
+        Scale-up spawns fresh replicas behind the existing emitter;
+        scale-down routes a :class:`ScaleDirective` through the
+        emitter's mailbox so the swap happens on the emitter thread and
+        retire notices drain outgoing replicas in FIFO order — zero
+        tuples are lost either way.  Returns the signed replica delta.
+        """
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        ensemble = self._ensembles.get(vertex)
+        if ensemble is None:
+            raise TopologyError(
+                f"vertex {vertex!r} is not live-scalable (build the "
+                f"system with RuntimeConfig(elastic=True), and only "
+                f"stateless vertices scale)"
+            )
+        with self._reconfig_lock:
+            current = len(ensemble.members)
+            delta = replicas - current
+            if delta == 0:
+                return 0
+            retired: List[Tuple[Target, OperatorActor]] = []
+            if delta > 0:
+                for _ in range(delta):
+                    target, actor = ensemble.spawn(ensemble.next_index)
+                    ensemble.next_index += 1
+                    self.actors.append(actor)
+                    if self._started:
+                        actor.start()
+                    ensemble.members.append((target, actor))
+            else:
+                retired = ensemble.members[replicas:]
+                ensemble.members = ensemble.members[:replicas]
+            targets = [target for target, _ in ensemble.members]
+            if not self._started:
+                # No threads yet: swap directly, nothing to drain.
+                ensemble.emitter.replicas = targets
+            else:
+                directive = ScaleDirective(
+                    targets, [target for target, _ in retired])
+                ensemble.emitter.mailbox.put(
+                    (directive, "<scale>"), control=True)
+                if not directive.done.wait(timeout):
+                    raise TimeoutError(
+                        f"emitter of {vertex!r} did not apply the scale "
+                        f"directive within {timeout:g}s")
+                deadline = time.perf_counter() + timeout
+                for target, actor in retired:
+                    actor.join(timeout=max(
+                        0.0, deadline - time.perf_counter()))
+                    if actor.is_alive():
+                        raise TimeoutError(
+                            f"retired replica {actor.actor_name!r} did "
+                            f"not drain within {timeout:g}s")
+                    target.mailbox.close()
+            self.reconfigurations += 1
+            return delta
+
+    def migrate_vertex(self, vertex: str, member: Optional[str] = None,
+                       timeout: float = 10.0) -> MigrationTicket:
+        """Drain-and-migrate a vertex's operator state in-band.
+
+        Enqueues a :class:`MigrationTicket` behind all in-flight data;
+        the owning actor(s) perform "checkpoint → rebuild → restore →
+        resume" on their own threads (emitters fan the ticket out to
+        every replica; meta-actors migrate ``member`` or all members).
+        Returns the completed ticket — inspect ``.ok`` / ``.errors``.
+        """
+        entry = self._entries.get(vertex)
+        if entry is None:
+            raise TopologyError(
+                f"vertex {vertex!r} has no entry mailbox (sources "
+                f"cannot migrate in-band)")
+        ticket = MigrationTicket(vertex, member=member)
+        with self._reconfig_lock:
+            entry.mailbox.put((ticket, "<migrate>"), control=True)
+            if not ticket.wait(timeout):
+                raise TimeoutError(
+                    f"migration of {vertex!r} did not complete within "
+                    f"{timeout:g}s")
+            if ticket.ok:
+                self.reconfigurations += 1
+        return ticket
+
     def run(self, duration: float, warmup: Optional[float] = None
             ) -> RuntimeResult:
         """Run for ``duration`` seconds, measuring after ``warmup``.
@@ -763,9 +933,12 @@ class ActorSystem:
             leaked = self.stop()
         rates: Dict[str, ActorRates] = {}
         for actor in self.actors:
+            # Replicas spawned mid-window by a live reconfiguration have
+            # no "before" snapshot: they start from zero counters.
             rates[actor.actor_name] = rates_between(
                 actor.actor_name, actor.vertex,
-                before[actor.actor_name], after[actor.actor_name], window,
+                before.get(actor.actor_name, CounterSnapshot()),
+                after[actor.actor_name], window,
             )
         measurements = RuntimeMeasurements(duration=window, actors=rates,
                                            totals=self.snapshot())

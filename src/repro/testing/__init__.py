@@ -23,6 +23,15 @@ The ``spinstreams conformance`` CLI subcommand and the tests under
 ``tests/conformance/`` are thin drivers over this package.
 """
 
+from repro.testing.adaptive import (
+    AdaptiveScenarioConfig,
+    build_scenario,
+    check_adaptive_chaos_seed,
+    check_adaptive_seed,
+    check_migration_seed,
+    check_stationary_seed,
+    choose_shift,
+)
 from repro.testing.differential import (
     DifferentialConfig,
     DifferentialReport,
@@ -61,6 +70,7 @@ from repro.testing.oracle import (
 from repro.testing.shrink import ShrinkResult, remove_edge, remove_vertex, shrink
 
 __all__ = [
+    "AdaptiveScenarioConfig",
     "ConformanceConfig",
     "ConformanceReport",
     "DifferentialConfig",
@@ -70,20 +80,26 @@ __all__ = [
     "ShrinkResult",
     "SweepOutcome",
     "Tolerances",
+    "build_scenario",
     "canonical",
     "chain_testbed",
     "chaos_fault_plan",
+    "check_adaptive_chaos_seed",
+    "check_adaptive_seed",
     "check_batching_seed",
     "check_chaos_runtime_seed",
     "check_chaos_seed",
     "check_loop_chaos_seed",
     "check_loop_seed",
+    "check_migration_seed",
     "check_optimizer_seed",
     "check_process_seed",
     "check_recovery_seed",
     "check_runtime_seed",
     "check_sharded_seed",
     "check_seed",
+    "check_stationary_seed",
+    "choose_shift",
     "recovery_fault_plan",
     "recovery_testbed",
     "remove_edge",

@@ -1,0 +1,73 @@
+"""Online-adaptation conformance: live reconfigurations proven per seed.
+
+Four gates over :mod:`repro.testing.adaptive`:
+
+* **Adaptation oracle** — a seeded mid-run service-time shift; the
+  controller must fire, settle, and the post-reconfiguration steady
+  state must match the freshly re-solved analytical model of the
+  shifted topology under the replicas actually deployed.  Each seed
+  drives a live system over wall-clock seconds, so tier-1 keeps a
+  2-seed smoke (``--adaptive-seeds``); nightly CI runs the full
+  20-seed property suite.
+* **Stationary negative control** — ten seeds with no shift; a single
+  reconfiguration is thrashing and fails the seed.
+* **Chaos interaction** — crashes and slowdowns injected while the
+  controller reconfigures; supervision restarts and controller
+  rescales must not escalate each other (liveness + bounded dead
+  letters, not model agreement).
+* **Migration bit-equality** — runs interleaved with in-band
+  drain-and-migrate tickets (standalone and fused-meta members) must
+  produce byte-identical sink output to the undisturbed run: zero
+  tuple loss under live state movement.
+"""
+
+import pytest
+
+from repro.testing import (
+    DifferentialConfig,
+    check_adaptive_chaos_seed,
+    check_adaptive_seed,
+    check_migration_seed,
+    check_stationary_seed,
+)
+
+BASE_SEED = 100
+FAST = DifferentialConfig(items=200)
+
+
+class TestAdaptationOracle:
+    def test_controller_adapts_to_phase_shift(self, adaptive_seeds):
+        for seed in range(BASE_SEED, BASE_SEED + adaptive_seeds):
+            report = check_adaptive_seed(seed)
+            assert report.ok, report.summary()
+            assert report.backend == "adaptive+runtime"
+
+
+class TestStationaryControl:
+    @pytest.mark.parametrize("seed", list(range(BASE_SEED, BASE_SEED + 10)))
+    def test_no_spurious_reconfiguration(self, seed):
+        report = check_stationary_seed(seed)
+        assert report.ok, report.summary()
+        assert report.backend == "adaptive+stationary"
+
+
+class TestChaosInteraction:
+    @pytest.mark.parametrize("seed", [BASE_SEED, BASE_SEED + 3])
+    def test_faults_during_reconfiguration(self, seed):
+        report = check_adaptive_chaos_seed(seed)
+        assert report.ok, report.summary()
+        assert report.backend == "adaptive+chaos"
+
+
+class TestMigrationBitEquality:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_migrated_run_bit_equal(self, seed):
+        report = check_migration_seed(seed, FAST)
+        assert report.ok, report.summary
+        assert report.mode_b == "migrated"
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fused_member_migration_bit_equal(self, seed):
+        report = check_migration_seed(seed, FAST, fused=True)
+        assert report.ok, report.summary
+        assert report.mode_b == "migrated+fused"

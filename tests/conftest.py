@@ -19,6 +19,13 @@ def pytest_addoption(parser: pytest.Parser) -> None:
              "(each forks shard workers and runs wall-clock seconds; "
              "tier-1 keeps a 2-seed smoke, nightly CI raises it)",
     )
+    parser.addoption(
+        "--adaptive-seeds", type=int, default=2,
+        help="seeds swept by the online-adaptation conformance tests "
+             "(each drives a live reconfiguration over wall-clock "
+             "seconds; tier-1 keeps a 2-seed smoke, nightly CI runs "
+             "the full 20-seed property suite)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -29,6 +36,11 @@ def conformance_seeds(request: pytest.FixtureRequest) -> int:
 @pytest.fixture(scope="session")
 def process_seeds(request: pytest.FixtureRequest) -> int:
     return request.config.getoption("--process-seeds")
+
+
+@pytest.fixture(scope="session")
+def adaptive_seeds(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--adaptive-seeds")
 
 
 def make_pipeline(*service_times_ms: float, name: str = "pipeline") -> Topology:
