@@ -2,7 +2,7 @@
 
 SpinStreams is a *static* optimization tool, so mistakes in the input
 should be caught before any solve or deployment.  This package provides
-two cooperating passes behind one diagnostic framework:
+three cooperating passes behind one diagnostic framework:
 
 * :mod:`repro.analysis.graph` — the **graph verifier**: structural and
   numeric sanity of a topology (reachability, probability mass,
@@ -13,22 +13,48 @@ two cooperating passes behind one diagnostic framework:
   ``ast``-based classifier of each operator implementation that infers
   the true :class:`~repro.core.graph.StateKind` from the code and
   detects fission-unsafe patterns (shared mutable class attributes,
-  nondeterminism, impure ``key_of``, I/O side effects).
+  nondeterminism, impure ``key_of``, I/O side effects);
+* :mod:`repro.analysis.deploy` — the **deployment-safety analyzer**:
+  statically proves a ``(topology, deployment plan, RuntimeConfig)``
+  triple executable on each target backend — pickle/fork safety for the
+  process backend, snapshot/restore soundness for checkpointing,
+  migration-partitionability for elasticity, replica races, and
+  plan/config conflicts (elastic×checkpoint, shard placement, batch
+  deadlines vs. latency budget, adaptive cooldowns, checkpoint
+  overhead).
 
 Diagnostics carry stable rule IDs (``SS1xx`` for the graph pass,
-``SS2xx`` for the code pass), a severity (``error``/``warning``/
-``info``), the offending subject and a source location, and render to
-text or machine-readable JSON.  EXPERIMENTS.md lists every rule with
-its rationale.
+``SS2xx`` for the code pass, ``SS3xx`` for the deployment pass), a
+severity (``error``/``warning``/``info``), the offending subject and a
+source location, and render to text, machine-readable JSON or SARIF.
+Every rule is listed in the :data:`~repro.analysis.diagnostics.RULES`
+registry; EXPERIMENTS.md documents the rationale.
 
 The verdicts gate the optimization pipeline: bottleneck elimination
 refuses to replicate operators whose code is provably more stateful
-than declared, automatic fusion skips impure operators, SS2Py embeds
-the lint report in generated programs, and ``spinstreams lint`` runs
-both passes from the command line.
+than declared, automatic fusion skips impure operators, the runtime
+backends refuse builds the deployment analyzer proves unsafe (with an
+``unsafe=True`` escape hatch), and ``spinstreams lint`` runs every
+pass from the command line.
 """
 
-from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.deploy import (
+    DeployFacts,
+    analyze_deploy,
+    analyze_deploy_path,
+    deploy_errors,
+    process_unsafe_operators,
+    verify_deploy,
+    verify_plan,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    RuleInfo,
+    Severity,
+    all_rules,
+    rule_info,
+)
 from repro.analysis.graph import verify_graph
 from repro.analysis.lint import lint_topology
 from repro.analysis.opcode import (
@@ -40,14 +66,24 @@ from repro.analysis.opcode import (
 )
 
 __all__ = [
+    "DeployFacts",
     "Diagnostic",
     "LintReport",
     "OperatorCodeFacts",
+    "RuleInfo",
     "Severity",
+    "all_rules",
     "analyze_class_path",
+    "analyze_deploy",
+    "analyze_deploy_path",
     "analyze_operator_class",
+    "deploy_errors",
     "impure_operators",
     "lint_topology",
+    "process_unsafe_operators",
+    "rule_info",
     "verify_code",
+    "verify_deploy",
     "verify_graph",
+    "verify_plan",
 ]

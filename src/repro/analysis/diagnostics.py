@@ -5,9 +5,14 @@ a :class:`Severity`, a human-readable message, the subject it concerns
 (an operator name or an ``a->b`` edge label) and an optional source
 location (the XML file or the ``module.Class:line`` of operator code).
 A :class:`LintReport` is an ordered collection of diagnostics with
-text and JSON renderings; its :attr:`~LintReport.exit_code` is the
-``spinstreams lint`` process exit status (``0`` clean or info-only,
+text, JSON and SARIF renderings; its :attr:`~LintReport.exit_code` is
+the ``spinstreams lint`` process exit status (``0`` clean or info-only,
 ``1`` warnings, ``2`` errors).
+
+Each analysis pass registers its rules in the :data:`rule registry
+<RULES>` at import time (:func:`register_rules`), so tooling — the
+SARIF exporter, the documentation tests — can enumerate every rule
+with its default severity and one-line summary without running a lint.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 
 class Severity(enum.IntEnum):
@@ -35,6 +40,40 @@ class Severity(enum.IntEnum):
             return cls[text.strip().upper()]
         except KeyError:
             raise ValueError(f"unknown severity {text!r}") from None
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry describing one lint rule."""
+
+    rule: str
+    severity: Severity
+    summary: str
+    #: Which pass owns the rule: ``"graph"``, ``"opcode"``, ``"deploy"``
+    #: or ``"plan"``.
+    owner: str
+
+
+#: Every registered rule, keyed by ID.  Passes populate this at import.
+RULES: Dict[str, RuleInfo] = {}
+
+
+def register_rules(owner: str,
+                   rules: Mapping[str, Tuple[Severity, str]]) -> None:
+    """Register a pass's rules (ID -> default severity + summary)."""
+    for rule, (severity, summary) in rules.items():
+        RULES[rule] = RuleInfo(rule=rule, severity=severity,
+                               summary=summary, owner=owner)
+
+
+def rule_info(rule: str) -> Optional[RuleInfo]:
+    """The registry entry of a rule ID, if registered."""
+    return RULES.get(rule)
+
+
+def all_rules() -> List[RuleInfo]:
+    """Every registered rule, sorted by ID."""
+    return [RULES[rule] for rule in sorted(RULES)]
 
 
 @dataclass(frozen=True)
@@ -184,6 +223,65 @@ class LintReport:
                          - len(self.warnings)),
             },
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_sarif(self, indent: Optional[int] = 2) -> str:
+        """The report as a SARIF 2.1.0 log (PR-annotation friendly).
+
+        Rule metadata comes from the registry; diagnostics whose
+        location names an XML file become physical locations so code
+        hosts can anchor annotations, everything else stays in the
+        result message.
+        """
+        level_of = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                    Severity.INFO: "note"}
+        used = sorted({d.rule for d in self.diagnostics})
+        rules = []
+        for rule in used:
+            info = rule_info(rule)
+            entry: Dict[str, object] = {"id": rule}
+            if info is not None:
+                entry["shortDescription"] = {"text": info.summary}
+                entry["defaultConfiguration"] = {
+                    "level": level_of[info.severity]}
+            rules.append(entry)
+        index_of = {rule: i for i, rule in enumerate(used)}
+        results = []
+        for d in self.diagnostics:
+            text = d.message
+            if d.subject:
+                text = f"[{d.subject}] {text}"
+            result: Dict[str, object] = {
+                "ruleId": d.rule,
+                "ruleIndex": index_of[d.rule],
+                "level": level_of[d.severity],
+                "message": {"text": text},
+            }
+            if d.location and d.location.endswith(".xml"):
+                result["locations"] = [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.location},
+                    },
+                }]
+            elif d.location:
+                result["locations"] = [{
+                    "logicalLocations": [{"fullyQualifiedName": d.location}],
+                }]
+            results.append(result)
+        payload = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "spinstreams",
+                    "informationUri":
+                        "https://github.com/spinstreams/reproduction",
+                    "rules": rules,
+                }},
+                "results": results,
+            }],
         }
         return json.dumps(payload, indent=indent)
 

@@ -46,11 +46,35 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Union
 
-from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.diagnostics import (Diagnostic, LintReport, Severity,
+                                        register_rules)
 from repro.core.graph import StateKind, Topology, TopologyError
 from repro.topology.xmlio import DraftEdge, DraftOperator, TopologyDraft
 
 GRAPH_RULES = tuple(f"SS1{i:02d}" for i in range(1, 17))
+
+register_rules("graph", {
+    "SS101": (Severity.ERROR, "duplicate operator name"),
+    "SS102": (Severity.ERROR, "edge references an unknown operator"),
+    "SS103": (Severity.ERROR, "duplicate edge between the same operators"),
+    "SS104": (Severity.ERROR, "self-loop edge"),
+    "SS105": (Severity.ERROR, "no unique source vertex"),
+    "SS106": (Severity.ERROR, "operator unreachable from the source"),
+    "SS107": (Severity.WARNING, "no sink: items never leave the topology"),
+    "SS108": (Severity.ERROR, "stochastic out-edge probability mass != 1"),
+    "SS109": (Severity.ERROR, "edge parameter out of range"),
+    "SS110": (Severity.ERROR, "non-positive or NaN service time"),
+    "SS111": (Severity.ERROR, "invalid selectivity"),
+    "SS112": (Severity.ERROR,
+              "partitioned-stateful operator without a key distribution"),
+    "SS113": (Severity.ERROR, "invalid key distribution"),
+    "SS114": (Severity.ERROR,
+              "static BAS deadlock: a cycle amplifies its own traffic"),
+    "SS115": (Severity.WARNING,
+              "cycle member saturates in the steady-state fixed point"),
+    "SS116": (Severity.WARNING,
+              "replication > 1 declared on a stateful operator"),
+})
 
 
 def draft_of(topology: Topology) -> TopologyDraft:

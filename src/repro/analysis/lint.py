@@ -1,4 +1,4 @@
-"""The lint façade: both analysis passes over any topology-ish input.
+"""The lint façade: every analysis pass over any topology-ish input.
 
 :func:`lint_topology` accepts a validated :class:`Topology`, an
 unvalidated :class:`TopologyDraft`, a path to a topology XML file, or
@@ -7,6 +7,12 @@ verifier and (when the draft builds) the operator-code analyzer.  The
 code pass needs real :class:`OperatorSpec` objects, so it only runs
 once a strict build succeeds — a draft with structural errors gets the
 graph findings alone, which is what a user needs to fix first anyway.
+
+The deployment-safety pass (:mod:`repro.analysis.deploy`) is opt-in:
+``backend`` selects the target backend's operator rules (SS301–SS305)
+and ``plan=True`` adds the plan/config rules (SS310–SS315), checking
+the solver-driven shard placement when ``backend="process"`` and
+``shards`` is given.
 """
 
 from __future__ import annotations
@@ -22,24 +28,38 @@ from repro.topology.xmlio import TopologyDraft, parse_draft
 
 LintSource = Union[Topology, TopologyDraft, str, "os.PathLike[str]"]
 
+BACKENDS = ("threaded", "process", "elastic")
+
 
 def lint_topology(
     source: LintSource,
     check_code: bool = True,
     source_rate: Optional[float] = None,
+    backend: Optional[str] = None,
+    plan: bool = False,
+    shards: Optional[int] = None,
 ) -> LintReport:
     """Run the static checks and return the merged report.
 
     ``check_code=False`` restricts the run to the graph pass (useful
     when operator classes are not importable in the linting
     environment).  ``source_rate`` feeds the cyclic fixed-point check,
-    defaulting to the source's service rate.
+    defaulting to the source's service rate.  ``backend`` additionally
+    runs the deployment-safety operator rules for that target
+    (``"threaded"``, ``"process"`` or ``"elastic"``); ``plan=True``
+    adds the plan/config verifier, with ``shards`` sizing the process
+    placement it checks.
     """
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+
     if isinstance(source, Topology):
         report = verify_graph(source, source_rate=source_rate)
         if check_code:
             report = report.merge(verify_code(source))
-        return report
+        return _merge_deploy(report, source, backend=backend, plan=plan,
+                             shards=shards, source_rate=source_rate)
 
     if isinstance(source, TopologyDraft):
         draft = source
@@ -47,10 +67,37 @@ def lint_topology(
         draft = parse_draft(source)
 
     report = verify_graph(draft, source_rate=source_rate)
-    if check_code and report.ok:
+    if (check_code or backend is not None or plan) and report.ok:
         try:
             topology = draft.build(strict=True)
         except TopologyError:
             return report
-        report = report.merge(verify_code(topology))
+        if check_code:
+            report = report.merge(verify_code(topology))
+        report = _merge_deploy(report, topology, backend=backend,
+                               plan=plan, shards=shards,
+                               source_rate=source_rate)
+    return report
+
+
+def _merge_deploy(
+    report: LintReport,
+    topology: Topology,
+    *,
+    backend: Optional[str],
+    plan: bool,
+    shards: Optional[int],
+    source_rate: Optional[float],
+) -> LintReport:
+    """Append the opt-in deployment-safety passes to a report."""
+    if backend is None and not plan:
+        return report
+    from repro.analysis.deploy import verify_deploy, verify_plan
+
+    if backend is not None:
+        report = report.merge(verify_deploy(topology, backend=backend))
+    if plan:
+        report = report.merge(verify_plan(
+            topology, backend=backend or "threaded", shards=shards,
+            source_rate=source_rate))
     return report

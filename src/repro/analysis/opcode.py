@@ -44,11 +44,28 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.diagnostics import (Diagnostic, LintReport, Severity,
+                                        register_rules)
 from repro.core.graph import StateKind, Topology
 from repro.operators.base import KeyedOperator, Operator, load_operator_class
 
 OPCODE_RULES = tuple(f"SS2{i:02d}" for i in range(1, 8))
+
+register_rules("opcode", {
+    "SS201": (Severity.ERROR,
+              "declared StateKind weaker than the code's inferred one"),
+    "SS202": (Severity.INFO,
+              "declared StateKind stricter than inferred"),
+    "SS203": (Severity.ERROR,
+              "mutable class-level attribute shared across replicas"),
+    "SS204": (Severity.WARNING,
+              "nondeterminism reachable from operator_function"),
+    "SS205": (Severity.WARNING, "impure key_of"),
+    "SS206": (Severity.WARNING,
+              "I/O side effects reachable from operator_function"),
+    "SS207": (Severity.ERROR,
+              "operator class cannot be loaded or analyzed"),
+})
 
 #: Method names whose call mutates the receiver in place.
 _MUTATING_METHODS = frozenset({

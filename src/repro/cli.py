@@ -55,8 +55,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         args.topology,
         check_code=not args.no_code,
         source_rate=args.source_rate,
+        backend=args.backend,
+        plan=args.plan,
+        shards=args.shards,
     )
-    text = report.to_json() if args.json else report.render()
+    if args.sarif:
+        text = report.to_sarif()
+    elif args.json:
+        text = report.to_json()
+    else:
+        text = report.render()
     _write_or_print(text, args.output)
     return report.exit_code
 
@@ -699,13 +707,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static checks: graph verifier + operator-code analyzer")
+        help="static checks: graph verifier + operator-code analyzer "
+             "+ deployment-safety pass")
     topology_arg(p)
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable JSON report")
+    p.add_argument("--sarif", action="store_true",
+                   help="emit a SARIF 2.1.0 log (PR annotations)")
     p.add_argument("--no-code", action="store_true",
                    help="skip the operator-code pass (classes not "
                         "importable here)")
+    p.add_argument("--backend", choices=["threaded", "process", "elastic"],
+                   default=None,
+                   help="also run the SS3xx deployment-safety operator "
+                        "rules for this target backend")
+    p.add_argument("--plan", action="store_true",
+                   help="also run the SS3xx plan/config verifier "
+                        "(placement, latency budget, checkpoint overhead)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard count for the process placement the plan "
+                        "verifier checks")
     p.add_argument("-o", "--output", default=None,
                    help="write the report to a file instead of stdout")
     p.set_defaults(func=_cmd_lint)

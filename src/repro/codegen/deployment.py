@@ -97,6 +97,8 @@ def shard_placement(
     if utilization_threshold is None:
         from repro.codegen.fuseloop import DEFAULT_UTILIZATION_THRESHOLD
         utilization_threshold = DEFAULT_UTILIZATION_THRESHOLD
+    from repro.analysis.deploy import process_unsafe_operators
+    unpicklable = process_unsafe_operators(topology)
 
     loads = [0.0] * shards
 
@@ -114,6 +116,14 @@ def shard_placement(
     for spec in topology.operators:
         rates = analysis.rates[spec.name]
         share = busy_share(spec)
+        if spec.name in unpicklable:
+            # State that cannot cross a pickle boundary stays with the
+            # driver on the glue shard (rule SS301).
+            by_vertex[spec.name] = (0,) * spec.replication
+            loads[0] += share * spec.replication
+            reasons[spec.name] = (
+                "process-unsafe (SS301): pinned to glue shard 0")
+            continue
         glue = (spec.name == topology.source
                 or not topology.out_edges(spec.name)
                 or rates.utilization < utilization_threshold
@@ -159,6 +169,7 @@ def deployment_plan(
     original: Optional[Topology] = None,
     utilization_threshold: Optional[float] = None,
     shards: Optional[int] = None,
+    unsafe: bool = False,
 ) -> Dict[str, Any]:
     """A framework-neutral deployment descriptor of an optimized topology.
 
@@ -173,7 +184,29 @@ def deployment_plan(
     (:func:`shard_placement`) additionally decides thread-vs-process
     execution per operator and the plan carries a ``"shards"`` section
     priced by :func:`repro.core.solver.predict_sharding`.
+
+    The SS3xx deployment-safety gate refuses plans the target backends
+    would crash on — process-unsafe operators under ``shards``,
+    snapshot-unsound operators under a checkpointed topology — with a
+    :class:`TopologyError` naming the rule; ``unsafe=True`` overrides.
     """
+    if not unsafe:
+        from repro.analysis.deploy import deploy_errors
+
+        rules: List[str] = []
+        if shards is not None:
+            rules += ["SS301", "SS305"]
+        if topology.checkpoint is not None:
+            rules += ["SS302", "SS303"]
+        blocking = deploy_errors(topology, rules) if rules else []
+        if blocking:
+            from repro.core.graph import TopologyError
+
+            raise TopologyError(
+                "deployment-safety gate refused the plan "
+                "(unsafe=True overrides): "
+                + "; ".join(d.render() for d in blocking[:3])
+            )
     if analysis is None:
         analysis = analyze(topology)
     placement: Optional[ShardPlacement] = None

@@ -176,7 +176,8 @@ def search_batch_sizes(
             edges.append(edge)
         candidate = Topology(list(topology.operators), edges,
                              name=topology.name,
-                             checkpoint=topology.checkpoint)
+                             checkpoint=topology.checkpoint,
+                    latency_budget=topology.latency_budget)
         prediction = predict_batching(
             candidate, batch_size=1, hop_overhead=hop_overhead,
             flush_timeout=flush_timeout, source_rate=source_rate)

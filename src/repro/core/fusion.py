@@ -381,4 +381,5 @@ def build_fused_topology(topology: Topology, plan: FusionPlan) -> Topology:
         edges.append(Edge(plan.fused_name, target, probability))
 
     return Topology(operators, edges, name=f"{topology.name}+fused",
-                    checkpoint=topology.checkpoint)
+                    checkpoint=topology.checkpoint,
+                    latency_budget=topology.latency_budget)

@@ -307,9 +307,17 @@ class Topology:
         edges: Iterable[Edge],
         name: str = "topology",
         checkpoint: Optional[CheckpointConfig] = None,
+        latency_budget: Optional[float] = None,
     ) -> None:
         self.name = name
         self.checkpoint = checkpoint
+        if latency_budget is not None and latency_budget <= 0.0:
+            raise TopologyError(
+                f"latency budget must be positive, got {latency_budget}")
+        #: End-to-end latency target (seconds) declared by the
+        #: application; the deployment verifier checks batch flush
+        #: deadlines against it (rule SS313).
+        self.latency_budget = latency_budget
         self._operators: Dict[str, OperatorSpec] = {}
         for spec in operators:
             if spec.name in self._operators:
@@ -534,20 +542,30 @@ class Topology:
             else:
                 new_specs.append(spec)
         return Topology(new_specs, self._edges, name=self.name,
-                        checkpoint=self.checkpoint)
+                        checkpoint=self.checkpoint,
+                        latency_budget=self.latency_budget)
 
     def with_operator(self, spec: OperatorSpec) -> "Topology":
         """A copy of the topology with one operator spec replaced."""
         self.operator(spec.name)
         new_specs = [spec if s.name == spec.name else s for s in self.operators]
         return Topology(new_specs, self._edges, name=self.name,
-                        checkpoint=self.checkpoint)
+                        checkpoint=self.checkpoint,
+                        latency_budget=self.latency_budget)
 
     def with_checkpoint(self,
                         checkpoint: Optional[CheckpointConfig]) -> "Topology":
         """A copy of the topology with a different checkpoint config."""
         return Topology(self.operators, self._edges, name=self.name,
-                        checkpoint=checkpoint)
+                        checkpoint=checkpoint,
+                        latency_budget=self.latency_budget)
+
+    def with_latency_budget(self,
+                            latency_budget: Optional[float]) -> "Topology":
+        """A copy of the topology with a different latency budget."""
+        return Topology(self.operators, self._edges, name=self.name,
+                        checkpoint=self.checkpoint,
+                        latency_budget=latency_budget)
 
     def total_replicas(self) -> int:
         """Total number of replicas across all operators."""

@@ -115,13 +115,30 @@ class WindowedStdDev(WindowedAggregate):
         return math.sqrt(variance)
 
 
+def statistic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of the window values."""
+    return math.fsum(values) / len(values)
+
+
+def statistic_sum(values: Sequence[float]) -> float:
+    """Sum of the window values."""
+    return math.fsum(values)
+
+
+def statistic_median(values: Sequence[float]) -> float:
+    """Upper median of the window values (sort-based, exact)."""
+    return sorted(values)[len(values) // 2]
+
+
 #: Named per-window reductions usable from XML files and generated code.
+#: Module-level functions, not lambdas: captured aggregators must stay
+#: picklable for the process backend (rule SS301).
 STATISTICS: Dict[str, Callable[[Sequence[float]], float]] = {
-    "mean": lambda vs: math.fsum(vs) / len(vs),
-    "sum": lambda vs: math.fsum(vs),
+    "mean": statistic_mean,
+    "sum": statistic_sum,
     "max": max,
     "min": min,
-    "median": lambda vs: sorted(vs)[len(vs) // 2],
+    "median": statistic_median,
 }
 
 

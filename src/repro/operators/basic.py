@@ -15,6 +15,28 @@ from typing import Any, Callable, List, Optional, Sequence
 from repro.operators.base import Operator, Record
 
 
+def double_plus_one(value: float) -> float:
+    """The default :class:`FieldMap` transformation (module-level, so
+    instances stay picklable for the process backend — rule SS301)."""
+    return value * 2.0 + 1.0
+
+
+class ThresholdPredicate:
+    """Pass items whose ``field`` is at least ``threshold``.
+
+    A module-level callable class rather than a closure: the default
+    :class:`Filter` predicate must survive pickling on the process
+    backend (rule SS301), which lambdas and nested functions do not.
+    """
+
+    def __init__(self, field: str, threshold: float) -> None:
+        self.field = field
+        self.threshold = threshold
+
+    def __call__(self, item: Record) -> bool:
+        return float(item.get(self.field, 0.0)) >= self.threshold
+
+
 def spin_work(iterations: int) -> float:
     """Burn a configurable amount of CPU; returns a dummy accumulator.
 
@@ -45,7 +67,7 @@ class FieldMap(Operator):
     def __init__(self, field: str, fn: Optional[Callable[[float], float]] = None,
                  work: int = 0) -> None:
         self.field = field
-        self.fn = fn if fn is not None else (lambda value: value * 2.0 + 1.0)
+        self.fn = fn if fn is not None else double_plus_one
         self.work = work
 
     def operator_function(self, item: Record) -> List[Record]:
@@ -85,7 +107,7 @@ class Filter(Operator):
                  field: str = "value", threshold: float = 0.5,
                  pass_rate: float = 0.5, work: int = 0) -> None:
         if predicate is None:
-            predicate = lambda item: float(item.get(field, 0.0)) >= threshold
+            predicate = ThresholdPredicate(field, threshold)
         self.predicate = predicate
         self.work = work
         self.output_selectivity = pass_rate

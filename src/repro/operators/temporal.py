@@ -22,6 +22,12 @@ from repro.core.graph import StateKind
 from repro.operators.base import KeyedOperator, Operator, Record
 
 
+def bucket_mean(values: Sequence[float]) -> float:
+    """The default bucket aggregator (module-level, so instances stay
+    picklable for the process backend — rule SS301)."""
+    return math.fsum(values) / len(values)
+
+
 class EventTimeTumblingWindow(Operator):
     """Tumbling windows over an event-time field (in-order streams).
 
@@ -43,7 +49,7 @@ class EventTimeTumblingWindow(Operator):
         self.width = width
         self.time_field = time_field
         self.value_field = value_field
-        self.aggregator = aggregator or (lambda vs: math.fsum(vs) / len(vs))
+        self.aggregator = aggregator or bucket_mean
         self._bucket: Optional[int] = None
         self._values: List[float] = []
         self.late_records = 0

@@ -73,6 +73,10 @@ class AdaptiveConfig:
     max_replicas: Optional[int] = None
     #: Seed for the estimators' reservoirs.
     seed: int = 1
+    #: Escape hatch for the SS314 deployment-safety gate: ``True``
+    #: allows a zero-tick cooldown (replans faster than one control
+    #: period can measure).
+    unsafe: bool = False
 
     def __post_init__(self) -> None:
         if self.control_period <= 0.0:
@@ -81,6 +85,11 @@ class AdaptiveConfig:
         if self.cooldown_ticks < 0:
             raise ValueError(
                 f"cooldown_ticks must be >= 0, got {self.cooldown_ticks}")
+        if self.cooldown_ticks < 1 and not self.unsafe:
+            raise ValueError(
+                "cooldown_ticks < 1 re-plans faster than one control "
+                "period can measure (rule SS314); pass unsafe=True to "
+                "override")
 
 
 @dataclass(frozen=True)

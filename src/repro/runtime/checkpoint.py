@@ -57,7 +57,7 @@ from typing import (
     Tuple,
 )
 
-from repro.core.graph import CheckpointConfig, Topology
+from repro.core.graph import CheckpointConfig, Topology, TopologyError
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid the cycle
     # (repro.runtime.system imports this module for the session type).
@@ -424,6 +424,16 @@ def run_recoverable(
         raise CheckpointError(
             "run_recoverable needs a CheckpointConfig (topology.checkpoint, "
             "runtime.checkpoint or the checkpoint argument)")
+    if not runtime.unsafe:
+        from repro.analysis.deploy import deploy_errors
+
+        blocking = deploy_errors(topology, ["SS302", "SS303"])
+        if blocking:
+            raise TopologyError(
+                "deployment-safety gate refused the recoverable run "
+                "(RuntimeConfig(unsafe=True) overrides): "
+                + "; ".join(d.render() for d in blocking[:3])
+            )
     session = CheckpointSession(config)
     recoveries: List[RecoveryEvent] = []
     started = time.monotonic()

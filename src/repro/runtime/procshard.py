@@ -120,6 +120,10 @@ class ProcShardConfig:
     join_timeout: float = 10.0
     #: Driver-side deadline for the whole shutdown cascade.
     drain_timeout: float = 60.0
+    #: Escape hatch for the SS3xx deployment-safety gates: ``True``
+    #: builds even when the static analyzer proves an operator unsafe
+    #: to cross a process boundary (see :mod:`repro.analysis.deploy`).
+    unsafe: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -872,11 +876,26 @@ class ProcShardSystem:
             if shards is None or len(shards) != spec.replication:
                 raise TopologyError(
                     f"placement for {spec.name!r} must name "
-                    f"{spec.replication} shards")
+                    f"{spec.replication} shards (rule SS311)")
             if any(not 0 <= s < config.shards for s in shards):
                 raise TopologyError(
                     f"placement for {spec.name!r} uses a shard outside "
-                    f"[0, {config.shards})")
+                    f"[0, {config.shards}) (rule SS311)")
+            if len(set(shards)) > 1 and spec.state is StateKind.STATEFUL:
+                raise TopologyError(
+                    f"placement for {spec.name!r} scatters a stateful "
+                    f"operator over shards {sorted(set(shards))} "
+                    "(rule SS312)")
+        if not config.unsafe:
+            from repro.analysis.deploy import deploy_errors
+
+            blocking = deploy_errors(topology, ["SS301", "SS305"])
+            if blocking:
+                raise TopologyError(
+                    "deployment-safety gate refused the process build "
+                    "(unsafe=True overrides): "
+                    + "; ".join(d.render() for d in blocking[:3])
+                )
         return cls(topology, factories or {}, config, normalized)
 
     # -- lifecycle -----------------------------------------------------

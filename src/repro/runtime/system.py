@@ -143,6 +143,10 @@ class RuntimeConfig:
     #: default — static runs pay zero extra actors.  Incompatible with
     #: checkpointing (the barrier channel set is fixed at wiring time).
     elastic: bool = False
+    #: Escape hatch for the SS3xx deployment-safety gates: ``True``
+    #: builds even when the static analyzer proves the triple unsafe
+    #: (see :mod:`repro.analysis.deploy`).
+    unsafe: bool = False
 
 
 class RuntimeResult:
@@ -310,8 +314,22 @@ class ActorSystem:
         if config.elastic and session is not None:
             raise TopologyError(
                 "elastic mode is incompatible with checkpointing: the "
-                "barrier channel set is fixed at wiring time"
+                "barrier channel set is fixed at wiring time (rule SS310)"
             )
+        if not config.unsafe and (session is not None or config.elastic):
+            from repro.analysis.deploy import deploy_errors
+            rules: List[str] = []
+            if session is not None:
+                rules += ["SS302", "SS303"]
+            if config.elastic:
+                rules += ["SS304", "SS305"]
+            blocking = deploy_errors(topology, rules)
+            if blocking:
+                raise TopologyError(
+                    "deployment-safety gate refused the build "
+                    "(unsafe=True overrides): "
+                    + "; ".join(d.render() for d in blocking[:3])
+                )
         plans = {plan.fused_name: plan for plan in fusion_plans}
 
         def make_operator(name: str) -> Operator:

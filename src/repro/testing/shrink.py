@@ -86,7 +86,8 @@ def _rebuild(topology: Topology, keep_specs: List, edges: List[Edge],
     ]
     try:
         return Topology(keep_specs, normalized, name=name,
-                        checkpoint=topology.checkpoint)
+                        checkpoint=topology.checkpoint,
+                    latency_budget=topology.latency_budget)
     except TopologyError:
         return None
 

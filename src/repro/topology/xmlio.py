@@ -189,6 +189,8 @@ class TopologyDraft:
     path: Optional[str] = None
     #: Optional ``<checkpoint>`` element of the topology.
     checkpoint: Optional[DraftCheckpoint] = None
+    #: Optional ``<latency-budget>`` element, already scaled to seconds.
+    latency_budget: Optional[float] = None
 
     def operator_names(self) -> List[str]:
         return [op.name for op in self.operators]
@@ -274,11 +276,19 @@ class TopologyDraft:
                 checkpoint = self.checkpoint.build()
             # invalid + non-strict: checkpointing is an optimization
             # annotation, so the shrinker escape hatch just drops it
+        latency_budget = self.latency_budget
+        if latency_budget is not None and latency_budget <= 0.0:
+            if strict:
+                raise XmlFormatError(
+                    f"latency-budget must be positive, got {latency_budget} "
+                    "(pass strict=False to drop it)")
+            latency_budget = None
         return Topology(
             [op.build() for op in self.operators],
             [edge.build() for edge in edges],
             name=self.name,
             checkpoint=checkpoint,
+            latency_budget=latency_budget,
         )
 
 
@@ -317,6 +327,7 @@ def parse_draft(source: Union[str, "os.PathLike[str]"],
     operators: List[DraftOperator] = []
     edges: List[DraftEdge] = []
     checkpoint: Optional[DraftCheckpoint] = None
+    latency_budget: Optional[float] = None
     for child in root:
         if child.tag == "operator":
             operators.append(_parse_operator(child, directory))
@@ -327,13 +338,19 @@ def parse_draft(source: Union[str, "os.PathLike[str]"],
                 raise XmlFormatError(
                     "at most one <checkpoint> element is allowed")
             checkpoint = _parse_checkpoint(child)
+        elif child.tag == "latency-budget":
+            if latency_budget is not None:
+                raise XmlFormatError(
+                    "at most one <latency-budget> element is allowed")
+            latency_budget = _parse_latency_budget(child)
         else:
             raise XmlFormatError(f"unexpected element <{child.tag}>")
     path = None
     if "<" not in str(source):
         path = os.fspath(source)
     return TopologyDraft(name=name, operators=operators, edges=edges,
-                         path=path, checkpoint=checkpoint)
+                         path=path, checkpoint=checkpoint,
+                         latency_budget=latency_budget)
 
 
 def _read_source(source: Union[str, "os.PathLike[str]"],
@@ -485,6 +502,21 @@ def _parse_checkpoint(element: ET.Element) -> DraftCheckpoint:
                            snapshot_overhead=snapshot_overhead)
 
 
+def _parse_latency_budget(element: ET.Element) -> float:
+    """``<latency-budget value="250" time-unit="ms"/>`` in seconds."""
+    raw_value = _require(element, "value")
+    unit = element.get("time-unit", "ms")
+    try:
+        scale = TIME_UNITS[unit]
+    except KeyError:
+        raise XmlFormatError(
+            f"latency-budget: unknown time unit {unit!r}") from None
+    try:
+        return float(raw_value) * scale
+    except ValueError:
+        raise XmlFormatError("latency-budget: bad value") from None
+
+
 def _parse_edge(element: ET.Element) -> DraftEdge:
     source = _require(element, "from")
     target = _require(element, "to")
@@ -565,6 +597,11 @@ def topology_to_xml(topology: Topology, time_unit: str = "ms") -> str:
             "retained": str(topology.checkpoint.retained),
             "snapshot-overhead": repr(
                 topology.checkpoint.snapshot_overhead / scale),
+            "time-unit": time_unit,
+        })
+    if topology.latency_budget is not None:
+        ET.SubElement(root, "latency-budget", {
+            "value": repr(topology.latency_budget / scale),
             "time-unit": time_unit,
         })
     for spec in topology.operators:

@@ -1,0 +1,292 @@
+"""Operator classes seeding the SS3xx deployment-safety defect corpus.
+
+Each operator rule (SS301–SS305) gets at least one trigger class and a
+clean near-miss that is as close as possible to the trigger without
+the defect, so the analyzer's discrimination (not just its recall) is
+under test.  Plan rules (SS310–SS315) are triggered from topology
+fixtures and test code, not classes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Sequence
+
+from repro.core.graph import StateKind
+from repro.operators.base import KeyedOperator, Operator
+
+
+def _path(cls: type) -> str:
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def _scale_by_two(value: float) -> float:
+    """A module-level function: picklable, unlike its lambda twin."""
+    return value * 2.0
+
+
+#: A module-level lambda an __init__ might capture by name (trigger).
+SCALE_LAMBDA = lambda value: value * 2.0  # noqa: E731
+
+#: Module-level mutable containers a hot path might write (trigger).
+EVENT_LOG: List[Any] = []
+SHARED_INDEX: Dict[str, Any] = {}
+
+
+# -- SS301: lambda captured in __init__ state --------------------------
+class LambdaClosureMap(Operator):
+    """Trigger: __init__ stores a literal lambda — unpicklable."""
+
+    def __init__(self, scale: float = 2.0) -> None:
+        self.fn = lambda value: value * scale
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [self.fn(item)]
+
+
+class NamedLambdaMap(Operator):
+    """Trigger: captures a *module-level* lambda by name."""
+
+    def __init__(self) -> None:
+        self.fn = SCALE_LAMBDA
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [self.fn(item)]
+
+
+class NestedDefMap(Operator):
+    """Trigger: a function defined inside __init__ is closure-bound."""
+
+    def __init__(self, scale: float = 2.0) -> None:
+        def scaled(value: float) -> float:
+            return value * scale
+
+        self.fn = scaled
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [self.fn(item)]
+
+
+class ModuleFnMap(Operator):
+    """Near-miss: same shape, but the default is a module-level def."""
+
+    def __init__(self) -> None:
+        self.fn = _scale_by_two
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [self.fn(item)]
+
+
+# -- SS301: OS resources in __init__ state -----------------------------
+class LockHolder(Operator):
+    """Trigger: a lock (and a file handle) cannot cross fork/pickle."""
+
+    def __init__(self, path: str = "/dev/null") -> None:
+        self.lock = threading.Lock()
+        self.sink = open(path, "w")
+
+    def operator_function(self, item: Any) -> List[Any]:
+        return [item]
+
+
+class PlainStateHolder(Operator):
+    """Near-miss: plain containers and scalars pickle fine."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self.buffer: List[Any] = []
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.buffer.append(item)
+        if len(self.buffer) >= self.capacity:
+            drained, self.buffer = self.buffer, []
+            return drained
+        return []
+
+
+# -- SS301/SS303: one-shot iterator in __init__ state ------------------
+class IteratorSource(Operator):
+    """Trigger: holds ``iter(...)`` without snapshot hooks — neither
+    picklable (SS301) nor replayable after recovery (SS303)."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, items: Sequence[Any] = ()) -> None:
+        self._iter = iter(list(items))
+        self.exhausted = False
+
+    def operator_function(self, item: Any) -> List[Any]:
+        try:
+            return [next(self._iter)]
+        except StopIteration:
+            self.exhausted = True
+            return []
+
+
+class MaterializedSource(Operator):
+    """Near-miss: materializes the items and overrides both hooks
+    (the shape of the catalog's IterableSource)."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self, items: Sequence[Any] = ()) -> None:
+        self._items = list(items)
+        self._position = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        if self._position >= len(self._items):
+            return []
+        value = self._items[self._position]
+        self._position += 1
+        return [value]
+
+    def snapshot_state(self) -> Any:
+        return {"position": self._position}
+
+    def restore_state(self, snapshot: Any) -> None:
+        self._position = int(snapshot["position"])
+
+
+# -- SS302: unsnapshotable resource under default deepcopy -------------
+class ResourceNoHooks(Operator):
+    """Trigger: __init__ resource + default deepcopy snapshot."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.count += 1
+        return [item]
+
+
+class ResourceWithHooks(Operator):
+    """Near-miss: same resource, but explicit hooks skip it."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.count += 1
+        return [item]
+
+    def snapshot_state(self) -> Any:
+        return {"count": self.count}
+
+    def restore_state(self, snapshot: Any) -> None:
+        self.count = int(snapshot["count"])
+
+
+class HalfHookedCounter(Operator):
+    """Trigger: overrides snapshot_state only — restore would use the
+    in-place default against a custom snapshot shape."""
+
+    state = StateKind.STATEFUL
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        self.count += 1
+        return [item]
+
+    def snapshot_state(self) -> Any:
+        return {"count": self.count}
+
+
+# -- SS304: partitioned state that migration cannot split --------------
+class KeylessPartitioned(Operator):
+    """Trigger: meant to be declared partitioned-stateful in the spec,
+    but the class never overrides key_of."""
+
+    def __init__(self) -> None:
+        self._windows: Dict[str, List[float]] = {}
+
+    def operator_function(self, item: Any) -> List[Any]:
+        key = str(item.get("key", "")) if hasattr(item, "get") else ""
+        self._windows.setdefault(key, []).append(1.0)
+        return [item]
+
+
+class MonolithicKeyed(KeyedOperator):
+    """Trigger: keyed, but a global accumulator spans all keys — a
+    migration handing half the key space away would tear it."""
+
+    def __init__(self, key_field: str = "key") -> None:
+        super().__init__(key_field)
+        self._last: Dict[str, float] = {}
+        self.grand_total = 0.0
+
+    def operator_function(self, item: Any) -> List[Any]:
+        key = self.key_of(item) or ""
+        value = float(item.get("value", 0.0))
+        self._last[key] = value
+        self.grand_total += value
+        return [item]
+
+
+class CleanKeyed(KeyedOperator):
+    """Near-miss: every write is key-indexed (migratable by key)."""
+
+    def __init__(self, key_field: str = "key") -> None:
+        super().__init__(key_field)
+        self._last: Dict[str, float] = {}
+
+    def operator_function(self, item: Any) -> List[Any]:
+        key = self.key_of(item) or ""
+        self._last[key] = float(item.get("value", 0.0))
+        return [item]
+
+
+# -- SS305: module-global state written from the hot path --------------
+class GlobalAppender(Operator):
+    """Trigger: appends to a module-level list — replicas race."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        EVENT_LOG.append(item)
+        return [item]
+
+
+class GlobalRebinder(Operator):
+    """Trigger: rebinds a module global via a ``global`` statement."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        global SHARED_INDEX
+        SHARED_INDEX = {"last": item}
+        return [item]
+
+
+class LocalShadower(Operator):
+    """Near-miss: a *local* named like the module container."""
+
+    def operator_function(self, item: Any) -> List[Any]:
+        EVENT_LOG = []  # noqa: N806 - deliberate shadow
+        EVENT_LOG.append(item)
+        return [math.fsum([1.0])] and [item]
+
+
+LAMBDA_CLOSURE_PATH = _path(LambdaClosureMap)
+NAMED_LAMBDA_PATH = _path(NamedLambdaMap)
+NESTED_DEF_PATH = _path(NestedDefMap)
+MODULE_FN_PATH = _path(ModuleFnMap)
+LOCK_HOLDER_PATH = _path(LockHolder)
+PLAIN_STATE_PATH = _path(PlainStateHolder)
+ITERATOR_SOURCE_PATH = _path(IteratorSource)
+MATERIALIZED_SOURCE_PATH = _path(MaterializedSource)
+RESOURCE_NO_HOOKS_PATH = _path(ResourceNoHooks)
+RESOURCE_WITH_HOOKS_PATH = _path(ResourceWithHooks)
+HALF_HOOKED_PATH = _path(HalfHookedCounter)
+KEYLESS_PARTITIONED_PATH = _path(KeylessPartitioned)
+MONOLITHIC_KEYED_PATH = _path(MonolithicKeyed)
+CLEAN_KEYED_PATH = _path(CleanKeyed)
+GLOBAL_APPENDER_PATH = _path(GlobalAppender)
+GLOBAL_REBINDER_PATH = _path(GlobalRebinder)
+LOCAL_SHADOWER_PATH = _path(LocalShadower)

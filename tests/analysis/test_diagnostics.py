@@ -8,7 +8,9 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     LintReport,
     Severity,
+    all_rules,
     report_from,
+    rule_info,
 )
 
 
@@ -99,3 +101,60 @@ class TestLintReport:
 
     def test_header_lines_for_clean_report(self):
         assert "clean" in LintReport().header_lines()[0]
+
+
+class TestRuleRegistry:
+    def test_every_pass_registers_its_rules(self):
+        # Importing the passes populates the registry.
+        import repro.analysis  # noqa: F401
+
+        owners = {info.owner for info in all_rules()}
+        assert owners == {"graph", "opcode", "deploy", "plan"}
+        rules = {info.rule for info in all_rules()}
+        assert {"SS101", "SS201", "SS301", "SS310"} <= rules
+
+    def test_rule_info_lookup(self):
+        import repro.analysis  # noqa: F401
+
+        info = rule_info("SS301")
+        assert info is not None
+        assert info.owner == "deploy"
+        assert info.severity is Severity.ERROR
+        assert rule_info("SS999") is None
+
+
+class TestSarif:
+    def test_sarif_rule_metadata_comes_from_the_registry(self):
+        import repro.analysis  # noqa: F401
+
+        report = report_from([
+            _diag(rule="SS301", subject="work",
+                  location="pkg.mod.Cls"),
+            _diag(rule="SS315", severity=Severity.WARNING,
+                  location="app.xml"),
+        ])
+        payload = json.loads(report.to_sarif())
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rules = {r["id"]: r for r in run["tool"]["driver"]["rules"]}
+        assert rules["SS315"]["defaultConfiguration"]["level"] == "warning"
+        assert "shortDescription" in rules["SS301"]
+
+    def test_sarif_location_shapes(self):
+        report = report_from([
+            _diag(rule="SS301", subject="work", location="pkg.mod.Cls"),
+            _diag(rule="SS108", location="app.xml"),
+        ])
+        results = json.loads(report.to_sarif())["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        logical = by_rule["SS301"]["locations"][0]["logicalLocations"]
+        assert logical[0]["fullyQualifiedName"] == "pkg.mod.Cls"
+        physical = by_rule["SS108"]["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "app.xml"
+        assert by_rule["SS301"]["message"]["text"].startswith("[work]")
+
+    def test_unregistered_rules_still_emit(self):
+        payload = json.loads(report_from([_diag(rule="XX999")]).to_sarif())
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["rules"] == [{"id": "XX999"}]
+        assert run["results"][0]["ruleIndex"] == 0

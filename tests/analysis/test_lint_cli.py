@@ -51,6 +51,66 @@ class TestJsonOutput:
         assert "written to" in capsys.readouterr().out
 
 
+class TestSarifOutput:
+    def test_sarif_log_schema(self, capsys):
+        code = main(["lint", "--sarif", _fixture("ss108_trigger.xml")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert payload["version"] == "2.1.0"
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "spinstreams"
+        assert {r["id"] for r in driver["rules"]} >= {"SS108"}
+        results = payload["runs"][0]["results"]
+        assert any(r["ruleId"] == "SS108" and r["level"] == "error"
+                   for r in results)
+
+    def test_sarif_anchors_xml_locations(self, capsys):
+        main(["lint", "--sarif", _fixture("ss108_trigger.xml")])
+        payload = json.loads(capsys.readouterr().out)
+        locations = [loc
+                     for result in payload["runs"][0]["results"]
+                     for loc in result.get("locations", ())]
+        uris = {loc["physicalLocation"]["artifactLocation"]["uri"]
+                for loc in locations if "physicalLocation" in loc}
+        assert any(uri.endswith("ss108_trigger.xml") for uri in uris)
+
+
+class TestDeployFlags:
+    def test_backend_process_rejects_unpicklable_closure(self, capsys):
+        """The PR's acceptance criterion: the lambda-closure operator
+        fails ``lint --backend process`` with the rule ID."""
+        code = main(["lint", "--backend", "process",
+                     _fixture("ss301_trigger.xml")])
+        assert code == 2
+        assert "SS301" in capsys.readouterr().out
+
+    def test_same_topology_passes_without_backend(self, capsys):
+        code = main(["lint", _fixture("ss301_trigger.xml")])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_clean_near_miss_passes_backend_process(self, capsys):
+        code = main(["lint", "--backend", "process",
+                     _fixture("ss301_clean.xml")])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_plan_json_reports_the_plan_pass(self, capsys):
+        code = main(["lint", "--json", "--plan", "--backend", "process",
+                     "--shards", "2", _fixture("ss301_clean.xml")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "deploy" in payload["passes"]
+        assert "plan" in payload["passes"]
+
+    def test_elastic_plan_flags_checkpoint_conflict(self, capsys):
+        code = main(["lint", "--json", "--plan", "--backend", "elastic",
+                     _fixture("ss310_trigger.xml")])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert "SS310" in {d["rule"] for d in payload["diagnostics"]}
+
+
 class TestCodePass:
     def test_examples_lint_clean(self, capsys):
         """The shipped example topologies must stay error-free (the CI
@@ -59,6 +119,17 @@ class TestCodePass:
             code = main(["lint", os.path.join(EXAMPLES, name)])
             capsys.readouterr()
             assert code == 0, f"{name} has lint findings"
+
+    def test_examples_deploy_clean_on_every_backend(self, capsys):
+        """The shipped examples must also pass the full deployment
+        check — the CI lint-smoke job runs the same command."""
+        for name in sorted(os.listdir(EXAMPLES)):
+            for backend in ("threaded", "process", "elastic"):
+                code = main(["lint", "--plan", "--backend", backend,
+                             os.path.join(EXAMPLES, name)])
+                out = capsys.readouterr().out
+                assert code == 0, (
+                    f"{name} fails deployment lint on {backend}: {out}")
 
     def test_no_code_flag_skips_opcode_pass(self, capsys):
         path = os.path.join(EXAMPLES, "runnable_pipeline.xml")

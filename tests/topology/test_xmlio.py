@@ -332,3 +332,62 @@ class TestCheckpointElement:
                '<operator name="a" service-time="1"/></topology>')
         with pytest.raises(XmlFormatError, match="one <checkpoint>"):
             parse_topology(xml)
+
+
+class TestLatencyBudgetElement:
+    XML = (
+        '<topology name="lb">'
+        '<latency-budget value="250" time-unit="ms"/>'
+        '<operator name="a" service-time="1"/>'
+        '</topology>'
+    )
+
+    def test_parse_scales_the_unit(self):
+        topology = parse_topology(self.XML)
+        assert topology.latency_budget == pytest.approx(0.25)
+
+    def test_default_unit_is_milliseconds(self):
+        topology = parse_topology(
+            '<topology><latency-budget value="40"/>'
+            '<operator name="a" service-time="1"/></topology>')
+        assert topology.latency_budget == pytest.approx(0.04)
+
+    def test_absent_means_unbounded(self):
+        topology = parse_topology(
+            '<topology><operator name="a" service-time="1"/></topology>')
+        assert topology.latency_budget is None
+
+    def test_round_trip(self):
+        topology = parse_topology(self.XML)
+        again = parse_topology(topology_to_xml(topology))
+        assert again.latency_budget == pytest.approx(topology.latency_budget)
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(XmlFormatError, match="value"):
+            parse_topology(
+                '<topology><latency-budget/>'
+                '<operator name="a" service-time="1"/></topology>')
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(XmlFormatError, match="time unit"):
+            parse_topology(
+                '<topology><latency-budget value="1" time-unit="h"/>'
+                '<operator name="a" service-time="1"/></topology>')
+
+    def test_nonpositive_rejected_strict(self):
+        xml = ('<topology><latency-budget value="0"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        with pytest.raises(XmlFormatError, match="positive"):
+            parse_topology(xml)
+
+    def test_nonpositive_dropped_lenient(self):
+        xml = ('<topology><latency-budget value="0"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        assert parse_topology(xml, strict=False).latency_budget is None
+
+    def test_duplicate_rejected(self):
+        xml = ('<topology><latency-budget value="1"/>'
+               '<latency-budget value="2"/>'
+               '<operator name="a" service-time="1"/></topology>')
+        with pytest.raises(XmlFormatError, match="one <latency-budget>"):
+            parse_topology(xml)
